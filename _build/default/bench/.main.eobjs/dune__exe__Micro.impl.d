@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Hashtbl Instance Larch_cipher Larch_ec Larch_hash List Measure Printf Staged Test Time Toolkit

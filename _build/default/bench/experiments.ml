@@ -1,0 +1,492 @@
+(* Regeneration of every table and figure in the paper's evaluation (§8).
+
+   Each experiment prints the same rows/series the paper reports, with the
+   paper's own numbers alongside for comparison.  Absolute values differ
+   (pure-OCaml substrate vs the authors' C++/OpenSSL testbed); the shapes —
+   who wins, growth rates, crossovers — are the reproduction target.  See
+   EXPERIMENTS.md for the recorded paper-vs-measured comparison. *)
+
+module Point = Larch_ec.Point
+module Scalar = Larch_ec.P256.Scalar
+module Statements = Larch_circuit.Larch_statements
+module Zkboo = Larch_zkboo.Zkboo
+module Netsim = Larch_net.Netsim
+module Channel = Larch_net.Channel
+open Larch_core
+
+let net = Netsim.paper_default
+let rand = Larch_hash.Drbg.of_seed "larch-bench"
+
+let timed (f : unit -> 'a) : 'a * float =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let ms t = t *. 1000.
+let mib b = float_of_int b /. 1024. /. 1024.
+let kib b = float_of_int b /. 1024.
+
+let header title =
+  Printf.printf "\n=== %s ===\n%!" title
+
+(* Fixed workload pieces reused across experiments. *)
+
+let fido2_statement () =
+  let k = rand 32 and r = rand 16 and id = rand 32 and chal = rand 32 and nonce = rand 12 in
+  let cm, ct, dgst = Statements.fido2_compute ~k ~r ~id ~chal ~nonce in
+  let witness = Statements.fido2_witness_bits { Statements.k; r; id; chal; nonce } in
+  let public_output = Statements.fido2_public_bits ~cm ~ct ~dgst ~nonce in
+  (witness, public_output)
+
+(* One complete online FIDO2 signing exchange (no proof), timed. *)
+let run_signing_once () =
+  let key = Two_party_ecdsa.log_keygen ~rand_bytes:rand in
+  let y, pk = Two_party_ecdsa.client_keygen ~log_pub:key.Two_party_ecdsa.x_pub ~rand_bytes:rand in
+  let cbatch, lbatch = Two_party_ecdsa.presign_batch ~count:1 ~rand_bytes:rand in
+  let digest = Larch_hash.Sha256.digest "bench-message" in
+  let (), dt =
+    timed (fun () ->
+        let log_st =
+          Two_party_ecdsa.init_party ~party:0
+            ~inp:(Two_party_ecdsa.halfmul_input_of_log lbatch 0 ~sk0:key.Two_party_ecdsa.x)
+            ~cap_r:lbatch.Two_party_ecdsa.entries.(0).Two_party_ecdsa.cap_r ~digest
+        in
+        let cli_st =
+          Two_party_ecdsa.init_party ~party:1
+            ~inp:(Two_party_ecdsa.halfmul_input_of_client cbatch 0 ~sk1:y)
+            ~cap_r:cbatch.Two_party_ecdsa.centries.(0).Two_party_ecdsa.cap_r1 ~digest
+        in
+        let m0 = Two_party_ecdsa.round1 log_st and m1 = Two_party_ecdsa.round1 cli_st in
+        let s0 = Two_party_ecdsa.round2 log_st ~own:m0 ~other:m1 in
+        let s1 = Two_party_ecdsa.round2 cli_st ~own:m1 ~other:m0 in
+        let c0 = Two_party_ecdsa.open_commit log_st ~other_s:s1 ~rand_bytes:rand in
+        let c1 = Two_party_ecdsa.open_commit cli_st ~other_s:s0 ~rand_bytes:rand in
+        let r0 = Two_party_ecdsa.open_reveal log_st and r1 = Two_party_ecdsa.open_reveal cli_st in
+        assert (Two_party_ecdsa.open_check log_st ~other_commit:c1 ~other_reveal:r1);
+        assert (Two_party_ecdsa.open_check cli_st ~other_commit:c0 ~other_reveal:r0);
+        let sg = Two_party_ecdsa.signature cli_st ~other_s:s0 in
+        assert (Larch_ec.Ecdsa.verify_digest ~pk digest sg))
+  in
+  (* halfmul d,e both ways + s + commit + reveal both ways *)
+  let online_bytes = 64 + 64 + 32 + 32 + 32 + 32 + 80 + 80 in
+  (dt, online_bytes)
+
+(* ---------- Figure 3 (left): FIDO2 latency vs client cores ---------- *)
+
+let fig3_left ~fast () =
+  header "Figure 3 (left): FIDO2 authentication latency vs client cores";
+  Printf.printf "host has %d cores available; log verification fixed at 2 domains\n"
+    (Larch_util.Parallel.available_cores ());
+  let witness, public_output = fido2_statement () in
+  let circuit = Lazy.force Statements.fido2_circuit in
+  let cores = if fast then [ 1; 4 ] else [ 1; 2; 4; 8 ] in
+  let sign_s, sign_bytes = run_signing_once () in
+  (* one proof to size the communication *)
+  let proof0 =
+    Zkboo.prove ~circuit ~witness ~statement_tag:"bench" ~rand_bytes:rand ()
+  in
+  let proof_bytes = Zkboo.size_bytes proof0 in
+  let verify_s =
+    snd (timed (fun () -> assert (Zkboo.verify ~domains:2 ~circuit ~public_output ~statement_tag:"bench" proof0)))
+  in
+  let total_bytes = proof_bytes + 32 + 32 + 12 + 64 + sign_bytes in
+  let net_s = Netsim.transfer_time net ~bytes:total_bytes ~rounds:3 in
+  Printf.printf "per-auth communication: %.2f MiB (paper: 1.73 MiB); modeled network %.0f ms\n"
+    (mib total_bytes) (ms net_s);
+  Printf.printf "%-8s %-12s %-12s %-12s %-10s %-12s %s\n" "cores" "prove(ms)" "modeled(ms)"
+    "verify(ms)" "sign(ms)" "total(ms)" "paper-total(ms)";
+  let paper = [ (1, 303.); (2, 205.); (4, 150.); (8, 117.) ] in
+  let avail = Larch_util.Parallel.available_cores () in
+  let _, prove1_s =
+    timed (fun () ->
+        ignore (Zkboo.prove ~domains:1 ~circuit ~witness ~statement_tag:"bench" ~rand_bytes:rand ()))
+  in
+  List.iter
+    (fun d ->
+      let _, prove_s =
+        timed (fun () ->
+            ignore (Zkboo.prove ~domains:d ~circuit ~witness ~statement_tag:"bench" ~rand_bytes:rand ()))
+      in
+      (* batch evaluation (~95% of proving) parallelizes across repetition
+         groups; Fiat–Shamir and response assembly are serial.  On hosts
+         with fewer cores than d, the Amdahl model stands in for the
+         measurement (flagged by comparing [avail]). *)
+      let modeled_s = prove1_s *. (0.05 +. (0.95 /. float_of_int d)) in
+      let best = if avail >= d then prove_s else modeled_s in
+      let total = best +. verify_s +. sign_s +. net_s in
+      Printf.printf "%-8d %-12.0f %-12.0f %-12.0f %-10.1f %-12.0f %s\n%!" d (ms prove_s)
+        (ms modeled_s) (ms verify_s) (ms sign_s) (ms total)
+        (match List.assoc_opt d paper with Some p -> Printf.sprintf "%.0f" p | None -> "-"))
+    cores;
+  if avail < List.fold_left max 1 cores then
+    Printf.printf
+      "(host has %d core(s): measured prove times cannot scale; 'total' uses the Amdahl model)\n"
+      avail
+
+(* ---------- Figure 3 (center) + Figure 5: passwords vs #RPs ---------- *)
+
+let password_world n =
+  let x, x_pub = Password_protocol.client_gen ~rand_bytes:rand in
+  let log_sk, log_pub = Password_protocol.log_gen ~rand_bytes:rand in
+  let ids = List.init n (fun _ -> rand Password_protocol.id_len) in
+  (x, x_pub, log_sk, log_pub, ids)
+
+let password_point ~fast () =
+  let ns = if fast then [ 16; 64; 128 ] else [ 16; 32; 64; 128; 256; 512 ] in
+  List.map
+    (fun n ->
+      let x, x_pub, log_sk, log_pub, ids = password_world n in
+      let (r, req), client_s =
+        timed (fun () -> Password_protocol.client_auth ~idx:(n / 2) ~x ~ids ~rand_bytes:rand)
+      in
+      let y_opt, log_s =
+        timed (fun () -> Password_protocol.log_auth ~log_sk ~client_pub:x_pub ~ids req)
+      in
+      let y = Option.get y_opt in
+      let k_id = Point.mul_base (Scalar.random_nonzero ~rand_bytes:rand) in
+      let _pw, finish_s =
+        timed (fun () -> Password_protocol.finish_auth ~x ~log_pub ~r ~k_id ~y)
+      in
+      let up_bytes = String.length (Password_protocol.encode_auth_request req) in
+      let down_bytes = 65 + 98 (* y point + DLEQ proof *) in
+      (n, client_s, log_s, finish_s, up_bytes, down_bytes))
+    ns
+
+let fig3_center ~fast () =
+  header "Figure 3 (center): password authentication latency vs relying parties";
+  let rows = password_point ~fast () in
+  Printf.printf "%-6s %-14s %-12s %-12s %-12s %s\n" "n" "client(ms)" "log(ms)" "total(ms)"
+    "network(ms)" "paper-total(ms)";
+  let paper = [ (16, 28.); (32, 39.); (64, 60.); (128, 99.); (256, 153.); (512, 245.) ] in
+  List.iter
+    (fun (n, client_s, log_s, finish_s, up, down) ->
+      let net_s = Netsim.transfer_time net ~bytes:(up + down) ~rounds:1 in
+      let total = client_s +. log_s +. finish_s +. net_s in
+      Printf.printf "%-6d %-14.0f %-12.0f %-12.0f %-12.1f %s\n%!" n
+        (ms (client_s +. finish_s))
+        (ms log_s) (ms total) (ms net_s)
+        (match List.assoc_opt n paper with Some p -> Printf.sprintf "%.0f" p | None -> "-"))
+    rows;
+  rows
+
+let fig5 ~rows () =
+  header "Figure 5: password communication vs relying parties (log-log)";
+  Printf.printf "%-6s %-14s %-14s %-12s %s\n" "n" "client->log" "log->client" "total(KiB)"
+    "paper-total(KiB)";
+  let paper = [ (16, 1.47); (32, 1.83); (64, 2.19); (128, 2.55); (256, 3.78); (512, 4.14) ] in
+  List.iter
+    (fun (n, _, _, _, up, down) ->
+      Printf.printf "%-6d %-14.2f %-14.2f %-12.2f %s\n" n (kib up) (kib down) (kib (up + down))
+        (match List.assoc_opt n paper with Some p -> Printf.sprintf "%.2f" p | None -> "-"))
+    rows
+
+(* ---------- Figure 3 (right): TOTP latency vs #RPs ---------- *)
+
+let totp_point n =
+  let k = rand 32 and r = rand 16 in
+  let cm = Larch_hash.Sha256.digest (k ^ r) in
+  let regs = List.init n (fun _ -> (rand 16, rand 20)) in
+  let id, klog = List.nth regs (n / 2) in
+  let kclient = rand 20 in
+  ignore klog;
+  let pub = { Statements.cm; enc_nonce = rand 12; time_counter = 0x2345L } in
+  let offline = Channel.create () and online = Channel.create () in
+  let outcome =
+    Totp_protocol.run_auth ~pub ~n_rps:n ~client:(k, r, id, kclient) ~registrations:regs
+      ~rand_client:rand ~rand_log:rand ~offline ~online
+  in
+  assert outcome.Totp_protocol.ok;
+  let off = Channel.snapshot offline and on = Channel.snapshot online in
+  (outcome, off, on)
+
+let fig3_right ~fast () =
+  header "Figure 3 (right): TOTP latency vs relying parties (online vs offline)";
+  let ns = if fast then [ 5; 20 ] else [ 20; 40; 60; 80; 100 ] in
+  Printf.printf "%-6s %-14s %-14s %-14s %s\n" "n" "online(ms)" "offline(ms)" "off-comm(MiB)"
+    "paper(on/off ms)";
+  let paper = [ (20, (91., 1230.)); (100, (120., 1390.)) ] in
+  List.map
+    (fun n ->
+      let outcome, off, on = totp_point n in
+      let t = outcome.Totp_protocol.timings in
+      let on_bytes = on.Channel.up + on.Channel.down in
+      let off_bytes = off.Channel.up + off.Channel.down in
+      let online_net = Netsim.transfer_time net ~bytes:on_bytes ~rounds:2 in
+      let online_total = t.Larch_mpc.Yao.online_seconds +. online_net in
+      let offline_net = Netsim.transfer_time net ~bytes:off_bytes ~rounds:1 in
+      let offline_total = t.Larch_mpc.Yao.offline_seconds +. offline_net in
+      Printf.printf "%-6d %-14.0f %-14.0f %-14.2f %s\n%!" n (ms online_total) (ms offline_total)
+        (mib off_bytes)
+        (match List.assoc_opt n paper with
+        | Some (a, b) -> Printf.sprintf "%.0f / %.0f" a b
+        | None -> "-");
+      (n, outcome, off, on, online_total, offline_total))
+    ns
+
+(* ---------- Figure 4 (left): log storage vs authentications ---------- *)
+
+let fig4_left ~fast () =
+  header "Figure 4 (left): per-client log storage as presignatures are consumed";
+  (* validate the storage model against the real log service at small scale *)
+  let log = Log_service.create ~rand_bytes:rand () in
+  let client = Client.create ~client_id:"bench" ~account_password:"pw" ~log ~rand_bytes:rand () in
+  Client.enroll ~presignature_count:4 client;
+  let rp = Relying_party.create ~name:"rp" ~rand_bytes:rand () in
+  let pk = Client.register_fido2 client ~rp_name:"rp" in
+  Relying_party.fido2_register rp ~username:"u" ~pk;
+  let st0 = Log_service.storage log ~client_id:"bench" in
+  let chal = Relying_party.fido2_challenge rp ~username:"u" in
+  ignore (Client.authenticate_fido2 client ~rp_name:"rp" ~challenge:chal);
+  let st1 = Log_service.storage log ~client_id:"bench" in
+  let record_bytes = st1.Log_service.record_bytes - st0.Log_service.record_bytes in
+  let presig_delta = st0.Log_service.presig_bytes - st1.Log_service.presig_bytes in
+  Printf.printf
+    "measured: presignature %d B each (paper: 192 B), auth record %d B (paper: 104 B)\n"
+    presig_delta record_bytes;
+  let presigs = if fast then 1_000 else 10_000 in
+  Printf.printf "%-10s %-16s %-16s %s\n" "auths" "presig(MiB)" "records(MiB)" "total(MiB)";
+  List.iter
+    (fun frac ->
+      let a = presigs * frac / 10 in
+      let pres = 16 + ((presigs - a) * Two_party_ecdsa.log_presig_bytes) in
+      let recs = a * record_bytes in
+      Printf.printf "%-10d %-16.3f %-16.3f %.3f\n" a (mib pres) (mib recs) (mib (pres + recs)))
+    [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ];
+  Printf.printf "(10K presignatures = %.2f MiB at the log; paper: 1.83 MiB)\n"
+    (mib (16 + (10_000 * Two_party_ecdsa.log_presig_bytes)))
+
+(* ---------- per-auth log costs, Figure 4 (right) and Table 6 ---------- *)
+
+type method_cost = {
+  name : string;
+  online_ms : float;
+  total_ms : float;
+  online_comm : int;
+  total_comm : int;
+  record_bytes : int;
+  per_auth : Pricing.per_auth;
+}
+
+let measure_fido2 () =
+  let witness, public_output = fido2_statement () in
+  let circuit = Lazy.force Statements.fido2_circuit in
+  let proof, prove_s =
+    timed (fun () -> Zkboo.prove ~domains:4 ~circuit ~witness ~statement_tag:"bench" ~rand_bytes:rand ())
+  in
+  let ok, verify_1core_s =
+    timed (fun () -> Zkboo.verify ~domains:1 ~circuit ~public_output ~statement_tag:"bench" proof)
+  in
+  assert ok;
+  let sign_s, sign_bytes = run_signing_once () in
+  let proof_bytes = Zkboo.size_bytes proof in
+  let total_comm = proof_bytes + 140 + sign_bytes in
+  let net_s = Netsim.transfer_time net ~bytes:total_comm ~rounds:3 in
+  {
+    name = "FIDO2";
+    online_ms = ms (prove_s +. verify_1core_s +. sign_s +. net_s);
+    total_ms = ms (prove_s +. verify_1core_s +. sign_s +. net_s);
+    online_comm = total_comm;
+    total_comm;
+    record_bytes = 8 + 12 + 32 + 64;
+    per_auth =
+      {
+        Pricing.log_core_seconds = verify_1core_s +. (sign_s /. 2.);
+        egress_bytes = 96 + 32 + 112 + 80 (* log's signing messages *);
+      };
+  }
+
+let measure_totp () =
+  let outcome, off, on = totp_point 20 in
+  let t = outcome.Totp_protocol.timings in
+  let on_bytes = on.Channel.up + on.Channel.down in
+  let off_bytes = off.Channel.up + off.Channel.down in
+  let online_net = Netsim.transfer_time net ~bytes:on_bytes ~rounds:2 in
+  let total_net = Netsim.transfer_time net ~bytes:(on_bytes + off_bytes) ~rounds:3 in
+  {
+    name = "TOTP (n=20)";
+    online_ms = ms (t.Larch_mpc.Yao.online_seconds +. online_net);
+    total_ms =
+      ms (t.Larch_mpc.Yao.online_seconds +. t.Larch_mpc.Yao.offline_seconds +. total_net);
+    online_comm = on_bytes;
+    total_comm = on_bytes + off_bytes;
+    record_bytes = 8 + 12 + 16 + 64;
+    per_auth =
+      {
+        Pricing.log_core_seconds = t.Larch_mpc.Yao.evaluator_seconds;
+        egress_bytes = off.Channel.down + on.Channel.down;
+      };
+  }
+
+let measure_password () =
+  let n = 128 in
+  let x, x_pub, log_sk, log_pub, ids = password_world n in
+  let (r, req), client_s =
+    timed (fun () -> Password_protocol.client_auth ~idx:7 ~x ~ids ~rand_bytes:rand)
+  in
+  let y_opt, log_s = timed (fun () -> Password_protocol.log_auth ~log_sk ~client_pub:x_pub ~ids req) in
+  let y = Option.get y_opt in
+  let k_id = Point.mul_base (Scalar.random_nonzero ~rand_bytes:rand) in
+  let _pw, finish_s = timed (fun () -> Password_protocol.finish_auth ~x ~log_pub ~r ~k_id ~y) in
+  let up = String.length (Password_protocol.encode_auth_request req) in
+  let down = 65 + 98 in
+  let net_s = Netsim.transfer_time net ~bytes:(up + down) ~rounds:1 in
+  {
+    name = "Password (n=128)";
+    online_ms = ms (client_s +. log_s +. finish_s +. net_s);
+    total_ms = ms (client_s +. log_s +. finish_s +. net_s);
+    online_comm = up + down;
+    total_comm = up + down;
+    record_bytes = 8 + 130;
+    per_auth = { Pricing.log_core_seconds = log_s; egress_bytes = down };
+  }
+
+let fig4_right ~methods () =
+  header "Figure 4 (right): minimum deployment cost vs authentications (log-log)";
+  Printf.printf "%-12s" "auths";
+  List.iter (fun m -> Printf.printf " %-18s" m.name) methods;
+  print_newline ();
+  List.iter
+    (fun auths ->
+      Printf.printf "%-12.0e" auths;
+      List.iter
+        (fun m ->
+          let c = Pricing.cost_of m.per_auth ~auths in
+          Printf.printf " $%-17.2f" c.Pricing.min_usd)
+        methods;
+      print_newline ())
+    [ 1e3; 1e4; 1e5; 1e6; 1e7 ]
+
+let table6 ~methods () =
+  header "Table 6: larch costs by authentication method";
+  let paper =
+    [
+      ("FIDO2", ("150 ms", "150 ms", "1.73 MiB", "1.73 MiB", "104 B", "6.18", "$19.19", "$38.37"));
+      ("TOTP (n=20)", ("91 ms", "1.32 s", "201 KiB", "65 MiB", "88 B", "0.73", "$18,086", "$32,588"));
+      ( "Password (n=128)",
+        ("74 ms", "74 ms", "3.25 KiB", "3.25 KiB", "138 B", "47.62", "$2.48", "$4.96") );
+    ]
+  in
+  List.iter
+    (fun m ->
+      let p_online, p_total, p_ocomm, p_tcomm, p_rec, p_tput, p_min, p_max =
+        List.assoc m.name paper
+      in
+      let c10m = Pricing.cost_of m.per_auth ~auths:1e7 in
+      Printf.printf "\n-- %s --\n" m.name;
+      Printf.printf "  %-24s %-18s (paper: %s)\n" "online auth time" (Printf.sprintf "%.0f ms" m.online_ms) p_online;
+      Printf.printf "  %-24s %-18s (paper: %s)\n" "total auth time" (Printf.sprintf "%.0f ms" m.total_ms) p_total;
+      let human b =
+        if b >= 1024 * 1024 then Printf.sprintf "%.2f MiB" (mib b)
+        else Printf.sprintf "%.2f KiB" (kib b)
+      in
+      Printf.printf "  %-24s %-18s (paper: %s)\n" "online auth comm" (human m.online_comm) p_ocomm;
+      Printf.printf "  %-24s %-18s (paper: %s)\n" "total auth comm" (human m.total_comm) p_tcomm;
+      Printf.printf "  %-24s %-18s (paper: %s)\n" "auth record" (Printf.sprintf "%d B" m.record_bytes) p_rec;
+      Printf.printf "  %-24s %-18s (paper: %s)\n" "log auths/core/s"
+        (Printf.sprintf "%.2f" (Pricing.auths_per_core_second m.per_auth)) p_tput;
+      Printf.printf "  %-24s %-18s (paper: %s)\n" "10M auths min cost"
+        (Printf.sprintf "$%.2f" c10m.Pricing.min_usd) p_min;
+      Printf.printf "  %-24s %-18s (paper: %s)\n" "10M auths max cost"
+        (Printf.sprintf "$%.2f" c10m.Pricing.max_usd) p_max)
+    methods;
+  Printf.printf "\n  log presignature: %d B each (paper: 192 B)\n" Two_party_ecdsa.log_presig_bytes;
+  Printf.printf
+    "  (for comparison, the paper notes Argon2 should take ~0.5 s on 2 cores per password hash)\n"
+
+(* ---------- §8.1.1 in-text: enrollment presignature generation ---------- *)
+
+let enroll_bench ~fast () =
+  header "Enrollment: presignature batch generation (paper: 10K in 885 ms, 1.8 MiB)";
+  let count = if fast then 500 else 10_000 in
+  let (_, lbatch), dt =
+    timed (fun () -> Two_party_ecdsa.presign_batch ~count ~rand_bytes:rand)
+  in
+  let bytes = Two_party_ecdsa.log_batch_wire_bytes lbatch in
+  Printf.printf "%d presignatures in %.0f ms (%.2f ms each); %.2f MiB shipped to the log\n" count
+    (ms dt)
+    (ms dt /. float_of_int count)
+    (mib bytes);
+  if fast then
+    Printf.printf "extrapolated to 10K: %.0f ms, %.2f MiB\n"
+      (ms dt /. float_of_int count *. 10_000.)
+      (mib (16 + (10_000 * Two_party_ecdsa.log_presig_bytes)))
+
+(* ---------- §8.1.1 comparison: two-party ECDSA protocols ---------- *)
+
+let ecdsa_compare () =
+  header "Two-party ECDSA comparison (§8.1.1)";
+  (* average several runs *)
+  let n = 10 in
+  let total_t = ref 0. and bytes = ref 0 in
+  for _ = 1 to n do
+    let dt, b = run_signing_once () in
+    total_t := !total_t +. dt;
+    bytes := b
+  done;
+  let ours_ms = ms (!total_t /. float_of_int n) in
+  let net_ms = ms (Netsim.transfer_time net ~bytes:!bytes ~rounds:3) in
+  Printf.printf "%-34s %-16s %-14s %s\n" "protocol" "compute(ms)" "network(ms)" "comm/signature";
+  Printf.printf "%-34s %-16.1f %-14.0f %.2f KiB (+%d B log presignature)\n"
+    "larch presignature 2P-ECDSA (ours)" ours_ms net_ms (kib !bytes)
+    Two_party_ecdsa.log_presig_bytes;
+  Printf.printf "%-34s %-16s %-14s %s\n" "Xue et al. Paillier (paper-reported)" "226" "~60"
+    "6.3 KiB";
+  Printf.printf "%-34s %-16s %-14s %s\n" "Xue et al. OT (paper-reported)" "2.8" "~60" "90.9 KiB";
+  Printf.printf
+    "(paper's own signing: 0.5 KiB per signature, 61 ms mostly network; ours matches that shape)\n"
+
+(* ---------- ablations ---------- *)
+
+let ablate_schnorr () =
+  header "Ablation: presignature ECDSA vs two-party Schnorr (§3.3/§9 future FIDO)";
+  let ecdsa_ms, ecdsa_bytes = run_signing_once () in
+  let x = Scalar.random_nonzero ~rand_bytes:rand and y = Scalar.random_nonzero ~rand_bytes:rand in
+  let pk = Point.mul_base (Scalar.add x y) in
+  let digest = Larch_hash.Sha256.digest "bench" in
+  let (), schnorr_s =
+    timed (fun () ->
+        let lst, lr1 = Schnorr_signing.log_round1 ~rand_bytes:rand in
+        let cst, cr = Schnorr_signing.client_round ~commitment:lr1 ~rand_bytes:rand in
+        let lr2 = Schnorr_signing.log_round2 lst ~client:cr ~sk0:x ~digest in
+        match Schnorr_signing.client_finish cst ~log_msg:lr2 ~sk1:y ~digest with
+        | Some sg -> assert (Schnorr_signing.verify ~pk ~digest sg)
+        | None -> assert false)
+  in
+  (* amortized presignature generation cost per ECDSA signature *)
+  let (_, _lb), batch_dt = timed (fun () -> Two_party_ecdsa.presign_batch ~count:100 ~rand_bytes:rand) in
+  let presig_ms = ms batch_dt /. 100. in
+  Printf.printf "%-34s %-14s %-16s %s\n" "protocol" "online(ms)" "presig(ms/sig)" "comm";
+  Printf.printf "%-34s %-14.2f %-16.2f %d B (+192 B presig)\n" "2P-ECDSA with presignatures"
+    (ms ecdsa_ms) presig_ms ecdsa_bytes;
+  Printf.printf "%-34s %-14.2f %-16s %d B\n" "2P-Schnorr (no preprocessing)" (ms schnorr_s) "0"
+    Schnorr_signing.wire_bytes;
+  Printf.printf
+    "(Schnorr needs no presignature state at the log — the simplification §9 hopes FIDO enables)\n"
+
+let ablate_pack () =
+  header "Ablation: ZKBoo repetition packing (the paper's \"SIMD bitwidth 32\" optimization)";
+  let witness, _ = fido2_statement () in
+  let circuit = Lazy.force Statements.fido2_circuit in
+  Printf.printf "%-18s %-14s\n" "lane width" "prove(ms)";
+  List.iter
+    (fun w ->
+      let _, dt =
+        timed (fun () ->
+            ignore
+              (Zkboo.prove ~lane_width:w ~circuit ~witness ~statement_tag:"bench"
+                 ~rand_bytes:rand ()))
+      in
+      Printf.printf "%-18d %-14.0f\n%!" w (ms dt))
+    [ 1; 8; 62 ]
+
+(* ---------- Groth16 note (§8.2) ---------- *)
+
+let groth16_note () =
+  header "NIZK choice (§8.2): ZKBoo vs Groth16 on the larch FIDO2 circuit";
+  print_endline
+    "Groth16 requires a pairing curve and trusted setup and is not implemented here;\n\
+     the paper reports (ZoKrates/libsnark, BN-128, SHA-256 portion only):\n\
+     prove 4.07 s, verify 8 ms, proof 4.26 KiB, client setup storage 19.86 MiB,\n\
+     log per-client storage 9.2 MiB.  Compare the measured ZKBoo row in fig3-left:\n\
+     fast proving / larger proofs vs slow proving / tiny proofs — the tradeoff the\n\
+     paper discusses for raising log throughput."

@@ -1,0 +1,79 @@
+(* larch benchmark harness: regenerates every table and figure of the
+   paper's evaluation (§8).
+
+     dune exec bench/main.exe                 # everything, default sizes
+     dune exec bench/main.exe -- --fast       # reduced sweeps (CI-sized)
+     dune exec bench/main.exe -- -e fig3-left # one experiment
+
+   Experiments: fig3-left fig3-center fig3-right fig4-left fig4-right fig5
+   table6 enroll ecdsa-compare ablate-schnorr ablate-pack groth16 micro *)
+
+let all_ids =
+  [
+    "fig3-left"; "fig3-center"; "fig3-right"; "fig4-left"; "fig4-right"; "fig5"; "table6";
+    "enroll"; "ecdsa-compare"; "ablate-schnorr"; "ablate-pack"; "groth16"; "micro";
+  ]
+
+let run_experiments ~fast ~selected =
+  let want id = match selected with [] -> true | l -> List.mem id l in
+  let pw_rows = ref None in
+  let methods = ref None in
+  let get_pw_rows () =
+    match !pw_rows with
+    | Some r -> r
+    | None ->
+        let r = Experiments.fig3_center ~fast () in
+        pw_rows := Some r;
+        r
+  in
+  let get_methods () =
+    match !methods with
+    | Some m -> m
+    | None ->
+        let m =
+          [ Experiments.measure_fido2 (); Experiments.measure_totp (); Experiments.measure_password () ]
+        in
+        methods := Some m;
+        m
+  in
+  if want "fig3-left" then Experiments.fig3_left ~fast ();
+  if want "fig3-center" then ignore (get_pw_rows ());
+  if want "fig3-right" then ignore (Experiments.fig3_right ~fast ());
+  if want "fig4-left" then Experiments.fig4_left ~fast ();
+  if want "fig4-right" then Experiments.fig4_right ~methods:(get_methods ()) ();
+  if want "fig5" then Experiments.fig5 ~rows:(get_pw_rows ()) ();
+  if want "table6" then Experiments.table6 ~methods:(get_methods ()) ();
+  if want "enroll" then Experiments.enroll_bench ~fast ();
+  if want "ecdsa-compare" then Experiments.ecdsa_compare ();
+  if want "ablate-schnorr" then Experiments.ablate_schnorr ();
+  if want "ablate-pack" then Experiments.ablate_pack ();
+  if want "groth16" then Experiments.groth16_note ();
+  if want "micro" then Micro.run ()
+
+open Cmdliner
+
+let fast =
+  let doc = "Reduced sweep sizes (CI-friendly)." in
+  Arg.(value & flag & info [ "fast" ] ~doc)
+
+let experiments =
+  let doc = "Run only the named experiment (repeatable). One of: " ^ String.concat ", " all_ids in
+  Arg.(value & opt_all string [] & info [ "e"; "experiment" ] ~doc)
+
+let main fast selected =
+  List.iter
+    (fun id ->
+      if not (List.mem id all_ids) then begin
+        Printf.eprintf "unknown experiment %S; known: %s\n" id (String.concat ", " all_ids);
+        exit 2
+      end)
+    selected;
+  Printf.printf
+    "larch benchmark harness -- network model: 20 ms RTT, 100 Mbps (as in the paper, sec. 8)\n%!";
+  run_experiments ~fast ~selected
+
+let cmd =
+  let doc = "Regenerate the larch paper's evaluation tables and figures" in
+  Cmd.v (Cmd.info "larch-bench" ~doc) Term.(const main $ fast $ experiments)
+
+let () = exit (Cmd.eval cmd)

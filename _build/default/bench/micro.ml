@@ -1,0 +1,43 @@
+(* Bechamel microbenchmarks for the substrate primitives whose costs
+   dominate the macro experiments. *)
+
+open Bechamel
+open Toolkit
+
+let rand = Larch_hash.Drbg.of_seed "micro"
+
+let tests () =
+  let msg64 = rand 64 in
+  let fe_a = Larch_ec.P256.Fe.random ~rand_bytes:rand in
+  let fe_b = Larch_ec.P256.Fe.random ~rand_bytes:rand in
+  let scalar = Larch_ec.P256.Scalar.random_nonzero ~rand_bytes:rand in
+  let p = Larch_ec.Point.mul_base scalar in
+  let q = Larch_ec.Point.double p in
+  let key = rand 32 and nonce = rand 12 in
+  let aes_ks = Larch_cipher.Aes.expand_key (rand 16) in
+  let block16 = rand 16 in
+  [
+    Test.make ~name:"sha256/64B" (Staged.stage (fun () -> Larch_hash.Sha256.digest msg64));
+    Test.make ~name:"hmac-sha256/64B" (Staged.stage (fun () -> Larch_hash.Hmac.sha256 ~key msg64));
+    Test.make ~name:"chacha20/block" (Staged.stage (fun () -> Larch_cipher.Chacha20.block ~key ~nonce ~counter:0));
+    Test.make ~name:"aes128/block" (Staged.stage (fun () -> Larch_cipher.Aes.encrypt_block aes_ks block16));
+    Test.make ~name:"p256/fe-mul" (Staged.stage (fun () -> Larch_ec.P256.Fe.mul fe_a fe_b));
+    Test.make ~name:"p256/point-add" (Staged.stage (fun () -> Larch_ec.Point.add p q));
+    Test.make ~name:"p256/mul-base" (Staged.stage (fun () -> Larch_ec.Point.mul_base scalar));
+    Test.make ~name:"ecdsa/sign" (Staged.stage (fun () -> Larch_ec.Ecdsa.sign ~sk:scalar "m"));
+  ]
+
+let run () =
+  Printf.printf "\n=== microbenchmarks (bechamel, ns/op) ===\n%!";
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let grouped = Test.make_grouped ~name:"micro" ~fmt:"%s %s" (tests ()) in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] grouped in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name v acc -> (name, v) :: acc) results [] in
+  List.iter
+    (fun (name, v) ->
+      match Analyze.OLS.estimates v with
+      | Some [ est ] -> Printf.printf "%-28s %12.1f ns/op\n" name est
+      | _ -> Printf.printf "%-28s (no estimate)\n" name)
+    (List.sort compare rows)

@@ -1,0 +1,26 @@
+(* AWS price model used by the paper's cost analysis (§8.2, Table 6,
+   Figure 4 right).  Constants from the paper's reference [1]: c5 cores at
+   $0.0425–$0.085 per hour depending on instance size; data transfer out of
+   AWS at $0.05–$0.09/GB; transfer in is free. *)
+
+let core_hour_min = 0.0425
+let core_hour_max = 0.085
+let egress_gb_min = 0.05
+let egress_gb_max = 0.09
+
+type per_auth = {
+  log_core_seconds : float; (* log CPU per authentication *)
+  egress_bytes : int; (* log -> client bytes per authentication *)
+}
+
+type cost = { min_usd : float; max_usd : float }
+
+let cost_of (p : per_auth) ~(auths : float) : cost =
+  let core_hours = p.log_core_seconds *. auths /. 3600. in
+  let egress_gb = float_of_int p.egress_bytes *. auths /. 1e9 in
+  {
+    min_usd = (core_hours *. core_hour_min) +. (egress_gb *. egress_gb_min);
+    max_usd = (core_hours *. core_hour_max) +. (egress_gb *. egress_gb_max);
+  }
+
+let auths_per_core_second (p : per_auth) : float = 1. /. p.log_core_seconds

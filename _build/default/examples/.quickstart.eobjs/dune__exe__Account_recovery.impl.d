@@ -1,0 +1,1 @@
+examples/account_recovery.ml: Backup Client Larch_core Larch_hash List Log_service Printf Relying_party

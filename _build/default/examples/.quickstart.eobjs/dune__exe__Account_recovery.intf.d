@@ -1,0 +1,1 @@
+examples/account_recovery.mli:

@@ -1,0 +1,1 @@
+examples/compromise_detection.ml: Client Larch_core Larch_hash Larch_util List Log_service Option Printf Relying_party Types Unix

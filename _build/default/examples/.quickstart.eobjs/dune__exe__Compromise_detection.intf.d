@@ -1,0 +1,1 @@
+examples/compromise_detection.mli:

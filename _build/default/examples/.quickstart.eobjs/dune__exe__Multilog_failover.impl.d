@@ -1,0 +1,1 @@
+examples/multilog_failover.ml: Larch_core Larch_hash List Multilog Printf Unix

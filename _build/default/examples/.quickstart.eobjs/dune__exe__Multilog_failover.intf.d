@@ -1,0 +1,1 @@
+examples/multilog_failover.mli:

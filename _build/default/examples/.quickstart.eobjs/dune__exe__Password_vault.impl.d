@@ -1,0 +1,1 @@
+examples/password_vault.ml: Array Client Hashtbl Larch_core Larch_hash Larch_net List Log_service Option Printf Relying_party Sys Unix

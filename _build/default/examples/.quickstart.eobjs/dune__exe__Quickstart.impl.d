@@ -1,0 +1,1 @@
+examples/quickstart.ml: Client Larch_core Larch_hash Larch_net List Log_service Option Printf Relying_party Types Unix

@@ -1,0 +1,1 @@
+examples/totp_second_factor.ml: Array Client Larch_auth Larch_core Larch_hash Larch_net List Log_service Option Printf Relying_party Sys Types Unix

@@ -1,0 +1,1 @@
+examples/totp_second_factor.mli:

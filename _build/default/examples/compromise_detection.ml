@@ -1,0 +1,65 @@
+(* Compromise detection — the scenario larch exists for (§1, §2.4).
+
+   An attacker steals Alice's laptop state (every larch secret on the
+   device).  The attacker can log in to her accounts — larch does not
+   prevent that — but *cannot* do so without the log service recording an
+   encrypted, client-decryptable record.  Alice audits, sees logins she
+   never made, revokes the device's shares at the log, and the stolen
+   state becomes useless.
+
+     dune exec examples/compromise_detection.exe *)
+
+open Larch_core
+
+let () =
+  let rand = Larch_hash.Drbg.system () in
+  let log = Log_service.create ~rand_bytes:rand () in
+  let alice =
+    Client.create ~client_id:"alice" ~account_password:"log password" ~log ~rand_bytes:rand ()
+  in
+  Client.enroll ~presignature_count:8 alice;
+
+  let bank = Relying_party.create ~name:"bank.example.com" ~rand_bytes:rand () in
+  let pk = Client.register_fido2 alice ~rp_name:"bank.example.com" in
+  Relying_party.fido2_register bank ~username:"alice" ~pk;
+
+  (* Alice logs in once, legitimately. *)
+  let chal = Relying_party.fido2_challenge bank ~username:"alice" in
+  let a = Client.authenticate_fido2 alice ~rp_name:"bank.example.com" ~challenge:chal in
+  assert (Relying_party.fido2_login bank ~username:"alice" a);
+  print_endline "alice logs in to bank.example.com (1 legitimate login)";
+
+  (* The attacker has the full device state — in this simulation, the same
+     client value — and logs in twice at 3am. *)
+  Larch_util.Clock.set (Unix.gettimeofday () +. 3600.);
+  for i = 1 to 2 do
+    let chal = Relying_party.fido2_challenge bank ~username:"alice" in
+    let a = Client.authenticate_fido2 alice ~rp_name:"bank.example.com" ~challenge:chal in
+    let ok = Relying_party.fido2_login bank ~username:"alice" a in
+    Printf.printf "attacker login %d with stolen device state: %s\n" i
+      (if ok then "succeeds (as expected)" else "failed")
+  done;
+
+  (* Alice expected exactly one bank login.  The audit is ground truth: the
+     attacker could not authenticate without leaving these records. *)
+  let anomalies =
+    Client.detect_anomalies alice ~expected:[ (Types.Fido2, "bank.example.com") ]
+  in
+  Printf.printf "audit: %d authentication(s) alice never made:\n" (List.length anomalies);
+  List.iter
+    (fun e ->
+      Printf.printf "  t=%-12.0f %-8s %s from %s\n" e.Client.time
+        (Types.auth_method_to_string e.Client.method_)
+        (Option.value ~default:"?" e.Client.rp)
+        e.Client.ip)
+    anomalies;
+
+  (* Remediation: revoke the log-side shares.  The stolen device can no
+     longer authenticate anywhere, even to accounts alice forgot about. *)
+  Client.revoke_all alice;
+  print_endline "alice revokes her device's shares at the log";
+  (try
+     let chal = Relying_party.fido2_challenge bank ~username:"alice" in
+     ignore (Client.authenticate_fido2 alice ~rp_name:"bank.example.com" ~challenge:chal);
+     print_endline "BUG: stolen state still works"
+   with _ -> print_endline "stolen device state is now useless: log refuses to participate")

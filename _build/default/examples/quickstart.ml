@@ -1,0 +1,50 @@
+(* Quickstart: enroll with a log service, register a FIDO2 credential at a
+   relying party, authenticate, and audit the encrypted log.
+
+     dune exec examples/quickstart.exe *)
+
+open Larch_core
+
+let () =
+  let rand = Larch_hash.Drbg.system () in
+
+  (* The user picks a log service and enrolls once. *)
+  let log = Log_service.create ~rand_bytes:rand () in
+  let alice =
+    Client.create ~client_id:"alice@example.com" ~account_password:"a strong log password"
+      ~log ~rand_bytes:rand ()
+  in
+  Client.enroll ~presignature_count:16 alice;
+  Printf.printf "enrolled with the log service (%d FIDO2 presignatures)\n"
+    (Client.presignatures_remaining alice);
+
+  (* github.com supports FIDO2; to it, larch looks like a security key. *)
+  let github = Relying_party.create ~name:"github.com" ~rand_bytes:rand () in
+  let pk = Client.register_fido2 alice ~rp_name:"github.com" in
+  Relying_party.fido2_register github ~username:"alice" ~pk;
+  print_endline "registered a larch-backed FIDO2 credential at github.com";
+
+  (* Authentication: the relying party issues a challenge; the client and
+     the log jointly produce the ECDSA assertion; the log keeps an
+     encrypted record it cannot read. *)
+  let challenge = Relying_party.fido2_challenge github ~username:"alice" in
+  let t0 = Unix.gettimeofday () in
+  let assertion = Client.authenticate_fido2 alice ~rp_name:"github.com" ~challenge in
+  let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  let accepted = Relying_party.fido2_login github ~username:"alice" assertion in
+  Printf.printf "github.com %s the assertion (%.0f ms client-side compute)\n"
+    (if accepted then "accepted" else "REJECTED")
+    ms;
+  let snap = Client.channel_snapshot alice in
+  Printf.printf "communication this session: %.2f MiB up, %d B down\n"
+    (float_of_int snap.Larch_net.Channel.up /. 1024. /. 1024.)
+    snap.Larch_net.Channel.down;
+
+  (* Audit: only the client can decrypt the log's records. *)
+  print_endline "audit log:";
+  List.iter
+    (fun e ->
+      Printf.printf "  t=%-12.0f  %-8s  %s\n" e.Client.time
+        (Types.auth_method_to_string e.Client.method_)
+        (Option.value ~default:"<unknown>" e.Client.rp))
+    (Client.audit alice)

@@ -1,0 +1,1 @@
+lib/auth/fido2.ml: Char Larch_ec Larch_hash Larch_util String

@@ -1,0 +1,1 @@
+lib/auth/fido2.mli: Larch_ec

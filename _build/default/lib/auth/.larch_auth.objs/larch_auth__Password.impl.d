@@ -1,0 +1,1 @@
+lib/auth/password.ml: Buffer Larch_hash Larch_util String

@@ -1,0 +1,1 @@
+lib/auth/password.mli:

@@ -1,0 +1,1 @@
+lib/auth/totp.ml: Bytes Char Int64 Larch_hash List Printf String

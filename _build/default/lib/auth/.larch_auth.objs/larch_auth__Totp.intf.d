@@ -1,0 +1,1 @@
+lib/auth/totp.mli: Larch_hash

@@ -1,0 +1,63 @@
+(* FIDO2 / U2F assertion formats (WebAuthn level 2, simplified to the parts
+   an authenticator and relying party exchange).
+
+   The relying party sends a random challenge; the authenticator signs a
+   payload bound to the relying-party identity and the challenge.  Larch
+   maps this onto its provable statement by defining the signed message as
+
+     m  =  rp_id_hash (32B)  ‖  flags (1B)  ‖  counter (4B)  ‖  chal_digest (32B)
+
+   and the in-circuit digest as dgst = SHA256(rp_id_hash ‖ chal') where
+   chal' = SHA256(flags ‖ counter ‖ chal_digest ‖ context).  The relying
+   party recomputes both, so no RP-side change is needed (Goal 4). *)
+
+module Bytesx = Larch_util.Bytesx
+
+let rp_id_hash (rp_name : string) : string = Larch_hash.Sha256.digest ("larch-rp:" ^ rp_name)
+
+type assertion_request = { rp_name : string; challenge : string (* 32 bytes *) }
+
+type assertion_payload = {
+  rp_hash : string; (* 32B: identifies the relying party *)
+  flags : int; (* user-presence etc. *)
+  counter : int; (* signature counter *)
+  challenge_digest : string; (* 32B *)
+}
+
+let flags_user_present = 0x01
+let flags_user_verified = 0x04
+
+let make_payload ~(rp_name : string) ~(challenge : string) ~(counter : int) : assertion_payload =
+  {
+    rp_hash = rp_id_hash rp_name;
+    flags = flags_user_present lor flags_user_verified;
+    counter;
+    challenge_digest = Larch_hash.Sha256.digest challenge;
+  }
+
+(* The 32-byte "chal" fed to the larch FIDO2 statement circuit: everything
+   except the relying-party identity, collapsed into one hash. *)
+let statement_challenge (p : assertion_payload) : string =
+  Larch_hash.Sha256.digest_list
+    [ "larch-fido2-chal"; String.make 1 (Char.chr p.flags); Bytesx.be32 p.counter; p.challenge_digest ]
+
+(* The digest that is ECDSA-signed: dgst = SHA256(rp_hash ‖ statement_challenge). *)
+let signing_digest (p : assertion_payload) : string =
+  Larch_hash.Sha256.digest (p.rp_hash ^ statement_challenge p)
+
+type assertion = { payload : assertion_payload; signature : Larch_ec.Ecdsa.signature }
+
+(* Relying-party verification: recompute the digest and check the ECDSA
+   signature under the public key registered for this credential. *)
+let verify ~(pk : Larch_ec.Point.t) ~(rp_name : string) ~(challenge : string) (a : assertion) :
+    bool =
+  let expected =
+    {
+      a.payload with
+      rp_hash = rp_id_hash rp_name;
+      challenge_digest = Larch_hash.Sha256.digest challenge;
+    }
+  in
+  expected = a.payload
+  && a.payload.flags land flags_user_present <> 0
+  && Larch_ec.Ecdsa.verify_digest ~pk (signing_digest a.payload) a.signature

@@ -1,0 +1,37 @@
+(** FIDO2 / U2F assertion formats (simplified WebAuthn).
+
+    Larch maps the standard signed payload onto its provable statement:
+    the ECDSA-signed digest is SHA256(rp_id_hash ‖ chal') where chal'
+    collapses flags, counter, and the challenge digest — exactly the
+    dgst = Hash(id, chal) shape of the FIDO2 statement circuit, so relying
+    parties need no changes (Goal 4). *)
+
+val rp_id_hash : string -> string
+(** 32-byte relying-party identity: SHA256 of the (namespaced) RP name. *)
+
+type assertion_request = { rp_name : string; challenge : string }
+
+type assertion_payload = {
+  rp_hash : string;
+  flags : int;
+  counter : int;
+  challenge_digest : string;
+}
+
+val flags_user_present : int
+val flags_user_verified : int
+
+val make_payload : rp_name:string -> challenge:string -> counter:int -> assertion_payload
+
+val statement_challenge : assertion_payload -> string
+(** The 32-byte "chal" fed to the statement circuit (everything except the
+    relying-party identity). *)
+
+val signing_digest : assertion_payload -> string
+(** The digest that is ECDSA-signed: SHA256(rp_hash ‖ statement_challenge). *)
+
+type assertion = { payload : assertion_payload; signature : Larch_ec.Ecdsa.signature }
+
+val verify : pk:Larch_ec.Point.t -> rp_name:string -> challenge:string -> assertion -> bool
+(** Full relying-party verification (payload consistency, user presence,
+    signature). *)

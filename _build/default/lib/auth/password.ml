@@ -1,0 +1,36 @@
+(* Password handling at the relying party: PBKDF2-HMAC-SHA256 salted
+   verifiers (RFC 2898).  Relying parties in the simulation store only the
+   salted hash, so tests can check that larch-generated passwords actually
+   authenticate and that a log-less client cannot reproduce them. *)
+
+module Bytesx = Larch_util.Bytesx
+
+let pbkdf2 ~(password : string) ~(salt : string) ~(iterations : int) ~(len : int) : string =
+  if iterations < 1 then invalid_arg "Password.pbkdf2: iterations";
+  let hlen = Larch_hash.Sha256.digest_size in
+  let blocks = (len + hlen - 1) / hlen in
+  let buf = Buffer.create (blocks * hlen) in
+  for i = 1 to blocks do
+    let u = ref (Larch_hash.Hmac.sha256 ~key:password (salt ^ Bytesx.be32 i)) in
+    let acc = ref !u in
+    for _ = 2 to iterations do
+      u := Larch_hash.Hmac.sha256 ~key:password !u;
+      acc := Bytesx.xor !acc !u
+    done;
+    Buffer.add_string buf !acc
+  done;
+  String.sub (Buffer.contents buf) 0 len
+
+type verifier = { salt : string; hash : string; iterations : int }
+
+(* The default iteration count is kept small because the simulation hashes
+   many passwords in tests; a production RP would use a memory-hard KDF. *)
+let default_iterations = 64
+
+let create ?(iterations = default_iterations) ~(rand_bytes : int -> string) (password : string)
+    : verifier =
+  let salt = rand_bytes 16 in
+  { salt; hash = pbkdf2 ~password ~salt ~iterations ~len:32; iterations }
+
+let check (v : verifier) (password : string) : bool =
+  Bytesx.ct_equal v.hash (pbkdf2 ~password ~salt:v.salt ~iterations:v.iterations ~len:32)

@@ -1,0 +1,14 @@
+(** Relying-party password storage: PBKDF2-HMAC-SHA256 salted verifiers
+    (RFC 2898).  Lets the simulation check that larch-derived passwords
+    actually authenticate. *)
+
+val pbkdf2 : password:string -> salt:string -> iterations:int -> len:int -> string
+
+type verifier = { salt : string; hash : string; iterations : int }
+
+val default_iterations : int
+(** Deliberately small for test throughput; a production RP would use a
+    memory-hard KDF (cf. the paper's Argon2 comparison row). *)
+
+val create : ?iterations:int -> rand_bytes:(int -> string) -> string -> verifier
+val check : verifier -> string -> bool

@@ -1,0 +1,43 @@
+(* HOTP (RFC 4226) and TOTP (RFC 6238).
+
+   This is the algorithm the *relying party* runs to verify codes; the
+   larch client computes the same code jointly with the log service via the
+   garbled-circuit protocol (§4), whose output is the raw HMAC — truncation
+   happens client-side in the clear, exactly as here. *)
+
+type algo = Larch_hash.Hmac.algo = SHA256 | SHA1
+
+let time_step = 30L (* seconds, RFC 6238 default *)
+let digits = 6
+
+let counter_of_time (t : float) : int64 = Int64.div (Int64.of_float t) time_step
+
+let counter_bytes (c : int64) : string =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_be b 0 c;
+  Bytes.unsafe_to_string b
+
+(* RFC 4226 §5.3 dynamic truncation of a full HMAC value. *)
+let truncate (hmac : string) : int =
+  let offset = Char.code hmac.[String.length hmac - 1] land 0xf in
+  let p =
+    ((Char.code hmac.[offset] land 0x7f) lsl 24)
+    lor (Char.code hmac.[offset + 1] lsl 16)
+    lor (Char.code hmac.[offset + 2] lsl 8)
+    lor Char.code hmac.[offset + 3]
+  in
+  p mod 1_000_000
+
+let hotp ?(algo = SHA1) ~(key : string) (counter : int64) : int =
+  truncate (Larch_hash.Hmac.mac ~algo ~key (counter_bytes counter))
+
+let totp ?(algo = SHA1) ~(key : string) ~(time : float) () : int = hotp ~algo ~key (counter_of_time time)
+
+let code_to_string (c : int) : string = Printf.sprintf "%0*d" digits c
+
+(* Relying-party verification with a +/- 1 step window (common practice). *)
+let verify ?(algo = SHA1) ~(key : string) ~(time : float) (code : int) : bool =
+  let c = counter_of_time time in
+  List.exists
+    (fun dc -> hotp ~algo ~key (Int64.add c dc) = code)
+    [ 0L; -1L; 1L ]

@@ -1,0 +1,23 @@
+(** HOTP (RFC 4226) and TOTP (RFC 6238).
+
+    The relying party's verification algorithm; the larch client computes
+    the identical code jointly with the log via garbled circuits, with the
+    dynamic truncation below applied client-side in the clear. *)
+
+type algo = Larch_hash.Hmac.algo = SHA256 | SHA1
+
+val time_step : int64
+val digits : int
+
+val counter_of_time : float -> int64
+val counter_bytes : int64 -> string
+
+val truncate : string -> int
+(** RFC 4226 §5.3 dynamic truncation of a full HMAC value to 6 digits. *)
+
+val hotp : ?algo:algo -> key:string -> int64 -> int
+val totp : ?algo:algo -> key:string -> time:float -> unit -> int
+val code_to_string : int -> string
+
+val verify : ?algo:algo -> key:string -> time:float -> int -> bool
+(** Accepts codes from the current and the two adjacent time steps. *)

@@ -1,0 +1,1 @@
+lib/bignum/modarith.ml: Array Format Nat

@@ -1,0 +1,1 @@
+lib/bignum/nat.ml: Array Bytes Char Fmt Larch_util Stdlib String

@@ -1,0 +1,138 @@
+(* Modular arithmetic with Barrett reduction.
+
+   A [ctx] precomputes mu = floor(b^(2k) / m) for modulus m of k limbs
+   (b = 2^26).  [reduce] then handles any x < b^(2k) — in particular any
+   product of two reduced values — with two multiplications and at most two
+   conditional subtractions.  Inversion uses Fermat's little theorem, which
+   is valid because every modulus in larch (the P-256 field prime and group
+   order) is prime. *)
+
+type ctx = {
+  modulus : Nat.t;
+  k : int; (* limb count of the modulus *)
+  mu : Nat.t; (* floor(b^(2k) / m) *)
+}
+
+let make (modulus : Nat.t) : ctx =
+  if Nat.is_zero modulus then invalid_arg "Modarith.make: zero modulus";
+  let k = Array.length modulus in
+  let b2k = Nat.shift_left Nat.one (2 * k * Nat.base_bits) in
+  let mu, _ = Nat.divmod b2k modulus in
+  { modulus; k; mu }
+
+let reduce (ctx : ctx) (x : Nat.t) : Nat.t =
+  if Nat.compare x ctx.modulus < 0 then x
+  else if Nat.bit_length x > 2 * ctx.k * Nat.base_bits then
+    (* Outside Barrett's precondition; fall back to long division. *)
+    snd (Nat.divmod x ctx.modulus)
+  else begin
+    let q1 = Nat.shift_right x ((ctx.k - 1) * Nat.base_bits) in
+    let q2 = Nat.mul q1 ctx.mu in
+    let q3 = Nat.shift_right q2 ((ctx.k + 1) * Nat.base_bits) in
+    let r = Nat.sub x (Nat.mul q3 ctx.modulus) in
+    let r = if Nat.compare r ctx.modulus >= 0 then Nat.sub r ctx.modulus else r in
+    let r = if Nat.compare r ctx.modulus >= 0 then Nat.sub r ctx.modulus else r in
+    (* Barrett's estimate is off by at most 2, but guard exhaustively. *)
+    if Nat.compare r ctx.modulus >= 0 then snd (Nat.divmod r ctx.modulus) else r
+  end
+
+let add ctx a b =
+  let s = Nat.add a b in
+  if Nat.compare s ctx.modulus >= 0 then Nat.sub s ctx.modulus else s
+
+let sub ctx a b =
+  if Nat.compare a b >= 0 then Nat.sub a b else Nat.sub (Nat.add a ctx.modulus) b
+
+let neg ctx a = if Nat.is_zero a then Nat.zero else Nat.sub ctx.modulus a
+let mul ctx a b = reduce ctx (Nat.mul a b)
+let sqr ctx a = mul ctx a a
+
+let pow (ctx : ctx) (base : Nat.t) (e : Nat.t) : Nat.t =
+  let nbits = Nat.bit_length e in
+  let acc = ref Nat.one in
+  for i = nbits - 1 downto 0 do
+    acc := sqr ctx !acc;
+    if Nat.test_bit e i then acc := mul ctx !acc base
+  done;
+  !acc
+
+(* Inverse modulo a prime via Fermat: a^(m-2) mod m. *)
+let inv (ctx : ctx) (a : Nat.t) : Nat.t =
+  if Nat.is_zero a then invalid_arg "Modarith.inv: zero";
+  pow ctx a (Nat.sub ctx.modulus (Nat.of_int 2))
+
+(* Square root modulo a prime p = 3 (mod 4): a^((p+1)/4).  Returns [None]
+   when [a] is not a quadratic residue. *)
+let sqrt (ctx : ctx) (a : Nat.t) : Nat.t option =
+  let e = Nat.shift_right (Nat.add ctx.modulus Nat.one) 2 in
+  let r = pow ctx a e in
+  if Nat.equal (sqr ctx r) (reduce ctx a) then Some r else None
+
+(* Uniform sample in [0, m) by rejection from [rand_bytes]. *)
+let random (ctx : ctx) ~(rand_bytes : int -> string) : Nat.t =
+  let len = ((Nat.bit_length ctx.modulus + 7) / 8) + 8 in
+  (* Oversample by 64 bits then reduce: statistically uniform and simpler
+     than rejection; bias is < 2^-64. *)
+  reduce ctx (Nat.of_bytes_be (rand_bytes len))
+
+let random_nonzero ctx ~rand_bytes =
+  let rec go n =
+    if n > 100 then failwith "Modarith.random_nonzero: bad rng";
+    let r = random ctx ~rand_bytes in
+    if Nat.is_zero r then go (n + 1) else r
+  in
+  go 0
+
+module type S = sig
+  type t = Nat.t
+
+  val modulus : Nat.t
+  val ctx : ctx
+  val zero : t
+  val one : t
+  val of_nat : Nat.t -> t
+  val of_int : int -> t
+  val of_bytes_be : string -> t
+  val to_bytes_be : t -> string
+  val equal : t -> t -> bool
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val neg : t -> t
+  val mul : t -> t -> t
+  val sqr : t -> t
+  val pow : t -> Nat.t -> t
+  val inv : t -> t
+  val sqrt : t -> t option
+  val random : rand_bytes:(int -> string) -> t
+  val random_nonzero : rand_bytes:(int -> string) -> t
+  val byte_length : int
+  val pp : Format.formatter -> t -> unit
+end
+
+module Make (M : sig
+  val modulus : Nat.t
+end) : S = struct
+  type t = Nat.t
+
+  let modulus = M.modulus
+  let ctx = make modulus
+  let zero = Nat.zero
+  let one = Nat.one
+  let of_nat x = reduce ctx x
+  let of_int x = reduce ctx (Nat.of_int x)
+  let of_bytes_be s = reduce ctx (Nat.of_bytes_be s)
+  let byte_length = (Nat.bit_length modulus + 7) / 8
+  let to_bytes_be x = Nat.to_bytes_be ~len:byte_length x
+  let equal = Nat.equal
+  let add = add ctx
+  let sub = sub ctx
+  let neg = neg ctx
+  let mul = mul ctx
+  let sqr = sqr ctx
+  let pow = pow ctx
+  let inv = inv ctx
+  let sqrt = sqrt ctx
+  let random ~rand_bytes = random ctx ~rand_bytes
+  let random_nonzero ~rand_bytes = random_nonzero ctx ~rand_bytes
+  let pp = Nat.pp
+end

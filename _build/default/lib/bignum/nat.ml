@@ -1,0 +1,234 @@
+(* Arbitrary-precision natural numbers.
+
+   Representation: little-endian array of limbs in base 2^26, normalized so
+   the most-significant limb is nonzero ([||] represents zero).  Base 2^26
+   keeps every intermediate product and accumulation comfortably inside
+   OCaml's 63-bit native ints: a limb product is <= 2^52 and schoolbook
+   accumulation stays below 2^62. *)
+
+type t = int array
+
+let base_bits = 26
+let mask = (1 lsl base_bits) - 1
+
+let zero : t = [||]
+let is_zero (a : t) = Array.length a = 0
+
+let normalize (a : int array) : t =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let of_int (v : int) : t =
+  if v < 0 then invalid_arg "Nat.of_int: negative";
+  let rec limbs v = if v = 0 then [] else (v land mask) :: limbs (v lsr base_bits) in
+  Array.of_list (limbs v)
+
+let one = of_int 1
+
+let to_int_exn (a : t) : int =
+  if Array.length a > 2 then invalid_arg "Nat.to_int_exn: too large";
+  Array.fold_right (fun limb acc -> (acc lsl base_bits) lor limb) a 0
+
+let equal (a : t) (b : t) = a = b
+
+let compare (a : t) (b : t) : int =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else begin
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+  end
+
+let lt a b = compare a b < 0
+let leq a b = compare a b <= 0
+
+let add (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  let n = max la lb in
+  let r = Array.make (n + 1) 0 in
+  let carry = ref 0 in
+  for i = 0 to n - 1 do
+    let av = if i < la then a.(i) else 0 and bv = if i < lb then b.(i) else 0 in
+    let t = av + bv + !carry in
+    r.(i) <- t land mask;
+    carry := t lsr base_bits
+  done;
+  r.(n) <- !carry;
+  normalize r
+
+(* [sub a b] requires [a >= b]. *)
+let sub (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  if la < lb then invalid_arg "Nat.sub: underflow";
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let bv = if i < lb then b.(i) else 0 in
+    let t = a.(i) - bv - !borrow in
+    if t < 0 then begin
+      r.(i) <- t + (1 lsl base_bits);
+      borrow := 1
+    end
+    else begin
+      r.(i) <- t;
+      borrow := 0
+    end
+  done;
+  if !borrow <> 0 then invalid_arg "Nat.sub: underflow";
+  normalize r
+
+let mul (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then zero
+  else begin
+    let r = Array.make (la + lb) 0 in
+    (* hot loop of every group operation: indices are in range by
+       construction, so unsafe accesses are used *)
+    for i = 0 to la - 1 do
+      let ai = Array.unsafe_get a i in
+      if ai <> 0 then begin
+        let carry = ref 0 in
+        for j = 0 to lb - 1 do
+          let t = Array.unsafe_get r (i + j) + (ai * Array.unsafe_get b j) + !carry in
+          Array.unsafe_set r (i + j) (t land mask);
+          carry := t lsr base_bits
+        done;
+        let k = ref (i + lb) in
+        while !carry <> 0 do
+          let t = Array.unsafe_get r !k + !carry in
+          Array.unsafe_set r !k (t land mask);
+          carry := t lsr base_bits;
+          incr k
+        done
+      end
+    done;
+    normalize r
+  end
+
+let bit_length (a : t) : int =
+  let n = Array.length a in
+  if n = 0 then 0
+  else begin
+    let top = a.(n - 1) in
+    let rec width v acc = if v = 0 then acc else width (v lsr 1) (acc + 1) in
+    ((n - 1) * base_bits) + width top 0
+  end
+
+let test_bit (a : t) (i : int) : bool =
+  let limb = i / base_bits and off = i mod base_bits in
+  limb < Array.length a && (a.(limb) lsr off) land 1 = 1
+
+let shift_left (a : t) (k : int) : t =
+  if is_zero a || k = 0 then a
+  else begin
+    let limb_shift = k / base_bits and bit_shift = k mod base_bits in
+    let la = Array.length a in
+    let r = Array.make (la + limb_shift + 1) 0 in
+    for i = 0 to la - 1 do
+      let v = a.(i) lsl bit_shift in
+      r.(i + limb_shift) <- r.(i + limb_shift) lor (v land mask);
+      r.(i + limb_shift + 1) <- r.(i + limb_shift + 1) lor (v lsr base_bits)
+    done;
+    normalize r
+  end
+
+let shift_right (a : t) (k : int) : t =
+  if is_zero a || k = 0 then a
+  else begin
+    let limb_shift = k / base_bits and bit_shift = k mod base_bits in
+    let la = Array.length a in
+    if limb_shift >= la then zero
+    else begin
+      let n = la - limb_shift in
+      let r = Array.make n 0 in
+      for i = 0 to n - 1 do
+        let lo = a.(i + limb_shift) lsr bit_shift in
+        let hi =
+          if bit_shift = 0 || i + limb_shift + 1 >= la then 0
+          else (a.(i + limb_shift + 1) lsl (base_bits - bit_shift)) land mask
+        in
+        r.(i) <- lo lor hi
+      done;
+      normalize r
+    end
+  end
+
+(* Binary long division.  Only used off the hot path (Barrett precompute,
+   initial reductions); modular arithmetic goes through [Modarith]. *)
+let divmod (a : t) (b : t) : t * t =
+  if is_zero b then raise Division_by_zero;
+  if compare a b < 0 then (zero, a)
+  else begin
+    let shift = bit_length a - bit_length b in
+    let q = Array.make ((shift / base_bits) + 1) 0 in
+    let r = ref a in
+    for i = shift downto 0 do
+      let bs = shift_left b i in
+      if compare !r bs >= 0 then begin
+        r := sub !r bs;
+        q.(i / base_bits) <- q.(i / base_bits) lor (1 lsl (i mod base_bits))
+      end
+    done;
+    (normalize q, !r)
+  end
+
+let of_bytes_be (s : string) : t =
+  let n = String.length s in
+  if n = 0 then zero
+  else begin
+    let nbits = 8 * n in
+    let nlimbs = (nbits + base_bits - 1) / base_bits in
+    let r = Array.make nlimbs 0 in
+    for i = 0 to n - 1 do
+      let byte = Char.code s.[n - 1 - i] in
+      let bitpos = 8 * i in
+      let limb = bitpos / base_bits and off = bitpos mod base_bits in
+      r.(limb) <- r.(limb) lor ((byte lsl off) land mask);
+      if off > base_bits - 8 then begin
+        let spill = byte lsr (base_bits - off) in
+        if spill <> 0 then r.(limb + 1) <- r.(limb + 1) lor spill
+      end
+    done;
+    normalize r
+  end
+
+(* Big-endian encoding into exactly [len] bytes; raises if it does not fit. *)
+let to_bytes_be ~(len : int) (a : t) : string =
+  if bit_length a > 8 * len then invalid_arg "Nat.to_bytes_be: does not fit";
+  let out = Bytes.make len '\000' in
+  let la = Array.length a in
+  for i = 0 to len - 1 do
+    (* i-th least significant byte *)
+    let bitpos = 8 * i in
+    let limb = bitpos / base_bits and off = bitpos mod base_bits in
+    if limb < la then begin
+      let v = a.(limb) lsr off in
+      let v =
+        if off > base_bits - 8 && limb + 1 < la then
+          v lor (a.(limb + 1) lsl (base_bits - off))
+        else v
+      in
+      Bytes.set out (len - 1 - i) (Char.chr (v land 0xff))
+    end
+  done;
+  Bytes.unsafe_to_string out
+
+let of_hex (s : string) : t =
+  let s = if String.length s mod 2 = 1 then "0" ^ s else s in
+  of_bytes_be (Larch_util.Hex.decode s)
+
+let to_hex (a : t) : string =
+  if is_zero a then "00"
+  else Larch_util.Hex.encode (to_bytes_be ~len:((bit_length a + 7) / 8) a)
+
+let pp fmt a = Fmt.pf fmt "0x%s" (to_hex a)
+
+let is_even (a : t) = not (test_bit a 0)
+let is_one (a : t) = equal a one

@@ -1,0 +1,56 @@
+(** Arbitrary-precision natural numbers.
+
+    Little-endian base-2²⁶ limbs in native-int arrays, sized so that
+    schoolbook multiplication never overflows OCaml's 63-bit ints.  This is
+    the arithmetic bedrock under {!Modarith} and the P-256 group. *)
+
+type t = int array
+(** Normalized: most-significant limb nonzero; [[||]] is zero. *)
+
+val base_bits : int
+val mask : int
+
+val zero : t
+val one : t
+val is_zero : t -> bool
+val is_one : t -> bool
+val is_even : t -> bool
+
+val of_int : int -> t
+(** @raise Invalid_argument on negatives *)
+
+val to_int_exn : t -> int
+val normalize : int array -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val lt : t -> t -> bool
+val leq : t -> t -> bool
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+(** @raise Invalid_argument if the result would be negative *)
+
+val mul : t -> t -> t
+
+val divmod : t -> t -> t * t
+(** Quotient and remainder (binary long division; off the hot path — use
+    {!Modarith} for repeated reductions).
+    @raise Division_by_zero *)
+
+val bit_length : t -> int
+val test_bit : t -> int -> bool
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+
+(** {1 Encodings} *)
+
+val of_bytes_be : string -> t
+
+val to_bytes_be : len:int -> t -> string
+(** @raise Invalid_argument if the value needs more than [len] bytes *)
+
+val of_hex : string -> t
+val to_hex : t -> string
+val pp : Format.formatter -> t -> unit

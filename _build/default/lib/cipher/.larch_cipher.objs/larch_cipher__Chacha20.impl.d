@@ -1,0 +1,1 @@
+lib/cipher/chacha20.ml: Array Buffer Bytes Char Larch_util String

@@ -1,0 +1,1 @@
+lib/cipher/ctr.ml: Aes Buffer Bytes Char Larch_hash Larch_util String

@@ -1,0 +1,1 @@
+lib/cipher/prg.ml: Buffer Chacha20 Char Larch_hash String

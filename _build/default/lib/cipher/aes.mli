@@ -1,0 +1,10 @@
+(** AES-128 block cipher (FIPS 197), backing the conventional record
+    encryption path ({!Ctr.aes_ctr}). *)
+
+type key_schedule
+
+val expand_key : string -> key_schedule
+(** @raise Invalid_argument unless the key is 16 bytes *)
+
+val encrypt_block : key_schedule -> string -> string
+(** @raise Invalid_argument unless the block is 16 bytes *)

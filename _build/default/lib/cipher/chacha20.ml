@@ -1,0 +1,76 @@
+(* ChaCha20 stream cipher (RFC 8439).
+
+   The paper's TOTP circuit uses ChaCha20 for in-circuit encryption; here the
+   software ChaCha20 additionally backs the PRG used to compress presignature
+   shares (§7 "Optimizations") and the garbling randomness. *)
+
+let mask32 = 0xffffffff
+
+let rotl x n = ((x lsl n) lor (x lsr (32 - n))) land mask32
+
+let quarter_round (st : int array) a b c d =
+  st.(a) <- (st.(a) + st.(b)) land mask32;
+  st.(d) <- rotl (st.(d) lxor st.(a)) 16;
+  st.(c) <- (st.(c) + st.(d)) land mask32;
+  st.(b) <- rotl (st.(b) lxor st.(c)) 12;
+  st.(a) <- (st.(a) + st.(b)) land mask32;
+  st.(d) <- rotl (st.(d) lxor st.(a)) 8;
+  st.(c) <- (st.(c) + st.(d)) land mask32;
+  st.(b) <- rotl (st.(b) lxor st.(c)) 7
+
+let le32 (s : string) (off : int) : int =
+  Char.code s.[off]
+  lor (Char.code s.[off + 1] lsl 8)
+  lor (Char.code s.[off + 2] lsl 16)
+  lor (Char.code s.[off + 3] lsl 24)
+
+(* One 64-byte keystream block.  [key] is 32 bytes, [nonce] 12 bytes. *)
+let block ~(key : string) ~(nonce : string) ~(counter : int) : string =
+  if String.length key <> 32 then invalid_arg "Chacha20.block: key must be 32 bytes";
+  if String.length nonce <> 12 then invalid_arg "Chacha20.block: nonce must be 12 bytes";
+  let st = Array.make 16 0 in
+  st.(0) <- 0x61707865;
+  st.(1) <- 0x3320646e;
+  st.(2) <- 0x79622d32;
+  st.(3) <- 0x6b206574;
+  for i = 0 to 7 do
+    st.(4 + i) <- le32 key (4 * i)
+  done;
+  st.(12) <- counter land mask32;
+  for i = 0 to 2 do
+    st.(13 + i) <- le32 nonce (4 * i)
+  done;
+  let working = Array.copy st in
+  for _ = 1 to 10 do
+    quarter_round working 0 4 8 12;
+    quarter_round working 1 5 9 13;
+    quarter_round working 2 6 10 14;
+    quarter_round working 3 7 11 15;
+    quarter_round working 0 5 10 15;
+    quarter_round working 1 6 11 12;
+    quarter_round working 2 7 8 13;
+    quarter_round working 3 4 9 14
+  done;
+  let out = Bytes.create 64 in
+  for i = 0 to 15 do
+    let v = (working.(i) + st.(i)) land mask32 in
+    Bytes.set_uint8 out (4 * i) (v land 0xff);
+    Bytes.set_uint8 out ((4 * i) + 1) ((v lsr 8) land 0xff);
+    Bytes.set_uint8 out ((4 * i) + 2) ((v lsr 16) land 0xff);
+    Bytes.set_uint8 out ((4 * i) + 3) ((v lsr 24) land 0xff)
+  done;
+  Bytes.unsafe_to_string out
+
+let keystream ~key ~nonce ~(counter : int) (len : int) : string =
+  let buf = Buffer.create len in
+  let ctr = ref counter in
+  while Buffer.length buf < len do
+    Buffer.add_string buf (block ~key ~nonce ~counter:!ctr);
+    incr ctr
+  done;
+  String.sub (Buffer.contents buf) 0 len
+
+let encrypt ~key ~nonce ?(counter = 1) (plaintext : string) : string =
+  Larch_util.Bytesx.xor plaintext (keystream ~key ~nonce ~counter (String.length plaintext))
+
+let decrypt = encrypt

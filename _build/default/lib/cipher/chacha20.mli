@@ -1,0 +1,9 @@
+(** ChaCha20 stream cipher (RFC 8439): in-circuit encryption in the
+    paper's TOTP circuit; here it also backs the PRG and backup sealing. *)
+
+val block : key:string -> nonce:string -> counter:int -> string
+(** One 64-byte keystream block; 32-byte key, 12-byte nonce. *)
+
+val keystream : key:string -> nonce:string -> counter:int -> int -> string
+val encrypt : key:string -> nonce:string -> ?counter:int -> string -> string
+val decrypt : key:string -> nonce:string -> ?counter:int -> string -> string

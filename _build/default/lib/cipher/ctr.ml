@@ -1,0 +1,33 @@
+(* AES-128-CTR mode, and the SHA-256-keystream cipher that mirrors the
+   in-circuit encryption of larch log records.
+
+   The two are interchangeable stream ciphers keyed by the archive key; the
+   protocol code uses [sha_ctr] so that software encryption and the ZK/2PC
+   statement circuits compute the identical function. *)
+
+let aes_ctr ~(key : string) ~(nonce : string) (data : string) : string =
+  if String.length nonce <> 12 then invalid_arg "Ctr.aes_ctr: nonce must be 12 bytes";
+  let ks = Aes.expand_key key in
+  let out = Bytes.create (String.length data) in
+  let nblocks = (String.length data + 15) / 16 in
+  for i = 0 to nblocks - 1 do
+    let ctr_block = nonce ^ Larch_util.Bytesx.be32 i in
+    let stream = Aes.encrypt_block ks ctr_block in
+    let take = min 16 (String.length data - (16 * i)) in
+    for j = 0 to take - 1 do
+      Bytes.set out ((16 * i) + j) (Char.chr (Char.code data.[(16 * i) + j] lxor Char.code stream.[j]))
+    done
+  done;
+  Bytes.unsafe_to_string out
+
+(* ct = data XOR SHA256(key ‖ nonce ‖ counter), block by block.  This is the
+   keystream the FIDO2 statement circuit evaluates (DESIGN.md §1). *)
+let sha_ctr ~(key : string) ~(nonce : string) (data : string) : string =
+  let n = String.length data in
+  let buf = Buffer.create n in
+  let i = ref 0 in
+  while Buffer.length buf < n do
+    Buffer.add_string buf (Larch_hash.Sha256.digest (key ^ nonce ^ Larch_util.Bytesx.be32 !i));
+    incr i
+  done;
+  Larch_util.Bytesx.xor data (String.sub (Buffer.contents buf) 0 n)

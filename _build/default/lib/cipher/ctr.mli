@@ -1,0 +1,12 @@
+(** Counter-mode stream encryption of log records.
+
+    [sha_ctr] (keystream block i = SHA256(key ‖ nonce ‖ i)) is the cipher
+    the statement circuits compute, so software and in-circuit encryption
+    agree bit-for-bit; [aes_ctr] is the conventional alternative the
+    paper's implementation used outside the circuit. *)
+
+val aes_ctr : key:string -> nonce:string -> string -> string
+(** AES-128-CTR; 16-byte key, 12-byte nonce; involutive. *)
+
+val sha_ctr : key:string -> nonce:string -> string -> string
+(** SHA-256-keystream counter mode; involutive. *)

@@ -1,0 +1,10 @@
+(** Seed-expandable PRG (ChaCha20): ZKBoo random tapes, presignature
+    compression (§7), garbling randomness.  Streams are deterministic in
+    the seed and invariant under read chunking. *)
+
+type t
+
+val create : string -> t
+val next_bytes : t -> int -> string
+val next_bit : t -> int
+val rand_bytes_of : t -> int -> string

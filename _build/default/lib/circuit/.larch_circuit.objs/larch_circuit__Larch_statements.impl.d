@@ -1,0 +1,1 @@
+lib/circuit/larch_statements.ml: Array Buffer Builder Bytes Circuit Larch_hash Larch_util Lazy List Printf Sha1_circuit Sha256_circuit String

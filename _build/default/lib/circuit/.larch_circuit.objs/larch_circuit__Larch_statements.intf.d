@@ -1,0 +1,1 @@
+lib/circuit/larch_statements.mli: Builder Circuit Lazy

@@ -1,0 +1,1 @@
+lib/circuit/sha1_circuit.ml: Array Builder Bytes Int64 Word

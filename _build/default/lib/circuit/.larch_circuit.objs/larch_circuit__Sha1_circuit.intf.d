@@ -1,0 +1,1 @@
+lib/circuit/sha1_circuit.mli: Builder Word

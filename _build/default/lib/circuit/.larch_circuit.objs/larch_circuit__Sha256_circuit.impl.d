@@ -1,0 +1,1 @@
+lib/circuit/sha256_circuit.ml: Array Builder Bytes Int64 Larch_hash Word

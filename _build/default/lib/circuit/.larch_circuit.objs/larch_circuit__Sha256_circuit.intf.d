@@ -1,0 +1,1 @@
+lib/circuit/sha256_circuit.mli: Builder Word

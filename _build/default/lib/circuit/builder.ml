@@ -1,0 +1,93 @@
+(* Imperative circuit builder.
+
+   All inputs must be allocated before the first gate so that input wires
+   occupy the prefix of the wire space (both proof backends rely on that
+   layout).  The builder hash-conses constants and caches nothing else;
+   statement circuits are built once and reused. *)
+
+type wire = int
+
+type t = {
+  mutable n_inputs : int;
+  mutable gates_rev : Circuit.gate list;
+  mutable n_gates : int;
+  mutable frozen_inputs : bool;
+  mutable const_cache : (bool * wire) list;
+}
+
+let create () =
+  { n_inputs = 0; gates_rev = []; n_gates = 0; frozen_inputs = false; const_cache = [] }
+
+let input (b : t) : wire =
+  if b.frozen_inputs then invalid_arg "Builder.input: inputs must precede gates";
+  let w = b.n_inputs in
+  b.n_inputs <- b.n_inputs + 1;
+  w
+
+let inputs (b : t) (n : int) : wire array = Array.init n (fun _ -> input b)
+
+let push (b : t) (g : Circuit.gate) : wire =
+  b.frozen_inputs <- true;
+  let w = b.n_inputs + b.n_gates in
+  b.gates_rev <- g :: b.gates_rev;
+  b.n_gates <- b.n_gates + 1;
+  w
+
+let band b x y = push b (Circuit.And (x, y))
+let bxor b x y = if x = y then push b (Circuit.Const false) else push b (Circuit.Xor (x, y))
+let bnot b x = push b (Circuit.Not x)
+
+let const (b : t) (v : bool) : wire =
+  match List.assoc_opt v b.const_cache with
+  | Some w -> w
+  | None ->
+      let w = push b (Circuit.Const v) in
+      b.const_cache <- (v, w) :: b.const_cache;
+      w
+
+let bor b x y = bnot b (band b (bnot b x) (bnot b y))
+
+(* Balanced AND-tree: true iff all wires are 1. *)
+let rec and_all (b : t) (ws : wire list) : wire =
+  match ws with
+  | [] -> const b true
+  | [ w ] -> w
+  | _ ->
+      let rec split acc n = function
+        | rest when n = 0 -> (List.rev acc, rest)
+        | x :: rest -> split (x :: acc) (n - 1) rest
+        | [] -> (List.rev acc, [])
+      in
+      let half = List.length ws / 2 in
+      let l, r = split [] half ws in
+      band b (and_all b l) (and_all b r)
+
+(* 1 iff the two wire vectors are equal. *)
+let eq_vec (b : t) (xs : wire array) (ys : wire array) : wire =
+  if Array.length xs <> Array.length ys then invalid_arg "Builder.eq_vec: length mismatch";
+  let bits = Array.to_list (Array.map2 (fun x y -> bnot b (bxor b x y)) xs ys) in
+  and_all b bits
+
+(* mux: sel = 0 -> a, sel = 1 -> b, bitwise over vectors.
+   out = a XOR (sel AND (a XOR b)). *)
+let mux_vec (b : t) ~(sel : wire) (a : wire array) (c : wire array) : wire array =
+  Array.map2 (fun x y -> bxor b x (band b sel (bxor b x y))) a c
+
+let and_vec (b : t) ~(w : wire) (xs : wire array) : wire array =
+  Array.map (fun x -> band b w x) xs
+
+let xor_vec (b : t) (xs : wire array) (ys : wire array) : wire array =
+  Array.map2 (fun x y -> bxor b x y) xs ys
+
+let const_bits (b : t) (bits : int array) : wire array =
+  Array.map (fun v -> const b (v land 1 = 1)) bits
+
+(* Constant wires for a byte string, LSB-first per byte (matching
+   [Larch_util.Bytesx.bits_of_string]). *)
+let const_bytes (b : t) (s : string) : wire array =
+  const_bits b (Larch_util.Bytesx.bits_of_string s)
+
+let finalize (b : t) ~(outputs : wire array) : Circuit.t =
+  Circuit.make ~n_inputs:b.n_inputs
+    ~gates:(Array.of_list (List.rev b.gates_rev))
+    ~outputs

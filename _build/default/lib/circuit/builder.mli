@@ -1,0 +1,42 @@
+(** Imperative circuit builder.  All inputs must be allocated before the
+    first gate (both proof backends rely on inputs occupying the wire-space
+    prefix). *)
+
+type wire = int
+type t
+
+val create : unit -> t
+
+val input : t -> wire
+(** @raise Invalid_argument once any gate has been pushed *)
+
+val inputs : t -> int -> wire array
+
+val band : t -> wire -> wire -> wire
+val bxor : t -> wire -> wire -> wire
+val bnot : t -> wire -> wire
+val bor : t -> wire -> wire -> wire
+
+val const : t -> bool -> wire
+(** Hash-consed constant wire. *)
+
+val and_all : t -> wire list -> wire
+(** Balanced AND-tree; [const true] on the empty list. *)
+
+val eq_vec : t -> wire array -> wire array -> wire
+(** 1 iff the two wire vectors are bitwise equal. *)
+
+val mux_vec : t -> sel:wire -> wire array -> wire array -> wire array
+val and_vec : t -> w:wire -> wire array -> wire array
+val xor_vec : t -> wire array -> wire array -> wire array
+val const_bits : t -> int array -> wire array
+
+val const_bytes : t -> string -> wire array
+(** Constant wires for a byte string, LSB-first per byte (the layout of
+    {!Larch_util.Bytesx.bits_of_string}). *)
+
+val finalize : t -> outputs:wire array -> Circuit.t
+
+(**/**)
+
+val push : t -> Circuit.gate -> wire

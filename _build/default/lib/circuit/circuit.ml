@@ -1,0 +1,69 @@
+(* Boolean circuit intermediate representation.
+
+   Circuits are the common substrate of larch's two heavyweight proof
+   systems: ZKBoo proofs of the FIDO2 statement and garbled-circuit 2PC for
+   TOTP.  Gates are restricted to XOR / AND / NOT / constants because XOR
+   and NOT are "free" in both backends (local in MPC-in-the-head, free-XOR
+   in garbling) while AND is the costly gate both cost models count.
+
+   Wire numbering: wires [0, n_inputs) are inputs; gate [i] defines wire
+   [n_inputs + i].  Gates may only reference earlier wires. *)
+
+type gate =
+  | And of int * int
+  | Xor of int * int
+  | Not of int
+  | Const of bool
+
+type t = {
+  n_inputs : int;
+  gates : gate array;
+  outputs : int array;
+  n_and : int; (* cached count of And gates *)
+  and_index : int array; (* gate index -> dense AND index, or -1 *)
+}
+
+let make ~n_inputs ~gates ~outputs =
+  let n_and = ref 0 in
+  let and_index =
+    Array.map (function And _ -> let i = !n_and in incr n_and; i | _ -> -1) gates
+  in
+  let n_wires = n_inputs + Array.length gates in
+  Array.iteri
+    (fun i g ->
+      let check w =
+        if w < 0 || w >= n_inputs + i then invalid_arg "Circuit.make: forward wire reference"
+      in
+      match g with
+      | And (a, b) | Xor (a, b) -> check a; check b
+      | Not a -> check a
+      | Const _ -> ())
+    gates;
+  Array.iter
+    (fun w -> if w < 0 || w >= n_wires then invalid_arg "Circuit.make: bad output wire")
+    outputs;
+  { n_inputs; gates; outputs; n_and = !n_and; and_index }
+
+let n_wires c = c.n_inputs + Array.length c.gates
+let n_gates c = Array.length c.gates
+let n_outputs c = Array.length c.outputs
+
+(* Reference (cleartext) evaluation. *)
+let eval (c : t) (inputs : bool array) : bool array =
+  if Array.length inputs <> c.n_inputs then invalid_arg "Circuit.eval: wrong input count";
+  let w = Array.make (n_wires c) false in
+  Array.blit inputs 0 w 0 c.n_inputs;
+  Array.iteri
+    (fun i g ->
+      w.(c.n_inputs + i) <-
+        (match g with
+        | And (a, b) -> w.(a) && w.(b)
+        | Xor (a, b) -> w.(a) <> w.(b)
+        | Not a -> not w.(a)
+        | Const b -> b))
+    c.gates;
+  Array.map (fun o -> w.(o)) c.outputs
+
+let eval_bits (c : t) (inputs : int array) : int array =
+  let out = eval c (Array.map (fun b -> b land 1 = 1) inputs) in
+  Array.map (fun b -> if b then 1 else 0) out

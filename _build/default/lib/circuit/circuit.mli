@@ -1,0 +1,29 @@
+(** Boolean circuit intermediate representation — the common substrate of
+    ZKBoo proofs (FIDO2) and garbled-circuit 2PC (TOTP).
+
+    Gates are XOR / AND / NOT / constants: XOR and NOT are free in both
+    backends, AND is the counted cost.  Wires [0, n_inputs) are inputs;
+    gate i defines wire n_inputs + i and may only reference earlier
+    wires. *)
+
+type gate = And of int * int | Xor of int * int | Not of int | Const of bool
+
+type t = {
+  n_inputs : int;
+  gates : gate array;
+  outputs : int array;
+  n_and : int; (** cached AND-gate count *)
+  and_index : int array; (** gate index → dense AND index, or -1 *)
+}
+
+val make : n_inputs:int -> gates:gate array -> outputs:int array -> t
+(** Validates wire references. @raise Invalid_argument on forward edges *)
+
+val n_wires : t -> int
+val n_gates : t -> int
+val n_outputs : t -> int
+
+val eval : t -> bool array -> bool array
+(** Reference (cleartext) evaluation. *)
+
+val eval_bits : t -> int array -> int array

@@ -1,0 +1,174 @@
+(* The two larch statement circuits.
+
+   FIDO2 (§3.2): the client proves in zero knowledge (via ZKBoo) that it
+   knows archive key k, commitment nonce r, relying-party id and challenge
+   chal such that, for the public commitment cm, record ciphertext ct,
+   encryption nonce and signing digest dgst:
+
+     (a) cm   = SHA256(k ‖ r)
+     (b) ct   = id XOR SHA256(k ‖ nonce ‖ 0)      (the sha_ctr keystream)
+     (c) dgst = SHA256(id ‖ chal)
+
+   The nonce is public but varies per authentication, so the circuit treats
+   it as a witness wire and *echoes it as an output*; the verifier checks
+   the echoed bits against the public nonce.  This keeps one statically
+   built circuit for every authentication.
+
+   TOTP (§4): a garbled 2PC circuit over the client's (k, r, id, kclient)
+   and the log's registration table ((id_j, klog_j))_j that checks the
+   archive-key commitment, selects the log's key share for id, reassembles
+   the TOTP key, computes HMAC-SHA1(k_id, T), and encrypts id under k.
+   Public per-execution values (cm, nonce, time counter) are baked in as
+   constants because a garbling is single-use anyway. *)
+
+module Bytesx = Larch_util.Bytesx
+
+(* --- field sizes (bytes) --- *)
+let archive_key_len = 32
+let commit_nonce_len = 16
+let rp_id_len = 32
+let challenge_len = 32
+let enc_nonce_len = 12
+let totp_id_len = 16
+let totp_key_len = 20
+
+(* ---------- FIDO2 statement ---------- *)
+
+type fido2_witness = { k : string; r : string; id : string; chal : string; nonce : string }
+
+let check_len name expected s =
+  if String.length s <> expected then
+    invalid_arg (Printf.sprintf "Larch_statements: %s must be %d bytes, got %d" name expected (String.length s))
+
+let fido2_circuit : Circuit.t Lazy.t =
+  lazy
+    (let b = Builder.create () in
+     let k = Builder.inputs b (8 * archive_key_len) in
+     let r = Builder.inputs b (8 * commit_nonce_len) in
+     let id = Builder.inputs b (8 * rp_id_len) in
+     let chal = Builder.inputs b (8 * challenge_len) in
+     let nonce = Builder.inputs b (8 * enc_nonce_len) in
+     let cm = Sha256_circuit.hash_fixed b ~msg:(Array.concat [ k; r ]) in
+     let ctr0 = Builder.const_bytes b (Bytesx.be32 0) in
+     let keystream = Sha256_circuit.hash_fixed b ~msg:(Array.concat [ k; nonce; ctr0 ]) in
+     let ct = Builder.xor_vec b id keystream in
+     let dgst = Sha256_circuit.hash_fixed b ~msg:(Array.concat [ id; chal ]) in
+     Builder.finalize b ~outputs:(Array.concat [ cm; ct; dgst; nonce ]))
+
+let fido2_witness_bits (w : fido2_witness) : bool array =
+  check_len "k" archive_key_len w.k;
+  check_len "r" commit_nonce_len w.r;
+  check_len "id" rp_id_len w.id;
+  check_len "chal" challenge_len w.chal;
+  check_len "nonce" enc_nonce_len w.nonce;
+  let bits = Bytesx.bits_of_string (w.k ^ w.r ^ w.id ^ w.chal ^ w.nonce) in
+  Array.map (fun v -> v = 1) bits
+
+let fido2_public_bits ~(cm : string) ~(ct : string) ~(dgst : string) ~(nonce : string) : bool array =
+  check_len "cm" 32 cm;
+  check_len "ct" rp_id_len ct;
+  check_len "dgst" 32 dgst;
+  check_len "nonce" enc_nonce_len nonce;
+  Array.map (fun v -> v = 1) (Bytesx.bits_of_string (cm ^ ct ^ dgst ^ nonce))
+
+(* Software counterparts, used by the client to form the statement and by
+   tests to cross-check the circuit. *)
+let fido2_compute ~(k : string) ~(r : string) ~(id : string) ~(chal : string) ~(nonce : string) :
+    string * string * string =
+  let cm = Larch_hash.Sha256.digest (k ^ r) in
+  let keystream = Larch_hash.Sha256.digest (k ^ nonce ^ Bytesx.be32 0) in
+  let ct = Bytesx.xor id keystream in
+  let dgst = Larch_hash.Sha256.digest (id ^ chal) in
+  (cm, ct, dgst)
+
+(* ---------- TOTP 2PC circuit ---------- *)
+
+(* HMAC-SHA1 with a wire-valued key of at most one block. *)
+let hmac_sha1_wires (b : Builder.t) ~(key : Builder.wire array) ~(msg : Builder.wire array) :
+    Builder.wire array =
+  if Array.length key > 512 then invalid_arg "hmac_sha1_wires: key longer than one block";
+  let zero = Builder.const b false in
+  let key_block = Array.init 512 (fun i -> if i < Array.length key then key.(i) else zero) in
+  let ipad = Builder.xor_vec b key_block (Builder.const_bytes b (String.make 64 '\x36')) in
+  let opad = Builder.xor_vec b key_block (Builder.const_bytes b (String.make 64 '\x5c')) in
+  let inner = Sha1_circuit.hash_fixed b ~msg:(Array.append ipad msg) in
+  Sha1_circuit.hash_fixed b ~msg:(Array.append opad inner)
+
+type totp_public = { cm : string; enc_nonce : string; time_counter : int64 }
+
+(* Input layout: client bits first, then log bits.
+   client: k(256) ‖ r(128) ‖ id(128) ‖ kclient(160)
+   log:    for each of the n registrations: id_j(128) ‖ klog_j(160)
+   Outputs: ok(1) ‖ ct(128) ‖ hmac(160), the hmac bits gated by ok. *)
+let totp_client_bits = 8 * (archive_key_len + commit_nonce_len + totp_id_len + totp_key_len)
+let totp_log_bits_per_rp = 8 * (totp_id_len + totp_key_len)
+
+let totp_circuit ~(n_rps : int) (pub : totp_public) : Circuit.t =
+  if n_rps < 1 then invalid_arg "totp_circuit: need at least one registration";
+  check_len "cm" 32 pub.cm;
+  check_len "enc_nonce" enc_nonce_len pub.enc_nonce;
+  let b = Builder.create () in
+  let k = Builder.inputs b (8 * archive_key_len) in
+  let r = Builder.inputs b (8 * commit_nonce_len) in
+  let id = Builder.inputs b (8 * totp_id_len) in
+  let kclient = Builder.inputs b (8 * totp_key_len) in
+  let regs =
+    Array.init n_rps (fun _ ->
+        let id_j = Builder.inputs b (8 * totp_id_len) in
+        let klog_j = Builder.inputs b (8 * totp_key_len) in
+        (id_j, klog_j))
+  in
+  (* (a) archive-key commitment check *)
+  let cm_bits = Sha256_circuit.hash_fixed b ~msg:(Array.concat [ k; r ]) in
+  let cm_ok = Builder.eq_vec b cm_bits (Builder.const_bytes b pub.cm) in
+  (* (b) select the log's share for this id; at most one id_j matches *)
+  let zero = Builder.const b false in
+  let klog_sel = ref (Array.make (8 * totp_key_len) zero) in
+  let matched = ref zero in
+  Array.iter
+    (fun (id_j, klog_j) ->
+      let eq_j = Builder.eq_vec b id id_j in
+      klog_sel := Builder.xor_vec b !klog_sel (Builder.and_vec b ~w:eq_j klog_j);
+      matched := Builder.bor b !matched eq_j)
+    regs;
+  let k_id = Builder.xor_vec b kclient !klog_sel in
+  (* (c) the TOTP code: HMAC-SHA1(k_id, T) on the 8-byte counter *)
+  let t_bytes = Bytes.create 8 in
+  Bytes.set_int64_be t_bytes 0 pub.time_counter;
+  let msg = Builder.const_bytes b (Bytes.unsafe_to_string t_bytes) in
+  let hmac = hmac_sha1_wires b ~key:k_id ~msg in
+  (* (d) the encrypted log record: ct = id XOR keystream(k) *)
+  let ctr0 = Builder.const_bytes b (Bytesx.be32 0) in
+  let keystream = Sha256_circuit.hash_fixed b ~msg:(Array.concat [ k; Builder.const_bytes b pub.enc_nonce; ctr0 ]) in
+  let ct = Builder.xor_vec b id (Array.sub keystream 0 (8 * totp_id_len)) in
+  let ok = Builder.band b cm_ok !matched in
+  let hmac_gated = Builder.and_vec b ~w:ok hmac in
+  Builder.finalize b ~outputs:(Array.concat [ [| ok |]; ct; hmac_gated ])
+
+let totp_client_input ~(k : string) ~(r : string) ~(id : string) ~(kclient : string) : bool array =
+  check_len "k" archive_key_len k;
+  check_len "r" commit_nonce_len r;
+  check_len "id" totp_id_len id;
+  check_len "kclient" totp_key_len kclient;
+  Array.map (fun v -> v = 1) (Bytesx.bits_of_string (k ^ r ^ id ^ kclient))
+
+let totp_log_input ~(registrations : (string * string) list) : bool array =
+  let buf = Buffer.create 64 in
+  List.iter
+    (fun (id_j, klog_j) ->
+      check_len "id_j" totp_id_len id_j;
+      check_len "klog_j" totp_key_len klog_j;
+      Buffer.add_string buf id_j;
+      Buffer.add_string buf klog_j)
+    registrations;
+  Array.map (fun v -> v = 1) (Bytesx.bits_of_string (Buffer.contents buf))
+
+(* Software reference for the TOTP circuit, for tests and for the honest
+   client's bookkeeping. *)
+let totp_compute ~(k : string) ~(id : string) ~(k_id : string) (pub : totp_public) : string * string =
+  let t_bytes = Bytes.create 8 in
+  Bytes.set_int64_be t_bytes 0 pub.time_counter;
+  let hmac = Larch_hash.Hmac.sha1 ~key:k_id (Bytes.unsafe_to_string t_bytes) in
+  let keystream = Larch_hash.Sha256.digest (k ^ pub.enc_nonce ^ Bytesx.be32 0) in
+  let ct = Bytesx.xor id (String.sub keystream 0 totp_id_len) in
+  (hmac, ct)

@@ -1,0 +1,60 @@
+(** The two larch statement circuits.
+
+    {b FIDO2} (proved with ZKBoo, §3.2): the client knows k, r, id, chal,
+    nonce such that cm = SHA256(k‖r), ct = id ⊕ SHA256(k‖nonce‖0) and
+    dgst = SHA256(id‖chal); the nonce is echoed as an output so one static
+    circuit serves every authentication.
+
+    {b TOTP} (run under Yao, §4): checks the archive-key commitment,
+    selects the log's share for the client's id, recomputes the TOTP key,
+    computes HMAC-SHA1(k_id, T) and the encrypted record; public
+    per-execution values are baked in as constants (garblings are
+    single-use). *)
+
+(** {1 Field sizes (bytes)} *)
+
+val archive_key_len : int
+val commit_nonce_len : int
+val rp_id_len : int
+val challenge_len : int
+val enc_nonce_len : int
+val totp_id_len : int
+val totp_key_len : int
+
+(** {1 FIDO2 statement} *)
+
+type fido2_witness = { k : string; r : string; id : string; chal : string; nonce : string }
+
+val fido2_circuit : Circuit.t Lazy.t
+(** Built once (~100k AND gates); shared by prover and verifier. *)
+
+val fido2_witness_bits : fido2_witness -> bool array
+val fido2_public_bits : cm:string -> ct:string -> dgst:string -> nonce:string -> bool array
+
+val fido2_compute :
+  k:string -> r:string -> id:string -> chal:string -> nonce:string -> string * string * string
+(** Software counterpart: (cm, ct, dgst). *)
+
+(** {1 TOTP 2PC circuit} *)
+
+type totp_public = { cm : string; enc_nonce : string; time_counter : int64 }
+
+val totp_client_bits : int
+val totp_log_bits_per_rp : int
+
+val totp_circuit : n_rps:int -> totp_public -> Circuit.t
+(** Input layout: client k‖r‖id‖kclient, then n × (id_j ‖ klog_j);
+    outputs ok(1) ‖ ct(128) ‖ hmac(160) with the hmac gated by ok. *)
+
+val totp_client_input : k:string -> r:string -> id:string -> kclient:string -> bool array
+val totp_log_input : registrations:(string * string) list -> bool array
+
+val totp_compute : k:string -> id:string -> k_id:string -> totp_public -> string * string
+(** Software counterpart: (hmac, ct). *)
+
+(**/**)
+
+val hmac_sha1_wires :
+  Builder.t -> key:Builder.wire array -> msg:Builder.wire array -> Builder.wire array
+
+val check_len : string -> int -> string -> unit

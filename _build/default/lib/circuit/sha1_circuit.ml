@@ -1,0 +1,50 @@
+(* Gate-level SHA-1 for fixed-length messages — used by the TOTP 2PC circuit
+   to compute HMAC-SHA1 (RFC 6238's default MAC) on the jointly-held key.
+   Roughly 11k AND gates per compression. *)
+
+let iv = [| 0x67452301; 0xefcdab89; 0x98badcfe; 0x10325476; 0xc3d2e1f0 |]
+
+let compress (b : Builder.t) ~(state : Word.t array) ~(block : Word.t array) : Word.t array =
+  let w = Array.make 80 [||] in
+  Array.blit block 0 w 0 16;
+  for t = 16 to 79 do
+    w.(t) <- Word.rotl (Word.xor b (Word.xor b w.(t - 3) w.(t - 8)) (Word.xor b w.(t - 14) w.(t - 16))) 1
+  done;
+  let a = ref state.(0) and bb = ref state.(1) and c = ref state.(2) in
+  let d = ref state.(3) and e = ref state.(4) in
+  for t = 0 to 79 do
+    let f, kc =
+      if t < 20 then (Word.choose b !bb !c !d, 0x5a827999)
+      else if t < 40 then (Word.xor b (Word.xor b !bb !c) !d, 0x6ed9eba1)
+      else if t < 60 then (Word.majority b !bb !c !d, 0x8f1bbcdc)
+      else (Word.xor b (Word.xor b !bb !c) !d, 0xca62c1d6)
+    in
+    let tmp = Word.add_list b [ Word.rotl !a 5; f; !e; Word.of_const b kc; w.(t) ] in
+    e := !d;
+    d := !c;
+    c := Word.rotl !bb 30;
+    bb := !a;
+    a := tmp
+  done;
+  let updates = [| !a; !bb; !c; !d; !e |] in
+  Array.mapi (fun i v -> Word.add b state.(i) v) updates
+
+let hash_fixed (b : Builder.t) ~(msg : Builder.wire array) : Builder.wire array =
+  if Array.length msg mod 8 <> 0 then invalid_arg "Sha1_circuit.hash_fixed: not byte aligned";
+  let len_bytes = Array.length msg / 8 in
+  let pad_len =
+    let r = (len_bytes + 1 + 8) mod 64 in
+    if r = 0 then 1 + 8 else 1 + 8 + (64 - r)
+  in
+  let padding = Bytes.make pad_len '\000' in
+  Bytes.set padding 0 '\x80';
+  Bytes.set_int64_be padding (pad_len - 8) (Int64.of_int (8 * len_bytes));
+  let pad_wires = Builder.const_bytes b (Bytes.unsafe_to_string padding) in
+  let all_bits = Array.append msg pad_wires in
+  let words = Word.words_of_bitwires all_bits in
+  let state = ref (Array.map (Word.of_const b) iv) in
+  let nblocks = Array.length words / 16 in
+  for i = 0 to nblocks - 1 do
+    state := compress b ~state:!state ~block:(Array.sub words (16 * i) 16)
+  done;
+  Word.bitwires_of_words !state

@@ -1,0 +1,7 @@
+(** Gate-level SHA-1 (fixed-length messages) — HMAC-SHA1 inside the TOTP
+    2PC circuit (~11k AND gates per compression).  Tested against
+    {!Larch_hash.Sha1}. *)
+
+val iv : int array
+val compress : Builder.t -> state:Word.t array -> block:Word.t array -> Word.t array
+val hash_fixed : Builder.t -> msg:Builder.wire array -> Builder.wire array

@@ -1,0 +1,12 @@
+(** Gate-level SHA-256 (fixed-length messages): the hot primitive of both
+    the ZKBoo FIDO2 statement and the TOTP 2PC circuit (~23k AND gates per
+    compression).  Tested bit-for-bit against {!Larch_hash.Sha256}. *)
+
+val iv : int array
+val k_const : int array
+
+val compress : Builder.t -> state:Word.t array -> block:Word.t array -> Word.t array
+
+val hash_fixed : Builder.t -> msg:Builder.wire array -> Builder.wire array
+(** Full hash with padding baked in for the (build-time-fixed) message
+    length; bit layout as in {!Larch_util.Bytesx.bits_of_string}. *)

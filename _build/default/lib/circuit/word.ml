@@ -1,0 +1,67 @@
+(* 32-bit words over circuit wires (index 0 = least significant bit).
+
+   Rotations and shifts are pure wiring, XOR is free in both backends, and
+   addition is a ripple-carry chain costing one AND per bit via the
+   majority identity maj(a,b,c) = a XOR ((a XOR b) AND (a XOR c)). *)
+
+type t = Builder.wire array (* length 32 *)
+
+let width = 32
+
+let of_const (b : Builder.t) (v : int) : t =
+  Array.init width (fun i -> Builder.const b ((v lsr i) land 1 = 1))
+
+let xor (b : Builder.t) (x : t) (y : t) : t = Array.map2 (Builder.bxor b) x y
+let and_ (b : Builder.t) (x : t) (y : t) : t = Array.map2 (Builder.band b) x y
+let not_ (b : Builder.t) (x : t) : t = Array.map (Builder.bnot b) x
+
+let rotr (x : t) (n : int) : t = Array.init width (fun i -> x.((i + n) mod width))
+let rotl (x : t) (n : int) : t = rotr x (width - n)
+
+let shr (b : Builder.t) (x : t) (n : int) : t =
+  Array.init width (fun i -> if i + n < width then x.(i + n) else Builder.const b false)
+
+let add (b : Builder.t) (x : t) (y : t) : t =
+  let out = Array.make width 0 in
+  let carry = ref (Builder.const b false) in
+  for i = 0 to width - 1 do
+    let axb = Builder.bxor b x.(i) y.(i) in
+    out.(i) <- Builder.bxor b axb !carry;
+    if i < width - 1 then begin
+      let axc = Builder.bxor b x.(i) !carry in
+      carry := Builder.bxor b x.(i) (Builder.band b axb axc)
+    end
+  done;
+  out
+
+let add_list (b : Builder.t) (xs : t list) : t =
+  match xs with
+  | [] -> of_const b 0
+  | x :: rest -> List.fold_left (add b) x rest
+
+(* [w AND (f XOR g) XOR g] — the 1-AND-per-bit "choose" used by SHA. *)
+let choose (b : Builder.t) (e : t) (f : t) (g : t) : t =
+  Array.init width (fun i -> Builder.bxor b g.(i) (Builder.band b e.(i) (Builder.bxor b f.(i) g.(i))))
+
+let majority (b : Builder.t) (x : t) (y : t) (z : t) : t =
+  Array.init width (fun i ->
+      let xy = Builder.bxor b x.(i) y.(i) and xz = Builder.bxor b x.(i) z.(i) in
+      Builder.bxor b x.(i) (Builder.band b xy xz))
+
+(* Message bits are byte-ordered, LSB-first within each byte (the layout of
+   [Larch_util.Bytesx.bits_of_string]); SHA interprets each 4-byte group as
+   a big-endian 32-bit word. *)
+let words_of_bitwires (bits : Builder.wire array) : t array =
+  if Array.length bits mod 32 <> 0 then invalid_arg "Word.words_of_bitwires: not 32-bit aligned";
+  Array.init
+    (Array.length bits / 32)
+    (fun j -> Array.init width (fun k -> bits.(((4 * j) + (3 - (k / 8))) * 8 + (k mod 8))))
+
+let bitwires_of_words (words : t array) : Builder.wire array =
+  let n = Array.length words in
+  Array.init (32 * n)
+    (fun i ->
+      (* bit i of the byte stream: byte i/8, bit i mod 8 (LSB-first) *)
+      let byte = i / 8 and bit = i mod 8 in
+      let j = byte / 4 and byte_in_word = byte mod 4 in
+      words.(j).((8 * (3 - byte_in_word)) + bit))

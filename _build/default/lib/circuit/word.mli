@@ -1,0 +1,29 @@
+(** 32-bit words over circuit wires (index 0 = LSB).
+
+    Rotations/shifts are wiring, XOR is free, and addition costs one AND
+    per bit via maj(a,b,c) = a ⊕ ((a⊕b) ∧ (a⊕c)) — the cost model behind
+    the SHA circuit sizes. *)
+
+type t = Builder.wire array
+
+val width : int
+val of_const : Builder.t -> int -> t
+val xor : Builder.t -> t -> t -> t
+val and_ : Builder.t -> t -> t -> t
+val not_ : Builder.t -> t -> t
+val rotr : t -> int -> t
+val rotl : t -> int -> t
+val shr : Builder.t -> t -> int -> t
+val add : Builder.t -> t -> t -> t
+val add_list : Builder.t -> t list -> t
+
+val choose : Builder.t -> t -> t -> t -> t
+(** SHA's Ch(e,f,g) in one AND per bit. *)
+
+val majority : Builder.t -> t -> t -> t -> t
+(** SHA's Maj(x,y,z) in one AND per bit. *)
+
+val words_of_bitwires : Builder.wire array -> t array
+(** Byte-ordered, LSB-first bits → big-endian 32-bit words (SHA layout). *)
+
+val bitwires_of_words : t array -> Builder.wire array

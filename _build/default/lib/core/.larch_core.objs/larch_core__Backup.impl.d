@@ -1,0 +1,1 @@
+lib/core/backup.ml: Array Client Hashtbl Larch_auth Larch_cipher Larch_ec Larch_hash Larch_net Larch_util List Log_service String Two_party_ecdsa

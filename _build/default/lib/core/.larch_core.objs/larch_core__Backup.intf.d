@@ -1,0 +1,1 @@
+lib/core/backup.mli: Client Log_service

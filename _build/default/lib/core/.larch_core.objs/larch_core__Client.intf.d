@@ -1,0 +1,1 @@
+lib/core/client.mli: Hashtbl Larch_auth Larch_circuit Larch_ec Larch_net Larch_util Log_service Totp_protocol Two_party_ecdsa Types

@@ -1,0 +1,1 @@
+lib/core/fido2_protocol.ml: Larch_circuit Larch_mpc Larch_net Larch_zkboo Lazy String Two_party_ecdsa

@@ -1,0 +1,1 @@
+lib/core/fido2_protocol.mli: Larch_circuit Larch_mpc Larch_net Larch_zkboo

@@ -1,0 +1,1 @@
+lib/core/log_service.ml: Array Fido2_protocol Hashtbl Larch_ec Larch_hash Larch_mpc Larch_sigma Larch_util List Password_protocol Record String Totp_protocol Two_party_ecdsa Types

@@ -1,0 +1,1 @@
+lib/core/log_service.mli: Fido2_protocol Hashtbl Larch_ec Larch_mpc Larch_sigma Password_protocol Record Totp_protocol Two_party_ecdsa Types

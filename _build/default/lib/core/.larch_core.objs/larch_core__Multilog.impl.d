@@ -1,0 +1,1 @@
+lib/core/multilog.ml: Array Hashtbl Larch_ec Larch_mpc List Log_service Password_protocol Printf Record Types

@@ -1,0 +1,1 @@
+lib/core/multilog.mli: Hashtbl Larch_ec Larch_mpc Log_service

@@ -1,0 +1,1 @@
+lib/core/password_protocol.ml: Array Bytes Char Larch_bignum Larch_ec Larch_hash Larch_net Larch_sigma Larch_util List String

@@ -1,0 +1,1 @@
+lib/core/password_protocol.mli: Larch_ec Larch_net Larch_sigma

@@ -1,0 +1,1 @@
+lib/core/record.ml: Int64 Larch_ec Larch_net String Types

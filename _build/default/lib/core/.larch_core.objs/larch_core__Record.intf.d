@@ -1,0 +1,1 @@
+lib/core/record.mli: Larch_ec Larch_net Types

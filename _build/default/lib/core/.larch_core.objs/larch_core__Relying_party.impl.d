@@ -1,0 +1,1 @@
+lib/core/relying_party.ml: Hashtbl Larch_auth Larch_ec List

@@ -1,0 +1,1 @@
+lib/core/relying_party.mli: Hashtbl Larch_auth Larch_ec

@@ -1,0 +1,1 @@
+lib/core/schnorr_signing.ml: Larch_bignum Larch_ec Larch_hash Larch_util Nat

@@ -1,0 +1,1 @@
+lib/core/schnorr_signing.mli: Larch_ec

@@ -1,0 +1,1 @@
+lib/core/totp_protocol.ml: Array Larch_auth Larch_circuit Larch_mpc Larch_net Larch_util String

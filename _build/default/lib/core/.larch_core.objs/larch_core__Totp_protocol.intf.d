@@ -1,0 +1,1 @@
+lib/core/totp_protocol.mli: Larch_circuit Larch_mpc Larch_net

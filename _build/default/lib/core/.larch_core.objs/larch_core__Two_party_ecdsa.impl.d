@@ -1,0 +1,1 @@
+lib/core/two_party_ecdsa.ml: Array Larch_bignum Larch_cipher Larch_ec Larch_mpc Larch_net Larch_util Nat Option String Types

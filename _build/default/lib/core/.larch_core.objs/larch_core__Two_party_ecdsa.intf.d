@@ -1,0 +1,1 @@
+lib/core/two_party_ecdsa.mli: Larch_ec Larch_mpc Larch_net

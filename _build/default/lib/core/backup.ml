@@ -1,0 +1,225 @@
+(* Account recovery (§9): the client serializes its entire secret state,
+   encrypts it under a key derived from the log-account password, and
+   stores the ciphertext at the log service.  After losing every device,
+   the user recovers the state with only that password.
+
+   As the paper notes, the backup is only as strong as the password; the
+   PBKDF2 work factor is the knob (a production deployment would pair this
+   with secure hardware as in SafetyPin [27]). *)
+
+module Point = Larch_ec.Point
+module Scalar = Larch_ec.P256.Scalar
+module Wire = Larch_net.Wire
+module Tpe = Two_party_ecdsa
+
+(* --- client-state serialization --- *)
+
+let put_scalar w (s : Scalar.t) = Wire.fixed w (Scalar.to_bytes_be s)
+let read_scalar r = Scalar.of_bytes_be (Wire.read_fixed r 32)
+let put_point w (p : Point.t) = Wire.bytes w (Point.encode p)
+
+let read_point r =
+  match Point.decode (Wire.read_bytes r) with
+  | Some p -> p
+  | None -> raise (Wire.Malformed "bad point")
+
+let put_client_presig w (p : Tpe.client_presig) =
+  List.iter (put_scalar w)
+    [ p.Tpe.cap_r1; p.Tpe.r1; p.Tpe.rhat1; p.Tpe.alpha1; p.Tpe.a1; p.Tpe.b1; p.Tpe.c1;
+      p.Tpe.f1; p.Tpe.g1; p.Tpe.h1 ]
+
+let read_client_presig r : Tpe.client_presig =
+  let cap_r1 = read_scalar r in
+  let r1 = read_scalar r in
+  let rhat1 = read_scalar r in
+  let alpha1 = read_scalar r in
+  let a1 = read_scalar r in
+  let b1 = read_scalar r in
+  let c1 = read_scalar r in
+  let f1 = read_scalar r in
+  let g1 = read_scalar r in
+  let h1 = read_scalar r in
+  { Tpe.cap_r1; r1; rhat1; alpha1; a1; b1; c1; f1; g1; h1 }
+
+let put_hashtbl w (tbl : (string, 'a) Hashtbl.t) (put_v : Wire.writer -> 'a -> unit) =
+  let items = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
+  let items = List.sort compare (List.map (fun (k, v) -> (k, v)) items) in
+  Wire.list w
+    (fun w (k, v) ->
+      Wire.bytes w k;
+      put_v w v)
+    items
+
+let read_hashtbl r (read_v : Wire.reader -> 'a) : (string, 'a) Hashtbl.t =
+  let items =
+    Wire.read_list r (fun r ->
+        let k = Wire.read_bytes r in
+        let v = read_v r in
+        (k, v))
+  in
+  let tbl = Hashtbl.create (max 8 (List.length items)) in
+  List.iter (fun (k, v) -> Hashtbl.replace tbl k v) items;
+  tbl
+
+let encode_state (c : Client.t) : string =
+  Wire.encode (fun w ->
+      (* fido2 side *)
+      (match c.Client.fido2 with
+      | None -> Wire.u8 w 0
+      | Some f ->
+          Wire.u8 w 1;
+          Wire.bytes w f.Client.fk;
+          Wire.bytes w f.Client.fr;
+          put_scalar w f.Client.record_sk;
+          put_point w f.Client.log_pub;
+          Wire.list w
+            (fun w (b : Tpe.client_batch) ->
+              Wire.u32 w b.Tpe.cnext;
+              Wire.list w put_client_presig (Array.to_list b.Tpe.centries))
+            f.Client.batches;
+          put_hashtbl w f.Client.fido2_creds (fun w (cred : Client.fido2_cred) ->
+              put_scalar w cred.Client.y;
+              put_point w cred.Client.pk;
+              Wire.u32 w cred.Client.counter);
+          put_hashtbl w f.Client.fido2_names Wire.bytes);
+      (* totp side *)
+      (match c.Client.totp with
+      | None -> Wire.u8 w 0
+      | Some s ->
+          Wire.u8 w 1;
+          Wire.bytes w s.Client.tk;
+          Wire.bytes w s.Client.tr;
+          put_hashtbl w s.Client.totp_creds (fun w (cred : Client.totp_cred) ->
+              Wire.bytes w cred.Client.tid;
+              Wire.bytes w cred.Client.kclient;
+              Wire.u8 w (match cred.Client.algo with Larch_auth.Totp.SHA1 -> 0 | SHA256 -> 1));
+          put_hashtbl w s.Client.totp_names Wire.bytes);
+      (* password side *)
+      match c.Client.pw with
+      | None -> Wire.u8 w 0
+      | Some s ->
+          Wire.u8 w 1;
+          put_scalar w s.Client.x;
+          put_point w s.Client.x_pub;
+          put_point w s.Client.log_k_pub;
+          Wire.list w Wire.bytes s.Client.pw_ids;
+          put_hashtbl w s.Client.pw_creds (fun w (cred : Client.pw_cred) ->
+              Wire.bytes w cred.Client.pid;
+              put_point w cred.Client.k_id);
+          put_hashtbl w s.Client.pw_names Wire.bytes)
+
+let decode_state (blob : string) (c : Client.t) : (unit, string) result =
+  Wire.decode blob (fun r ->
+      (match Wire.read_u8 r with
+      | 0 -> c.Client.fido2 <- None
+      | _ ->
+          let fk = Wire.read_bytes r in
+          let fr = Wire.read_bytes r in
+          let record_sk = read_scalar r in
+          let log_pub = read_point r in
+          let batches =
+            Wire.read_list r (fun r ->
+                let cnext = Wire.read_u32 r in
+                let centries = Array.of_list (Wire.read_list r read_client_presig) in
+                { Tpe.centries; cnext })
+          in
+          let fido2_creds =
+            read_hashtbl r (fun r ->
+                let y = read_scalar r in
+                let pk = read_point r in
+                let counter = Wire.read_u32 r in
+                { Client.y; pk; counter })
+          in
+          let fido2_names = read_hashtbl r Wire.read_bytes in
+          c.Client.fido2 <-
+            Some { Client.fk; fr; record_sk; log_pub; batches; fido2_creds; fido2_names });
+      (match Wire.read_u8 r with
+      | 0 -> c.Client.totp <- None
+      | _ ->
+          let tk = Wire.read_bytes r in
+          let tr = Wire.read_bytes r in
+          let totp_creds =
+            read_hashtbl r (fun r ->
+                let tid = Wire.read_bytes r in
+                let kclient = Wire.read_bytes r in
+                let algo =
+                  match Wire.read_u8 r with 0 -> Larch_auth.Totp.SHA1 | _ -> Larch_auth.Totp.SHA256
+                in
+                { Client.tid; kclient; algo })
+          in
+          let totp_names = read_hashtbl r Wire.read_bytes in
+          c.Client.totp <- Some { Client.tk; tr; totp_creds; totp_names });
+      match Wire.read_u8 r with
+      | 0 -> c.Client.pw <- None
+      | _ ->
+          let x = read_scalar r in
+          let x_pub = read_point r in
+          let log_k_pub = read_point r in
+          let pw_ids = Wire.read_list r Wire.read_bytes in
+          let pw_creds =
+            read_hashtbl r (fun r ->
+                let pid = Wire.read_bytes r in
+                let k_id = read_point r in
+                { Client.pid; k_id })
+          in
+          let pw_names = read_hashtbl r Wire.read_bytes in
+          c.Client.pw <- Some { Client.x; x_pub; log_k_pub; pw_ids; pw_creds; pw_names })
+
+(* --- authenticated encryption under a password-derived key --- *)
+
+let kdf_iterations = 4096
+
+let derive_keys ~(password : string) ~(salt : string) : string * string =
+  let km = Larch_auth.Password.pbkdf2 ~password ~salt ~iterations:kdf_iterations ~len:64 in
+  (String.sub km 0 32, String.sub km 32 32)
+
+(* encrypt-then-MAC: ChaCha20 + HMAC-SHA256 *)
+let seal ~(password : string) ~(rand_bytes : int -> string) (plaintext : string) : string =
+  let salt = rand_bytes 16 and nonce = rand_bytes 12 in
+  let enc_key, mac_key = derive_keys ~password ~salt in
+  let ct = Larch_cipher.Chacha20.encrypt ~key:enc_key ~nonce plaintext in
+  let tag = Larch_hash.Hmac.sha256 ~key:mac_key (salt ^ nonce ^ ct) in
+  Wire.encode (fun w ->
+      Wire.bytes w salt;
+      Wire.bytes w nonce;
+      Wire.bytes w ct;
+      Wire.bytes w tag)
+
+let open_sealed ~(password : string) (blob : string) : (string, string) result =
+  match
+    Wire.decode blob (fun r ->
+        let salt = Wire.read_bytes r in
+        let nonce = Wire.read_bytes r in
+        let ct = Wire.read_bytes r in
+        let tag = Wire.read_bytes r in
+        (salt, nonce, ct, tag))
+  with
+  | Error e -> Error e
+  | Ok (salt, nonce, ct, tag) ->
+      let enc_key, mac_key = derive_keys ~password ~salt in
+      if not (Larch_util.Bytesx.ct_equal tag (Larch_hash.Hmac.sha256 ~key:mac_key (salt ^ nonce ^ ct)))
+      then Error "authentication failed (wrong password or corrupted backup)"
+      else Ok (Larch_cipher.Chacha20.decrypt ~key:enc_key ~nonce ct)
+
+(* --- store / recover via the log service --- *)
+
+let store (c : Client.t) : int =
+  let blob =
+    seal ~password:c.Client.account_password ~rand_bytes:c.Client.rand (encode_state c)
+  in
+  Client.send_c2l c blob;
+  Log_service.store_backup c.Client.log ~client_id:c.Client.client_id blob;
+  String.length blob
+
+let recover ~(log : Log_service.t) ~(client_id : string) ~(account_password : string)
+    ~(rand_bytes : int -> string) : (Client.t, string) result =
+  match Log_service.fetch_backup log ~client_id with
+  | None -> Error "no backup stored"
+  | Some blob -> (
+      match open_sealed ~password:account_password blob with
+      | Error e -> Error e
+      | Ok plaintext ->
+          let c = Client.create ~client_id ~account_password ~log ~rand_bytes () in
+          (match decode_state plaintext c with
+          | Ok () -> Ok c
+          | Error e -> Error e))

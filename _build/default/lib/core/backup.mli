@@ -1,0 +1,33 @@
+(** Account recovery (§9): encrypted client-state backups at the log.
+
+    The client serializes its complete secret state, seals it with
+    encrypt-then-MAC under a PBKDF2 key derived from the log-account
+    password, and stores the blob at the log.  After losing every device,
+    the user recovers with the password alone (so the backup is exactly as
+    strong as that password — the paper's stated tradeoff). *)
+
+val encode_state : Client.t -> string
+(** Serialize all three method states (archive keys, credentials,
+    presignature shares). *)
+
+val decode_state : string -> Client.t -> (unit, string) result
+(** Restore serialized state into a freshly created client. *)
+
+val kdf_iterations : int
+
+val seal : password:string -> rand_bytes:(int -> string) -> string -> string
+(** ChaCha20 + HMAC-SHA256 encrypt-then-MAC under a password-derived key. *)
+
+val open_sealed : password:string -> string -> (string, string) result
+(** Fails on a wrong password or a tampered blob. *)
+
+val store : Client.t -> int
+(** Seal and upload the client's state; returns the blob size in bytes. *)
+
+val recover :
+  log:Log_service.t ->
+  client_id:string ->
+  account_password:string ->
+  rand_bytes:(int -> string) ->
+  (Client.t, string) result
+(** Rebuild a working client on a new device from the stored backup. *)

@@ -1,0 +1,462 @@
+(* The larch client ("browser extension"): owns the archive keys and
+   per-relying-party secrets, drives the three split-secret authentication
+   protocols against a log service over metered channels, and decrypts the
+   audit log.
+
+   Every message that would cross the network is serialized with the real
+   wire codecs and pushed through [chan] (or the TOTP offline/online
+   channels), so the byte counts behind Table 6 / Figure 5 come from actual
+   encodings. *)
+
+module Point = Larch_ec.Point
+module Scalar = Larch_ec.P256.Scalar
+module Channel = Larch_net.Channel
+module Tpe = Two_party_ecdsa
+module Statements = Larch_circuit.Larch_statements
+module Bytesx = Larch_util.Bytesx
+
+type fido2_cred = { y : Scalar.t; pk : Point.t; mutable counter : int }
+type totp_cred = { tid : string; kclient : string; algo : Larch_auth.Totp.algo }
+type pw_cred = { pid : string; k_id : Point.t }
+
+type fido2_side = {
+  fk : string; (* 32B archive key *)
+  fr : string; (* 16B commitment nonce *)
+  record_sk : Scalar.t; (* record-integrity signing key (§7) *)
+  log_pub : Point.t; (* X = g^x, the log's signing share *)
+  mutable batches : Tpe.client_batch list;
+  fido2_creds : (string, fido2_cred) Hashtbl.t; (* rp_name -> cred *)
+  fido2_names : (string, string) Hashtbl.t; (* rp_id_hash -> rp_name *)
+}
+
+type totp_side = {
+  tk : string;
+  tr : string;
+  totp_creds : (string, totp_cred) Hashtbl.t; (* rp_name -> cred *)
+  totp_names : (string, string) Hashtbl.t; (* 16B id -> rp_name *)
+}
+
+type pw_side = {
+  x : Scalar.t; (* ElGamal archive secret *)
+  x_pub : Point.t;
+  log_k_pub : Point.t; (* K = g^k *)
+  mutable pw_ids : string list; (* registration order, mirrors the log *)
+  pw_creds : (string, pw_cred) Hashtbl.t; (* rp_name -> cred *)
+  pw_names : (string, string) Hashtbl.t; (* Point.encode Hash(id) -> rp_name *)
+}
+
+type t = {
+  client_id : string;
+  account_password : string;
+  rand : int -> string;
+  log : Log_service.t;
+  chan : Channel.t; (* FIDO2/password auth traffic *)
+  totp_offline : Channel.t;
+  totp_online : Channel.t;
+  mutable ip : string;
+  mutable domains : int; (* client cores for ZKBoo proving *)
+  mutable fido2 : fido2_side option;
+  mutable totp : totp_side option;
+  mutable pw : pw_side option;
+  mutable last_chain : (string * int) option; (* last verified audit head *)
+}
+
+let create ~(client_id : string) ~(account_password : string) ~(log : Log_service.t)
+    ~(rand_bytes : int -> string) () : t =
+  {
+    client_id;
+    account_password;
+    rand = rand_bytes;
+    log;
+    chan = Channel.create ();
+    totp_offline = Channel.create ();
+    totp_online = Channel.create ();
+    ip = "198.51.100.7";
+    domains = 1;
+    fido2 = None;
+    totp = None;
+    pw = None;
+    last_chain = None;
+  }
+
+let set_domains (t : t) (n : int) = t.domains <- max 1 n
+
+let now () = Larch_util.Clock.now ()
+
+let send_c2l (t : t) (payload : string) = ignore (Channel.send t.chan Channel.Client_to_log payload)
+let send_l2c (t : t) (payload : string) = ignore (Channel.send t.chan Channel.Log_to_client payload)
+
+(* --- Step 1: enrollment --- *)
+
+let enroll ?(presignature_count = 100) (t : t) : unit =
+  Log_service.enroll t.log ~client_id:t.client_id ~account_password:t.account_password;
+  (* FIDO2: archive key + commitment, record key, presignature batch *)
+  let fk = t.rand 32 and fr = t.rand 16 in
+  let cm = Larch_hash.Sha256.digest (fk ^ fr) in
+  let record_sk, record_vk = Larch_ec.Ecdsa.keygen ~rand_bytes:t.rand in
+  let cbatch, lbatch = Tpe.presign_batch ~count:presignature_count ~rand_bytes:t.rand in
+  send_c2l t (String.make (Tpe.log_batch_wire_bytes lbatch) '\000');
+  let log_pub = Log_service.enroll_fido2 t.log ~client_id:t.client_id ~cm ~record_vk ~batch:lbatch in
+  t.fido2 <-
+    Some
+      {
+        fk;
+        fr;
+        record_sk;
+        log_pub;
+        batches = [ cbatch ];
+        fido2_creds = Hashtbl.create 8;
+        fido2_names = Hashtbl.create 8;
+      };
+  (* TOTP: its own archive key + commitment *)
+  let tk = t.rand 32 and tr = t.rand 16 in
+  Log_service.enroll_totp t.log ~client_id:t.client_id ~cm:(Larch_hash.Sha256.digest (tk ^ tr));
+  t.totp <-
+    Some { tk; tr; totp_creds = Hashtbl.create 8; totp_names = Hashtbl.create 8 };
+  (* passwords: ElGamal archive keypair *)
+  let x, x_pub = Password_protocol.client_gen ~rand_bytes:t.rand in
+  let log_k_pub = Log_service.enroll_password t.log ~client_id:t.client_id ~client_pub:x_pub in
+  t.pw <-
+    Some
+      {
+        x;
+        x_pub;
+        log_k_pub;
+        pw_ids = [];
+        pw_creds = Hashtbl.create 8;
+        pw_names = Hashtbl.create 8;
+      }
+
+let fido2_side (t : t) = match t.fido2 with Some f -> f | None -> Types.fail "not enrolled (fido2)"
+let totp_side (t : t) = match t.totp with Some s -> s | None -> Types.fail "not enrolled (totp)"
+let pw_side (t : t) = match t.pw with Some s -> s | None -> Types.fail "not enrolled (password)"
+
+(* --- presignature management (§3.3) --- *)
+
+let presignatures_remaining (t : t) : int =
+  List.fold_left (fun acc b -> acc + Tpe.client_batch_remaining b) 0 (fido2_side t).batches
+
+(* Generate and stage a fresh batch; it becomes active at the log only
+   after the objection window. *)
+let top_up_presignatures (t : t) ~(count : int) : unit =
+  let f = fido2_side t in
+  let cbatch, lbatch = Tpe.presign_batch ~count ~rand_bytes:t.rand in
+  send_c2l t (String.make (Tpe.log_batch_wire_bytes lbatch) '\000');
+  Log_service.stage_presignatures t.log ~client_id:t.client_id ~batch:lbatch ~now:(now ());
+  f.batches <- f.batches @ [ cbatch ]
+
+let object_to_presignatures (t : t) : int =
+  Log_service.object_to_pending t.log ~client_id:t.client_id ~token:t.account_password
+
+(* --- Step 2: registration --- *)
+
+(* FIDO2 registration is log-free (§3.2): derive a fresh key share and hand
+   the aggregated public key to the relying party. *)
+let register_fido2 (t : t) ~(rp_name : string) : Point.t =
+  let f = fido2_side t in
+  if Hashtbl.mem f.fido2_creds rp_name then Types.fail "already registered (fido2): %s" rp_name;
+  let y, pk = Tpe.client_keygen ~log_pub:f.log_pub ~rand_bytes:t.rand in
+  Hashtbl.replace f.fido2_creds rp_name { y; pk; counter = 0 };
+  Hashtbl.replace f.fido2_names (Larch_auth.Fido2.rp_id_hash rp_name) rp_name;
+  pk
+
+(* TOTP registration: split the relying party's secret, ship the log its
+   share under a random 128-bit identifier. *)
+let register_totp ?(algo = Larch_auth.Totp.SHA1) (t : t) ~(rp_name : string) ~(totp_key : string)
+    : unit =
+  let s = totp_side t in
+  if Hashtbl.mem s.totp_creds rp_name then Types.fail "already registered (totp): %s" rp_name;
+  if String.length totp_key <> Statements.totp_key_len then
+    Types.fail "totp key must be %d bytes" Statements.totp_key_len;
+  let tid = t.rand Statements.totp_id_len in
+  let kclient, klog = Larch_mpc.Sharing.xor totp_key ~rand_bytes:t.rand in
+  let reg = { Totp_protocol.id = tid; klog } in
+  send_c2l t (Totp_protocol.encode_registration reg);
+  Log_service.totp_register t.log ~client_id:t.client_id reg;
+  Hashtbl.replace s.totp_creds rp_name { tid; kclient; algo };
+  Hashtbl.replace s.totp_names tid rp_name
+
+(* Password registration; returns the password to set at the relying
+   party.  [legacy] imports an existing password instead of generating a
+   fresh random one (§5). *)
+let register_password ?legacy (t : t) ~(rp_name : string) : string =
+  let s = pw_side t in
+  if Hashtbl.mem s.pw_creds rp_name then Types.fail "already registered (password): %s" rp_name;
+  let pid, fresh_k_id = Password_protocol.client_register ~rand_bytes:t.rand in
+  send_c2l t pid;
+  let y = Log_service.pw_register t.log ~client_id:t.client_id ~id:pid in
+  send_l2c t (Point.encode y);
+  let k_id, pw_point =
+    match legacy with
+    | None -> (fresh_k_id, Password_protocol.finish_register ~k_id:fresh_k_id ~y)
+    | Some pw ->
+        let embedded = Password_protocol.embed_password pw in
+        (Password_protocol.import_legacy ~pw:embedded ~y, embedded)
+  in
+  s.pw_ids <- s.pw_ids @ [ pid ];
+  Hashtbl.replace s.pw_creds rp_name { pid; k_id };
+  Hashtbl.replace s.pw_names (Point.encode (Larch_ec.Hash_to_curve.hash pid)) rp_name;
+  (* the client deletes y and pw after registration (Figure 11) *)
+  Password_protocol.password_string pw_point
+
+(* --- Step 3: authentication --- *)
+
+exception Log_misbehaved of string
+
+(* FIDO2: build the statement, prove it, and run Π_Sign with the log. *)
+let authenticate_fido2 (t : t) ~(rp_name : string) ~(challenge : string) :
+    Larch_auth.Fido2.assertion =
+  let f = fido2_side t in
+  let cred =
+    match Hashtbl.find_opt f.fido2_creds rp_name with
+    | Some c -> c
+    | None -> Types.fail "not registered (fido2): %s" rp_name
+  in
+  cred.counter <- cred.counter + 1;
+  let payload = Larch_auth.Fido2.make_payload ~rp_name ~challenge ~counter:cred.counter in
+  let chal = Larch_auth.Fido2.statement_challenge payload in
+  let dgst = Larch_auth.Fido2.signing_digest payload in
+  let rp_hash = payload.Larch_auth.Fido2.rp_hash in
+  (* encrypted record + integrity signature *)
+  let ct_nonce = t.rand 12 in
+  let ct = Larch_cipher.Ctr.sha_ctr ~key:f.fk ~nonce:ct_nonce rp_hash in
+  let record_sig = Larch_ec.Ecdsa.encode (Larch_ec.Ecdsa.sign ~sk:f.record_sk (ct_nonce ^ ct)) in
+  (* the zero-knowledge statement *)
+  let witness =
+    Statements.fido2_witness_bits
+      { Statements.k = f.fk; r = f.fr; id = rp_hash; chal; nonce = ct_nonce }
+  in
+  let circuit = Lazy.force Statements.fido2_circuit in
+  let proof =
+    Larch_zkboo.Zkboo.prove ~domains:t.domains ~circuit ~witness
+      ~statement_tag:Fido2_protocol.statement_tag ~rand_bytes:t.rand ()
+  in
+  (* consume the next presignature *)
+  let batch =
+    match List.find_opt (fun b -> Tpe.client_batch_remaining b > 0) f.batches with
+    | Some b -> b
+    | None -> Types.fail "out of presignatures"
+  in
+  let idx = batch.Tpe.cnext in
+  batch.Tpe.cnext <- idx + 1;
+  let presig = batch.Tpe.centries.(idx) in
+  let st =
+    Tpe.init_party ~party:1
+      ~inp:(Tpe.halfmul_input_of_client batch idx ~sk1:cred.y)
+      ~cap_r:presig.Tpe.cap_r1 ~digest:dgst
+  in
+  let m1 = Tpe.round1 st in
+  let req =
+    {
+      Fido2_protocol.dgst;
+      ct_nonce;
+      ct;
+      record_sig;
+      proof;
+      presig_index = idx;
+      hm_msg = m1;
+    }
+  in
+  send_c2l t (Fido2_protocol.encode_auth_request req);
+  let resp1 =
+    Log_service.fido2_auth_begin ~domains:2 t.log ~client_id:t.client_id ~ip:t.ip ~now:(now ()) req
+  in
+  send_l2c t (Fido2_protocol.encode_auth_response1 resp1);
+  let s0 = Scalar.of_bytes_be resp1.Fido2_protocol.s0 in
+  let s1 = Tpe.round2 st ~own:m1 ~other:resp1.Fido2_protocol.hm_msg in
+  let commit_c = Tpe.open_commit st ~other_s:s0 ~rand_bytes:t.rand in
+  send_c2l t (Scalar.to_bytes_be s1 ^ commit_c.Larch_mpc.Spdz.commitment);
+  let commit_l, reveal_l =
+    Log_service.fido2_auth_commit t.log ~client_id:t.client_id ~s1 ~client_commit:commit_c
+  in
+  send_l2c t (commit_l.Larch_mpc.Spdz.commitment ^ Tpe.encode_reveal reveal_l);
+  if not (Tpe.open_check st ~other_commit:commit_l ~other_reveal:reveal_l) then
+    raise (Log_misbehaved "signing MAC check failed");
+  let reveal_c = Tpe.open_reveal st in
+  send_c2l t (Tpe.encode_reveal reveal_c);
+  if not (Log_service.fido2_auth_finish t.log ~client_id:t.client_id ~client_reveal:reveal_c)
+  then raise (Log_misbehaved "log rejected the opening");
+  let signature = Tpe.signature st ~other_s:s0 in
+  { Larch_auth.Fido2.payload; signature }
+
+(* TOTP: run the 2PC; returns the full outcome (code + phase timings). *)
+let authenticate_totp_detailed (t : t) ~(rp_name : string) ~(time : float) :
+    Totp_protocol.outcome =
+  let s = totp_side t in
+  let cred =
+    match Hashtbl.find_opt s.totp_creds rp_name with
+    | Some c -> c
+    | None -> Types.fail "not registered (totp): %s" rp_name
+  in
+  let enc_nonce = t.rand 12 in
+  let outcome =
+    Log_service.totp_auth t.log ~client_id:t.client_id ~ip:t.ip ~now:(now ()) ~enc_nonce
+      ~run:(fun ~cm ~registrations ~rand_log ->
+        let pub =
+          { Statements.cm; enc_nonce; time_counter = Larch_auth.Totp.counter_of_time time }
+        in
+        Totp_protocol.run_auth ~pub ~n_rps:(List.length registrations)
+          ~client:(s.tk, s.tr, cred.tid, cred.kclient)
+          ~registrations ~rand_client:t.rand ~rand_log ~offline:t.totp_offline
+          ~online:t.totp_online)
+  in
+  outcome
+
+let authenticate_totp (t : t) ~(rp_name : string) ~(time : float) : int =
+  (authenticate_totp_detailed t ~rp_name ~time).Totp_protocol.code
+
+(* Passwords: one-out-of-many proof, log exponentiation, recombination. *)
+let authenticate_password (t : t) ~(rp_name : string) : string =
+  let s = pw_side t in
+  let cred =
+    match Hashtbl.find_opt s.pw_creds rp_name with
+    | Some c -> c
+    | None -> Types.fail "not registered (password): %s" rp_name
+  in
+  let idx =
+    match List.find_index (fun id -> id = cred.pid) s.pw_ids with
+    | Some i -> i
+    | None -> Types.fail "identifier missing from registration list"
+  in
+  let r, req = Password_protocol.client_auth ~idx ~x:s.x ~ids:s.pw_ids ~rand_bytes:t.rand in
+  send_c2l t (Password_protocol.encode_auth_request req);
+  let y, dleq =
+    Log_service.pw_auth t.log ~client_id:t.client_id ~ip:t.ip ~now:(now ()) req
+  in
+  send_l2c t (Point.encode y ^ Larch_sigma.Dleq.encode dleq);
+  (* check the log exponentiated with its registered key *)
+  if
+    not
+      (Larch_sigma.Dleq.verify ~base1:Point.g ~base2:req.Password_protocol.ct.Larch_ec.Elgamal.c2
+         ~public1:s.log_k_pub ~public2:y ~tag:"larch-pw-log" dleq)
+  then raise (Log_misbehaved "log's DLEQ proof rejected");
+  let pw_point = Password_protocol.finish_auth ~x:s.x ~log_pub:s.log_k_pub ~r ~k_id:cred.k_id ~y in
+  (* the password is recomputed per authentication and not stored *)
+  Password_protocol.password_string pw_point
+
+(* --- Step 4: auditing --- *)
+
+type audit_entry = {
+  time : float;
+  ip : string;
+  method_ : Types.auth_method;
+  rp : string option; (* None = the record names no relying party we know *)
+}
+
+let audit_of_records (t : t) (records : Record.t list) : audit_entry list =
+  List.map
+    (fun (r : Record.t) ->
+      let rp =
+        match (r.Record.method_, r.Record.payload) with
+        | Types.Fido2, Record.Symmetric { nonce; ct; _ } -> (
+            match t.fido2 with
+            | None -> None
+            | Some f ->
+                let rp_hash = Larch_cipher.Ctr.sha_ctr ~key:f.fk ~nonce ct in
+                Hashtbl.find_opt f.fido2_names rp_hash)
+        | Types.Totp, Record.Symmetric { nonce; ct; _ } -> (
+            match t.totp with
+            | None -> None
+            | Some s ->
+                let keystream = Larch_hash.Sha256.digest (s.tk ^ nonce ^ Bytesx.be32 0) in
+                let tid = Bytesx.xor ct (String.sub keystream 0 (String.length ct)) in
+                Hashtbl.find_opt s.totp_names tid)
+        | Types.Password, Record.Elgamal ct -> (
+            match t.pw with
+            | None -> None
+            | Some s ->
+                let h = Password_protocol.decrypt_record ~x:s.x ct in
+                Hashtbl.find_opt s.pw_names (Point.encode h))
+        | _ -> None
+      in
+      { time = r.Record.time; ip = r.Record.ip; method_ = r.Record.method_; rp })
+    records
+
+let audit (t : t) : audit_entry list =
+  audit_of_records t (Log_service.audit t.log ~client_id:t.client_id ~token:t.account_password)
+
+(* Verified audit: recompute the per-client record hash chain, check it
+   against the head the log reports, and check consistency with the last
+   audit this client performed — detecting a log that rolls back or
+   rewrites history (§9). *)
+let audit_verified (t : t) : (audit_entry list, string) result =
+  let records, head, len =
+    Log_service.audit_with_head t.log ~client_id:t.client_id ~token:t.account_password
+  in
+  let chain_over rs =
+    List.fold_left
+      (fun h r -> Larch_hash.Sha256.digest_list [ "larch-chain"; h; Record.encode r ])
+      (Larch_hash.Sha256.digest "larch-chain-genesis")
+      rs
+  in
+  if List.length records <> len then Error "log reported inconsistent record count"
+  else if not (Bytesx.ct_equal (chain_over records) head) then
+    Error "record list does not match the log's chain head"
+  else begin
+    let prefix_ok =
+      match t.last_chain with
+      | None -> true
+      | Some (old_head, old_len) ->
+          old_len <= len
+          && Bytesx.ct_equal (chain_over (List.filteri (fun i _ -> i < old_len) records)) old_head
+    in
+    if not prefix_ok then Error "log rolled back or rewrote previously audited records"
+    else begin
+      t.last_chain <- Some (head, len);
+      Ok (audit_of_records t records)
+    end
+  end
+
+(* Compare the log against locally expected activity: entries the client
+   did not initiate are evidence of compromise. *)
+let detect_anomalies (t : t) ~(expected : (Types.auth_method * string) list) : audit_entry list =
+  let entries = audit t in
+  let expected = ref expected in
+  List.filter
+    (fun e ->
+      match e.rp with
+      | None -> true
+      | Some rp ->
+          let key = (e.method_, rp) in
+          if List.mem key !expected then begin
+            (* consume one expected occurrence *)
+            let rec remove = function
+              | [] -> []
+              | x :: rest when x = key -> rest
+              | x :: rest -> x :: remove rest
+            in
+            expected := remove !expected;
+            false
+          end
+          else true)
+    entries
+
+(* --- revocation & migration (§9) --- *)
+
+let revoke_all (t : t) : unit =
+  Log_service.revoke_all t.log ~client_id:t.client_id ~token:t.account_password;
+  t.fido2 <- None;
+  t.totp <- None;
+  t.pw <- None
+
+(* Move FIDO2 credentials to this (new) device state by re-sharing: the log
+   shifts its share by δ, we shift every per-party share by -δ.  Public
+   keys are unchanged; the old device's shares are now useless. *)
+let migrate_fido2 (t : t) : unit =
+  let f = fido2_side t in
+  let delta = Scalar.random_nonzero ~rand_bytes:t.rand in
+  Log_service.migrate_fido2 t.log ~client_id:t.client_id ~token:t.account_password ~delta;
+  let log_pub' = Point.add f.log_pub (Point.mul_base delta) in
+  Hashtbl.iter
+    (fun name cred ->
+      Hashtbl.replace f.fido2_creds name { cred with y = Scalar.sub cred.y delta })
+    (Hashtbl.copy f.fido2_creds);
+  t.fido2 <- Some { f with log_pub = log_pub' }
+
+(* --- communication accounting --- *)
+
+let channel_snapshot (t : t) = Channel.snapshot t.chan
+let reset_channels (t : t) =
+  Channel.reset t.chan;
+  Channel.reset t.totp_offline;
+  Channel.reset t.totp_online

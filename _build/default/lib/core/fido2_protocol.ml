@@ -1,0 +1,82 @@
+(* Split-secret FIDO2 authentication (§3.2): message formats and the
+   log-side statement check.
+
+   The client sends (dgst, ct, π, presignature index, signing round-1
+   message) in one request.  The log verifies the ZKBoo proof that ct is a
+   well-formed encryption of the relying-party identity whose hash preimage
+   also yields dgst, *before* contributing its signature share — the proof
+   of digest-preimage knowledge is also what makes ECDSA-with-presignatures
+   safe to expose as a signing oracle (Appendix A, "Zero-knowledge proof of
+   preimage"). *)
+
+module Wire = Larch_net.Wire
+module Zkboo = Larch_zkboo.Zkboo
+module Statements = Larch_circuit.Larch_statements
+
+let statement_tag = "larch-fido2-v1"
+
+type auth_request = {
+  dgst : string; (* 32B signing digest *)
+  ct_nonce : string; (* 12B record-encryption nonce *)
+  ct : string; (* 32B encrypted relying-party id *)
+  record_sig : string; (* 64B client signature over the ciphertext (§7) *)
+  proof : Zkboo.proof;
+  presig_index : int;
+  hm_msg : Larch_mpc.Spdz.halfmul_msg;
+}
+
+(* What the client proves: see [Statements.fido2_circuit]. *)
+let build_public_output ~(cm : string) (req : auth_request) : bool array =
+  Statements.fido2_public_bits ~cm ~ct:req.ct ~dgst:req.dgst ~nonce:req.ct_nonce
+
+let verify_statement ?(domains = 1) ~(cm : string) (req : auth_request) : bool =
+  let circuit = Lazy.force Statements.fido2_circuit in
+  Zkboo.verify ~domains ~circuit ~public_output:(build_public_output ~cm req) ~statement_tag
+    req.proof
+
+let encode_auth_request (r : auth_request) : string =
+  Wire.encode (fun w ->
+      Wire.bytes w r.dgst;
+      Wire.bytes w r.ct_nonce;
+      Wire.bytes w r.ct;
+      Wire.bytes w r.record_sig;
+      Wire.bytes w (Zkboo.to_bytes r.proof);
+      Wire.u32 w r.presig_index;
+      Wire.bytes w (Two_party_ecdsa.encode_halfmul_msg r.hm_msg))
+
+let decode_auth_request (s : string) : auth_request option =
+  match
+    Wire.decode s (fun rd ->
+        let dgst = Wire.read_bytes rd in
+        let ct_nonce = Wire.read_bytes rd in
+        let ct = Wire.read_bytes rd in
+        let record_sig = Wire.read_bytes rd in
+        let proof =
+          match Zkboo.of_bytes (Wire.read_bytes rd) with
+          | Some p -> p
+          | None -> raise (Wire.Malformed "proof")
+        in
+        let presig_index = Wire.read_u32 rd in
+        let hm_msg =
+          match Two_party_ecdsa.decode_halfmul_msg (Wire.read_bytes rd) with
+          | Some m -> m
+          | None -> raise (Wire.Malformed "halfmul msg")
+        in
+        { dgst; ct_nonce; ct; record_sig; proof; presig_index; hm_msg })
+  with
+  | Ok r -> Some r
+  | Error _ -> None
+
+(* Log's reply to the request: its signing round-1 message and s share,
+   then the opening exchange runs over two smaller messages. *)
+type auth_response1 = { hm_msg : Larch_mpc.Spdz.halfmul_msg; s0 : string (* 32B scalar *) }
+
+let encode_auth_response1 (r : auth_response1) : string =
+  Two_party_ecdsa.encode_halfmul_msg r.hm_msg ^ r.s0
+
+let decode_auth_response1 (s : string) : auth_response1 option =
+  if String.length s <> 96 then None
+  else
+    match Two_party_ecdsa.decode_halfmul_msg (String.sub s 0 64) with
+    | Some m -> Some { hm_msg = m; s0 = String.sub s 64 32 }
+    | None -> None

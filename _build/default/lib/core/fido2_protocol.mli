@@ -1,0 +1,34 @@
+(** Split-secret FIDO2 authentication (§3.2): message formats and the
+    log-side statement check.
+
+    The proof of digest-preimage knowledge verified here is what makes
+    ECDSA-with-presignatures safe to expose as a signing oracle (App. A):
+    the log never signs a digest whose preimage the client cannot prove
+    well-formed. *)
+
+module Wire = Larch_net.Wire
+module Zkboo = Larch_zkboo.Zkboo
+module Statements = Larch_circuit.Larch_statements
+
+val statement_tag : string
+(** Fiat–Shamir domain separator for the FIDO2 statement. *)
+
+type auth_request = {
+  dgst : string; (** the 32-byte signing digest Hash(id ‖ chal) *)
+  ct_nonce : string; (** 12-byte record-encryption nonce *)
+  ct : string; (** encrypted relying-party identity *)
+  record_sig : string; (** client's 64-byte integrity signature (§7) *)
+  proof : Zkboo.proof;
+  presig_index : int; (** index into the current presignature batch *)
+  hm_msg : Larch_mpc.Spdz.halfmul_msg; (** client's signing round-1 message *)
+}
+
+val build_public_output : cm:string -> auth_request -> bool array
+val verify_statement : ?domains:int -> cm:string -> auth_request -> bool
+
+type auth_response1 = { hm_msg : Larch_mpc.Spdz.halfmul_msg; s0 : string }
+
+val encode_auth_request : auth_request -> string
+val decode_auth_request : string -> auth_request option
+val encode_auth_response1 : auth_response1 -> string
+val decode_auth_response1 : string -> auth_response1 option

@@ -1,0 +1,467 @@
+(* The larch log service.
+
+   Holds per-client state for all three authentication methods, verifies
+   the client's proofs before contributing to any credential, stores the
+   encrypted authentication records, and serves audit downloads.  Also
+   implements the operational machinery around the core protocols:
+   presignature inventory with an objection window (§3.3), client-specific
+   policies (§9), revocation and migration (§9), and storage accounting
+   (Figure 4, left).
+
+   The log never sees a relying-party identity: FIDO2/TOTP records are
+   sha-ctr ciphertexts under the client's archive key, password records are
+   ElGamal ciphertexts under the client's archive public key, and the
+   GK15/ZKBoo proofs convince the log they are well-formed without opening
+   them. *)
+
+module Point = Larch_ec.Point
+module Scalar = Larch_ec.P256.Scalar
+module Tpe = Two_party_ecdsa
+
+type policy = {
+  max_auths_per_window : int option;
+  window_seconds : float;
+  notify : (Types.auth_method -> float -> unit) option;
+      (** §9: e.g. push a login-confirmation notification to the user's
+          phone on every authentication. *)
+}
+
+let default_policy = { max_auths_per_window = None; window_seconds = 60.; notify = None }
+
+type fido2_state = {
+  cm : string;
+  record_vk : Point.t; (* verifies the client's record-integrity signatures *)
+  key : Tpe.log_key;
+  mutable batches : Tpe.log_batch list; (* active presignature batches *)
+  mutable pending : (Tpe.log_batch * float) list; (* staged until the objection window passes *)
+  mutable signing : Tpe.party_state option; (* in-flight Π_Sign *)
+  mutable signing_record : Record.t option; (* stored once the proof verifies *)
+  mutable client_commit : Larch_mpc.Spdz.open_commit option; (* client's opening commitment *)
+}
+
+type totp_state = { cm_totp : string; mutable registrations : Totp_protocol.registration list }
+
+type pw_state = {
+  client_pub : Point.t; (* X = g^x, the ElGamal archive public key *)
+  k : Scalar.t; (* the log's per-client Diffie-Hellman secret *)
+  k_pub : Point.t;
+  mutable ids : string list; (* registration order defines the GK15 set *)
+}
+
+type client_state = {
+  account_token : string; (* hash of the user's log-account credential *)
+  mutable fido2 : fido2_state option;
+  mutable totp : totp_state option;
+  mutable pw : pw_state option;
+  mutable records : Record.t list; (* newest first *)
+  mutable policy : policy;
+  mutable recent_auths : float list;
+  mutable backup : string option; (* opaque encrypted client-state blob (§9 recovery) *)
+  mutable chain_head : string; (* hash chain over records: rollback detection (§9) *)
+  mutable chain_len : int;
+}
+
+type t = {
+  clients : (string, client_state) Hashtbl.t;
+  rand : int -> string;
+  objection_window : float; (* seconds before a staged batch activates *)
+}
+
+let create ?(objection_window = 0.) ~(rand_bytes : int -> string) () : t =
+  { clients = Hashtbl.create 16; rand = rand_bytes; objection_window }
+
+let get_client (t : t) (cid : string) : client_state =
+  match Hashtbl.find_opt t.clients cid with
+  | Some c -> c
+  | None -> Types.fail "unknown client %S" cid
+
+let check_token (c : client_state) (token : string) : unit =
+  if not (Larch_util.Bytesx.ct_equal c.account_token (Larch_hash.Sha256.digest token)) then
+    Types.fail "log-account authentication failed"
+
+(* --- enrollment --- *)
+
+let enroll (t : t) ~(client_id : string) ~(account_password : string) : unit =
+  if Hashtbl.mem t.clients client_id then Types.fail "client already enrolled";
+  Hashtbl.replace t.clients client_id
+    {
+      account_token = Larch_hash.Sha256.digest account_password;
+      fido2 = None;
+      totp = None;
+      pw = None;
+      records = [];
+      policy = default_policy;
+      recent_auths = [];
+      backup = None;
+      chain_head = Larch_hash.Sha256.digest "larch-chain-genesis";
+      chain_len = 0;
+    }
+
+let set_policy (t : t) ~(client_id : string) ~(token : string) (p : policy) : unit =
+  let c = get_client t client_id in
+  check_token c token;
+  c.policy <- p
+
+let enforce_policy (c : client_state) ~(method_ : Types.auth_method) ~(now : float) : unit =
+  (match c.policy.max_auths_per_window with
+  | None -> ()
+  | Some limit ->
+      let window_start = now -. c.policy.window_seconds in
+      let recent = List.filter (fun ts -> ts >= window_start) c.recent_auths in
+      c.recent_auths <- recent;
+      if List.length recent >= limit then Types.fail "policy: rate limit exceeded");
+  c.recent_auths <- now :: c.recent_auths;
+  match c.policy.notify with None -> () | Some f -> f method_ now
+
+(* Every stored record extends a per-client hash chain; audits return the
+   head so a client that remembers the last head it saw can detect a log
+   that rolls back or rewrites history (§9 "Multiple devices" / fork
+   consistency). *)
+let append_record (c : client_state) (r : Record.t) : unit =
+  c.records <- r :: c.records;
+  c.chain_head <- Larch_hash.Sha256.digest_list [ "larch-chain"; c.chain_head; Record.encode r ];
+  c.chain_len <- c.chain_len + 1
+
+(* FIDO2 enrollment: archive-key commitment, record-integrity key, the
+   log's signing-key share, and the first presignature batch. *)
+let enroll_fido2 (t : t) ~(client_id : string) ~(cm : string) ~(record_vk : Point.t)
+    ~(batch : Tpe.log_batch) : Point.t =
+  let c = get_client t client_id in
+  if c.fido2 <> None then Types.fail "fido2 already enrolled";
+  let key = Tpe.log_keygen ~rand_bytes:t.rand in
+  c.fido2 <-
+    Some
+      {
+        cm;
+        record_vk;
+        key;
+        batches = [ batch ];
+        pending = [];
+        signing = None;
+        signing_record = None;
+        client_commit = None;
+      };
+  key.Tpe.x_pub
+
+let enroll_totp (t : t) ~(client_id : string) ~(cm : string) : unit =
+  let c = get_client t client_id in
+  if c.totp <> None then Types.fail "totp already enrolled";
+  c.totp <- Some { cm_totp = cm; registrations = [] }
+
+let enroll_password (t : t) ~(client_id : string) ~(client_pub : Point.t) : Point.t =
+  let c = get_client t client_id in
+  if c.pw <> None then Types.fail "password already enrolled";
+  let k, k_pub = Password_protocol.log_gen ~rand_bytes:t.rand in
+  c.pw <- Some { client_pub; k; k_pub; ids = [] };
+  k_pub
+
+(* Multi-log deployments (§6): the client, trusted at enrollment, deals
+   this log a Shamir share of the joint Diffie-Hellman key. *)
+let enroll_password_share (t : t) ~(client_id : string) ~(client_pub : Point.t)
+    ~(k_share : Scalar.t) : Point.t =
+  let c = get_client t client_id in
+  if c.pw <> None then Types.fail "password already enrolled";
+  let k_pub = Point.mul_base k_share in
+  c.pw <- Some { client_pub; k = k_share; k_pub; ids = [] };
+  k_pub
+
+(* --- presignature inventory (§3.3) --- *)
+
+let fido2_state (c : client_state) : fido2_state =
+  match c.fido2 with Some f -> f | None -> Types.fail "fido2 not enrolled"
+
+let presignatures_remaining (t : t) ~(client_id : string) : int =
+  let f = fido2_state (get_client t client_id) in
+  List.fold_left (fun acc b -> acc + Tpe.log_batch_remaining b) 0 f.batches
+
+(* A new batch is staged; it only becomes usable once the objection window
+   has elapsed without the account owner objecting. *)
+let stage_presignatures (t : t) ~(client_id : string) ~(batch : Tpe.log_batch) ~(now : float) :
+    unit =
+  let f = fido2_state (get_client t client_id) in
+  f.pending <- f.pending @ [ (batch, now +. t.objection_window) ]
+
+let activate_pending (t : t) ~(client_id : string) ~(now : float) : int =
+  let f = fido2_state (get_client t client_id) in
+  let ready, waiting = List.partition (fun (_, at) -> at <= now) f.pending in
+  f.pending <- waiting;
+  f.batches <- f.batches @ List.map fst ready;
+  List.length ready
+
+(* The enrolled user (authenticated with her log-account credential)
+   disavows staged presignatures — e.g. after noticing, via audit, a batch
+   she never generated. *)
+let object_to_pending (t : t) ~(client_id : string) ~(token : string) : int =
+  let c = get_client t client_id in
+  check_token c token;
+  let f = fido2_state c in
+  let n = List.length f.pending in
+  f.pending <- [];
+  n
+
+(* Audit view of staged batches, so an honest client can detect
+   attacker-generated presignatures during the objection window. *)
+let pending_batches (t : t) ~(client_id : string) : (int * float) list =
+  let f = fido2_state (get_client t client_id) in
+  List.map (fun (b, at) -> (Array.length b.Tpe.entries, at)) f.pending
+
+(* --- FIDO2 authentication --- *)
+
+(* Round 1: check policy, verify the ZKBoo statement, verify the record
+   signature, consume the presignature, store the encrypted record, and
+   answer with the log's signing message and s-share. *)
+let fido2_auth_begin ?(domains = 1) (t : t) ~(client_id : string) ~(ip : string) ~(now : float)
+    (req : Fido2_protocol.auth_request) : Fido2_protocol.auth_response1 =
+  let c = get_client t client_id in
+  let f = fido2_state c in
+  enforce_policy c ~method_:Types.Fido2 ~now;
+  if f.signing <> None then Types.fail "signing already in progress";
+  (* the §7 integrity optimization: ciphertext signed outside the proof *)
+  (match Larch_ec.Ecdsa.decode req.Fido2_protocol.record_sig with
+  | Some sg ->
+      if not (Larch_ec.Ecdsa.verify ~pk:f.record_vk (req.Fido2_protocol.ct_nonce ^ req.Fido2_protocol.ct) sg)
+      then Types.fail "record signature invalid"
+  | None -> Types.fail "record signature malformed");
+  if not (Fido2_protocol.verify_statement ~domains ~cm:f.cm req) then
+    Types.fail "zero-knowledge proof rejected";
+  (* single-use presignature discipline: indices are consumed in order *)
+  let batch =
+    match List.find_opt (fun b -> Tpe.log_batch_remaining b > 0) f.batches with
+    | Some b -> b
+    | None -> Types.fail "out of presignatures"
+  in
+  if req.Fido2_protocol.presig_index <> batch.Tpe.next then
+    Types.fail "presignature index mismatch (expected %d, got %d)" batch.Tpe.next
+      req.Fido2_protocol.presig_index;
+  let idx = batch.Tpe.next in
+  batch.Tpe.next <- idx + 1;
+  (* the record is stored *before* the log releases any signing material *)
+  f.signing_record <-
+    Some
+      {
+        Record.time = now;
+        ip;
+        method_ = Types.Fido2;
+        payload =
+          Record.Symmetric
+            {
+              nonce = req.Fido2_protocol.ct_nonce;
+              ct = req.Fido2_protocol.ct;
+              signature = req.Fido2_protocol.record_sig;
+            };
+      };
+  let inp = Tpe.halfmul_input_of_log batch idx ~sk0:f.key.Tpe.x in
+  let st =
+    Tpe.init_party ~party:0 ~inp ~cap_r:batch.Tpe.entries.(idx).Tpe.cap_r
+      ~digest:req.Fido2_protocol.dgst
+  in
+  f.signing <- Some st;
+  let own = Tpe.round1 st in
+  let s0 = Tpe.round2 st ~own ~other:req.Fido2_protocol.hm_msg in
+  { Fido2_protocol.hm_msg = own; s0 = Scalar.to_bytes_be s0 }
+
+(* Round 2: receive the client's s-share and opening commitment; commit the
+   record and return the log's commitment and reveal. *)
+let fido2_auth_commit (t : t) ~(client_id : string) ~(s1 : Scalar.t)
+    ~(client_commit : Larch_mpc.Spdz.open_commit) :
+    Larch_mpc.Spdz.open_commit * Larch_mpc.Spdz.open_reveal =
+  let c = get_client t client_id in
+  let f = fido2_state c in
+  let st = match f.signing with Some s -> s | None -> Types.fail "no signing in progress" in
+  f.client_commit <- Some client_commit;
+  (match f.signing_record with
+  | Some r -> append_record c r
+  | None -> Types.fail "no pending record");
+  f.signing_record <- None;
+  let commit = Tpe.open_commit st ~other_s:s1 ~rand_bytes:t.rand in
+  (commit, Tpe.open_reveal st)
+
+(* Round 3: the client's reveal; the log checks the MACs.  On failure the
+   stored record remains (an attack trace) and the error is surfaced. *)
+let fido2_auth_finish (t : t) ~(client_id : string)
+    ~(client_reveal : Larch_mpc.Spdz.open_reveal) : bool =
+  let c = get_client t client_id in
+  let f = fido2_state c in
+  let st = match f.signing with Some s -> s | None -> Types.fail "no signing in progress" in
+  let commit =
+    match f.client_commit with Some c -> c | None -> Types.fail "no client commitment"
+  in
+  f.signing <- None;
+  f.client_commit <- None;
+  Tpe.open_check st ~other_commit:commit ~other_reveal:client_reveal
+
+(* --- TOTP --- *)
+
+let totp_state (c : client_state) : totp_state =
+  match c.totp with Some s -> s | None -> Types.fail "totp not enrolled"
+
+let totp_register (t : t) ~(client_id : string) (reg : Totp_protocol.registration) : unit =
+  let c = get_client t client_id in
+  let s = totp_state c in
+  if List.exists (fun r -> r.Totp_protocol.id = reg.Totp_protocol.id) s.registrations then
+    Types.fail "duplicate totp registration id";
+  s.registrations <- s.registrations @ [ reg ]
+
+let totp_unregister (t : t) ~(client_id : string) ~(token : string) ~(id : string) : bool =
+  (* §4: clients can delete unused registrations to speed up the 2PC *)
+  let c = get_client t client_id in
+  check_token c token;
+  let s = totp_state c in
+  let before = List.length s.registrations in
+  s.registrations <- List.filter (fun r -> r.Totp_protocol.id <> id) s.registrations;
+  List.length s.registrations < before
+
+let totp_registration_count (t : t) ~(client_id : string) : int =
+  List.length (totp_state (get_client t client_id)).registrations
+
+(* Execute the joint 2PC.  The closure receives the log's private inputs
+   and runs the Yao protocol; the log stores the record iff the circuit's
+   validity bit is set. *)
+let totp_auth (t : t) ~(client_id : string) ~(ip : string) ~(now : float) ~(enc_nonce : string)
+    ~(run :
+       cm:string ->
+       registrations:(string * string) list ->
+       rand_log:(int -> string) ->
+       Totp_protocol.outcome) : Totp_protocol.outcome =
+  let c = get_client t client_id in
+  let s = totp_state c in
+  enforce_policy c ~method_:Types.Totp ~now;
+  let regs = List.map (fun r -> (r.Totp_protocol.id, r.Totp_protocol.klog)) s.registrations in
+  (* the commitment baked into the circuit is the one the log recorded at
+     enrollment — a client cannot substitute a commitment to a different
+     archive key *)
+  let outcome = run ~cm:s.cm_totp ~registrations:regs ~rand_log:t.rand in
+  if not outcome.Totp_protocol.ok then Types.fail "totp 2pc validity bit is 0";
+  append_record c
+    {
+      Record.time = now;
+      ip;
+      method_ = Types.Totp;
+      (* the Yao execution already binds the ciphertext, so the 64B
+         integrity-signature slot is zero-filled but still accounted, as in
+         the paper's 88B TOTP record *)
+      payload =
+        Record.Symmetric
+          { nonce = enc_nonce; ct = outcome.Totp_protocol.ct; signature = String.make 64 '\000' };
+    };
+  outcome
+
+(* --- passwords --- *)
+
+let pw_state (c : client_state) : pw_state =
+  match c.pw with Some s -> s | None -> Types.fail "password not enrolled"
+
+let pw_register (t : t) ~(client_id : string) ~(id : string) : Point.t =
+  let c = get_client t client_id in
+  let s = pw_state c in
+  if List.mem id s.ids then Types.fail "duplicate password registration id";
+  s.ids <- s.ids @ [ id ];
+  Password_protocol.log_register ~log_sk:s.k ~id
+
+let pw_registered_ids (t : t) ~(client_id : string) : string list =
+  (pw_state (get_client t client_id)).ids
+
+(* Verify the one-out-of-many proofs, store the ElGamal record, reply with
+   c₂^k (and a DLEQ proof that the right k was used). *)
+let pw_auth (t : t) ~(client_id : string) ~(ip : string) ~(now : float)
+    (req : Password_protocol.auth_request) : Point.t * Larch_sigma.Dleq.proof =
+  let c = get_client t client_id in
+  let s = pw_state c in
+  enforce_policy c ~method_:Types.Password ~now;
+  match
+    Password_protocol.log_auth ~log_sk:s.k ~client_pub:s.client_pub ~ids:s.ids req
+  with
+  | None -> Types.fail "one-out-of-many proof rejected"
+  | Some y ->
+      append_record c
+        {
+          Record.time = now;
+          ip;
+          method_ = Types.Password;
+          payload = Record.Elgamal req.Password_protocol.ct;
+        };
+      let proof =
+        Larch_sigma.Dleq.prove ~base1:Point.g ~base2:req.Password_protocol.ct.Larch_ec.Elgamal.c2
+          ~secret:s.k ~tag:"larch-pw-log" ~rand_bytes:t.rand
+      in
+      (y, proof)
+
+(* --- auditing, revocation, migration --- *)
+
+let audit (t : t) ~(client_id : string) ~(token : string) : Record.t list =
+  let c = get_client t client_id in
+  check_token c token;
+  List.rev c.records
+
+(* Audit with the hash-chain head, for rollback detection. *)
+let audit_with_head (t : t) ~(client_id : string) ~(token : string) :
+    Record.t list * string * int =
+  let c = get_client t client_id in
+  check_token c token;
+  (List.rev c.records, c.chain_head, c.chain_len)
+
+(* §9 limitation mitigation: drop or re-encrypt old records. *)
+let prune_records (t : t) ~(client_id : string) ~(token : string) ~(older_than : float) : int =
+  let c = get_client t client_id in
+  check_token c token;
+  let keep, drop = List.partition (fun r -> r.Record.time >= older_than) c.records in
+  c.records <- keep;
+  (* user-authorized truncation restarts the hash chain so future audits
+     verify against the pruned history *)
+  c.chain_head <- Larch_hash.Sha256.digest "larch-chain-genesis";
+  c.chain_len <- 0;
+  List.iter (fun r ->
+      c.chain_head <- Larch_hash.Sha256.digest_list [ "larch-chain"; c.chain_head; Record.encode r ];
+      c.chain_len <- c.chain_len + 1)
+    (List.rev keep);
+  List.length drop
+
+(* Revocation: delete the log-side shares so a lost device's secrets are
+   useless (§9 "Revocation and migration"). *)
+let revoke_all (t : t) ~(client_id : string) ~(token : string) : unit =
+  let c = get_client t client_id in
+  check_token c token;
+  c.fido2 <- None;
+  c.totp <- None;
+  c.pw <- None
+
+(* Migration: shift the log's FIDO2 key share by δ; combined with the
+   client shifting every per-party share by -δ, public keys are unchanged
+   while the old device's shares become useless. *)
+let migrate_fido2 (t : t) ~(client_id : string) ~(token : string) ~(delta : Scalar.t) : unit =
+  let c = get_client t client_id in
+  check_token c token;
+  let f = fido2_state c in
+  let x' = Scalar.add f.key.Tpe.x delta in
+  c.fido2 <- Some { f with key = { Tpe.x = x'; x_pub = Point.mul_base x' } }
+
+(* --- encrypted state backups (§9 "Account recovery") --- *)
+
+(* The blob is opaque authenticated ciphertext under a password-derived
+   key; the log learns nothing from storing it. *)
+let store_backup (t : t) ~(client_id : string) (blob : string) : unit =
+  (get_client t client_id).backup <- Some blob
+
+(* Fetching the backup is the one operation that must NOT require the
+   account token through the normal channel: the user has lost her devices.
+   The blob is self-protecting (wrong passwords fail its MAC), so handing
+   it out reveals nothing; a production log would still rate-limit. *)
+let fetch_backup (t : t) ~(client_id : string) : string option =
+  (get_client t client_id).backup
+
+(* --- storage accounting (Figure 4, left) --- *)
+
+type storage = { presig_bytes : int; record_bytes : int }
+
+let storage (t : t) ~(client_id : string) : storage =
+  let c = get_client t client_id in
+  let presig_bytes =
+    match c.fido2 with
+    | None -> 0
+    | Some f ->
+        List.fold_left
+          (fun acc b -> acc + 16 + (Tpe.log_batch_remaining b * Tpe.log_presig_bytes))
+          0 (f.batches @ List.map fst f.pending)
+  in
+  let record_bytes = List.fold_left (fun acc r -> acc + Record.storage_bytes r) 0 c.records in
+  { presig_bytes; record_bytes }

@@ -1,0 +1,210 @@
+(** The larch log service.
+
+    Stores per-client state for all three authentication methods, verifies
+    the client's proofs before contributing to any credential, records every
+    authentication as a ciphertext it cannot read, and serves audit
+    downloads.  Sensitive operations (audit, revocation, objections, policy
+    changes) require the user's log-account credential (§2.1).
+
+    State types are exposed for the test suite, which exercises malicious
+    behaviour on both sides of every protocol. *)
+
+module Point = Larch_ec.Point
+module Scalar = Larch_ec.P256.Scalar
+module Tpe = Two_party_ecdsa
+
+(** Client-specific authentication policy (§9 "Enforcing client-specific
+    policies"): optional rate limit per time window and an optional
+    notification hook invoked on every authentication. *)
+type policy = {
+  max_auths_per_window : int option;
+  window_seconds : float;
+  notify : (Types.auth_method -> float -> unit) option;
+}
+
+val default_policy : policy
+
+(** Log-side FIDO2 state: the archive-key commitment from enrollment, the
+    client's record-integrity verification key, the log's long-term signing
+    share, active and objection-staged presignature batches, and the
+    in-flight signing session. *)
+type fido2_state = {
+  cm : string;
+  record_vk : Point.t;
+  key : Tpe.log_key;
+  mutable batches : Tpe.log_batch list;
+  mutable pending : (Tpe.log_batch * float) list;
+  mutable signing : Tpe.party_state option;
+  mutable signing_record : Record.t option;
+  mutable client_commit : Larch_mpc.Spdz.open_commit option;
+}
+
+type totp_state = { cm_totp : string; mutable registrations : Totp_protocol.registration list }
+
+type pw_state = {
+  client_pub : Point.t; (** the client's ElGamal archive public key X *)
+  k : Scalar.t; (** the log's per-client Diffie-Hellman secret *)
+  k_pub : Point.t;
+  mutable ids : string list; (** registration order = the GK15 statement set *)
+}
+
+type client_state = {
+  account_token : string;
+  mutable fido2 : fido2_state option;
+  mutable totp : totp_state option;
+  mutable pw : pw_state option;
+  mutable records : Record.t list; (** newest first *)
+  mutable policy : policy;
+  mutable recent_auths : float list;
+  mutable backup : string option; (** opaque encrypted client-state blob (§9) *)
+  mutable chain_head : string; (** hash chain over records (rollback detection) *)
+  mutable chain_len : int;
+}
+
+type t = {
+  clients : (string, client_state) Hashtbl.t;
+  rand : int -> string;
+  objection_window : float; (** seconds before staged presignatures activate *)
+}
+
+val create : ?objection_window:float -> rand_bytes:(int -> string) -> unit -> t
+
+(** {1 Enrollment} *)
+
+val enroll : t -> client_id:string -> account_password:string -> unit
+val set_policy : t -> client_id:string -> token:string -> policy -> unit
+
+val enroll_fido2 :
+  t -> client_id:string -> cm:string -> record_vk:Point.t -> batch:Tpe.log_batch -> Point.t
+(** Returns the log's signing public key X, from which the client derives
+    per-relying-party keys. *)
+
+val enroll_totp : t -> client_id:string -> cm:string -> unit
+
+val enroll_password : t -> client_id:string -> client_pub:Point.t -> Point.t
+(** Returns the log's Diffie-Hellman public key K = g^k. *)
+
+val enroll_password_share :
+  t -> client_id:string -> client_pub:Point.t -> k_share:Scalar.t -> Point.t
+(** Multi-log variant (§6): enroll with a dealt Shamir share of the joint
+    key instead of a locally sampled one. *)
+
+(** {1 Presignature inventory (§3.3)} *)
+
+val presignatures_remaining : t -> client_id:string -> int
+val stage_presignatures : t -> client_id:string -> batch:Tpe.log_batch -> now:float -> unit
+
+val activate_pending : t -> client_id:string -> now:float -> int
+(** Promote staged batches whose objection window has elapsed; returns how
+    many were activated. *)
+
+val object_to_pending : t -> client_id:string -> token:string -> int
+(** The account owner disavows all staged batches. *)
+
+val pending_batches : t -> client_id:string -> (int * float) list
+(** Audit view: (size, activation time) of each staged batch. *)
+
+(** {1 FIDO2 authentication (three rounds)} *)
+
+val fido2_auth_begin :
+  ?domains:int ->
+  t ->
+  client_id:string ->
+  ip:string ->
+  now:float ->
+  Fido2_protocol.auth_request ->
+  Fido2_protocol.auth_response1
+(** Round 1: enforce policy, verify the record signature and the ZKBoo
+    statement, consume the next presignature, stage the encrypted record,
+    and answer with the log's signing message and s-share.
+    @raise Types.Protocol_error on any check failure *)
+
+val fido2_auth_commit :
+  t ->
+  client_id:string ->
+  s1:Scalar.t ->
+  client_commit:Larch_mpc.Spdz.open_commit ->
+  Larch_mpc.Spdz.open_commit * Larch_mpc.Spdz.open_reveal
+(** Round 2: persist the record, exchange MAC-check commitments. *)
+
+val fido2_auth_finish :
+  t -> client_id:string -> client_reveal:Larch_mpc.Spdz.open_reveal -> bool
+(** Round 3: check the client's MAC opening; [false] flags a cheating
+    client (the stored record remains as an attack trace). *)
+
+(** {1 TOTP} *)
+
+val totp_register : t -> client_id:string -> Totp_protocol.registration -> unit
+val totp_unregister : t -> client_id:string -> token:string -> id:string -> bool
+val totp_registration_count : t -> client_id:string -> int
+
+val totp_auth :
+  t ->
+  client_id:string ->
+  ip:string ->
+  now:float ->
+  enc_nonce:string ->
+  run:
+    (cm:string ->
+    registrations:(string * string) list ->
+    rand_log:(int -> string) ->
+    Totp_protocol.outcome) ->
+  Totp_protocol.outcome
+(** Execute the joint 2PC: the [run] closure receives the log's private
+    inputs (its stored commitment and key shares) and returns the Yao
+    outcome; the record is stored iff the circuit's validity bit is set.
+    @raise Types.Protocol_error if the validity bit is 0 *)
+
+(** {1 Passwords} *)
+
+val pw_register : t -> client_id:string -> id:string -> Point.t
+(** Store the identifier, reply with Hash(id)^k. *)
+
+val pw_registered_ids : t -> client_id:string -> string list
+
+val pw_auth :
+  t ->
+  client_id:string ->
+  ip:string ->
+  now:float ->
+  Password_protocol.auth_request ->
+  Point.t * Larch_sigma.Dleq.proof
+(** Verify both one-out-of-many proofs, store the ElGamal record, reply
+    with c₂^k plus a DLEQ proof of correct exponentiation.
+    @raise Types.Protocol_error if either proof fails *)
+
+(** {1 Auditing, revocation, migration} *)
+
+val audit : t -> client_id:string -> token:string -> Record.t list
+
+val audit_with_head : t -> client_id:string -> token:string -> Record.t list * string * int
+(** Audit plus the per-client hash-chain head and length; a client that
+    remembers the last head it verified can detect history rollback or
+    rewriting (§9 fork-consistency discussion). *)
+
+val prune_records : t -> client_id:string -> token:string -> older_than:float -> int
+val revoke_all : t -> client_id:string -> token:string -> unit
+val migrate_fido2 : t -> client_id:string -> token:string -> delta:Scalar.t -> unit
+
+(** {1 Encrypted state backups (§9 account recovery)} *)
+
+val store_backup : t -> client_id:string -> string -> unit
+
+val fetch_backup : t -> client_id:string -> string option
+(** No account token needed: the blob is self-protecting authenticated
+    ciphertext, and the requester has by definition lost her devices. *)
+
+(** {1 Storage accounting (Figure 4, left)} *)
+
+type storage = { presig_bytes : int; record_bytes : int }
+
+val storage : t -> client_id:string -> storage
+
+(**/**)
+
+val get_client : t -> string -> client_state
+val check_token : client_state -> string -> unit
+val enforce_policy : client_state -> method_:Types.auth_method -> now:float -> unit
+val fido2_state : client_state -> fido2_state
+val totp_state : client_state -> totp_state
+val pw_state : client_state -> pw_state

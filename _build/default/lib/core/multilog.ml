@@ -1,0 +1,172 @@
+(* Splitting trust across multiple log services (§6).
+
+   The user enrolls with n logs and picks a threshold t: authentication
+   succeeds whenever t logs are online, and auditing is complete whenever
+   n − t + 1 logs are reachable (any t-subset that served an authentication
+   intersects any (n−t+1)-subset).
+
+   Implemented in full for passwords: the client (trusted at enrollment)
+   deals Shamir shares k_i of the joint key k to the logs; per
+   authentication it collects y_i = c₂^(k_i) from any t logs and
+   recombines c₂^k in the exponent with Lagrange coefficients.  Every
+   participating log verifies the same one-out-of-many proofs and stores
+   the same encrypted record.
+
+   FIDO2/TOTP generalize the same way via threshold ECDSA / multi-party GC
+   (the paper defers to existing protocols [24, 80, 13]); this module
+   exposes the password deployment plus the availability/audit quorum
+   machinery shared by all methods. *)
+
+module Point = Larch_ec.Point
+module Scalar = Larch_ec.P256.Scalar
+module Shamir = Larch_mpc.Shamir
+
+type t = {
+  logs : Log_service.t array;
+  threshold : int;
+  online : bool array;
+  rand : int -> string;
+}
+
+let create ~(n : int) ~(threshold : int) ~(rand_bytes : int -> string) : t =
+  if threshold < 1 || threshold > n then invalid_arg "Multilog.create: bad threshold";
+  {
+    logs = Array.init n (fun _ -> Log_service.create ~rand_bytes ());
+    threshold;
+    online = Array.make n true;
+    rand = rand_bytes;
+  }
+
+let n_logs (t : t) = Array.length t.logs
+let set_online (t : t) (i : int) (up : bool) = t.online.(i) <- up
+let online_indices (t : t) : int list =
+  List.filter (fun i -> t.online.(i)) (List.init (n_logs t) (fun i -> i))
+
+type client = {
+  client_id : string;
+  account_password : string;
+  x : Scalar.t; (* ElGamal archive key *)
+  x_pub : Point.t;
+  k_pub : Point.t; (* K = g^k for the joint key *)
+  mutable ids : string list;
+  creds : (string, string * Point.t) Hashtbl.t; (* rp -> (id, k_id) *)
+  names : (string, string) Hashtbl.t; (* Point.encode Hash(id) -> rp *)
+}
+
+(* Enrollment requires all n logs (one-time). *)
+let enroll (t : t) ~(client_id : string) ~(account_password : string) : client =
+  let x, x_pub = Password_protocol.client_gen ~rand_bytes:t.rand in
+  let k = Scalar.random_nonzero ~rand_bytes:t.rand in
+  let shares = Shamir.split ~threshold:t.threshold ~n:(n_logs t) k ~rand_bytes:t.rand in
+  List.iteri
+    (fun i share ->
+      Log_service.enroll t.logs.(i) ~client_id ~account_password;
+      ignore
+        (Log_service.enroll_password_share t.logs.(i) ~client_id ~client_pub:x_pub
+           ~k_share:share.Shamir.value))
+    shares;
+  (* the client deletes k after dealing the shares *)
+  {
+    client_id;
+    account_password;
+    x;
+    x_pub;
+    k_pub = Point.mul_base k;
+    ids = [];
+    creds = Hashtbl.create 8;
+    names = Hashtbl.create 8;
+  }
+
+(* Registration goes to every log so their identifier sets stay aligned;
+   the client recombines Hash(id)^k from the first t responses. *)
+let register (t : t) (c : client) ~(rp_name : string) : string =
+  if Hashtbl.mem c.creds rp_name then Types.fail "already registered: %s" rp_name;
+  let online = online_indices t in
+  if List.length online < n_logs t then Types.fail "registration requires all logs online";
+  let id = t.rand Password_protocol.id_len in
+  (* every log stores the id and replies with Hash(id)^(k_i) *)
+  let ys = Array.map (fun log -> Log_service.pw_register log ~client_id:c.client_id ~id) t.logs in
+  let idxs = List.init t.threshold (fun i -> i + 1) in
+  let h_id_k =
+    List.fold_left
+      (fun acc i ->
+        Point.add acc (Point.mul (Shamir.lagrange_coefficient ~at:i idxs) ys.(i - 1)))
+      Point.infinity idxs
+  in
+  let k_id = Point.mul_base (Scalar.random_nonzero ~rand_bytes:t.rand) in
+  c.ids <- c.ids @ [ id ];
+  Hashtbl.replace c.creds rp_name (id, k_id);
+  Hashtbl.replace c.names (Point.encode (Larch_ec.Hash_to_curve.hash id)) rp_name;
+  Password_protocol.password_string (Password_protocol.finish_register ~k_id ~y:h_id_k)
+
+exception Unavailable of string
+
+(* Authentication against any t online logs. *)
+let authenticate (t : t) (c : client) ~(rp_name : string) ~(now : float) : string =
+  let id, k_id =
+    match Hashtbl.find_opt c.creds rp_name with
+    | Some v -> v
+    | None -> Types.fail "not registered: %s" rp_name
+  in
+  let online = online_indices t in
+  if List.length online < t.threshold then
+    raise (Unavailable (Printf.sprintf "only %d of %d required logs online" (List.length online) t.threshold));
+  let chosen = List.filteri (fun i _ -> i < t.threshold) online in
+  let idx =
+    match List.find_index (fun i -> i = id) c.ids with
+    | Some i -> i
+    | None -> Types.fail "identifier missing"
+  in
+  let r, req = Password_protocol.client_auth ~idx ~x:c.x ~ids:c.ids ~rand_bytes:t.rand in
+  let shares =
+    List.map
+      (fun i ->
+        let y, _dleq =
+          Log_service.pw_auth t.logs.(i) ~client_id:c.client_id ~ip:"multilog" ~now req
+        in
+        (i + 1, y))
+      chosen
+  in
+  let lag_idxs = List.map fst shares in
+  let y_combined =
+    List.fold_left
+      (fun acc (i, y) -> Point.add acc (Point.mul (Shamir.lagrange_coefficient ~at:i lag_idxs) y))
+      Point.infinity shares
+  in
+  let pw =
+    Password_protocol.finish_auth ~x:c.x ~log_pub:c.k_pub ~r ~k_id ~y:y_combined
+  in
+  Password_protocol.password_string pw
+
+(* Audit: union of the records of all reachable logs, deduplicated by
+   ciphertext.  Returns the entries plus whether coverage is guaranteed
+   complete (>= n - t + 1 logs reachable). *)
+type audit_result = { entries : (float * string option) list; complete : bool }
+
+let audit (t : t) (c : client) : audit_result =
+  let online = online_indices t in
+  let seen = Hashtbl.create 64 in
+  let entries = ref [] in
+  List.iter
+    (fun i ->
+      let records =
+        Log_service.audit t.logs.(i) ~client_id:c.client_id ~token:c.account_password
+      in
+      List.iter
+        (fun (r : Record.t) ->
+          match r.Record.payload with
+          | Record.Elgamal ct ->
+              let key = Larch_ec.Elgamal.encode ct in
+              if not (Hashtbl.mem seen key) then begin
+                Hashtbl.replace seen key ();
+                let h = Password_protocol.decrypt_record ~x:c.x ct in
+                entries :=
+                  (r.Record.time, Hashtbl.find_opt c.names (Point.encode h)) :: !entries
+              end
+          | Record.Symmetric _ -> ())
+        records)
+    online;
+  {
+    entries = List.rev !entries;
+    complete = List.length online >= n_logs t - t.threshold + 1;
+  }

@@ -1,0 +1,61 @@
+(** Splitting trust across multiple log services (§6).
+
+    Enroll with n logs, authenticate with any t, audit completely with any
+    n − t + 1.  Fully implemented for passwords via Shamir sharing of the
+    log-side Diffie-Hellman key with recombination in the exponent; FIDO2
+    and TOTP generalize via threshold ECDSA / multi-party GC (the paper
+    defers to existing protocols). *)
+
+module Point = Larch_ec.Point
+module Scalar = Larch_ec.P256.Scalar
+module Shamir = Larch_mpc.Shamir
+
+type t = {
+  logs : Log_service.t array;
+  threshold : int;
+  online : bool array;
+  rand : int -> string;
+}
+
+val create : n:int -> threshold:int -> rand_bytes:(int -> string) -> t
+val n_logs : t -> int
+
+val set_online : t -> int -> bool -> unit
+(** Availability simulation: mark log [i] up or down. *)
+
+val online_indices : t -> int list
+
+(** Client-side multi-log password state. *)
+type client = {
+  client_id : string;
+  account_password : string;
+  x : Scalar.t;
+  x_pub : Point.t;
+  k_pub : Point.t; (** K = g^k for the joint (dealt) key *)
+  mutable ids : string list;
+  creds : (string, string * Point.t) Hashtbl.t;
+  names : (string, string) Hashtbl.t;
+}
+
+val enroll : t -> client_id:string -> account_password:string -> client
+(** One-time enrollment with all n logs; the client deals Shamir shares of
+    the joint key and deletes it. *)
+
+val register : t -> client -> rp_name:string -> string
+(** Register at every log (so identifier sets stay aligned); returns the
+    password for the relying party. *)
+
+exception Unavailable of string
+
+val authenticate : t -> client -> rp_name:string -> now:float -> string
+(** Authenticate against any t online logs; each verifies the GK15 proofs
+    and stores the record.
+    @raise Unavailable when fewer than t logs are up *)
+
+type audit_result = {
+  entries : (float * string option) list;
+  complete : bool; (** guaranteed-complete iff ≥ n − t + 1 logs reachable *)
+}
+
+val audit : t -> client -> audit_result
+(** Union of reachable logs' records, deduplicated by ciphertext. *)

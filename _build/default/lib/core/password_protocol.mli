@@ -1,0 +1,84 @@
+(** Larch_PW: split-secret authentication for passwords (§5, Appendix C).
+
+    The password for relying party id is pw = k_id · Hash(id)^k ∈ G: k_id
+    is a per-party client secret, k the log's per-client Diffie-Hellman
+    key.  Authentication sends an ElGamal encryption of Hash(id) under the
+    client's archive key plus two {!Larch_sigma.Gk15} proofs that it
+    encrypts a registered identifier; the ciphertext is the log record.
+
+    These are the pure algorithms of Figure 11; state and routing live in
+    {!Client} and {!Log_service}. *)
+
+module Point = Larch_ec.Point
+module Scalar = Larch_ec.P256.Scalar
+module Gk15 = Larch_sigma.Gk15
+module Pedersen = Larch_sigma.Pedersen
+module Wire = Larch_net.Wire
+
+val id_len : int
+(** Registration identifiers are 128-bit random strings. *)
+
+(** {1 Enrollment / registration (Figure 11)} *)
+
+val client_gen : rand_bytes:(int -> string) -> Scalar.t * Point.t
+(** The client's ElGamal archive keypair (x, X). *)
+
+val log_gen : rand_bytes:(int -> string) -> Scalar.t * Point.t
+(** The log's Diffie-Hellman keypair (k, K). *)
+
+val client_register : rand_bytes:(int -> string) -> string * Point.t
+(** Fresh (id, k_id). *)
+
+val log_register : log_sk:Scalar.t -> id:string -> Point.t
+(** Hash(id)^k. *)
+
+val finish_register : k_id:Point.t -> y:Point.t -> Point.t
+(** The password group element k_id · Hash(id)^k. *)
+
+val import_legacy : pw:Point.t -> y:Point.t -> Point.t
+(** k_id for an existing password embedding: pw · (Hash(id)^k)⁻¹. *)
+
+(** {1 Password ↔ group element} *)
+
+val max_legacy_len : int
+
+val embed_password : string -> Point.t
+(** Invertible Koblitz-style embedding of a short password (≤ 28 bytes).
+    @raise Invalid_argument if too long *)
+
+val extract_password : Point.t -> string option
+(** Inverse of {!embed_password}; [None] for non-embedded points. *)
+
+val password_string : Point.t -> string
+(** The secret typed at the relying party: the legacy string when the point
+    is an embedding, otherwise a derived high-entropy password. *)
+
+(** {1 Authentication} *)
+
+type auth_request = {
+  ct : Larch_ec.Elgamal.ciphertext; (** (g^r, Hash(id)·X^r): the log record *)
+  pi1 : Gk15.proof; (** some hᵢ = X^r *)
+  pi2 : Gk15.proof; (** the same hᵢ = c₁^x *)
+}
+
+val commitment_set : c2:Point.t -> ids:string list -> Point.t array
+(** hᵢ = c₂ / Hash(idᵢ), shared by prover and verifier. *)
+
+val client_auth :
+  idx:int -> x:Scalar.t -> ids:string list -> rand_bytes:(int -> string) -> Scalar.t * auth_request
+(** Returns the encryption randomness r (needed by {!finish_auth}) and the
+    request. *)
+
+val log_auth :
+  log_sk:Scalar.t -> client_pub:Point.t -> ids:string list -> auth_request -> Point.t option
+(** Verify both proofs; on success return c₂^k, else [None]. *)
+
+val finish_auth :
+  x:Scalar.t -> log_pub:Point.t -> r:Scalar.t -> k_id:Point.t -> y:Point.t -> Point.t
+(** pw = k_id · y · K^(−x·r). *)
+
+(** {1 Auditing / wire} *)
+
+val decrypt_record : x:Scalar.t -> Larch_ec.Elgamal.ciphertext -> Point.t
+val encode_auth_request : auth_request -> string
+val decode_auth_request : string -> auth_request option

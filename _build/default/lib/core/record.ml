@@ -1,0 +1,72 @@
+(* Authentication log records (what the log service stores per auth).
+
+   Layout follows the paper's §8.2 accounting: timestamp (8B) + ciphertext
+   + integrity signature (64B, the §7 "sign the ciphertext" optimization;
+   absent for passwords, whose ElGamal ciphertext is bound by the GK15
+   proof).  The log additionally keeps the client IP as metadata. *)
+
+module Wire = Larch_net.Wire
+
+type payload =
+  | Symmetric of { nonce : string; ct : string; signature : string }
+      (** FIDO2 / TOTP: sha-ctr ciphertext of the relying-party id under the
+          archive key, signed by the client's record-integrity key. *)
+  | Elgamal of Larch_ec.Elgamal.ciphertext
+      (** Passwords: ElGamal encryption of Hash(id) under the archive key. *)
+
+type t = { time : float; ip : string; method_ : Types.auth_method; payload : payload }
+
+(* Paper-style storage accounting (timestamp + ciphertext + signature). *)
+let storage_bytes (r : t) : int =
+  match r.payload with
+  | Symmetric { nonce; ct; signature } -> 8 + String.length nonce + String.length ct + String.length signature
+  | Elgamal _ -> 8 + 130
+
+let encode_payload (w : Wire.writer) (p : payload) : unit =
+  match p with
+  | Symmetric { nonce; ct; signature } ->
+      Wire.u8 w 0;
+      Wire.bytes w nonce;
+      Wire.bytes w ct;
+      Wire.bytes w signature
+  | Elgamal ct ->
+      Wire.u8 w 1;
+      Wire.bytes w (Larch_ec.Elgamal.encode ct)
+
+let decode_payload (r : Wire.reader) : payload =
+  match Wire.read_u8 r with
+  | 0 ->
+      let nonce = Wire.read_bytes r in
+      let ct = Wire.read_bytes r in
+      let signature = Wire.read_bytes r in
+      Symmetric { nonce; ct; signature }
+  | 1 -> (
+      match Larch_ec.Elgamal.decode (Wire.read_bytes r) with
+      | Some ct -> Elgamal ct
+      | None -> raise (Wire.Malformed "bad elgamal ciphertext"))
+  | _ -> raise (Wire.Malformed "bad payload tag")
+
+let encode (t : t) : string =
+  Wire.encode (fun w ->
+      Wire.u64 w (Int64.bits_of_float t.time);
+      Wire.bytes w t.ip;
+      Wire.u8 w (Types.auth_method_tag t.method_);
+      encode_payload w t.payload)
+
+let decode (s : string) : (t, string) result =
+  match
+    Wire.decode s (fun r ->
+        let time = Int64.float_of_bits (Wire.read_u64 r) in
+        let ip = Wire.read_bytes r in
+        let m =
+          match Types.auth_method_of_tag (Wire.read_u8 r) with
+          | Some m -> m
+          | None -> raise (Wire.Malformed "bad method")
+        in
+        let payload = decode_payload r in
+        { time; ip; method_ = m; payload })
+  with
+  | Ok r -> Ok r
+  | Error e -> Error e
+
+let decode_opt s = match decode s with Ok r -> Some r | Error _ -> None

@@ -1,0 +1,27 @@
+(** Authentication log records — what the log stores per authentication
+    (§8.2 storage accounting: timestamp + ciphertext + integrity
+    signature). *)
+
+module Wire = Larch_net.Wire
+
+type payload =
+  | Symmetric of { nonce : string; ct : string; signature : string }
+      (** FIDO2/TOTP: sha-ctr ciphertext of the relying-party identity
+          under the archive key; [signature] is the client's
+          record-integrity signature (§7). *)
+  | Elgamal of Larch_ec.Elgamal.ciphertext
+      (** Passwords: ElGamal encryption of Hash(id). *)
+
+type t = { time : float; ip : string; method_ : Types.auth_method; payload : payload }
+
+val storage_bytes : t -> int
+(** Paper-style accounting (8-byte timestamp + ciphertext + signature). *)
+
+val encode : t -> string
+val decode : string -> (t, string) result
+val decode_opt : string -> t option
+
+(**/**)
+
+val encode_payload : Wire.writer -> payload -> unit
+val decode_payload : Wire.reader -> payload

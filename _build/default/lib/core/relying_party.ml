@@ -1,0 +1,98 @@
+(* Simulated relying parties (Goal 4: no larch awareness).
+
+   Each relying party supports whichever of the three standard mechanisms
+   it was configured with: FIDO2 assertions over ECDSA/P-256, RFC 6238 TOTP
+   (with an optional replay cache, §2.4), and salted-hash passwords. *)
+
+module Point = Larch_ec.Point
+
+type user_state = {
+  mutable fido2_pk : Point.t option;
+  mutable fido2_counter : int;
+  mutable pending_challenge : string option;
+  mutable totp_key : string option;
+  mutable totp_replay : (int64 * int) list; (* (counter, code) pairs already used *)
+  mutable password : Larch_auth.Password.verifier option;
+}
+
+type t = {
+  name : string;
+  rand : int -> string;
+  users : (string, user_state) Hashtbl.t;
+  totp_replay_cache : bool;
+}
+
+let create ?(totp_replay_cache = true) ~(name : string) ~(rand_bytes : int -> string) () : t =
+  { name; rand = rand_bytes; users = Hashtbl.create 8; totp_replay_cache }
+
+let user (t : t) (u : string) : user_state =
+  match Hashtbl.find_opt t.users u with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          fido2_pk = None;
+          fido2_counter = 0;
+          pending_challenge = None;
+          totp_key = None;
+          totp_replay = [];
+          password = None;
+        }
+      in
+      Hashtbl.replace t.users u s;
+      s
+
+(* --- FIDO2 --- *)
+
+let fido2_register (t : t) ~(username : string) ~(pk : Point.t) : unit =
+  (user t username).fido2_pk <- Some pk
+
+let fido2_challenge (t : t) ~(username : string) : string =
+  let u = user t username in
+  let chal = t.rand 32 in
+  u.pending_challenge <- Some chal;
+  chal
+
+let fido2_login (t : t) ~(username : string) (a : Larch_auth.Fido2.assertion) : bool =
+  let u = user t username in
+  match (u.fido2_pk, u.pending_challenge) with
+  | Some pk, Some challenge ->
+      u.pending_challenge <- None;
+      let ok = Larch_auth.Fido2.verify ~pk ~rp_name:t.name ~challenge a in
+      (* signature-counter regression indicates a cloned authenticator *)
+      let counter_ok = a.Larch_auth.Fido2.payload.Larch_auth.Fido2.counter > u.fido2_counter in
+      if ok && counter_ok then begin
+        u.fido2_counter <- a.Larch_auth.Fido2.payload.Larch_auth.Fido2.counter;
+        true
+      end
+      else false
+  | _ -> false
+
+(* --- TOTP --- *)
+
+(* Registration: the relying party generates the shared secret (§4.1). *)
+let totp_register (t : t) ~(username : string) : string =
+  let key = t.rand 20 in
+  (user t username).totp_key <- Some key;
+  key
+
+let totp_login (t : t) ~(username : string) ~(time : float) (code : int) : bool =
+  let u = user t username in
+  match u.totp_key with
+  | None -> false
+  | Some key ->
+      let counter = Larch_auth.Totp.counter_of_time time in
+      let fresh = not (t.totp_replay_cache && List.mem (counter, code) u.totp_replay) in
+      let ok = fresh && Larch_auth.Totp.verify ~key ~time code in
+      if ok then u.totp_replay <- (counter, code) :: u.totp_replay;
+      ok
+
+(* --- passwords --- *)
+
+let password_set (t : t) ~(username : string) ~(password : string) : unit =
+  (user t username).password <- Some (Larch_auth.Password.create ~rand_bytes:t.rand password)
+
+let password_login (t : t) ~(username : string) ~(password : string) : bool =
+  match (user t username).password with
+  | None -> false
+  | Some v -> Larch_auth.Password.check v password

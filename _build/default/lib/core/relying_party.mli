@@ -1,0 +1,50 @@
+(** Simulated relying parties (Goal 4: they are unaware of larch).
+
+    Supports the three standard mechanisms exactly as a web service would:
+    FIDO2 assertions (ECDSA/P-256 with challenge freshness and signature
+    counters), RFC 6238 TOTP with an optional replay cache (§2.4), and
+    salted-hash password login. *)
+
+module Point = Larch_ec.Point
+
+type user_state = {
+  mutable fido2_pk : Point.t option;
+  mutable fido2_counter : int;
+  mutable pending_challenge : string option;
+  mutable totp_key : string option;
+  mutable totp_replay : (int64 * int) list;
+  mutable password : Larch_auth.Password.verifier option;
+}
+
+type t = {
+  name : string;
+  rand : int -> string;
+  users : (string, user_state) Hashtbl.t;
+  totp_replay_cache : bool;
+}
+
+val create : ?totp_replay_cache:bool -> name:string -> rand_bytes:(int -> string) -> unit -> t
+val user : t -> string -> user_state
+
+(** {1 FIDO2} *)
+
+val fido2_register : t -> username:string -> pk:Point.t -> unit
+
+val fido2_challenge : t -> username:string -> string
+(** A fresh 32-byte challenge; consumed by the next login attempt. *)
+
+val fido2_login : t -> username:string -> Larch_auth.Fido2.assertion -> bool
+(** Verifies the assertion against the pending challenge and enforces
+    signature-counter monotonicity (clone detection). *)
+
+(** {1 TOTP} *)
+
+val totp_register : t -> username:string -> string
+(** The relying party generates and returns the 20-byte shared secret. *)
+
+val totp_login : t -> username:string -> time:float -> int -> bool
+
+(** {1 Passwords} *)
+
+val password_set : t -> username:string -> password:string -> unit
+val password_login : t -> username:string -> password:string -> bool

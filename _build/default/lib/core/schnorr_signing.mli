@@ -1,0 +1,35 @@
+(** Two-party Schnorr signing without presignatures — the §3.3/§9
+    "future FIDO" extension and the {!page-index} ablation baseline.
+
+    Two rounds, no preprocessing: commit-reveal on the log's nonce half
+    prevents bias, and the challenge hash omits the public key (which the
+    log must not learn). *)
+
+module Point = Larch_ec.Point
+module Scalar = Larch_ec.P256.Scalar
+
+type signature = { r_point : Point.t; s : Scalar.t }
+
+val challenge : r_point:Point.t -> digest:string -> Scalar.t
+val verify : pk:Point.t -> digest:string -> signature -> bool
+
+type log_round1 = { commitment : string }
+type log_state = { r0 : Scalar.t; r0_pub : Point.t; nonce : string }
+
+val log_round1 : rand_bytes:(int -> string) -> log_state * log_round1
+
+type client_round = { r1_pub : Point.t }
+type client_state = { r1 : Scalar.t; seen_commitment : string }
+
+val client_round : commitment:log_round1 -> rand_bytes:(int -> string) -> client_state * client_round
+
+type log_round2 = { r0_pub : Point.t; nonce : string; s0 : Scalar.t }
+
+val log_round2 : log_state -> client:client_round -> sk0:Scalar.t -> digest:string -> log_round2
+
+val client_finish :
+  client_state -> log_msg:log_round2 -> sk1:Scalar.t -> digest:string -> signature option
+(** [None] if the log equivocated on its nonce commitment. *)
+
+val wire_bytes : int
+(** Total protocol bytes per signature (for the ablation bench). *)

@@ -1,0 +1,263 @@
+(* Two-party ECDSA with client-side preprocessing (paper §3.3, Appendix B).
+
+   The log holds one long-term key share x (the same for every relying
+   party); the client derives a fresh share y per relying party, so the
+   aggregated public key pk = g^(x+y) is unlinkable across parties and the
+   log never learns which pk a signature belongs to.
+
+   Because the client is honest at enrollment time, it can generate the
+   entire presignature — the shared signing nonce r⁻¹, its MAC r̂ = α·r⁻¹,
+   the MAC key α, and the authenticated Beaver triple — locally and ship
+   the log its shares.  The online phase is then a single half-authenticated
+   multiplication plus a MAC-checked opening (Π_Sign, Figure 9):
+
+     s = r⁻¹ · (Hash(m) + f(R) · (x + y))
+
+   Presignature compression (§7): the log's Beaver-triple shares
+   (a₀,b₀,f₀,g₀) are PRG-derived from a per-batch seed; the log stores six
+   explicit scalars per presignature — (R, r₀, r̂₀, α₀, c₀, h₀) = 192 bytes,
+   the figure the paper reports. *)
+
+open Larch_bignum
+module Scalar = Larch_ec.P256.Scalar
+module Point = Larch_ec.Point
+module Spdz = Larch_mpc.Spdz
+module Sharing = Larch_mpc.Sharing
+module Wire = Larch_net.Wire
+
+(* --- key generation --- *)
+
+type log_key = { x : Scalar.t; x_pub : Point.t }
+
+let log_keygen ~(rand_bytes : int -> string) : log_key =
+  let x, x_pub = Point.random ~rand_bytes in
+  { x; x_pub }
+
+(* ClientKeyGen: y fresh per relying party; pk = X · g^y. *)
+let client_keygen ~(log_pub : Point.t) ~(rand_bytes : int -> string) : Scalar.t * Point.t =
+  let y = Scalar.random_nonzero ~rand_bytes in
+  (y, Point.add log_pub (Point.mul_base y))
+
+(* --- presignatures --- *)
+
+type log_presig = {
+  cap_r : Scalar.t; (* f(g^r): the signature's r component *)
+  r0 : Scalar.t; (* share of r⁻¹ *)
+  rhat0 : Scalar.t; (* share of α·r⁻¹ *)
+  alpha0 : Scalar.t; (* share of the MAC key *)
+  c0 : Scalar.t;
+  h0 : Scalar.t; (* explicit triple shares; a0,b0,f0,g0 are PRG-derived *)
+}
+
+type client_presig = {
+  cap_r1 : Scalar.t;
+  r1 : Scalar.t;
+  rhat1 : Scalar.t;
+  alpha1 : Scalar.t;
+  a1 : Scalar.t;
+  b1 : Scalar.t;
+  c1 : Scalar.t;
+  f1 : Scalar.t;
+  g1 : Scalar.t;
+  h1 : Scalar.t;
+}
+
+type log_batch = {
+  seed : string; (* derives (a0,b0,f0,g0) per index *)
+  entries : log_presig array;
+  mutable next : int; (* single-use counter *)
+}
+
+type client_batch = { centries : client_presig array; mutable cnext : int }
+
+(* per-presignature log storage in bytes: six explicit Z_q elements *)
+let log_presig_bytes = 6 * 32
+
+let scalar_of_prg (prg : Larch_cipher.Prg.t) : Scalar.t =
+  Scalar.of_bytes_be (Larch_cipher.Prg.next_bytes prg 48)
+
+let derived_log_shares (seed : string) (index : int) : Scalar.t * Scalar.t * Scalar.t * Scalar.t
+    =
+  let prg = Larch_cipher.Prg.create (seed ^ "presig" ^ Larch_util.Bytesx.be32 index) in
+  let a0 = scalar_of_prg prg in
+  let b0 = scalar_of_prg prg in
+  let f0 = scalar_of_prg prg in
+  let g0 = scalar_of_prg prg in
+  (a0, b0, f0, g0)
+
+(* PreSign, run by the (trusted-at-enrollment) client. *)
+let presign_batch ~(count : int) ~(rand_bytes : int -> string) : client_batch * log_batch =
+  let seed = rand_bytes 16 in
+  let centries = Array.make count None and lentries = Array.make count None in
+  for i = 0 to count - 1 do
+    let r = Scalar.random_nonzero ~rand_bytes in
+    let cap_r = Point.x_scalar (Point.mul_base r) in
+    let rinv = Scalar.inv r in
+    let alpha = Scalar.random ~rand_bytes in
+    let rhat = Scalar.mul alpha rinv in
+    let a = Scalar.random ~rand_bytes and b = Scalar.random ~rand_bytes in
+    let c = Scalar.mul a b in
+    let f = Scalar.mul alpha a and g = Scalar.mul alpha b in
+    let h = Scalar.mul alpha c in
+    let a0, b0, f0, g0 = derived_log_shares seed i in
+    let c0 = Scalar.random ~rand_bytes and h0 = Scalar.random ~rand_bytes in
+    let r0, r1 = Sharing.additive rinv ~rand_bytes in
+    let rhat0, rhat1 = Sharing.additive rhat ~rand_bytes in
+    let alpha0, alpha1 = Sharing.additive alpha ~rand_bytes in
+    lentries.(i) <- Some { cap_r; r0; rhat0; alpha0; c0; h0 };
+    centries.(i) <-
+      Some
+        {
+          cap_r1 = cap_r;
+          r1;
+          rhat1;
+          alpha1;
+          a1 = Scalar.sub a a0;
+          b1 = Scalar.sub b b0;
+          c1 = Scalar.sub c c0;
+          f1 = Scalar.sub f f0;
+          g1 = Scalar.sub g g0;
+          h1 = Scalar.sub h h0;
+        }
+  done;
+  let force a = Array.map Option.get a in
+  ( { centries = force centries; cnext = 0 },
+    { seed; entries = force lentries; next = 0 } )
+
+(* Wire size of shipping a log batch at enrollment: seed + 6 scalars each. *)
+let log_batch_wire_bytes (b : log_batch) : int = 16 + (Array.length b.entries * log_presig_bytes)
+
+let log_batch_remaining (b : log_batch) : int = Array.length b.entries - b.next
+let client_batch_remaining (b : client_batch) : int = Array.length b.centries - b.cnext
+
+(* --- the signing protocol Π_Sign --- *)
+
+let halfmul_input_of_log (b : log_batch) (i : int) ~(sk0 : Scalar.t) : Spdz.halfmul_input =
+  let p = b.entries.(i) in
+  let a0, b0, f0, g0 = derived_log_shares b.seed i in
+  {
+    Spdz.a = a0;
+    b = b0;
+    c = p.c0;
+    f = f0;
+    g = g0;
+    h = p.h0;
+    x = p.r0;
+    xhat = p.rhat0;
+    y = sk0;
+    alpha = p.alpha0;
+  }
+
+let halfmul_input_of_client (b : client_batch) (i : int) ~(sk1 : Scalar.t) : Spdz.halfmul_input =
+  let p = b.centries.(i) in
+  {
+    Spdz.a = p.a1;
+    b = p.b1;
+    c = p.c1;
+    f = p.f1;
+    g = p.g1;
+    h = p.h1;
+    x = p.r1;
+    xhat = p.rhat1;
+    y = sk1;
+    alpha = p.alpha1;
+  }
+
+(* Per-party signing state threaded through the rounds. *)
+type party_state = {
+  party : int; (* 0 = log, 1 = client *)
+  inp : Spdz.halfmul_input;
+  cap_r : Scalar.t;
+  e_scalar : Scalar.t; (* Hash(m) as a scalar *)
+  mutable hm_out : Spdz.halfmul_output option;
+  mutable s_share : Scalar.t;
+  mutable shat_share : Scalar.t;
+  mutable open_state : Spdz.open_state option;
+}
+
+let digest_scalar (digest : string) : Scalar.t = Scalar.of_nat (Nat.of_bytes_be digest)
+
+let init_party ~(party : int) ~(inp : Spdz.halfmul_input) ~(cap_r : Scalar.t) ~(digest : string)
+    : party_state =
+  {
+    party;
+    inp;
+    cap_r;
+    e_scalar = digest_scalar digest;
+    hm_out = None;
+    s_share = Scalar.zero;
+    shat_share = Scalar.zero;
+    open_state = None;
+  }
+
+let round1 (st : party_state) : Spdz.halfmul_msg = Spdz.halfmul_round1 st.inp
+
+(* After exchanging halfmul messages, each party derives its s and ŝ shares:
+   s_i = r_i·Hash(m) + z_i·f(R),  ŝ_i = r̂_i·Hash(m) + ẑ_i·f(R). *)
+let round2 (st : party_state) ~(own : Spdz.halfmul_msg) ~(other : Spdz.halfmul_msg) : Scalar.t =
+  let out = Spdz.halfmul_finish ~party:st.party st.inp ~own ~other in
+  st.hm_out <- Some out;
+  st.s_share <- Scalar.add (Scalar.mul st.inp.Spdz.x st.e_scalar) (Scalar.mul out.Spdz.z st.cap_r);
+  st.shat_share <-
+    Scalar.add (Scalar.mul st.inp.Spdz.xhat st.e_scalar) (Scalar.mul out.Spdz.zhat st.cap_r);
+  st.s_share
+
+(* With both s shares public, run the MAC-checked opening (commit round). *)
+let open_commit (st : party_state) ~(other_s : Scalar.t) ~(rand_bytes : int -> string) :
+    Spdz.open_commit =
+  let out = match st.hm_out with Some o -> o | None -> Types.fail "round2 not run" in
+  let s_total = Scalar.add st.s_share other_s in
+  let inp =
+    Spdz.
+      {
+        s = st.s_share;
+        shat = st.shat_share;
+        d_pub = out.d_open;
+        dhat_share = out.dhat;
+        alpha_share = st.inp.Spdz.alpha;
+      }
+  in
+  let ostate, commit = Spdz.open_round1 inp ~s_total ~rand_bytes in
+  st.open_state <- Some ostate;
+  commit
+
+let open_reveal (st : party_state) : Spdz.open_reveal =
+  match st.open_state with Some o -> o.Spdz.reveal | None -> Types.fail "open not started"
+
+let open_check (st : party_state) ~(other_commit : Spdz.open_commit)
+    ~(other_reveal : Spdz.open_reveal) : bool =
+  match st.open_state with
+  | Some own -> Spdz.open_check ~own ~other_commit ~other_reveal
+  | None -> false
+
+let signature (st : party_state) ~(other_s : Scalar.t) : Larch_ec.Ecdsa.signature =
+  { Larch_ec.Ecdsa.r = st.cap_r; s = Scalar.add st.s_share other_s }
+
+(* --- wire encodings for the signing messages --- *)
+
+let encode_halfmul_msg (m : Spdz.halfmul_msg) : string =
+  Scalar.to_bytes_be m.Spdz.d ^ Scalar.to_bytes_be m.Spdz.e
+
+let decode_halfmul_msg (s : string) : Spdz.halfmul_msg option =
+  if String.length s <> 64 then None
+  else
+    Some
+      Spdz.
+        {
+          d = Scalar.of_bytes_be (String.sub s 0 32);
+          e = Scalar.of_bytes_be (String.sub s 32 32);
+        }
+
+let encode_reveal (r : Spdz.open_reveal) : string =
+  Scalar.to_bytes_be r.Spdz.sigma ^ Scalar.to_bytes_be r.Spdz.tau ^ r.Spdz.nonce
+
+let decode_reveal (s : string) : Spdz.open_reveal option =
+  if String.length s <> 80 then None
+  else
+    Some
+      Spdz.
+        {
+          sigma = Scalar.of_bytes_be (String.sub s 0 32);
+          tau = Scalar.of_bytes_be (String.sub s 32 32);
+          nonce = String.sub s 64 16;
+        }

@@ -1,0 +1,117 @@
+(** Two-party ECDSA signing with client-side preprocessing (§3.3, App. B).
+
+    The log holds one long-term key share [x] used for every relying party;
+    the client derives a fresh share [y] per party, so aggregated public
+    keys pk = g^(x+y) are unlinkable and the log never learns which key a
+    signature belongs to.  Because the client is trusted at enrollment, it
+    generates presignatures — shared signing nonce, MAC key, authenticated
+    Beaver triple — locally; the online phase is one half-authenticated
+    multiplication plus a MAC-checked opening:
+
+      s = r⁻¹ · (Hash(m) + f(R) · (x + y))
+
+    Presignature compression (§7): the log's uniform triple shares are
+    PRG-derived from a per-batch seed, leaving six explicit scalars
+    ({!log_presig_bytes} = 192 bytes) per presignature at the log. *)
+
+module Scalar = Larch_ec.P256.Scalar
+module Point = Larch_ec.Point
+module Spdz = Larch_mpc.Spdz
+module Sharing = Larch_mpc.Sharing
+module Wire = Larch_net.Wire
+
+(** {1 Key generation} *)
+
+type log_key = { x : Scalar.t; x_pub : Point.t }
+
+val log_keygen : rand_bytes:(int -> string) -> log_key
+
+val client_keygen : log_pub:Point.t -> rand_bytes:(int -> string) -> Scalar.t * Point.t
+(** ClientKeyGen: fresh per-relying-party share [y] and public key X·g^y. *)
+
+(** {1 Presignatures} *)
+
+(** The log's explicit per-presignature scalars; (a₀,b₀,f₀,g₀) are derived
+    from the batch seed. *)
+type log_presig = {
+  cap_r : Scalar.t; (** f(g^r): the signature's r component *)
+  r0 : Scalar.t;
+  rhat0 : Scalar.t;
+  alpha0 : Scalar.t;
+  c0 : Scalar.t;
+  h0 : Scalar.t;
+}
+
+type client_presig = {
+  cap_r1 : Scalar.t;
+  r1 : Scalar.t;
+  rhat1 : Scalar.t;
+  alpha1 : Scalar.t;
+  a1 : Scalar.t;
+  b1 : Scalar.t;
+  c1 : Scalar.t;
+  f1 : Scalar.t;
+  g1 : Scalar.t;
+  h1 : Scalar.t;
+}
+
+type log_batch = { seed : string; entries : log_presig array; mutable next : int }
+type client_batch = { centries : client_presig array; mutable cnext : int }
+
+val log_presig_bytes : int
+(** Log storage per presignature: 6 × 32 = 192 bytes (matches the paper). *)
+
+val presign_batch : count:int -> rand_bytes:(int -> string) -> client_batch * log_batch
+(** PreSign, run by the trusted-at-enrollment client. *)
+
+val log_batch_wire_bytes : log_batch -> int
+val log_batch_remaining : log_batch -> int
+val client_batch_remaining : client_batch -> int
+
+(** {1 The signing protocol Π_Sign}
+
+    Per-party state threaded through: round1 (exchange Beaver openings) →
+    round2 (derive s-shares) → open_commit / open_reveal / open_check
+    (MAC-checked opening) → {!signature}. *)
+
+type party_state = {
+  party : int; (** 0 = log, 1 = client *)
+  inp : Spdz.halfmul_input;
+  cap_r : Scalar.t;
+  e_scalar : Scalar.t;
+  mutable hm_out : Spdz.halfmul_output option;
+  mutable s_share : Scalar.t;
+  mutable shat_share : Scalar.t;
+  mutable open_state : Spdz.open_state option;
+}
+
+val halfmul_input_of_log : log_batch -> int -> sk0:Scalar.t -> Spdz.halfmul_input
+val halfmul_input_of_client : client_batch -> int -> sk1:Scalar.t -> Spdz.halfmul_input
+val digest_scalar : string -> Scalar.t
+
+val init_party :
+  party:int -> inp:Spdz.halfmul_input -> cap_r:Scalar.t -> digest:string -> party_state
+
+val round1 : party_state -> Spdz.halfmul_msg
+
+val round2 : party_state -> own:Spdz.halfmul_msg -> other:Spdz.halfmul_msg -> Scalar.t
+(** Returns this party's share of s. *)
+
+val open_commit :
+  party_state -> other_s:Scalar.t -> rand_bytes:(int -> string) -> Spdz.open_commit
+
+val open_reveal : party_state -> Spdz.open_reveal
+
+val open_check :
+  party_state -> other_commit:Spdz.open_commit -> other_reveal:Spdz.open_reveal -> bool
+(** The information-theoretic MAC check: [false] means the counterparty
+    shifted the authenticated nonce or the opened value. *)
+
+val signature : party_state -> other_s:Scalar.t -> Larch_ec.Ecdsa.signature
+
+(** {1 Wire encodings} *)
+
+val encode_halfmul_msg : Spdz.halfmul_msg -> string
+val decode_halfmul_msg : string -> Spdz.halfmul_msg option
+val encode_reveal : Spdz.open_reveal -> string
+val decode_reveal : string -> Spdz.open_reveal option

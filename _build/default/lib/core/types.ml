@@ -1,0 +1,19 @@
+(* Shared identifiers and error type for the larch core. *)
+
+type auth_method = Fido2 | Totp | Password
+
+let auth_method_to_string = function Fido2 -> "fido2" | Totp -> "totp" | Password -> "password"
+
+let auth_method_tag = function Fido2 -> 0 | Totp -> 1 | Password -> 2
+
+let auth_method_of_tag = function
+  | 0 -> Some Fido2
+  | 1 -> Some Totp
+  | 2 -> Some Password
+  | _ -> None
+
+exception Protocol_error of string
+(** Raised when a counterparty violates the protocol (bad proof, bad MAC,
+    malformed message).  The honest party aborts the operation. *)
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Protocol_error s)) fmt

@@ -1,0 +1,14 @@
+(** Shared identifiers and the protocol-violation error. *)
+
+type auth_method = Fido2 | Totp | Password
+
+val auth_method_to_string : auth_method -> string
+val auth_method_tag : auth_method -> int
+val auth_method_of_tag : int -> auth_method option
+
+exception Protocol_error of string
+(** Raised when a counterparty violates the protocol (bad proof, bad MAC,
+    malformed message, policy denial); the honest party aborts. *)
+
+val fail : ('a, unit, string, 'b) format4 -> 'a
+(** [fail fmt ...] raises {!Protocol_error} with a formatted message. *)

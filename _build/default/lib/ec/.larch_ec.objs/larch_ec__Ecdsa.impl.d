@@ -1,0 +1,1 @@
+lib/ec/ecdsa.ml: Larch_bignum Larch_hash Nat P256 Point String

@@ -1,0 +1,1 @@
+lib/ec/ecdsa.mli: P256 Point

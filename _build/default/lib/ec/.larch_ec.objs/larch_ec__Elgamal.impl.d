@@ -1,0 +1,1 @@
+lib/ec/elgamal.ml: P256 Point String

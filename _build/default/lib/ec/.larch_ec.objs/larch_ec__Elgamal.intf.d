@@ -1,0 +1,1 @@
+lib/ec/elgamal.mli: P256 Point

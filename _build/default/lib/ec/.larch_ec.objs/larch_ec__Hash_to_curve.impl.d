@@ -1,0 +1,1 @@
+lib/ec/hash_to_curve.ml: Char Larch_bignum Larch_hash Larch_util Nat P256 Point String

@@ -1,0 +1,1 @@
+lib/ec/hash_to_curve.mli: Point

@@ -1,0 +1,1 @@
+lib/ec/p256.ml: Larch_bignum Modarith Nat

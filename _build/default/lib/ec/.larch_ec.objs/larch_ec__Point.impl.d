@@ -1,0 +1,1 @@
+lib/ec/point.ml: Array Char Fmt Larch_bignum Lazy Nat P256 String

@@ -1,0 +1,1 @@
+lib/ec/point.mli: Format P256

@@ -1,0 +1,75 @@
+(* ECDSA over P-256 with RFC 6979 deterministic nonces.
+
+   This is the relying party's verification algorithm for FIDO2 and the
+   reference implementation against which the two-party signing protocol of
+   [Larch_core.Two_party_ecdsa] is tested: signatures produced jointly by the
+   client and log must verify here under the aggregated public key. *)
+
+open Larch_bignum
+module Scalar = P256.Scalar
+
+type signature = { r : Scalar.t; s : Scalar.t }
+
+let hash_to_scalar (msg : string) : Scalar.t =
+  Scalar.of_nat (Nat.of_bytes_be (Larch_hash.Sha256.digest msg))
+
+(* RFC 6979 §3.2: deterministic k from the key and message digest. *)
+let deterministic_nonce ~(sk : Scalar.t) ~(digest : string) : Scalar.t =
+  let x_octets = Scalar.to_bytes_be sk in
+  let h_octets = Scalar.to_bytes_be (Scalar.of_nat (Nat.of_bytes_be digest)) in
+  let drbg = Larch_hash.Drbg.create ~entropy:(x_octets ^ h_octets) in
+  let rec draw () =
+    let t = Larch_hash.Drbg.generate drbg 32 in
+    let k = Nat.of_bytes_be t in
+    if Nat.is_zero k || Nat.compare k P256.n >= 0 then draw () else k
+  in
+  draw ()
+
+let keygen ~(rand_bytes : int -> string) : Scalar.t * Point.t =
+  Point.random ~rand_bytes
+
+let sign_digest ?nonce ~(sk : Scalar.t) (digest : string) : signature =
+  let e = Scalar.of_nat (Nat.of_bytes_be digest) in
+  let rec go nonce =
+    let k = match nonce with Some k -> k | None -> deterministic_nonce ~sk ~digest in
+    let r_point = Point.mul_base k in
+    let r = Point.x_scalar r_point in
+    if Nat.is_zero r then go None
+    else begin
+      let s = Scalar.mul (Scalar.inv k) (Scalar.add e (Scalar.mul r sk)) in
+      if Nat.is_zero s then go None else { r; s }
+    end
+  in
+  go nonce
+
+(* Sign a raw message (it is hashed with SHA-256 internally). *)
+let sign ?nonce ~(sk : Scalar.t) (msg : string) : signature =
+  sign_digest ?nonce ~sk (Larch_hash.Sha256.digest msg)
+
+let verify_digest ~(pk : Point.t) (digest : string) (sg : signature) : bool =
+  (not (Nat.is_zero sg.r))
+  && (not (Nat.is_zero sg.s))
+  && Nat.compare sg.r P256.n < 0
+  && Nat.compare sg.s P256.n < 0
+  && Point.is_on_curve pk
+  && (not (Point.is_infinity pk))
+  &&
+  let e = Scalar.of_nat (Nat.of_bytes_be digest) in
+  let sinv = Scalar.inv sg.s in
+  let u1 = Scalar.mul e sinv and u2 = Scalar.mul sg.r sinv in
+  let rp = Point.add (Point.mul_base u1) (Point.mul u2 pk) in
+  (not (Point.is_infinity rp)) && Scalar.equal (Point.x_scalar rp) sg.r
+
+let verify ~(pk : Point.t) (msg : string) (sg : signature) : bool =
+  verify_digest ~pk (Larch_hash.Sha256.digest msg) sg
+
+let encode (sg : signature) : string = Scalar.to_bytes_be sg.r ^ Scalar.to_bytes_be sg.s
+
+let decode (s : string) : signature option =
+  if String.length s <> 64 then None
+  else
+    Some
+      {
+        r = Scalar.of_nat (Nat.of_bytes_be (String.sub s 0 32));
+        s = Scalar.of_nat (Nat.of_bytes_be (String.sub s 32 32));
+      }

@@ -1,0 +1,31 @@
+(** ECDSA over P-256 with RFC 6979 deterministic nonces.
+
+    Used directly by relying parties to verify FIDO2 assertions and by the
+    client to sign record ciphertexts (§7); signatures produced jointly by
+    {!Larch_core.Two_party_ecdsa} verify under this module. *)
+
+module Scalar = P256.Scalar
+
+type signature = { r : Scalar.t; s : Scalar.t }
+
+val keygen : rand_bytes:(int -> string) -> Scalar.t * Point.t
+
+val sign : ?nonce:Scalar.t -> sk:Scalar.t -> string -> signature
+(** Sign a message (SHA-256 hashed internally); the nonce defaults to the
+    RFC 6979 derivation, making signing deterministic. *)
+
+val sign_digest : ?nonce:Scalar.t -> sk:Scalar.t -> string -> signature
+(** Sign a precomputed 32-byte digest. *)
+
+val verify : pk:Point.t -> string -> signature -> bool
+val verify_digest : pk:Point.t -> string -> signature -> bool
+
+val encode : signature -> string
+(** Fixed 64-byte r ‖ s. *)
+
+val decode : string -> signature option
+
+(**/**)
+
+val hash_to_scalar : string -> Scalar.t
+val deterministic_nonce : sk:Scalar.t -> digest:string -> Scalar.t

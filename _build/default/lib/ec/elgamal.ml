@@ -1,0 +1,31 @@
+(* ElGamal encryption over P-256.
+
+   The password protocol's archive key is an ElGamal keypair: the client
+   keeps x and gives the log X = g^x; during authentication the client sends
+   (g^r, Hash(id) * g^(xr)) which the log stores as the encrypted record and
+   partially exponentiates (§5).  Rerandomization supports the §9 FIDO
+   extension where relying parties refresh ciphertexts. *)
+
+module Scalar = P256.Scalar
+
+type ciphertext = { c1 : Point.t; c2 : Point.t }
+
+let keygen ~(rand_bytes : int -> string) : Scalar.t * Point.t = Point.random ~rand_bytes
+
+let encrypt ~(pk : Point.t) ~(msg : Point.t) ~(r : Scalar.t) : ciphertext =
+  { c1 = Point.mul_base r; c2 = Point.add msg (Point.mul r pk) }
+
+let decrypt ~(sk : Scalar.t) (ct : ciphertext) : Point.t =
+  Point.sub ct.c2 (Point.mul sk ct.c1)
+
+let rerandomize ~(pk : Point.t) ~(r : Scalar.t) (ct : ciphertext) : ciphertext =
+  { c1 = Point.add ct.c1 (Point.mul_base r); c2 = Point.add ct.c2 (Point.mul r pk) }
+
+let encode (ct : ciphertext) : string = Point.encode ct.c1 ^ Point.encode ct.c2
+
+let decode (s : string) : ciphertext option =
+  if String.length s <> 130 then None
+  else
+    match (Point.decode (String.sub s 0 65), Point.decode (String.sub s 65 65)) with
+    | Some c1, Some c2 -> Some { c1; c2 }
+    | _ -> None

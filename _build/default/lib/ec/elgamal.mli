@@ -1,0 +1,20 @@
+(** ElGamal encryption over P-256.
+
+    The password protocol's archive key: the client keeps x and gives the
+    log X = g^x; authentication ciphertexts (g^r, Hash(id)·X^r) double as
+    the encrypted log records (§5).  Rerandomization supports the §9 FIDO
+    extension. *)
+
+module Scalar = P256.Scalar
+
+type ciphertext = { c1 : Point.t; c2 : Point.t }
+
+val keygen : rand_bytes:(int -> string) -> Scalar.t * Point.t
+val encrypt : pk:Point.t -> msg:Point.t -> r:Scalar.t -> ciphertext
+val decrypt : sk:Scalar.t -> ciphertext -> Point.t
+val rerandomize : pk:Point.t -> r:Scalar.t -> ciphertext -> ciphertext
+
+val encode : ciphertext -> string
+(** 130 bytes (two uncompressed points) — the password record size. *)
+
+val decode : string -> ciphertext option

@@ -1,0 +1,28 @@
+(* Hash-to-curve by try-and-increment.
+
+   The password protocol needs Hash : {0,1}* -> G (§5).  Try-and-increment
+   is not constant time, but the hashed value here is a random 128-bit
+   registration identifier, not a secret with structure, matching the
+   paper's threat model. *)
+
+open Larch_bignum
+module Fe = P256.Fe
+
+let hash (msg : string) : Point.t =
+  let rec attempt ctr =
+    if ctr > 512 then failwith "Hash_to_curve.hash: no point found (improbable)"
+    else begin
+      let h = Larch_hash.Sha256.digest ("larch-h2c" ^ Larch_util.Bytesx.be32 ctr ^ msg) in
+      let x = Fe.of_bytes_be h in
+      let rhs = Fe.add (Fe.add (Fe.mul (Fe.sqr x) x) (Fe.mul P256.a x)) (Fe.of_nat P256.b) in
+      match Fe.sqrt rhs with
+      | None -> attempt (ctr + 1)
+      | Some y ->
+          (* Use one hash bit to pick the y parity so the map is well defined. *)
+          let want_odd = Char.code h.[0] land 1 = 1 in
+          let y_is_odd = Nat.test_bit y 0 in
+          let y = if want_odd = y_is_odd then y else Fe.neg y in
+          Point.of_affine ~x ~y
+    end
+  in
+  attempt 0

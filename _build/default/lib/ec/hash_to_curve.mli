@@ -1,0 +1,6 @@
+(** Hash-to-curve by try-and-increment, for the password protocol's
+    Hash : \{0,1\}* → G (§5).  Not constant time; inputs here are random
+    128-bit registration identifiers, not structured secrets. *)
+
+val hash : string -> Point.t
+(** Deterministic; distinct inputs map to independent-looking points. *)

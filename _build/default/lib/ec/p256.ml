@@ -1,0 +1,24 @@
+(* NIST P-256 (secp256r1) domain parameters.
+
+   FIDO2 mandates ECDSA over P-256, and larch's password protocol and
+   ElGamal archive encryption reuse the same group.  [Fe] is the base field
+   Z_p, [Scalar] the scalar field Z_n (both prime). *)
+
+open Larch_bignum
+
+let p = Nat.of_hex "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff"
+let n = Nat.of_hex "ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551"
+let b = Nat.of_hex "5ac635d8aa3a93e7b3ebbd55769886bc651d06b0cc53b0f63bce3c3e27d2604b"
+let gx = Nat.of_hex "6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296"
+let gy = Nat.of_hex "4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5"
+
+module Fe = Modarith.Make (struct
+  let modulus = p
+end)
+
+module Scalar = Modarith.Make (struct
+  let modulus = n
+end)
+
+(* a = -3 mod p *)
+let a = Fe.sub Fe.zero (Fe.of_int 3)

@@ -1,0 +1,248 @@
+(* P-256 group operations in Jacobian coordinates.
+
+   A point (X, Y, Z) with Z <> 0 represents the affine point (X/Z², Y/Z³);
+   Z = 0 is the point at infinity.  Doubling uses the a = -3 "dbl-2001-b"
+   formulas; addition uses "add-2007-bl".  These are complete for this code
+   because [add] dispatches explicitly on the H = 0 cases. *)
+
+open Larch_bignum
+module Fe = P256.Fe
+module Scalar = P256.Scalar
+
+type t = { x : Fe.t; y : Fe.t; z : Fe.t }
+
+let infinity = { x = Fe.one; y = Fe.one; z = Fe.zero }
+let is_infinity p = Nat.is_zero p.z
+let of_affine ~(x : Fe.t) ~(y : Fe.t) : t = { x; y; z = Fe.one }
+let g : t = of_affine ~x:(Fe.of_nat P256.gx) ~y:(Fe.of_nat P256.gy)
+
+let to_affine (p : t) : (Fe.t * Fe.t) option =
+  if is_infinity p then None
+  else begin
+    let zinv = Fe.inv p.z in
+    let zinv2 = Fe.sqr zinv in
+    Some (Fe.mul p.x zinv2, Fe.mul p.y (Fe.mul zinv2 zinv))
+  end
+
+let equal (p : t) (q : t) : bool =
+  match (is_infinity p, is_infinity q) with
+  | true, true -> true
+  | true, false | false, true -> false
+  | false, false ->
+      (* Cross-multiply to compare without inversion:
+         X1*Z2² = X2*Z1² and Y1*Z2³ = Y2*Z1³. *)
+      let z1z1 = Fe.sqr p.z and z2z2 = Fe.sqr q.z in
+      Fe.equal (Fe.mul p.x z2z2) (Fe.mul q.x z1z1)
+      && Fe.equal (Fe.mul p.y (Fe.mul z2z2 q.z)) (Fe.mul q.y (Fe.mul z1z1 p.z))
+
+let double (p : t) : t =
+  if is_infinity p || Nat.is_zero p.y then infinity
+  else begin
+    let delta = Fe.sqr p.z in
+    let gamma = Fe.sqr p.y in
+    let beta = Fe.mul p.x gamma in
+    let alpha = Fe.mul (Fe.of_int 3) (Fe.mul (Fe.sub p.x delta) (Fe.add p.x delta)) in
+    let beta4 = Fe.mul (Fe.of_int 4) beta in
+    let x3 = Fe.sub (Fe.sqr alpha) (Fe.add beta4 beta4) in
+    let z3 = Fe.sub (Fe.sub (Fe.sqr (Fe.add p.y p.z)) gamma) delta in
+    let gamma2_8 = Fe.mul (Fe.of_int 8) (Fe.sqr gamma) in
+    let y3 = Fe.sub (Fe.mul alpha (Fe.sub beta4 x3)) gamma2_8 in
+    { x = x3; y = y3; z = z3 }
+  end
+
+let add (p : t) (q : t) : t =
+  if is_infinity p then q
+  else if is_infinity q then p
+  else begin
+    let z1z1 = Fe.sqr p.z and z2z2 = Fe.sqr q.z in
+    let u1 = Fe.mul p.x z2z2 and u2 = Fe.mul q.x z1z1 in
+    let s1 = Fe.mul p.y (Fe.mul q.z z2z2) and s2 = Fe.mul q.y (Fe.mul p.z z1z1) in
+    let h = Fe.sub u2 u1 in
+    if Nat.is_zero h then begin
+      if Fe.equal s1 s2 then double p else infinity
+    end
+    else begin
+      let h2 = Fe.add h h in
+      let i = Fe.sqr h2 in
+      let j = Fe.mul h i in
+      let rr = Fe.add (Fe.sub s2 s1) (Fe.sub s2 s1) in
+      let v = Fe.mul u1 i in
+      let x3 = Fe.sub (Fe.sub (Fe.sqr rr) j) (Fe.add v v) in
+      let s1j = Fe.mul s1 j in
+      let y3 = Fe.sub (Fe.mul rr (Fe.sub v x3)) (Fe.add s1j s1j) in
+      let z3 = Fe.mul (Fe.sub (Fe.sub (Fe.sqr (Fe.add p.z q.z)) z1z1) z2z2) h in
+      { x = x3; y = y3; z = z3 }
+    end
+  end
+
+let neg (p : t) : t = if is_infinity p then p else { p with y = Fe.neg p.y }
+let sub (p : t) (q : t) : t = add p (neg q)
+
+(* 4-bit fixed-window scalar multiplication. *)
+let mul (k : Scalar.t) (p : t) : t =
+  if Nat.is_zero k || is_infinity p then infinity
+  else begin
+    let table = Array.make 16 infinity in
+    table.(1) <- p;
+    for i = 2 to 15 do
+      table.(i) <- add table.(i - 1) p
+    done;
+    let kb = Scalar.to_bytes_be k in
+    let acc = ref infinity in
+    String.iter
+      (fun c ->
+        let byte = Char.code c in
+        let step nibble =
+          acc := double (double (double (double !acc)));
+          if nibble <> 0 then acc := add !acc table.(nibble)
+        in
+        step (byte lsr 4);
+        step (byte land 0xf))
+      kb;
+    !acc
+  end
+
+(* Base-point multiplication with a cached window table: G, 2^4 G, 2^8 G, …
+   combined with 4-bit digits (Lim-Lee style single-row comb). *)
+let base_table : t array array lazy_t =
+  lazy
+    (let windows = 64 in
+     Array.init windows (fun w ->
+         (* table.(w).(d) = d * 2^(4w) * G *)
+         let base = ref g in
+         for _ = 1 to 4 * w do
+           base := double !base
+         done;
+         let row = Array.make 16 infinity in
+         row.(1) <- !base;
+         for d = 2 to 15 do
+           row.(d) <- add row.(d - 1) !base
+         done;
+         row))
+
+let mul_base (k : Scalar.t) : t =
+  if Nat.is_zero k then infinity
+  else begin
+    let table = Lazy.force base_table in
+    let kb = Scalar.to_bytes_be k in
+    (* byte i (big-endian) covers windows 2*(31-i)+1 and 2*(31-i). *)
+    let acc = ref infinity in
+    for i = 0 to 31 do
+      let byte = Char.code kb.[i] in
+      let w_hi = (2 * (31 - i)) + 1 and w_lo = 2 * (31 - i) in
+      let hi = byte lsr 4 and lo = byte land 0xf in
+      if hi <> 0 then acc := add !acc table.(w_hi).(hi);
+      if lo <> 0 then acc := add !acc table.(w_lo).(lo)
+    done;
+    !acc
+  end
+
+(* Multi-scalar multiplication (Pippenger's bucket method).  Dominates the
+   cost of Groth–Kohlweiss proving/verification, which is what makes the
+   password protocol's O(n) prover practical at n = 512 relying parties. *)
+let multi_mul (pairs : (Scalar.t * t) array) : t =
+  let n = Array.length pairs in
+  if n = 0 then infinity
+  else begin
+    let w = if n >= 256 then 6 else if n >= 32 then 5 else if n >= 8 then 4 else 2 in
+    let nbuckets = (1 lsl w) - 1 in
+    let nwindows = (256 + w - 1) / w in
+    let digit k win =
+      (* bits [win*w, win*w + w) of the scalar *)
+      let d = ref 0 in
+      for b = (win * w) + w - 1 downto win * w do
+        d := (!d lsl 1) lor (if b < 256 && Nat.test_bit k b then 1 else 0)
+      done;
+      !d
+    in
+    let acc = ref infinity in
+    for win = nwindows - 1 downto 0 do
+      for _ = 1 to w do
+        acc := double !acc
+      done;
+      let buckets = Array.make nbuckets infinity in
+      Array.iter
+        (fun (k, p) ->
+          let d = digit k win in
+          if d > 0 then buckets.(d - 1) <- add buckets.(d - 1) p)
+        pairs;
+      let run = ref infinity and total = ref infinity in
+      for d = nbuckets downto 1 do
+        run := add !run buckets.(d - 1);
+        total := add !total !run
+      done;
+      acc := add !acc !total
+    done;
+    !acc
+  end
+
+let is_on_curve (p : t) : bool =
+  if is_infinity p then true
+  else begin
+    match to_affine p with
+    | None -> true
+    | Some (x, y) ->
+        let rhs = Fe.add (Fe.add (Fe.mul (Fe.sqr x) x) (Fe.mul P256.a x)) (Fe.of_nat P256.b) in
+        Fe.equal (Fe.sqr y) rhs
+  end
+
+(* SEC1 uncompressed encoding; infinity encodes as a single zero byte. *)
+let encode (p : t) : string =
+  match to_affine p with
+  | None -> "\x00"
+  | Some (x, y) -> "\x04" ^ Fe.to_bytes_be x ^ Fe.to_bytes_be y
+
+let decode (s : string) : t option =
+  if s = "\x00" then Some infinity
+  else if String.length s = 65 && s.[0] = '\x04' then begin
+    let x = Nat.of_bytes_be (String.sub s 1 32) and y = Nat.of_bytes_be (String.sub s 33 32) in
+    if Nat.compare x P256.p >= 0 || Nat.compare y P256.p >= 0 then None
+    else begin
+      let pt = of_affine ~x ~y in
+      if is_on_curve pt then Some pt else None
+    end
+  end
+  else None
+
+let decode_exn s =
+  match decode s with Some p -> p | None -> invalid_arg "Point.decode_exn: invalid encoding"
+
+(* SEC1 compressed encoding (33 bytes); infinity as a single zero byte. *)
+let encode_compressed (p : t) : string =
+  match to_affine p with
+  | None -> "\x00"
+  | Some (x, y) ->
+      let tag = if Nat.test_bit y 0 then "\x03" else "\x02" in
+      tag ^ Fe.to_bytes_be x
+
+let decode_compressed (s : string) : t option =
+  if s = "\x00" then Some infinity
+  else if String.length s = 33 && (s.[0] = '\x02' || s.[0] = '\x03') then begin
+    let x = Nat.of_bytes_be (String.sub s 1 32) in
+    if Nat.compare x P256.p >= 0 then None
+    else begin
+      let rhs = Fe.add (Fe.add (Fe.mul (Fe.sqr x) x) (Fe.mul P256.a x)) (Fe.of_nat P256.b) in
+      match Fe.sqrt rhs with
+      | None -> None
+      | Some y ->
+          let want_odd = s.[0] = '\x03' in
+          let y = if Nat.test_bit y 0 = want_odd then y else Fe.neg y in
+          Some (of_affine ~x ~y)
+    end
+  end
+  else None
+
+(* x-coordinate as a scalar: ECDSA's conversion function f : G -> Z_n. *)
+let x_scalar (p : t) : Scalar.t =
+  match to_affine p with
+  | None -> invalid_arg "Point.x_scalar: infinity"
+  | Some (x, _) -> Scalar.of_nat x
+
+let random ~(rand_bytes : int -> string) : Scalar.t * t =
+  let k = Scalar.random_nonzero ~rand_bytes in
+  (k, mul_base k)
+
+let pp fmt p =
+  match to_affine p with
+  | None -> Fmt.pf fmt "Infinity"
+  | Some (x, y) -> Fmt.pf fmt "(%a, %a)" Fe.pp x Fe.pp y

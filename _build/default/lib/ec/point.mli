@@ -1,0 +1,72 @@
+(** P-256 group operations (Jacobian coordinates).
+
+    The group underlying every public-key operation in larch: FIDO2's ECDSA
+    (required by the standard), the ElGamal archive encryption, the
+    password protocol's blinded Diffie-Hellman, and all sigma protocols. *)
+
+module Fe = P256.Fe
+module Scalar = P256.Scalar
+
+(** Jacobian point: (X, Y, Z) represents the affine point (X/Z², Y/Z³);
+    Z = 0 is the point at infinity. *)
+type t = { x : Fe.t; y : Fe.t; z : Fe.t }
+
+val infinity : t
+val is_infinity : t -> bool
+val of_affine : x:Fe.t -> y:Fe.t -> t
+
+val g : t
+(** The standard base point. *)
+
+val to_affine : t -> (Fe.t * Fe.t) option
+(** [None] for the point at infinity.  Costs one field inversion. *)
+
+val equal : t -> t -> bool
+(** Projective-coordinate-independent equality (no inversion). *)
+
+val double : t -> t
+val add : t -> t -> t
+val neg : t -> t
+val sub : t -> t -> t
+
+val mul : Scalar.t -> t -> t
+(** Variable-point scalar multiplication (4-bit fixed window). *)
+
+val mul_base : Scalar.t -> t
+(** Base-point multiplication via a cached comb table; ~3× faster than
+    [mul _ g]. *)
+
+val multi_mul : (Scalar.t * t) array -> t
+(** Pippenger multi-scalar multiplication: Σᵢ kᵢ·Pᵢ.  The workhorse of
+    Groth–Kohlweiss proving/verification (O(n) group work at hundreds of
+    relying parties). *)
+
+val is_on_curve : t -> bool
+
+(** {1 Encodings} *)
+
+val encode : t -> string
+(** SEC1 uncompressed (65 bytes); infinity encodes as a single zero byte. *)
+
+val decode : string -> t option
+(** Validates the point is on the curve. *)
+
+val decode_exn : string -> t
+
+val encode_compressed : t -> string
+(** SEC1 compressed (33 bytes). *)
+
+val decode_compressed : string -> t option
+
+val x_scalar : t -> Scalar.t
+(** ECDSA's conversion function f : G → Z_n (the x-coordinate mod n).
+    @raise Invalid_argument on infinity *)
+
+val random : rand_bytes:(int -> string) -> Scalar.t * t
+(** A uniform keypair (k, k·G). *)
+
+val pp : Format.formatter -> t -> unit
+
+(**/**)
+
+val base_table : t array array lazy_t

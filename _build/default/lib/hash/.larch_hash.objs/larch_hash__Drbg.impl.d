@@ -1,0 +1,1 @@
+lib/hash/drbg.ml: Buffer Hmac Printf String Unix

@@ -1,0 +1,1 @@
+lib/hash/hkdf.ml: Buffer Char Hmac Sha256 String

@@ -1,0 +1,1 @@
+lib/hash/hmac.ml: Larch_util Sha1 Sha256 String

@@ -1,0 +1,1 @@
+lib/hash/sha1.ml: Array Bytes Char Int64 String

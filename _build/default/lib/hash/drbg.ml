@@ -1,0 +1,56 @@
+(* HMAC-DRBG over SHA-256 (NIST SP 800-90A).
+
+   Serves two roles: (1) the deterministic nonce derivation of RFC 6979 used
+   by [Larch_ec.Ecdsa] (the update/generate loop below is exactly the K,V
+   state machine of that RFC), and (2) a seedable, reproducible randomness
+   source for tests, benchmarks and the simulator — every protocol entry
+   point takes a [rand_bytes] function so runs can be made deterministic. *)
+
+type t = { mutable k : string; mutable v : string }
+
+let update (t : t) (data : string) : unit =
+  t.k <- Hmac.sha256 ~key:t.k (t.v ^ "\x00" ^ data);
+  t.v <- Hmac.sha256 ~key:t.k t.v;
+  if data <> "" then begin
+    t.k <- Hmac.sha256 ~key:t.k (t.v ^ "\x01" ^ data);
+    t.v <- Hmac.sha256 ~key:t.k t.v
+  end
+
+let create ~(entropy : string) : t =
+  let t = { k = String.make 32 '\000'; v = String.make 32 '\x01' } in
+  update t entropy;
+  t
+
+let generate (t : t) (n : int) : string =
+  let buf = Buffer.create n in
+  while Buffer.length buf < n do
+    t.v <- Hmac.sha256 ~key:t.k t.v;
+    Buffer.add_string buf t.v
+  done;
+  t.k <- Hmac.sha256 ~key:t.k (t.v ^ "\x00");
+  t.v <- Hmac.sha256 ~key:t.k t.v;
+  String.sub (Buffer.contents buf) 0 n
+
+(* Rejection hook used by RFC 6979: mix in a zero byte and refresh V. *)
+let retry (t : t) : unit =
+  t.k <- Hmac.sha256 ~key:t.k (t.v ^ "\x00");
+  t.v <- Hmac.sha256 ~key:t.k t.v
+
+(* A convenient [rand_bytes] closure.  [of_seed] gives deterministic streams
+   for tests; [system] pulls entropy from /dev/urandom once and runs the DRBG
+   thereafter. *)
+let rand_bytes_of (t : t) : int -> string = fun n -> generate t n
+
+let of_seed (seed : string) : int -> string = rand_bytes_of (create ~entropy:seed)
+
+let system_entropy () : string =
+  try
+    let ic = open_in_bin "/dev/urandom" in
+    let s = really_input_string ic 48 in
+    close_in ic;
+    s
+  with _ ->
+    (* Fallback for exotic sandboxes: clock-derived seed. *)
+    Printf.sprintf "%f-%d-fallback-entropy" (Unix.gettimeofday ()) (Unix.getpid ())
+
+let system () : int -> string = of_seed (system_entropy ())

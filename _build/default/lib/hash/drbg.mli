@@ -1,0 +1,28 @@
+(** HMAC-DRBG over SHA-256 (NIST SP 800-90A).
+
+    Doubles as the RFC 6979 deterministic-nonce machine (the K,V update
+    loop is exactly that RFC's) and as the seedable randomness source every
+    protocol entry point consumes via a [rand_bytes : int -> string]
+    closure — seeded for reproducible tests/benches, system-seeded for
+    examples. *)
+
+type t
+
+val create : entropy:string -> t
+val update : t -> string -> unit
+val generate : t -> int -> string
+
+val retry : t -> unit
+(** The RFC 6979 rejection step (mix a zero byte, refresh V). *)
+
+val rand_bytes_of : t -> int -> string
+
+val of_seed : string -> int -> string
+(** Deterministic stream from a seed. *)
+
+val system : unit -> int -> string
+(** Seeded once from /dev/urandom. *)
+
+(**/**)
+
+val system_entropy : unit -> string

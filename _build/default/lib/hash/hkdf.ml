@@ -1,0 +1,21 @@
+(* HKDF (RFC 5869) over HMAC-SHA256.  Used to derive per-purpose subkeys from
+   larch archive keys and transport secrets. *)
+
+let extract ?(salt = "") (ikm : string) : string =
+  let salt = if salt = "" then String.make Sha256.digest_size '\000' else salt in
+  Hmac.sha256 ~key:salt ikm
+
+let expand ~(prk : string) ~(info : string) ~(len : int) : string =
+  if len > 255 * Sha256.digest_size then invalid_arg "Hkdf.expand: too long";
+  let buf = Buffer.create len in
+  let t = ref "" in
+  let i = ref 1 in
+  while Buffer.length buf < len do
+    t := Hmac.sha256 ~key:prk (!t ^ info ^ String.make 1 (Char.chr !i));
+    Buffer.add_string buf !t;
+    incr i
+  done;
+  String.sub (Buffer.contents buf) 0 len
+
+let derive ?salt ~(ikm : string) ~(info : string) ~(len : int) () : string =
+  expand ~prk:(extract ?salt ikm) ~info ~len

@@ -1,0 +1,6 @@
+(** HKDF (RFC 5869) over HMAC-SHA256: per-purpose subkey derivation from
+    archive keys, OT pads, and PRG seeds. *)
+
+val extract : ?salt:string -> string -> string
+val expand : prk:string -> info:string -> len:int -> string
+val derive : ?salt:string -> ikm:string -> info:string -> len:int -> unit -> string

@@ -1,0 +1,18 @@
+(* HMAC (RFC 2104) over SHA-256 and SHA-1. *)
+
+type algo = SHA256 | SHA1
+
+let block_size = function SHA256 -> Sha256.block_size | SHA1 -> Sha1.block_size
+let digest_size = function SHA256 -> Sha256.digest_size | SHA1 -> Sha1.digest_size
+let hash algo s = match algo with SHA256 -> Sha256.digest s | SHA1 -> Sha1.digest s
+
+let mac ~(algo : algo) ~(key : string) (msg : string) : string =
+  let bs = block_size algo in
+  let key = if String.length key > bs then hash algo key else key in
+  let key = key ^ String.make (bs - String.length key) '\000' in
+  let ipad = Larch_util.Bytesx.xor key (String.make bs '\x36') in
+  let opad = Larch_util.Bytesx.xor key (String.make bs '\x5c') in
+  hash algo (opad ^ hash algo (ipad ^ msg))
+
+let sha256 ~key msg = mac ~algo:SHA256 ~key msg
+let sha1 ~key msg = mac ~algo:SHA1 ~key msg

@@ -1,0 +1,12 @@
+(** HMAC (RFC 2104) over SHA-256 and SHA-1.  HMAC-SHA1 is what RFC 6238
+    TOTP computes; HMAC-SHA256 backs HKDF and the DRBG. *)
+
+type algo = SHA256 | SHA1
+
+val block_size : algo -> int
+val digest_size : algo -> int
+val hash : algo -> string -> string
+
+val mac : algo:algo -> key:string -> string -> string
+val sha256 : key:string -> string -> string
+val sha1 : key:string -> string -> string

@@ -1,0 +1,70 @@
+(* SHA-1 (FIPS 180-4).
+
+   Present because RFC 6238 TOTP defaults to HMAC-SHA1; the gate-level
+   circuit in [Larch_circuit.Sha1_circuit] is tested against this module.
+   SHA-1 is used here only where the TOTP standard requires it. *)
+
+let mask32 = 0xffffffff
+let digest_size = 20
+let block_size = 64
+
+let rotl x n = ((x lsl n) lor (x lsr (32 - n))) land mask32
+
+let compress (h : int array) (block : string) (off : int) : unit =
+  let w = Array.make 80 0 in
+  for t = 0 to 15 do
+    let i = off + (4 * t) in
+    w.(t) <-
+      (Char.code block.[i] lsl 24)
+      lor (Char.code block.[i + 1] lsl 16)
+      lor (Char.code block.[i + 2] lsl 8)
+      lor Char.code block.[i + 3]
+  done;
+  for t = 16 to 79 do
+    w.(t) <- rotl (w.(t - 3) lxor w.(t - 8) lxor w.(t - 14) lxor w.(t - 16)) 1
+  done;
+  let a = ref h.(0) and b = ref h.(1) and c = ref h.(2) and d = ref h.(3) and e = ref h.(4) in
+  for t = 0 to 79 do
+    let f, kc =
+      if t < 20 then ((!b land !c) lor (lnot !b land !d) land mask32, 0x5a827999)
+      else if t < 40 then (!b lxor !c lxor !d, 0x6ed9eba1)
+      else if t < 60 then ((!b land !c) lor (!b land !d) lor (!c land !d), 0x8f1bbcdc)
+      else (!b lxor !c lxor !d, 0xca62c1d6)
+    in
+    let tmp = (rotl !a 5 + f + !e + kc + w.(t)) land mask32 in
+    e := !d;
+    d := !c;
+    c := rotl !b 30;
+    b := !a;
+    a := tmp
+  done;
+  h.(0) <- (h.(0) + !a) land mask32;
+  h.(1) <- (h.(1) + !b) land mask32;
+  h.(2) <- (h.(2) + !c) land mask32;
+  h.(3) <- (h.(3) + !d) land mask32;
+  h.(4) <- (h.(4) + !e) land mask32
+
+let digest (s : string) : string =
+  let h = [| 0x67452301; 0xefcdab89; 0x98badcfe; 0x10325476; 0xc3d2e1f0 |] in
+  let total = String.length s in
+  let pad_len =
+    let r = (total + 1 + 8) mod block_size in
+    if r = 0 then 1 + 8 else 1 + 8 + (block_size - r)
+  in
+  let msg = Bytes.make (total + pad_len) '\000' in
+  Bytes.blit_string s 0 msg 0 total;
+  Bytes.set msg total '\x80';
+  Bytes.set_int64_be msg (total + pad_len - 8) (Int64.of_int (8 * total));
+  let msg = Bytes.unsafe_to_string msg in
+  let nblocks = String.length msg / block_size in
+  for i = 0 to nblocks - 1 do
+    compress h msg (i * block_size)
+  done;
+  let out = Bytes.create digest_size in
+  for i = 0 to 4 do
+    Bytes.set_uint8 out (4 * i) ((h.(i) lsr 24) land 0xff);
+    Bytes.set_uint8 out ((4 * i) + 1) ((h.(i) lsr 16) land 0xff);
+    Bytes.set_uint8 out ((4 * i) + 2) ((h.(i) lsr 8) land 0xff);
+    Bytes.set_uint8 out ((4 * i) + 3) (h.(i) land 0xff)
+  done;
+  Bytes.unsafe_to_string out

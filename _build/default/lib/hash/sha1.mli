@@ -1,0 +1,10 @@
+(** SHA-1 (FIPS 180-4) — present solely because RFC 6238 TOTP defaults to
+    HMAC-SHA1; the gate-level circuit is tested against this module. *)
+
+val digest_size : int
+val block_size : int
+val digest : string -> string
+
+(**/**)
+
+val compress : int array -> string -> int -> unit

@@ -1,0 +1,23 @@
+(** SHA-256 (FIPS 180-4) — the root of trust for commitments, signing
+    digests, HMAC, the DRBG, and the in-circuit statements (the gate-level
+    SHA-256 is tested against this module). *)
+
+val digest_size : int
+val block_size : int
+
+val digest : string -> string
+val digest_list : string list -> string
+
+(** {1 Streaming} *)
+
+type ctx
+
+val init : unit -> ctx
+val feed : ctx -> string -> unit
+val finish : ctx -> string
+
+(**/**)
+
+val k : int array
+val initial_state : int array
+val compress : int array -> string -> int -> unit

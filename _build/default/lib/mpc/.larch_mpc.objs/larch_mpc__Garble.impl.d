@@ -1,0 +1,1 @@
+lib/mpc/garble.ml: Array Bytes Char Hashtbl Larch_circuit Larch_hash Larch_util List String

@@ -1,0 +1,1 @@
+lib/mpc/garble.mli: Larch_circuit

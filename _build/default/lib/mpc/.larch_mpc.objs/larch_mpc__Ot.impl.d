@@ -1,0 +1,1 @@
+lib/mpc/ot.ml: Larch_ec Larch_hash Larch_util String

@@ -1,0 +1,1 @@
+lib/mpc/ot_ext.ml: Array Bytes Char Larch_cipher Larch_hash Larch_util Ot String

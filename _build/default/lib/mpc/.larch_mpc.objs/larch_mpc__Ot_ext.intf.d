@@ -1,0 +1,1 @@
+lib/mpc/ot_ext.mli:

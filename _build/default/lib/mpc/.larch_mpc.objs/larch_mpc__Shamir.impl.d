@@ -1,0 +1,1 @@
+lib/mpc/shamir.ml: Array Larch_ec List

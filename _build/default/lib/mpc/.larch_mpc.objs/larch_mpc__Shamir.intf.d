@@ -1,0 +1,1 @@
+lib/mpc/shamir.mli: Larch_ec

@@ -1,0 +1,1 @@
+lib/mpc/sharing.ml: Larch_ec Larch_util String

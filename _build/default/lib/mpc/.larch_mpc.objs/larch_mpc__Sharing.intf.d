@@ -1,0 +1,1 @@
+lib/mpc/sharing.mli: Larch_ec

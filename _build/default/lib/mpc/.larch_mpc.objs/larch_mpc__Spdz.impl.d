@@ -1,0 +1,1 @@
+lib/mpc/spdz.ml: Larch_ec Larch_hash Larch_util Sharing

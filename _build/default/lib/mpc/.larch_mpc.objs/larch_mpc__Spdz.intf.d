@@ -1,0 +1,1 @@
+lib/mpc/spdz.mli: Larch_ec

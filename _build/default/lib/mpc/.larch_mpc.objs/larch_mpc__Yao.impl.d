@@ -1,0 +1,1 @@
+lib/mpc/yao.ml: Array Garble Larch_circuit Larch_net Larch_util Ot_ext String Unix

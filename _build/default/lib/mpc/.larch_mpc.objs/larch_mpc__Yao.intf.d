@@ -1,0 +1,1 @@
+lib/mpc/yao.mli: Larch_circuit Larch_net

@@ -1,0 +1,47 @@
+(** Garbled circuits: free-XOR + point-and-permute + half-gates
+    (Zahur–Rosulek–Evans), SHA-256 as the label-derivation oracle.
+
+    Two 16-byte ciphertexts per AND gate; XOR/NOT are free.  Semi-honest —
+    the paper uses authenticated garbling for malicious security; see
+    DESIGN.md §1 for why the substitution preserves the reported shapes. *)
+
+module Circuit = Larch_circuit.Circuit
+
+val label_len : int
+
+type garbling = {
+  tables : (string * string) array; (** (T_G, T_E) per AND gate *)
+  const_labels : (int * string) list; (** active labels of Const wires *)
+  input_zero : string array; (** zero-label per input wire (garbler secret) *)
+  offset : string; (** the global free-XOR offset R (garbler secret) *)
+  output_decode : int array; (** permute bits for output decoding *)
+  output_zero : string array; (** output zero-labels (garbler secret) *)
+}
+
+val garble : Circuit.t -> rand_bytes:(int -> string) -> garbling
+
+val tables_bytes : garbling -> int
+(** Bytes shipped to the evaluator (tables + const labels + decode bits). *)
+
+val active_input : garbling -> int -> int -> string
+(** The label for input wire [i] carrying bit [v] (garbler side). *)
+
+val evaluate :
+  Circuit.t ->
+  tables:(string * string) array ->
+  const_labels:(int * string) list ->
+  active_inputs:string array ->
+  string array
+(** Evaluator: walk the circuit with active labels; returns the active
+    output labels. *)
+
+val decode_outputs : garbling -> string array -> int array
+
+val garbler_decode : garbling -> int -> string -> int option
+(** Decode an output label returned by the evaluator; [None] means the
+    label is not one of the two valid ones (evaluator cheating). *)
+
+(**/**)
+
+val lsb : string -> int
+val hash : string -> int -> string

@@ -1,0 +1,52 @@
+(* 1-out-of-2 oblivious transfer (Chou–Orlandi "simplest OT" shape, over
+   P-256, random-oracle key derivation).
+
+   Used only as the *base* OTs of the IKNP extension ([Ot_ext]); the TOTP
+   garbled-circuit execution transfers the log's input-wire labels with the
+   extension, not with these (relatively expensive) public-key OTs. *)
+
+module Point = Larch_ec.Point
+module Scalar = Larch_ec.P256.Scalar
+
+type sender_state = { a : Scalar.t; a_pub : Point.t }
+type sender_setup = { s_pub : Point.t }
+
+let sender_setup ~(rand_bytes : int -> string) : sender_state * sender_setup =
+  let a = Scalar.random_nonzero ~rand_bytes in
+  let a_pub = Point.mul_base a in
+  ({ a; a_pub }, { s_pub = a_pub })
+
+type receiver_state = { shared : Point.t }
+type receiver_msg = { r_pub : Point.t }
+
+let derive_key (tag : string) (p : Point.t) (len : int) : string =
+  Larch_hash.Hkdf.derive ~ikm:(Point.encode p) ~info:("larch-ot" ^ tag) ~len ()
+
+(* Receiver with choice bit [choice]: B = g^b (choice 0) or A·g^b (choice 1). *)
+let receiver_choose ~(setup : sender_setup) ~(choice : int) ~(rand_bytes : int -> string) :
+    receiver_state * receiver_msg =
+  let b = Scalar.random_nonzero ~rand_bytes in
+  let gb = Point.mul_base b in
+  let r_pub = if choice land 1 = 0 then gb else Point.add setup.s_pub gb in
+  ({ shared = Point.mul b setup.s_pub }, { r_pub })
+
+(* Sender derives both pads: k0 = H(B^a), k1 = H((B/A)^a). *)
+let sender_keys ~(state : sender_state) ~(msg : receiver_msg) ~(key_len : int) : string * string
+    =
+  let k0 = derive_key "k" (Point.mul state.a msg.r_pub) key_len in
+  let k1 = derive_key "k" (Point.mul state.a (Point.sub msg.r_pub state.a_pub)) key_len in
+  (k0, k1)
+
+(* Convenience: complete OT of two equal-length messages. *)
+type sender_payload = { e0 : string; e1 : string }
+
+let sender_encrypt ~(state : sender_state) ~(msg : receiver_msg) ~(m0 : string) ~(m1 : string) :
+    sender_payload =
+  if String.length m0 <> String.length m1 then invalid_arg "Ot.sender_encrypt: length mismatch";
+  let len = String.length m0 in
+  let k0, k1 = sender_keys ~state ~msg ~key_len:len in
+  { e0 = Larch_util.Bytesx.xor m0 k0; e1 = Larch_util.Bytesx.xor m1 k1 }
+
+let receiver_recover ~(state : receiver_state) ~(choice : int) (p : sender_payload) : string =
+  let c = if choice land 1 = 0 then p.e0 else p.e1 in
+  Larch_util.Bytesx.xor c (derive_key "k" state.shared (String.length c))

@@ -1,0 +1,121 @@
+(* IKNP oblivious-transfer extension (semi-honest).
+
+   Turns κ = 128 public-key base OTs into m symmetric-crypto OTs.  The TOTP
+   protocol runs one extension per authentication to deliver the log's
+   garbled-circuit input labels; the base-OT cost is paid in the offline
+   phase.
+
+   Roles: the extension *sender* S holds message pairs (m0_i, m1_i); the
+   extension *receiver* R holds choice bits r_i.  In the base OTs the roles
+   reverse: R acts as base-sender of seed pairs, S as base-receiver with a
+   random selection string s ∈ {0,1}^κ.
+
+     t_j = PRG(k0_j)                      (column j, length m)
+     u_j = t_j ⊕ PRG(k1_j) ⊕ r            (sent R → S)
+     q_j = PRG(k_{s_j},j) ⊕ s_j·u_j = t_j ⊕ s_j·r
+     row i:  q_i = t_i ⊕ r_i·s
+     pads:   y0_i = H(i, q_i),  y1_i = H(i, q_i ⊕ s);  R knows H(i, t_i) = y_{r_i}. *)
+
+module Bytesx = Larch_util.Bytesx
+
+let kappa = 128
+
+(* --- base-OT phase (R = base sender, S = base receiver) --- *)
+
+type r_base = { k0 : string array; k1 : string array } (* κ seed pairs, 16B each *)
+type s_base = { s_bits : int array; ks : string array } (* selection bits + chosen seeds *)
+
+(* Run the κ base OTs in one in-process exchange; returns what each side
+   retains.  The byte cost of this exchange is what [base_bytes] reports. *)
+let run_base_ots ~(rand_bytes_r : int -> string) ~(rand_bytes_s : int -> string) :
+    r_base * s_base * int =
+  let st, setup = Ot.sender_setup ~rand_bytes:rand_bytes_r in
+  let k0 = Array.init kappa (fun _ -> rand_bytes_r 16) in
+  let k1 = Array.init kappa (fun _ -> rand_bytes_r 16) in
+  let s_bits = Array.init kappa (fun _ -> Char.code (rand_bytes_s 1).[0] land 1) in
+  let bytes = ref 65 (* sender setup point *) in
+  let ks =
+    Array.init kappa (fun j ->
+        let rstate, rmsg = Ot.receiver_choose ~setup ~choice:s_bits.(j) ~rand_bytes:rand_bytes_s in
+        let payload = Ot.sender_encrypt ~state:st ~msg:rmsg ~m0:k0.(j) ~m1:k1.(j) in
+        bytes := !bytes + 65 + 32;
+        Ot.receiver_recover ~state:rstate ~choice:s_bits.(j) payload)
+  in
+  ({ k0; k1 }, { s_bits; ks }, !bytes)
+
+(* --- extension phase --- *)
+
+let column_prg (seed : string) (j : int) (m_bytes : int) : string =
+  Larch_cipher.Prg.next_bytes
+    (Larch_cipher.Prg.create (seed ^ "iknp-col" ^ Bytesx.be32 j))
+    m_bytes
+
+let pad (i : int) (row : string) (len : int) : string =
+  Larch_hash.Hkdf.derive ~ikm:row ~info:("iknp-pad" ^ Bytesx.be32 i) ~len ()
+
+type r_ext = { rows_t : string array (* m rows of κ bits = 16B *) }
+type u_matrix = { cols : string array (* κ columns of m bits *) }
+
+(* Receiver: choices is a bit array of length m.  Produces the u-matrix to
+   send to S and the per-row pads base. *)
+let receiver_extend (base : r_base) ~(choices : int array) : r_ext * u_matrix =
+  let m = Array.length choices in
+  let m_bytes = (m + 7) / 8 in
+  let r_str = Bytesx.string_of_bits choices in
+  let t_cols = Array.init kappa (fun j -> column_prg base.k0.(j) j m_bytes) in
+  let cols =
+    Array.init kappa (fun j ->
+        Bytesx.xor (Bytesx.xor t_cols.(j) (column_prg base.k1.(j) j m_bytes)) r_str)
+  in
+  (* transpose: row i of T, as 16 bytes *)
+  let rows_t =
+    Array.init m (fun i ->
+        let row = Bytes.make (kappa / 8) '\000' in
+        for j = 0 to kappa - 1 do
+          if Bytesx.get_bit t_cols.(j) i = 1 then Bytesx.set_bit row j 1
+        done;
+        Bytes.unsafe_to_string row)
+  in
+  ({ rows_t }, { cols })
+
+type s_ext = { rows_q : string array; s_str : string }
+
+let sender_extend (base : s_base) ~(u : u_matrix) ~(m : int) : s_ext =
+  let m_bytes = (m + 7) / 8 in
+  let q_cols =
+    Array.init kappa (fun j ->
+        let prg = column_prg base.ks.(j) j m_bytes in
+        if base.s_bits.(j) = 1 then Bytesx.xor prg u.cols.(j) else prg)
+  in
+  let rows_q =
+    Array.init m (fun i ->
+        let row = Bytes.make (kappa / 8) '\000' in
+        for j = 0 to kappa - 1 do
+          if Bytesx.get_bit q_cols.(j) i = 1 then Bytesx.set_bit row j 1
+        done;
+        Bytes.unsafe_to_string row)
+  in
+  { rows_q; s_str = Bytesx.string_of_bits base.s_bits }
+
+(* Sender encrypts message pairs; messages at index i must share a length. *)
+let sender_encrypt (ext : s_ext) ~(pairs : (string * string) array) : (string * string) array =
+  Array.mapi
+    (fun i (m0, m1) ->
+      if String.length m0 <> String.length m1 then invalid_arg "Ot_ext: length mismatch";
+      let len = String.length m0 in
+      let y0 = pad i ext.rows_q.(i) len in
+      let y1 = pad i (Bytesx.xor ext.rows_q.(i) ext.s_str) len in
+      (Bytesx.xor m0 y0, Bytesx.xor m1 y1))
+    pairs
+
+let receiver_recover (ext : r_ext) ~(choices : int array) ~(cipher : (string * string) array) :
+    string array =
+  Array.mapi
+    (fun i (e0, e1) ->
+      let c = if choices.(i) land 1 = 0 then e0 else e1 in
+      Bytesx.xor c (pad i ext.rows_t.(i) (String.length c)))
+    cipher
+
+(* Communication accounting helpers. *)
+let u_matrix_bytes (u : u_matrix) : int =
+  Array.fold_left (fun acc c -> acc + String.length c) 0 u.cols

@@ -1,0 +1,41 @@
+(** IKNP oblivious-transfer extension (semi-honest): κ = 128 public-key
+    base OTs amortize into arbitrarily many symmetric-crypto OTs.  Delivers
+    the log's garbled-circuit input labels in the TOTP protocol; the base
+    OTs are paid in the offline phase. *)
+
+val kappa : int
+
+(** {1 Base-OT phase (roles reversed: extension receiver = base sender)} *)
+
+type r_base
+type s_base
+
+val run_base_ots :
+  rand_bytes_r:(int -> string) -> rand_bytes_s:(int -> string) -> r_base * s_base * int
+(** Returns each side's retained state plus the bytes exchanged. *)
+
+(** {1 Extension phase} *)
+
+type r_ext
+type u_matrix
+
+val receiver_extend : r_base -> choices:int array -> r_ext * u_matrix
+(** The receiver's per-OT choice bits produce the u-matrix sent to the
+    sender. *)
+
+type s_ext
+
+val sender_extend : s_base -> u:u_matrix -> m:int -> s_ext
+
+val sender_encrypt : s_ext -> pairs:(string * string) array -> (string * string) array
+(** Encrypt message pairs; pair i's two messages must share a length. *)
+
+val receiver_recover :
+  r_ext -> choices:int array -> cipher:(string * string) array -> string array
+
+val u_matrix_bytes : u_matrix -> int
+
+(**/**)
+
+val column_prg : string -> int -> int -> string
+val pad : int -> string -> int -> string

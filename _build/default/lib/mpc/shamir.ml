@@ -1,0 +1,57 @@
+(* Shamir secret sharing over Z_q (§6: splitting trust across multiple
+   logs).  A t-of-n sharing of a password share lets the client reassemble
+   the password from any t log responses. *)
+
+module Scalar = Larch_ec.P256.Scalar
+
+type share = { index : int; value : Scalar.t } (* evaluation at x = index, index >= 1 *)
+
+let split ~(threshold : int) ~(n : int) (secret : Scalar.t) ~(rand_bytes : int -> string) :
+    share list =
+  if threshold < 1 || threshold > n then invalid_arg "Shamir.split: bad threshold";
+  (* polynomial of degree threshold-1 with constant term = secret *)
+  let coeffs =
+    Array.init threshold (fun i -> if i = 0 then secret else Scalar.random ~rand_bytes)
+  in
+  List.init n (fun j ->
+      let x = Scalar.of_int (j + 1) in
+      let v = ref Scalar.zero and xp = ref Scalar.one in
+      Array.iter
+        (fun c ->
+          v := Scalar.add !v (Scalar.mul c !xp);
+          xp := Scalar.mul !xp x)
+        coeffs;
+      { index = j + 1; value = !v })
+
+(* Lagrange interpolation at 0 over any >= threshold shares. *)
+let reconstruct (shares : share list) : Scalar.t =
+  let shares = List.sort_uniq (fun a b -> compare a.index b.index) shares in
+  List.fold_left
+    (fun acc si ->
+      let num = ref Scalar.one and den = ref Scalar.one in
+      List.iter
+        (fun sj ->
+          if sj.index <> si.index then begin
+            num := Scalar.mul !num (Scalar.of_int sj.index);
+            den :=
+              Scalar.mul !den (Scalar.sub (Scalar.of_int sj.index) (Scalar.of_int si.index))
+          end)
+        shares;
+      let lagrange = Scalar.mul !num (Scalar.inv !den) in
+      Scalar.add acc (Scalar.mul si.value lagrange))
+    Scalar.zero shares
+
+(* Shamir sharing of a group element via exponent-free blinding is not
+   possible; instead larch's multi-log password protocol shares the *scalar*
+   key k across logs, and the client combines the per-log responses
+   c₂^{k_i} with Lagrange coefficients in the exponent. *)
+let lagrange_coefficient ~(at : int) (indices : int list) : Scalar.t =
+  let num = ref Scalar.one and den = ref Scalar.one in
+  List.iter
+    (fun j ->
+      if j <> at then begin
+        num := Scalar.mul !num (Scalar.of_int j);
+        den := Scalar.mul !den (Scalar.sub (Scalar.of_int j) (Scalar.of_int at))
+      end)
+    indices;
+  Scalar.mul !num (Scalar.inv !den)

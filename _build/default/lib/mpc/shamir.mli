@@ -1,0 +1,17 @@
+(** Shamir secret sharing over Z_q — the substrate of the §6 multi-log
+    password deployment (t-of-n recombination in the exponent). *)
+
+module Scalar = Larch_ec.P256.Scalar
+
+type share = { index : int; value : Scalar.t }
+(** Evaluation of the polynomial at x = [index] (indices start at 1). *)
+
+val split : threshold:int -> n:int -> Scalar.t -> rand_bytes:(int -> string) -> share list
+
+val reconstruct : share list -> Scalar.t
+(** Lagrange interpolation at 0; correct given ≥ threshold distinct
+    shares. *)
+
+val lagrange_coefficient : at:int -> int list -> Scalar.t
+(** λ_at for the given index set — used to recombine c₂^(k_i) shares as
+    Π (c₂^(k_i))^(λ_i) = c₂^k without reconstructing k. *)

@@ -1,0 +1,21 @@
+(* Two-out-of-two secret sharing (§2.2 "Background").
+
+   Additive sharing over Z_q is used for ECDSA key and nonce shares; XOR
+   sharing over byte strings is used for TOTP keys (the shares feed the
+   Boolean 2PC circuit, where XOR is the natural group). *)
+
+module Scalar = Larch_ec.P256.Scalar
+
+(* x = x1 + x2 (mod q); x1 uniform. *)
+let additive (x : Scalar.t) ~(rand_bytes : int -> string) : Scalar.t * Scalar.t =
+  let x1 = Scalar.random ~rand_bytes in
+  (x1, Scalar.sub x x1)
+
+let additive_recover (x1 : Scalar.t) (x2 : Scalar.t) : Scalar.t = Scalar.add x1 x2
+
+(* s = s1 XOR s2; s1 uniform. *)
+let xor (s : string) ~(rand_bytes : int -> string) : string * string =
+  let s1 = rand_bytes (String.length s) in
+  (s1, Larch_util.Bytesx.xor s s1)
+
+let xor_recover (s1 : string) (s2 : string) : string = Larch_util.Bytesx.xor s1 s2

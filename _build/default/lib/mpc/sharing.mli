@@ -1,0 +1,14 @@
+(** Two-out-of-two secret sharing (§2.2): additive over Z_q for ECDSA
+    material, XOR over byte strings for TOTP keys. *)
+
+module Scalar = Larch_ec.P256.Scalar
+
+val additive : Scalar.t -> rand_bytes:(int -> string) -> Scalar.t * Scalar.t
+(** x = x₁ + x₂ (mod q), x₁ uniform. *)
+
+val additive_recover : Scalar.t -> Scalar.t -> Scalar.t
+
+val xor : string -> rand_bytes:(int -> string) -> string * string
+(** s = s₁ ⊕ s₂, s₁ uniform. *)
+
+val xor_recover : string -> string -> string

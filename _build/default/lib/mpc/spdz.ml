@@ -1,0 +1,141 @@
+(* Half-authenticated secure multiplication and MAC-checked opening
+   (paper Appendix B.2, Figure 10, following SPDZ [26]).
+
+   A value x is "authenticated" when the parties additionally hold additive
+   shares of x̂ = α·x for a shared information-theoretic MAC key α.  The
+   signing nonce r⁻¹ is authenticated; the secret-key share y is not —
+   Appendix A shows ECDSA remains secure when the adversary can shift the
+   unauthenticated input by an arbitrary additive "tweak", which is what
+   makes this cheaper half-authenticated protocol sound for larch.
+
+   The protocol is expressed as pure per-party steps exchanging explicit
+   messages, so the driver in [Larch_core.Two_party_ecdsa] can run it over
+   a metered channel and tests can inject malicious deviations. *)
+
+module Scalar = Larch_ec.P256.Scalar
+
+(* One party's share of an authenticated Beaver triple plus inputs, exactly
+   the per-party input of Π_HalfMul (Figure 10). *)
+type halfmul_input = {
+  a : Scalar.t;
+  b : Scalar.t;
+  c : Scalar.t; (* beaver triple: a·b = c *)
+  f : Scalar.t;
+  g : Scalar.t;
+  h : Scalar.t; (* authenticated triple: (f,g,h) = α·(a,b,c) *)
+  x : Scalar.t;
+  xhat : Scalar.t; (* authenticated input: x̂ = α·x *)
+  y : Scalar.t; (* unauthenticated input *)
+  alpha : Scalar.t; (* MAC key share *)
+}
+
+type halfmul_msg = { d : Scalar.t; e : Scalar.t }
+
+type halfmul_output = {
+  z : Scalar.t; (* share of x·y *)
+  zhat : Scalar.t; (* share of α·x·y *)
+  d_open : Scalar.t; (* opened intermediate d = x - a *)
+  dhat : Scalar.t; (* share of α·d, checked at opening time *)
+}
+
+let halfmul_round1 (inp : halfmul_input) : halfmul_msg =
+  { d = Scalar.sub inp.x inp.a; e = Scalar.sub inp.y inp.b }
+
+(* [party] is this party's index (0 or 1); the public d·e term is added by
+   party 0 only (for ẑ both parties weight it by their α share, which sums
+   correctly). *)
+let halfmul_finish ~(party : int) (inp : halfmul_input) ~(own : halfmul_msg)
+    ~(other : halfmul_msg) : halfmul_output =
+  let d = Scalar.add own.d other.d in
+  let e = Scalar.add own.e other.e in
+  let de = Scalar.mul d e in
+  let z =
+    let base = Scalar.add (Scalar.mul d inp.b) (Scalar.add (Scalar.mul e inp.a) inp.c) in
+    if party = 0 then Scalar.add de base else base
+  in
+  let zhat =
+    Scalar.add
+      (Scalar.mul de inp.alpha)
+      (Scalar.add (Scalar.mul d inp.g) (Scalar.add (Scalar.mul e inp.f) inp.h))
+  in
+  { z; zhat; d_open = d; dhat = Scalar.sub inp.xhat inp.f }
+
+(* --- Π_Open: commit-then-reveal opening with MAC check (SPDZ "output").
+
+   To open an authenticated value s = s₀+s₁ with tags ŝᵢ under MAC key
+   shares αᵢ, and simultaneously check the already-public intermediate d:
+
+   1. exchange value shares sᵢ  →  s
+   2. each party computes σᵢ = ŝᵢ − αᵢ·s and τᵢ = d̂ᵢ − αᵢ·d and *commits*
+      to (σᵢ, τᵢ)
+   3. exchange openings; accept iff σ₀+σ₁ = 0 and τ₀+τ₁ = 0.
+
+   The commitment round prevents the second mover from choosing its σ after
+   seeing the first. *)
+
+type open_input = {
+  s : Scalar.t;
+  shat : Scalar.t;
+  d_pub : Scalar.t; (* publicly known d (both parties agree) *)
+  dhat_share : Scalar.t;
+  alpha_share : Scalar.t;
+}
+
+type open_commit = { commitment : string }
+
+type open_reveal = { sigma : Scalar.t; tau : Scalar.t; nonce : string }
+
+type open_state = { reveal : open_reveal; s_share : Scalar.t }
+
+let open_round1 (inp : open_input) ~(s_total : Scalar.t) ~(rand_bytes : int -> string) :
+    open_state * open_commit =
+  let sigma = Scalar.sub inp.shat (Scalar.mul inp.alpha_share s_total) in
+  let tau = Scalar.sub inp.dhat_share (Scalar.mul inp.alpha_share inp.d_pub) in
+  let nonce = rand_bytes 16 in
+  let commitment =
+    Larch_hash.Sha256.digest_list
+      [ "spdz-open"; Scalar.to_bytes_be sigma; Scalar.to_bytes_be tau; nonce ]
+  in
+  ({ reveal = { sigma; tau; nonce }; s_share = inp.s }, { commitment })
+
+let open_check ~(own : open_state) ~(other_commit : open_commit) ~(other_reveal : open_reveal) :
+    bool =
+  let recomputed =
+    Larch_hash.Sha256.digest_list
+      [
+        "spdz-open";
+        Scalar.to_bytes_be other_reveal.sigma;
+        Scalar.to_bytes_be other_reveal.tau;
+        other_reveal.nonce;
+      ]
+  in
+  Larch_util.Bytesx.ct_equal recomputed other_commit.commitment
+  && Scalar.equal (Scalar.add own.reveal.sigma other_reveal.sigma) Scalar.zero
+  && Scalar.equal (Scalar.add own.reveal.tau other_reveal.tau) Scalar.zero
+
+(* --- authenticated Beaver triple + MAC-key generation (run by the trusted
+   client at enrollment; see Two_party_ecdsa.presign) --- *)
+
+type triple_pair = { share0 : halfmul_input; share1 : halfmul_input }
+
+let make_halfmul_inputs ~(x : Scalar.t) ~(y0 : Scalar.t) ~(y1 : Scalar.t)
+    ~(rand_bytes : int -> string) : triple_pair * Scalar.t =
+  (* returns the two parties' inputs and the MAC key α (for tests) *)
+  let alpha = Scalar.random ~rand_bytes in
+  let a = Scalar.random ~rand_bytes and b = Scalar.random ~rand_bytes in
+  let c = Scalar.mul a b in
+  let split v = Sharing.additive v ~rand_bytes in
+  let a0, a1 = split a and b0, b1 = split b and c0, c1 = split c in
+  let f0, f1 = split (Scalar.mul alpha a) in
+  let g0, g1 = split (Scalar.mul alpha b) in
+  let h0, h1 = split (Scalar.mul alpha c) in
+  let x0, x1 = split x in
+  let xh0, xh1 = split (Scalar.mul alpha x) in
+  let al0, al1 = split alpha in
+  ( {
+      share0 =
+        { a = a0; b = b0; c = c0; f = f0; g = g0; h = h0; x = x0; xhat = xh0; y = y0; alpha = al0 };
+      share1 =
+        { a = a1; b = b1; c = c1; f = f1; g = g1; h = h1; x = x1; xhat = xh1; y = y1; alpha = al1 };
+    },
+    alpha )

@@ -1,0 +1,73 @@
+(** Half-authenticated secure multiplication and MAC-checked opening
+    (Appendix B.2, Figure 10; SPDZ-style information-theoretic MACs).
+
+    The signing nonce r⁻¹ is authenticated (shares carry tags x̂ = α·x
+    under a shared MAC key α); the ECDSA key share is deliberately not —
+    Appendix A proves ECDSA tolerates adversarial additive "tweaks" of the
+    key, which is what makes this cheaper protocol sound.
+
+    Everything is expressed as pure per-party steps with explicit messages
+    so drivers can meter them and tests can inject malicious deviations. *)
+
+module Scalar = Larch_ec.P256.Scalar
+
+(** One party's Π_HalfMul input: shares of the Beaver triple (a,b,c), its
+    authenticated counterpart (f,g,h) = α·(a,b,c), the authenticated input
+    (x, x̂), the unauthenticated input y, and the MAC-key share α. *)
+type halfmul_input = {
+  a : Scalar.t;
+  b : Scalar.t;
+  c : Scalar.t;
+  f : Scalar.t;
+  g : Scalar.t;
+  h : Scalar.t;
+  x : Scalar.t;
+  xhat : Scalar.t;
+  y : Scalar.t;
+  alpha : Scalar.t;
+}
+
+type halfmul_msg = { d : Scalar.t; e : Scalar.t }
+(** The exchanged Beaver openings d = x − a, e = y − b (shares thereof). *)
+
+type halfmul_output = {
+  z : Scalar.t; (** share of x·y *)
+  zhat : Scalar.t; (** share of α·x·y *)
+  d_open : Scalar.t; (** the publicly opened d *)
+  dhat : Scalar.t; (** share of α·d, checked at opening time *)
+}
+
+val halfmul_round1 : halfmul_input -> halfmul_msg
+val halfmul_finish : party:int -> halfmul_input -> own:halfmul_msg -> other:halfmul_msg -> halfmul_output
+
+(** {1 Π_Open: commit-then-reveal opening with MAC check} *)
+
+type open_input = {
+  s : Scalar.t;
+  shat : Scalar.t;
+  d_pub : Scalar.t;
+  dhat_share : Scalar.t;
+  alpha_share : Scalar.t;
+}
+
+type open_commit = { commitment : string }
+type open_reveal = { sigma : Scalar.t; tau : Scalar.t; nonce : string }
+type open_state = { reveal : open_reveal; s_share : Scalar.t }
+
+val open_round1 :
+  open_input -> s_total:Scalar.t -> rand_bytes:(int -> string) -> open_state * open_commit
+(** Compute σ = ŝ − α·s and τ = d̂ − α·d and commit to them; the
+    commitment round stops the second mover from adapting. *)
+
+val open_check : own:open_state -> other_commit:open_commit -> other_reveal:open_reveal -> bool
+(** Accept iff the commitment opens correctly and both MAC residues sum to
+    zero; [false] ⇒ the counterparty cheated (probability 1/q otherwise,
+    Claim 4). *)
+
+(** {1 Trusted dealing (client at enrollment)} *)
+
+type triple_pair = { share0 : halfmul_input; share1 : halfmul_input }
+
+val make_halfmul_inputs :
+  x:Scalar.t -> y0:Scalar.t -> y1:Scalar.t -> rand_bytes:(int -> string) -> triple_pair * Scalar.t
+(** Deal both parties' inputs for x·(y₀+y₁); also returns α for tests. *)

@@ -1,0 +1,1 @@
+lib/net/wire.ml: Buffer Bytes Char Larch_util List String

@@ -1,0 +1,59 @@
+(* Byte- and round-metered message channel between two in-process parties.
+
+   A "round" is a direction flip: the paper's RTT cost is paid once per
+   request/response exchange, so we count a round each time a message
+   reverses the direction of the previous one (the first message also
+   counts as opening a round). *)
+
+type direction = Client_to_log | Log_to_client
+
+type t = {
+  mutable bytes_client_to_log : int;
+  mutable bytes_log_to_client : int;
+  mutable messages : int;
+  mutable rounds : int;
+  mutable last_direction : direction option;
+}
+
+let create () =
+  {
+    bytes_client_to_log = 0;
+    bytes_log_to_client = 0;
+    messages = 0;
+    rounds = 0;
+    last_direction = None;
+  }
+
+let send (t : t) (dir : direction) (payload : string) : string =
+  let n = String.length payload in
+  (match dir with
+  | Client_to_log -> t.bytes_client_to_log <- t.bytes_client_to_log + n
+  | Log_to_client -> t.bytes_log_to_client <- t.bytes_log_to_client + n);
+  t.messages <- t.messages + 1;
+  (match t.last_direction with
+  | Some d when d = dir -> () (* same direction: pipelined, no extra round *)
+  | Some _ -> t.rounds <- t.rounds + 1
+  | None -> t.rounds <- t.rounds + 1);
+  t.last_direction <- Some dir;
+  payload
+
+let total_bytes (t : t) = t.bytes_client_to_log + t.bytes_log_to_client
+
+(* round trips = ceil(direction flips / 2): a request+response pair costs
+   one RTT. *)
+let round_trips (t : t) = (t.rounds + 1) / 2
+
+let network_time (t : t) (net : Netsim.t) : float =
+  Netsim.transfer_time net ~bytes:(total_bytes t) ~rounds:(round_trips t)
+
+let reset (t : t) =
+  t.bytes_client_to_log <- 0;
+  t.bytes_log_to_client <- 0;
+  t.messages <- 0;
+  t.rounds <- 0;
+  t.last_direction <- None
+
+type snapshot = { up : int; down : int; msgs : int; rts : int }
+
+let snapshot (t : t) : snapshot =
+  { up = t.bytes_client_to_log; down = t.bytes_log_to_client; msgs = t.messages; rts = round_trips t }

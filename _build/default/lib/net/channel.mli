@@ -1,0 +1,25 @@
+(** Byte- and round-metered message channel between the two in-process
+    parties.  All reported communication numbers (Table 6, Figure 5) come
+    from payloads pushed through {!send}. *)
+
+type direction = Client_to_log | Log_to_client
+
+type t
+
+val create : unit -> t
+
+val send : t -> direction -> string -> string
+(** Meter a payload; returns it unchanged.  A request/response direction
+    flip counts toward round trips. *)
+
+val total_bytes : t -> int
+val round_trips : t -> int
+
+val network_time : t -> Netsim.t -> float
+(** Modeled network time for everything sent so far. *)
+
+val reset : t -> unit
+
+type snapshot = { up : int; down : int; msgs : int; rts : int }
+
+val snapshot : t -> snapshot

@@ -1,0 +1,22 @@
+(* Deterministic network model.
+
+   The paper's testbed shapes the client-log link to a 20 ms RTT and
+   100 Mbps of bandwidth; authentication latency is compute time plus this
+   network time.  We run both parties in one process, meter exact bytes and
+   message rounds on the channel, and model network time as
+
+     time = rounds * RTT + bytes / bandwidth
+
+   which reproduces the paper's latency composition with exact counts
+   instead of noisy socket measurements. *)
+
+type t = { rtt_s : float; bandwidth_bytes_per_s : float }
+
+let paper_default = { rtt_s = 0.020; bandwidth_bytes_per_s = 100. *. 1e6 /. 8. }
+let zero = { rtt_s = 0.; bandwidth_bytes_per_s = infinity }
+
+let make ~rtt_ms ~bandwidth_mbps =
+  { rtt_s = rtt_ms /. 1000.; bandwidth_bytes_per_s = bandwidth_mbps *. 1e6 /. 8. }
+
+let transfer_time (t : t) ~(bytes : int) ~(rounds : int) : float =
+  (float_of_int rounds *. t.rtt_s) +. (float_of_int bytes /. t.bandwidth_bytes_per_s)

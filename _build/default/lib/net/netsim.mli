@@ -1,0 +1,12 @@
+(** Deterministic network model: time = rounds × RTT + bytes / bandwidth.
+
+    The paper shapes its client↔log link to 20 ms RTT and 100 Mbps;
+    {!paper_default} reproduces that, and latency figures combine measured
+    compute with this model applied to exact metered byte counts. *)
+
+type t = { rtt_s : float; bandwidth_bytes_per_s : float }
+
+val paper_default : t
+val zero : t
+val make : rtt_ms:float -> bandwidth_mbps:float -> t
+val transfer_time : t -> bytes:int -> rounds:int -> float

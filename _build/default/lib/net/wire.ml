@@ -1,0 +1,80 @@
+(* Length-prefixed binary codec.
+
+   Every protocol message between the larch client and log service is
+   serialized through this module so that [Channel] can meter exact byte
+   counts — the communication numbers in Table 6 / Figure 5 come straight
+   from these encodings. *)
+
+type writer = Buffer.t
+
+let writer () : writer = Buffer.create 256
+
+let u8 (b : writer) (v : int) = Buffer.add_char b (Char.chr (v land 0xff))
+
+let u32 (b : writer) (v : int) =
+  if v < 0 || v > 0xffffffff then invalid_arg "Wire.u32: out of range";
+  Buffer.add_string b (Larch_util.Bytesx.be32 v)
+
+let u64 (b : writer) (v : int64) = Buffer.add_string b (Larch_util.Bytesx.be64 v)
+
+let bytes (b : writer) (s : string) =
+  u32 b (String.length s);
+  Buffer.add_string b s
+
+let fixed (b : writer) (s : string) = Buffer.add_string b s
+
+let list (b : writer) (f : writer -> 'a -> unit) (xs : 'a list) =
+  u32 b (List.length xs);
+  List.iter (f b) xs
+
+let contents = Buffer.contents
+
+type reader = { src : string; mutable pos : int }
+
+exception Malformed of string
+
+let reader (src : string) : reader = { src; pos = 0 }
+
+let take (r : reader) (n : int) : string =
+  if n < 0 || r.pos + n > String.length r.src then raise (Malformed "short read");
+  let s = String.sub r.src r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let read_u8 (r : reader) : int = Char.code (take r 1).[0]
+
+let read_u32 (r : reader) : int =
+  let s = take r 4 in
+  (Char.code s.[0] lsl 24) lor (Char.code s.[1] lsl 16) lor (Char.code s.[2] lsl 8)
+  lor Char.code s.[3]
+
+let read_u64 (r : reader) : int64 =
+  let s = take r 8 in
+  Bytes.get_int64_be (Bytes.of_string s) 0
+
+let read_bytes (r : reader) : string = take r (read_u32 r)
+let read_fixed (r : reader) (n : int) : string = take r n
+
+let read_list (r : reader) (f : reader -> 'a) : 'a list =
+  let n = read_u32 r in
+  if n > 10_000_000 then raise (Malformed "absurd list length");
+  List.init n (fun _ -> f r)
+
+let expect_end (r : reader) : unit =
+  if r.pos <> String.length r.src then raise (Malformed "trailing bytes")
+
+(* Helper: encode with a fresh writer. *)
+let encode (f : writer -> unit) : string =
+  let w = writer () in
+  f w;
+  contents w
+
+let decode (s : string) (f : reader -> 'a) : ('a, string) result =
+  let r = reader s in
+  match f r with
+  | v ->
+      (try
+         expect_end r;
+         Ok v
+       with Malformed m -> Error m)
+  | exception Malformed m -> Error m

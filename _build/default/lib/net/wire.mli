@@ -1,0 +1,40 @@
+(** Length-prefixed binary codec.  Every client↔log message goes through
+    this module so channels can meter exact byte counts — Table 6 and
+    Figure 5 are sums of these encodings. *)
+
+type writer
+
+val writer : unit -> writer
+val u8 : writer -> int -> unit
+val u32 : writer -> int -> unit
+val u64 : writer -> int64 -> unit
+
+val bytes : writer -> string -> unit
+(** Length-prefixed. *)
+
+val fixed : writer -> string -> unit
+(** Raw, no prefix (fixed-size fields). *)
+
+val list : writer -> (writer -> 'a -> unit) -> 'a list -> unit
+val contents : writer -> string
+val encode : (writer -> unit) -> string
+
+type reader
+
+exception Malformed of string
+
+val reader : string -> reader
+val take : reader -> int -> string
+val read_u8 : reader -> int
+val read_u32 : reader -> int
+val read_u64 : reader -> int64
+val read_bytes : reader -> string
+val read_fixed : reader -> int -> string
+
+val read_list : reader -> (reader -> 'a) -> 'a list
+(** Bounded against absurd lengths. *)
+
+val expect_end : reader -> unit
+
+val decode : string -> (reader -> 'a) -> ('a, string) result
+(** Run a decoder over the whole string; trailing bytes are an error. *)

@@ -1,0 +1,1 @@
+lib/sigma/dleq.ml: Larch_ec List String Transcript

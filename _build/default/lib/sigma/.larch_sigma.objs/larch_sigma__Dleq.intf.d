@@ -1,0 +1,1 @@
+lib/sigma/dleq.mli: Larch_ec

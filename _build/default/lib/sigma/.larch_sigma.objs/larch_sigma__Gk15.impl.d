@@ -1,0 +1,1 @@
+lib/sigma/gk15.ml: Array Larch_bignum Larch_ec Larch_net List Nat Pedersen String Transcript

@@ -1,0 +1,1 @@
+lib/sigma/gk15.mli: Larch_ec Pedersen

@@ -1,0 +1,1 @@
+lib/sigma/pedersen.ml: Larch_bignum Larch_ec Lazy

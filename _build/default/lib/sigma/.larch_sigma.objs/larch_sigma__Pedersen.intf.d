@@ -1,0 +1,1 @@
+lib/sigma/pedersen.mli: Larch_ec Lazy

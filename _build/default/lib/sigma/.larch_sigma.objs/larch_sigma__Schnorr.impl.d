@@ -1,0 +1,1 @@
+lib/sigma/schnorr.ml: Larch_ec String Transcript

@@ -1,0 +1,1 @@
+lib/sigma/schnorr.mli: Larch_ec

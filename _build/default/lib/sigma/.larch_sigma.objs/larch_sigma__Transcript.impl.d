@@ -1,0 +1,1 @@
+lib/sigma/transcript.ml: Larch_bignum Larch_ec Larch_hash Larch_util Nat String

@@ -1,0 +1,1 @@
+lib/sigma/transcript.mli: Larch_ec

@@ -1,0 +1,46 @@
+(* Chaum–Pedersen proof of discrete-log equality: log_g A = log_h B.
+
+   In the multi-log deployment, a log server can attach a DLEQ proof to its
+   response h = c₂^k, demonstrating that it exponentiated with the same key
+   k it registered as K = g^k — so a faulty log cannot silently hand the
+   client a wrong password share. *)
+
+module Point = Larch_ec.Point
+module Scalar = Larch_ec.P256.Scalar
+
+type proof = { a1 : Point.t; a2 : Point.t; z : Scalar.t }
+
+let prove ~(base1 : Point.t) ~(base2 : Point.t) ~(secret : Scalar.t) ~(tag : string)
+    ~(rand_bytes : int -> string) : proof =
+  let y1 = Point.mul secret base1 and y2 = Point.mul secret base2 in
+  let k = Scalar.random_nonzero ~rand_bytes in
+  let a1 = Point.mul k base1 and a2 = Point.mul k base2 in
+  let t = Transcript.create ("dleq" ^ tag) in
+  List.iter
+    (fun (label, p) -> Transcript.absorb_point t ~label p)
+    [ ("b1", base1); ("b2", base2); ("y1", y1); ("y2", y2); ("a1", a1); ("a2", a2) ];
+  let c = Transcript.challenge_scalar t ~label:"c" in
+  { a1; a2; z = Scalar.add k (Scalar.mul c secret) }
+
+let verify ~(base1 : Point.t) ~(base2 : Point.t) ~(public1 : Point.t) ~(public2 : Point.t)
+    ~(tag : string) (p : proof) : bool =
+  let t = Transcript.create ("dleq" ^ tag) in
+  List.iter
+    (fun (label, pt) -> Transcript.absorb_point t ~label pt)
+    [ ("b1", base1); ("b2", base2); ("y1", public1); ("y2", public2); ("a1", p.a1); ("a2", p.a2) ];
+  let c = Transcript.challenge_scalar t ~label:"c" in
+  Point.equal (Point.mul p.z base1) (Point.add p.a1 (Point.mul c public1))
+  && Point.equal (Point.mul p.z base2) (Point.add p.a2 (Point.mul c public2))
+
+let encode (p : proof) : string =
+  Point.encode_compressed p.a1 ^ Point.encode_compressed p.a2 ^ Scalar.to_bytes_be p.z
+
+let decode (s : string) : proof option =
+  if String.length s <> 98 then None
+  else
+    match
+      ( Point.decode_compressed (String.sub s 0 33),
+        Point.decode_compressed (String.sub s 33 33) )
+    with
+    | Some a1, Some a2 -> Some { a1; a2; z = Scalar.of_bytes_be (String.sub s 66 32) }
+    | _ -> None

@@ -1,0 +1,30 @@
+(** Chaum–Pedersen discrete-log-equality proofs: log_b1(Y₁) = log_b2(Y₂).
+
+    A log server attaches one to its password response h = c₂^k to show it
+    exponentiated with the key it registered as K = g^k, so a faulty log
+    cannot silently hand the client a wrong password share. *)
+
+module Point = Larch_ec.Point
+module Scalar = Larch_ec.P256.Scalar
+
+type proof = { a1 : Point.t; a2 : Point.t; z : Scalar.t }
+
+val prove :
+  base1:Point.t ->
+  base2:Point.t ->
+  secret:Scalar.t ->
+  tag:string ->
+  rand_bytes:(int -> string) ->
+  proof
+
+val verify :
+  base1:Point.t ->
+  base2:Point.t ->
+  public1:Point.t ->
+  public2:Point.t ->
+  tag:string ->
+  proof ->
+  bool
+
+val encode : proof -> string
+val decode : string -> proof option

@@ -1,0 +1,26 @@
+(* Pedersen commitments Com(m; r) = g^m · h^r over P-256.
+
+   The Groth–Kohlweiss proof is generic in the second generator h: larch's
+   password protocol instantiates h with the client's ElGamal public key X
+   (for π₁) or the ciphertext component c₁ (for π₂), so that "c is a
+   commitment to 0" means exactly "c = h^r for known r". *)
+
+module Point = Larch_ec.Point
+module Scalar = Larch_ec.P256.Scalar
+
+type key = { g : Point.t; h : Point.t }
+
+(* A nothing-up-my-sleeve independent generator for standalone uses. *)
+let default_h : Point.t Lazy.t = lazy (Larch_ec.Hash_to_curve.hash "larch-pedersen-h")
+
+let default : key Lazy.t = lazy { g = Point.g; h = Lazy.force default_h }
+
+let make ~(h : Point.t) : key = { g = Point.g; h }
+
+let commit (k : key) ~(msg : Scalar.t) ~(rand : Scalar.t) : Point.t =
+  let gm = if Larch_bignum.Nat.is_zero msg then Point.infinity else Point.mul msg k.g in
+  let hr = if Larch_bignum.Nat.is_zero rand then Point.infinity else Point.mul rand k.h in
+  Point.add gm hr
+
+let verify (k : key) ~(commitment : Point.t) ~(msg : Scalar.t) ~(rand : Scalar.t) : bool =
+  Point.equal commitment (commit k ~msg ~rand)

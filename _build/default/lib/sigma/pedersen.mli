@@ -1,0 +1,19 @@
+(** Pedersen commitments Com(m; r) = g^m · h^r over P-256.
+
+    {!Gk15} is generic in the second generator: larch's password protocol
+    instantiates [h] with the client's ElGamal public key (π₁) or the
+    ciphertext component c₁ (π₂), so "commitment to 0" means "h^r for
+    known r". *)
+
+module Point = Larch_ec.Point
+module Scalar = Larch_ec.P256.Scalar
+
+type key = { g : Point.t; h : Point.t }
+
+val default_h : Point.t Lazy.t
+(** A nothing-up-my-sleeve independent generator (hash-to-curve). *)
+
+val default : key Lazy.t
+val make : h:Point.t -> key
+val commit : key -> msg:Scalar.t -> rand:Scalar.t -> Point.t
+val verify : key -> commitment:Point.t -> msg:Scalar.t -> rand:Scalar.t -> bool

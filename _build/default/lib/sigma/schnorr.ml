@@ -1,0 +1,37 @@
+(* Schnorr proof of knowledge of a discrete logarithm: given Y = base^x,
+   prove knowledge of x.  Used for client-to-log session authentication and
+   as the building block of the two-party Schnorr signing extension. *)
+
+module Point = Larch_ec.Point
+module Scalar = Larch_ec.P256.Scalar
+
+type proof = { a : Point.t; z : Scalar.t }
+
+let prove ~(base : Point.t) ~(secret : Scalar.t) ~(tag : string) ~(rand_bytes : int -> string) :
+    proof =
+  let y = Point.mul secret base in
+  let k = Scalar.random_nonzero ~rand_bytes in
+  let a = Point.mul k base in
+  let t = Transcript.create ("schnorr" ^ tag) in
+  Transcript.absorb_point t ~label:"base" base;
+  Transcript.absorb_point t ~label:"Y" y;
+  Transcript.absorb_point t ~label:"a" a;
+  let c = Transcript.challenge_scalar t ~label:"c" in
+  { a; z = Scalar.add k (Scalar.mul c secret) }
+
+let verify ~(base : Point.t) ~(public : Point.t) ~(tag : string) (p : proof) : bool =
+  let t = Transcript.create ("schnorr" ^ tag) in
+  Transcript.absorb_point t ~label:"base" base;
+  Transcript.absorb_point t ~label:"Y" public;
+  Transcript.absorb_point t ~label:"a" p.a;
+  let c = Transcript.challenge_scalar t ~label:"c" in
+  Point.equal (Point.mul p.z base) (Point.add p.a (Point.mul c public))
+
+let encode (p : proof) : string = Point.encode_compressed p.a ^ Scalar.to_bytes_be p.z
+
+let decode (s : string) : proof option =
+  if String.length s <> 65 then None
+  else
+    match Point.decode_compressed (String.sub s 0 33) with
+    | Some a -> Some { a; z = Scalar.of_bytes_be (String.sub s 33 32) }
+    | None -> None

@@ -1,0 +1,14 @@
+(** Schnorr proofs of knowledge of a discrete logarithm (Fiat–Shamir). *)
+
+module Point = Larch_ec.Point
+module Scalar = Larch_ec.P256.Scalar
+
+type proof = { a : Point.t; z : Scalar.t }
+
+val prove : base:Point.t -> secret:Scalar.t -> tag:string -> rand_bytes:(int -> string) -> proof
+(** Prove knowledge of [secret] with [public] = [base]^[secret]. *)
+
+val verify : base:Point.t -> public:Point.t -> tag:string -> proof -> bool
+
+val encode : proof -> string
+val decode : string -> proof option

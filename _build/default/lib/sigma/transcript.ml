@@ -1,0 +1,31 @@
+(* Fiat–Shamir transcript.
+
+   All sigma-protocol challenges are derived by absorbing labeled protocol
+   messages into a running hash; binding the statement, the bases, and
+   every commitment into the transcript rules out challenge-reuse and
+   cross-protocol confusion. *)
+
+open Larch_bignum
+module Scalar = Larch_ec.P256.Scalar
+
+type t = { mutable state : string }
+
+let create (domain : string) : t = { state = Larch_hash.Sha256.digest ("larch-transcript" ^ domain) }
+
+let absorb (t : t) ~(label : string) (data : string) : unit =
+  t.state <-
+    Larch_hash.Sha256.digest_list
+      [ t.state; Larch_util.Bytesx.be32 (String.length label); label;
+        Larch_util.Bytesx.be32 (String.length data); data ]
+
+let absorb_point (t : t) ~label (p : Larch_ec.Point.t) : unit =
+  absorb t ~label (Larch_ec.Point.encode p)
+
+let absorb_scalar (t : t) ~label (s : Scalar.t) : unit = absorb t ~label (Scalar.to_bytes_be s)
+
+(* Derive a challenge scalar and fold it back into the state. *)
+let challenge_scalar (t : t) ~(label : string) : Scalar.t =
+  let h = Larch_hash.Sha256.digest_list [ t.state; "challenge"; label ] in
+  t.state <- Larch_hash.Sha256.digest_list [ t.state; "post-challenge"; h ];
+  (* 256-bit hash reduced mod the 256-bit group order: bias < 2^-128 *)
+  Scalar.of_nat (Nat.of_bytes_be h)

@@ -1,0 +1,19 @@
+(** Fiat–Shamir transcripts: all sigma-protocol challenges derive from a
+    running hash of labeled protocol messages, binding statements, bases,
+    and commitments against challenge reuse and cross-protocol confusion. *)
+
+module Scalar = Larch_ec.P256.Scalar
+
+type t
+
+val create : string -> t
+(** A fresh transcript under a domain-separation string. *)
+
+val absorb : t -> label:string -> string -> unit
+(** Length-prefixed (label, data) absorption — boundary-unambiguous. *)
+
+val absorb_point : t -> label:string -> Larch_ec.Point.t -> unit
+val absorb_scalar : t -> label:string -> Scalar.t -> unit
+
+val challenge_scalar : t -> label:string -> Scalar.t
+(** Derive a challenge and fold it back into the state. *)

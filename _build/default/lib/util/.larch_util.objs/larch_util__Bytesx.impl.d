@@ -1,0 +1,1 @@
+lib/util/bytesx.ml: Array Bytes Char Fmt String

@@ -1,0 +1,21 @@
+(* Simulated wall clock.
+
+   Log records carry timestamps and TOTP codes depend on the current time.
+   Tests and examples need deterministic time, so the whole system reads time
+   through this module: by default it tracks the real clock, but it can be
+   frozen and advanced manually. *)
+
+type mode = Real | Fixed of float
+
+let state = ref Real
+
+let now () : float =
+  match !state with Real -> Unix.gettimeofday () | Fixed t -> t
+
+let set (t : float) = state := Fixed t
+let advance (dt : float) =
+  match !state with
+  | Fixed t -> state := Fixed (t +. dt)
+  | Real -> state := Fixed (Unix.gettimeofday () +. dt)
+
+let use_real_time () = state := Real

@@ -1,0 +1,10 @@
+(** Simulated wall clock.  Records carry timestamps and TOTP depends on
+    time, so the whole system reads time here: real by default, freezable
+    and advanceable for deterministic tests and examples. *)
+
+type mode = Real | Fixed of float
+
+val now : unit -> float
+val set : float -> unit
+val advance : float -> unit
+val use_real_time : unit -> unit

@@ -1,0 +1,6 @@
+(** Hexadecimal encoding/decoding. *)
+
+val encode : string -> string
+
+val decode : string -> string
+(** @raise Invalid_argument on odd length or non-hex characters *)

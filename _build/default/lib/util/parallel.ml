@@ -1,0 +1,34 @@
+(* Domain-based fork/join parallelism.
+
+   The larch client parallelises ZKBoo proving across repetition batches
+   (Figure 3, left: latency vs. client cores).  [map ~domains f xs] evaluates
+   [f] on each element of [xs] using at most [domains] concurrent domains.
+   [domains = 1] runs sequentially in the calling domain, which keeps
+   single-core measurements free of domain overhead. *)
+
+let available_cores () = Domain.recommended_domain_count ()
+
+let map ~(domains : int) (f : 'a -> 'b) (xs : 'a array) : 'b array =
+  let n = Array.length xs in
+  if domains <= 1 || n <= 1 then Array.map f xs
+  else begin
+    let domains = min domains n in
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <- Some (f xs.(i));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned = Array.init (domains - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join spawned;
+    Array.map
+      (function Some r -> r | None -> failwith "Parallel.map: missing result")
+      results
+  end

@@ -1,0 +1,9 @@
+(** Domain-based fork/join parallelism.  The larch client parallelizes
+    ZKBoo proving across repetition batches (Figure 3, left). *)
+
+val available_cores : unit -> int
+
+val map : domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Evaluate [f] over the array with at most [domains] concurrent domains;
+    [domains = 1] runs sequentially in the calling domain (no overhead on
+    single-core measurements). *)

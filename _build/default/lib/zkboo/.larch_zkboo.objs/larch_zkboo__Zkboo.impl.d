@@ -1,0 +1,1 @@
+lib/zkboo/zkboo.ml: Array Buffer Bytes Char Larch_cipher Larch_circuit Larch_hash Larch_util List String

@@ -1,0 +1,1 @@
+lib/zkboo/zkboo.mli: Larch_circuit

@@ -1,0 +1,68 @@
+(** ZKBoo / ZKB++ non-interactive zero-knowledge proofs for Boolean
+    circuits (MPC-in-the-head), made non-interactive with Fiat–Shamir in
+    the random-oracle model.
+
+    Larch's FIDO2 protocol uses this to prove, before the log signs, that
+    the encrypted log record is a well-formed encryption of the
+    relying-party identity behind the signing digest (§3.2).
+
+    Soundness error is (2/3)^reps; the default {!default_reps} = 137 gives
+    < 2⁻⁸⁰, the paper's setting.  Repetitions are evaluated bit-packed, 62
+    per native int (the paper's SIMD optimization), and batches can run on
+    multiple domains — the knob behind Figure 3 (left). *)
+
+module Circuit = Larch_circuit.Circuit
+
+val default_reps : int
+val lanes : int
+val seed_len : int
+
+(** Opened material for one repetition with challenge e: the two revealed
+    seeds, party 2's explicit input share when opened, and party (e+1)'s
+    AND-gate output bits. *)
+type response = {
+  seed_e : string;
+  seed_e1 : string;
+  x2 : string option;
+  z_e1 : string;
+}
+
+type proof = {
+  n_reps : int;
+  commits : string array array; (** per repetition: 3 view commitments *)
+  out_shares : string array array; (** per repetition: 3 output-bit shares *)
+  responses : response array;
+}
+
+val prove :
+  ?reps:int ->
+  ?domains:int ->
+  ?lane_width:int ->
+  circuit:Circuit.t ->
+  witness:bool array ->
+  statement_tag:string ->
+  rand_bytes:(int -> string) ->
+  unit ->
+  proof
+(** Prove knowledge of [witness] such that the circuit evaluates to the
+    public output (which the verifier supplies).  [statement_tag] binds the
+    surrounding statement into the Fiat–Shamir challenge; [lane_width]
+    exists for the packing ablation ([1] = unpacked). *)
+
+val verify :
+  ?domains:int ->
+  circuit:Circuit.t ->
+  public_output:bool array ->
+  statement_tag:string ->
+  proof ->
+  bool
+
+val to_bytes : proof -> string
+val of_bytes : string -> proof option
+val size_bytes : proof -> int
+
+(**/**)
+
+val bytes_for_bits : int -> int
+val input_share_of_seed : string -> int -> string
+val tape_of_seed : string -> int -> string

@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Array Builder Circuit Larch_circuit Larch_hash Larch_statements Larch_util Lazy List Printf Sha1_circuit Sha256_circuit String Word

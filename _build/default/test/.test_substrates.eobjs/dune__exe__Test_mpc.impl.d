@@ -1,0 +1,1 @@
+test/test_mpc.ml: Alcotest Array Char Garble Larch_circuit Larch_ec Larch_hash Larch_mpc Larch_net Larch_util List Ot Ot_ext Printf Shamir Sharing Spdz String Yao

@@ -1,0 +1,1 @@
+test/test_sigma.ml: Alcotest Array Dleq Gk15 Larch_ec Larch_hash Larch_sigma Lazy List Pedersen Printf Schnorr Transcript

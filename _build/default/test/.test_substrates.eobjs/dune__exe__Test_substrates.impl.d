@@ -1,0 +1,1 @@
+test/test_substrates.ml: Alcotest Array Char Larch_bignum Larch_cipher Larch_ec Larch_hash Larch_util List Modarith Nat Option QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_zkboo.ml: Alcotest Array Char Larch_circuit Larch_hash Larch_zkboo Lazy List Printf QCheck QCheck_alcotest String Unix

@@ -1,0 +1,155 @@
+(* Tests for the gate-level circuit substrate: builder semantics, the
+   SHA-256/SHA-1 circuits against the software implementations, and the two
+   larch statement circuits against their software counterparts. *)
+
+module Bytesx = Larch_util.Bytesx
+open Larch_circuit
+
+let bits_of_string s = Array.map (fun v -> v = 1) (Bytesx.bits_of_string s)
+
+let string_of_bits (bits : bool array) : string =
+  Bytesx.string_of_bits (Array.map (fun b -> if b then 1 else 0) bits)
+
+let builder_basics () =
+  let b = Builder.create () in
+  let x = Builder.input b and y = Builder.input b in
+  let a = Builder.band b x y in
+  let o = Builder.bor b x y in
+  let n = Builder.bnot b x in
+  let e = Builder.bxor b x y in
+  let c = Circuit.make ~n_inputs:2
+      ~gates:[||] ~outputs:[||] in
+  ignore c;
+  let circuit = Builder.finalize b ~outputs:[| a; o; n; e |] in
+  let tbl = [ (false, false); (false, true); (true, false); (true, true) ] in
+  List.iter
+    (fun (vx, vy) ->
+      let out = Circuit.eval circuit [| vx; vy |] in
+      Alcotest.(check bool) "and" (vx && vy) out.(0);
+      Alcotest.(check bool) "or" (vx || vy) out.(1);
+      Alcotest.(check bool) "not" (not vx) out.(2);
+      Alcotest.(check bool) "xor" (vx <> vy) out.(3))
+    tbl
+
+let word_adder () =
+  let b = Builder.create () in
+  let xs = Builder.inputs b 32 and ys = Builder.inputs b 32 in
+  let sum = Word.add b xs ys in
+  let circuit = Builder.finalize b ~outputs:sum in
+  let check x y =
+    let to_bits v = Array.init 32 (fun i -> (v lsr i) land 1 = 1) in
+    let input = Array.append (to_bits x) (to_bits y) in
+    let out = Circuit.eval circuit input in
+    let v = Array.to_list out |> List.mapi (fun i bit -> if bit then 1 lsl i else 0) |> List.fold_left ( + ) 0 in
+    Alcotest.(check int) (Printf.sprintf "%d+%d" x y) ((x + y) land 0xffffffff) v
+  in
+  check 0 0;
+  check 1 1;
+  check 0xffffffff 1;
+  check 0x12345678 0x9abcdef0;
+  check 0xdeadbeef 0xfeedface
+
+let sha256_circuit_matches_software () =
+  List.iter
+    (fun msg ->
+      let b = Builder.create () in
+      let msg_wires = Builder.inputs b (8 * String.length msg) in
+      let digest = Sha256_circuit.hash_fixed b ~msg:msg_wires in
+      let circuit = Builder.finalize b ~outputs:digest in
+      let out = Circuit.eval circuit (bits_of_string msg) in
+      Alcotest.(check string)
+        (Printf.sprintf "sha256 circuit (%d bytes)" (String.length msg))
+        (Larch_util.Hex.encode (Larch_hash.Sha256.digest msg))
+        (Larch_util.Hex.encode (string_of_bits out)))
+    [ "abc"; String.make 48 'x'; String.make 64 'y'; String.make 100 'z' ]
+
+let sha1_circuit_matches_software () =
+  List.iter
+    (fun msg ->
+      let b = Builder.create () in
+      let msg_wires = Builder.inputs b (8 * String.length msg) in
+      let digest = Sha1_circuit.hash_fixed b ~msg:msg_wires in
+      let circuit = Builder.finalize b ~outputs:digest in
+      let out = Circuit.eval circuit (bits_of_string msg) in
+      Alcotest.(check string)
+        (Printf.sprintf "sha1 circuit (%d bytes)" (String.length msg))
+        (Larch_util.Hex.encode (Larch_hash.Sha1.digest msg))
+        (Larch_util.Hex.encode (string_of_bits out)))
+    [ "abc"; String.make 72 'q'; String.make 84 'w' ]
+
+let rand = Larch_hash.Drbg.of_seed "test-circuit"
+
+let fido2_statement_matches () =
+  let k = rand 32 and r = rand 16 and id = rand 32 and chal = rand 32 and nonce = rand 12 in
+  let cm, ct, dgst = Larch_statements.fido2_compute ~k ~r ~id ~chal ~nonce in
+  let circuit = Lazy.force Larch_statements.fido2_circuit in
+  let out = Circuit.eval circuit (Larch_statements.fido2_witness_bits { k; r; id; chal; nonce }) in
+  let expected = Larch_statements.fido2_public_bits ~cm ~ct ~dgst ~nonce in
+  Alcotest.(check bool) "circuit output = software" true (out = expected);
+  (* wrong id must change the output *)
+  let out2 =
+    Circuit.eval circuit
+      (Larch_statements.fido2_witness_bits { k; r; id = rand 32; chal; nonce })
+  in
+  Alcotest.(check bool) "different witness differs" false (out2 = expected)
+
+let fido2_circuit_stats () =
+  let circuit = Lazy.force Larch_statements.fido2_circuit in
+  Alcotest.(check bool) "AND count sane" true
+    (circuit.Circuit.n_and > 50_000 && circuit.Circuit.n_and < 150_000);
+  Alcotest.(check int) "inputs" (8 * (32 + 16 + 32 + 32 + 12)) circuit.Circuit.n_inputs;
+  Alcotest.(check int) "outputs" (8 * (32 + 32 + 32 + 12)) (Circuit.n_outputs circuit)
+
+let totp_circuit_matches () =
+  let pub =
+    Larch_statements.{ cm = ""; enc_nonce = rand 12; time_counter = 59L }
+  in
+  let k = rand 32 and r = rand 16 in
+  let cm = Larch_hash.Sha256.digest (k ^ r) in
+  let pub = { pub with Larch_statements.cm } in
+  let n_rps = 4 in
+  let regs = List.init n_rps (fun _ -> (rand 16, rand 20)) in
+  let target = 2 in
+  let id, klog = List.nth regs target in
+  let kclient = rand 20 in
+  let k_id = Bytesx.xor kclient klog in
+  let circuit = Larch_statements.totp_circuit ~n_rps pub in
+  let client_bits = Larch_statements.totp_client_input ~k ~r ~id ~kclient in
+  let log_bits = Larch_statements.totp_log_input ~registrations:regs in
+  let out = Circuit.eval circuit (Array.append client_bits log_bits) in
+  Alcotest.(check bool) "ok bit" true out.(0);
+  let ct_bits = Array.sub out 1 128 and hmac_bits = Array.sub out 129 160 in
+  let hmac, ct = Larch_statements.totp_compute ~k ~id ~k_id pub in
+  Alcotest.(check string) "ct" (Larch_util.Hex.encode ct) (Larch_util.Hex.encode (string_of_bits ct_bits));
+  Alcotest.(check string) "hmac" (Larch_util.Hex.encode hmac) (Larch_util.Hex.encode (string_of_bits hmac_bits));
+  (* unknown id -> ok = 0, hmac gated to zero *)
+  let client_bad = Larch_statements.totp_client_input ~k ~r ~id:(rand 16) ~kclient in
+  let out_bad = Circuit.eval circuit (Array.append client_bad log_bits) in
+  Alcotest.(check bool) "unknown id rejected" false out_bad.(0);
+  Alcotest.(check bool) "hmac gated" true
+    (Array.for_all (fun b -> not b) (Array.sub out_bad 129 160));
+  (* wrong archive key -> commitment check fails *)
+  let client_badk = Larch_statements.totp_client_input ~k:(rand 32) ~r ~id ~kclient in
+  let out_badk = Circuit.eval circuit (Array.append client_badk log_bits) in
+  Alcotest.(check bool) "wrong archive key rejected" false out_badk.(0)
+
+let () =
+  Alcotest.run "circuit"
+    [
+      ( "builder",
+        [
+          Alcotest.test_case "gate semantics" `Quick builder_basics;
+          Alcotest.test_case "32-bit adder" `Quick word_adder;
+        ] );
+      ( "sha-circuits",
+        [
+          Alcotest.test_case "sha256 vs software" `Quick sha256_circuit_matches_software;
+          Alcotest.test_case "sha1 vs software" `Quick sha1_circuit_matches_software;
+        ] );
+      ( "statements",
+        [
+          Alcotest.test_case "fido2 statement" `Quick fido2_statement_matches;
+          Alcotest.test_case "fido2 stats" `Quick fido2_circuit_stats;
+          Alcotest.test_case "totp 2pc circuit" `Quick totp_circuit_matches;
+        ] );
+    ]

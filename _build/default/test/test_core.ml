@@ -1,0 +1,545 @@
+(* End-to-end larch tests: full enrollment → registration → authentication
+   → audit flows for FIDO2, TOTP, and passwords against simulated relying
+   parties; malicious-client and malicious-log injections; operational
+   machinery (policies, presignature top-up/objection, revocation,
+   migration); and the multi-log deployment. *)
+
+module Point = Larch_ec.Point
+module Scalar = Larch_ec.P256.Scalar
+open Larch_core
+
+let mk_world ?(seed = "test-core") ?(presignature_count = 10) () =
+  Larch_util.Clock.set 1_700_000_000.;
+  let rand = Larch_hash.Drbg.of_seed seed in
+  let log = Log_service.create ~rand_bytes:rand () in
+  let client =
+    Client.create ~client_id:"alice" ~account_password:"correct horse battery staple" ~log
+      ~rand_bytes:rand ()
+  in
+  Client.enroll ~presignature_count client;
+  (log, client, rand)
+
+(* --- FIDO2 --- *)
+
+let fido2_full_flow () =
+  let _log, client, rand = mk_world () in
+  let rp = Relying_party.create ~name:"github.com" ~rand_bytes:rand () in
+  let pk = Client.register_fido2 client ~rp_name:"github.com" in
+  Relying_party.fido2_register rp ~username:"alice" ~pk;
+  (* two logins, each with a fresh challenge *)
+  for _ = 1 to 2 do
+    let challenge = Relying_party.fido2_challenge rp ~username:"alice" in
+    let assertion = Client.authenticate_fido2 client ~rp_name:"github.com" ~challenge in
+    Alcotest.(check bool) "relying party accepts" true
+      (Relying_party.fido2_login rp ~username:"alice" assertion)
+  done;
+  (* replayed assertion rejected (counter regression) *)
+  let challenge = Relying_party.fido2_challenge rp ~username:"alice" in
+  let assertion = Client.authenticate_fido2 client ~rp_name:"github.com" ~challenge in
+  Alcotest.(check bool) "accepts third" true
+    (Relying_party.fido2_login rp ~username:"alice" assertion);
+  let _ = Relying_party.fido2_challenge rp ~username:"alice" in
+  Alcotest.(check bool) "replay rejected" false
+    (Relying_party.fido2_login rp ~username:"alice" assertion);
+  (* audit shows exactly three github logins *)
+  let entries = Client.audit client in
+  Alcotest.(check int) "three records" 3 (List.length entries);
+  List.iter
+    (fun e ->
+      Alcotest.(check (option string)) "rp name recovered" (Some "github.com") e.Client.rp;
+      Alcotest.(check bool) "method" true (e.Client.method_ = Types.Fido2))
+    entries
+
+let fido2_unlinkable_keys () =
+  let _log, client, _ = mk_world () in
+  let pk1 = Client.register_fido2 client ~rp_name:"rp1" in
+  let pk2 = Client.register_fido2 client ~rp_name:"rp2" in
+  Alcotest.(check bool) "distinct public keys" false (Point.equal pk1 pk2)
+
+let fido2_wrong_rp_signature_fails () =
+  let _log, client, rand = mk_world () in
+  let rp1 = Relying_party.create ~name:"rp1" ~rand_bytes:rand () in
+  let rp2 = Relying_party.create ~name:"rp2" ~rand_bytes:rand () in
+  let pk1 = Client.register_fido2 client ~rp_name:"rp1" in
+  let _pk2 = Client.register_fido2 client ~rp_name:"rp2" in
+  Relying_party.fido2_register rp1 ~username:"alice" ~pk:pk1;
+  (* assertion for rp2 cannot be used at rp1 (phishing protection) *)
+  Relying_party.fido2_register rp2 ~username:"alice" ~pk:pk1;
+  let chal = Relying_party.fido2_challenge rp2 ~username:"alice" in
+  let a = Client.authenticate_fido2 client ~rp_name:"rp2" ~challenge:chal in
+  Alcotest.(check bool) "cross-rp assertion rejected" false
+    (Relying_party.fido2_login rp2 ~username:"alice" a)
+
+let fido2_malicious_client_rejected () =
+  let log, client, rand = mk_world () in
+  let _pk = Client.register_fido2 client ~rp_name:"bank.com" in
+  (* an attacker with the device forges a request whose ciphertext encrypts
+     garbage (i.e. tries to log a wrong relying-party name) *)
+  let f = match client.Client.fido2 with Some f -> f | None -> assert false in
+  let rp_hash = Larch_auth.Fido2.rp_id_hash "bank.com" in
+  let chal = rand 32 in
+  let dgst = Larch_hash.Sha256.digest (rp_hash ^ chal) in
+  let nonce = rand 12 in
+  (* encrypt the WRONG identity *)
+  let bogus_ct = Larch_cipher.Ctr.sha_ctr ~key:f.Client.fk ~nonce (rand 32) in
+  let record_sig =
+    Larch_ec.Ecdsa.encode (Larch_ec.Ecdsa.sign ~sk:f.Client.record_sk (nonce ^ bogus_ct))
+  in
+  let witness =
+    Larch_circuit.Larch_statements.fido2_witness_bits
+      { Larch_circuit.Larch_statements.k = f.Client.fk; r = f.Client.fr; id = rp_hash; chal; nonce }
+  in
+  let circuit = Lazy.force Larch_circuit.Larch_statements.fido2_circuit in
+  let proof =
+    Larch_zkboo.Zkboo.prove ~circuit ~witness ~statement_tag:Fido2_protocol.statement_tag
+      ~rand_bytes:rand ()
+  in
+  let batch = List.hd f.Client.batches in
+  let req =
+    {
+      Fido2_protocol.dgst;
+      ct_nonce = nonce;
+      ct = bogus_ct;
+      record_sig;
+      proof;
+      presig_index = batch.Two_party_ecdsa.cnext;
+      hm_msg = { Larch_mpc.Spdz.d = Scalar.zero; e = Scalar.zero };
+    }
+  in
+  Alcotest.check_raises "log refuses to sign"
+    (Types.Protocol_error "zero-knowledge proof rejected")
+    (fun () ->
+      ignore
+        (Log_service.fido2_auth_begin log ~client_id:"alice" ~ip:"1.2.3.4"
+           ~now:(Larch_util.Clock.now ()) req))
+
+let fido2_presignature_reuse_rejected () =
+  let _log, client, rand = mk_world () in
+  let rp = Relying_party.create ~name:"rp" ~rand_bytes:rand () in
+  let pk = Client.register_fido2 client ~rp_name:"rp" in
+  Relying_party.fido2_register rp ~username:"alice" ~pk;
+  let chal = Relying_party.fido2_challenge rp ~username:"alice" in
+  let _ = Client.authenticate_fido2 client ~rp_name:"rp" ~challenge:chal in
+  (* replaying an old presignature index must be refused *)
+  let f = match client.Client.fido2 with Some f -> f | None -> assert false in
+  let batch = List.hd f.Client.batches in
+  batch.Two_party_ecdsa.cnext <- 0;
+  (* force reuse of index 0 *)
+  let chal2 = Relying_party.fido2_challenge rp ~username:"alice" in
+  (try
+     let _ = Client.authenticate_fido2 client ~rp_name:"rp" ~challenge:chal2 in
+     Alcotest.fail "expected rejection"
+   with Types.Protocol_error msg ->
+     Alcotest.(check bool) "index mismatch" true
+       (String.length msg > 0 && String.sub msg 0 12 = "presignature"))
+
+let fido2_exhaustion_and_topup () =
+  let log, client, rand = mk_world ~presignature_count:2 () in
+  let rp = Relying_party.create ~name:"rp" ~rand_bytes:rand () in
+  let pk = Client.register_fido2 client ~rp_name:"rp" in
+  Relying_party.fido2_register rp ~username:"alice" ~pk;
+  let auth () =
+    let chal = Relying_party.fido2_challenge rp ~username:"alice" in
+    Relying_party.fido2_login rp ~username:"alice"
+      (Client.authenticate_fido2 client ~rp_name:"rp" ~challenge:chal)
+  in
+  Alcotest.(check bool) "auth 1" true (auth ());
+  Alcotest.(check bool) "auth 2" true (auth ());
+  Alcotest.(check int) "client exhausted" 0 (Client.presignatures_remaining client);
+  (try
+     ignore (auth ());
+     Alcotest.fail "expected exhaustion"
+   with Types.Protocol_error msg ->
+     Alcotest.(check string) "exhausted" "out of presignatures" msg);
+  (* top-up with an objection window: unusable until it passes *)
+  let log_with_window = log in
+  ignore log_with_window;
+  Client.top_up_presignatures client ~count:4;
+  ignore (Log_service.activate_pending log ~client_id:"alice" ~now:(Larch_util.Clock.now ()));
+  Alcotest.(check bool) "auth after topup" true (auth ())
+
+let fido2_objection_window () =
+  Larch_util.Clock.set 1_700_000_000.;
+  let rand = Larch_hash.Drbg.of_seed "objection" in
+  let log = Log_service.create ~objection_window:3600. ~rand_bytes:rand () in
+  let client =
+    Client.create ~client_id:"alice" ~account_password:"pw" ~log ~rand_bytes:rand ()
+  in
+  Client.enroll ~presignature_count:1 client;
+  Client.top_up_presignatures client ~count:5;
+  Alcotest.(check int) "staged batch visible" 1
+    (List.length (Log_service.pending_batches log ~client_id:"alice"));
+  (* not yet active *)
+  Alcotest.(check int) "not active yet" 0
+    (Log_service.activate_pending log ~client_id:"alice" ~now:(Larch_util.Clock.now ()));
+  (* the user objects (e.g. she never generated these) *)
+  Alcotest.(check int) "objection cancels" 1 (Client.object_to_presignatures client);
+  Larch_util.Clock.advance 7200.;
+  Alcotest.(check int) "nothing to activate" 0
+    (Log_service.activate_pending log ~client_id:"alice" ~now:(Larch_util.Clock.now ()));
+  Alcotest.(check int) "log remains at initial batch" 1
+    (Log_service.presignatures_remaining log ~client_id:"alice")
+
+(* --- TOTP --- *)
+
+let totp_full_flow () =
+  let _log, client, rand = mk_world () in
+  let rp = Relying_party.create ~name:"aws.amazon.com" ~rand_bytes:rand () in
+  let key = Relying_party.totp_register rp ~username:"alice" in
+  Client.register_totp client ~rp_name:"aws.amazon.com" ~totp_key:key;
+  (* a couple of decoys so the selection mux is exercised *)
+  let rp2 = Relying_party.create ~name:"dropbox.com" ~rand_bytes:rand () in
+  let key2 = Relying_party.totp_register rp2 ~username:"alice" in
+  Client.register_totp client ~rp_name:"dropbox.com" ~totp_key:key2;
+  let time = Larch_util.Clock.now () in
+  let code = Client.authenticate_totp client ~rp_name:"aws.amazon.com" ~time in
+  Alcotest.(check bool) "rp accepts code" true
+    (Relying_party.totp_login rp ~username:"alice" ~time code);
+  (* replay cache rejects the same code *)
+  Alcotest.(check bool) "replay rejected" false
+    (Relying_party.totp_login rp ~username:"alice" ~time code);
+  (* the other registration still works and yields a different code path *)
+  let code2 = Client.authenticate_totp client ~rp_name:"dropbox.com" ~time in
+  Alcotest.(check bool) "rp2 accepts" true
+    (Relying_party.totp_login rp2 ~username:"alice" ~time code2);
+  (* audit names both relying parties *)
+  let entries = Client.audit client in
+  let totp_rps =
+    List.filter_map (fun e -> if e.Client.method_ = Types.Totp then e.Client.rp else None) entries
+  in
+  Alcotest.(check (list string)) "audit names" [ "aws.amazon.com"; "dropbox.com" ] totp_rps
+
+let totp_code_matches_reference () =
+  (* the jointly computed code equals the RFC 6238 reference computation *)
+  let _log, client, rand = mk_world () in
+  let key = rand 20 in
+  Client.register_totp client ~rp_name:"rp" ~totp_key:key;
+  let time = 59. in
+  let code = Client.authenticate_totp client ~rp_name:"rp" ~time in
+  Alcotest.(check int) "matches rfc computation" (Larch_auth.Totp.totp ~key ~time ()) code
+
+let totp_wrong_archive_key_rejected () =
+  let log, client, rand = mk_world () in
+  let key = rand 20 in
+  Client.register_totp client ~rp_name:"rp" ~totp_key:key;
+  (* attacker tampers with the client's archive key: commitment check in
+     the circuit flips the validity bit and the log aborts *)
+  let s = match client.Client.totp with Some s -> s | None -> assert false in
+  let tampered = { s with Client.tk = rand 32 } in
+  client.Client.totp <- Some tampered;
+  ignore log;
+  Alcotest.check_raises "log aborts" (Types.Protocol_error "totp 2pc validity bit is 0")
+    (fun () ->
+      ignore (Client.authenticate_totp client ~rp_name:"rp" ~time:(Larch_util.Clock.now ())))
+
+(* --- passwords --- *)
+
+let password_full_flow () =
+  let _log, client, rand = mk_world () in
+  let rp = Relying_party.create ~name:"news.example.com" ~rand_bytes:rand () in
+  let pw = Client.register_password client ~rp_name:"news.example.com" in
+  Relying_party.password_set rp ~username:"alice" ~password:pw;
+  (* a few decoy registrations *)
+  List.iter
+    (fun name -> ignore (Client.register_password client ~rp_name:name))
+    [ "shop.example.com"; "bank.example.com"; "mail.example.com" ];
+  let pw' = Client.authenticate_password client ~rp_name:"news.example.com" in
+  Alcotest.(check string) "recomputed password matches" pw pw';
+  Alcotest.(check bool) "rp accepts" true
+    (Relying_party.password_login rp ~username:"alice" ~password:pw');
+  (* a different rp gives a different password *)
+  let pw_other = Client.authenticate_password client ~rp_name:"shop.example.com" in
+  Alcotest.(check bool) "unique per rp" false (pw' = pw_other);
+  (* audit *)
+  let entries = Client.audit client in
+  let pw_rps =
+    List.filter_map
+      (fun e -> if e.Client.method_ = Types.Password then e.Client.rp else None)
+      entries
+  in
+  Alcotest.(check (list string)) "audit names" [ "news.example.com"; "shop.example.com" ] pw_rps
+
+let password_legacy_import () =
+  let _log, client, _rand = mk_world () in
+  let legacy = "hunter2-legacy!" in
+  let pw = Client.register_password ~legacy client ~rp_name:"old.example.com" in
+  Alcotest.(check string) "import preserves the password" legacy pw;
+  let pw' = Client.authenticate_password client ~rp_name:"old.example.com" in
+  Alcotest.(check string) "recomputed equals legacy" legacy pw'
+
+let password_unregistered_id_rejected () =
+  let log, client, rand = mk_world () in
+  ignore (Client.register_password client ~rp_name:"a.com");
+  ignore (Client.register_password client ~rp_name:"b.com");
+  (* a compromised client tries to get the log's exponentiation on an
+     identity it never registered: proof cannot be produced honestly, and
+     a proof for a wrong set fails *)
+  let s = match client.Client.pw with Some s -> s | None -> assert false in
+  let fake_id = rand 16 in
+  let fake_ids = [ fake_id ] in
+  let _r, req =
+    Password_protocol.client_auth ~idx:0 ~x:s.Client.x ~ids:fake_ids ~rand_bytes:rand
+  in
+  Alcotest.check_raises "log rejects" (Types.Protocol_error "one-out-of-many proof rejected")
+    (fun () ->
+      ignore
+        (Log_service.pw_auth log ~client_id:"alice" ~ip:"1.2.3.4" ~now:(Larch_util.Clock.now ())
+           req))
+
+let password_log_cannot_learn_which () =
+  (* sanity: two authentications to different RPs produce ciphertexts and
+     proofs with identical length profiles (no trivial length leak) *)
+  let _log, client, _rand = mk_world () in
+  ignore (Client.register_password client ~rp_name:"a.com");
+  ignore (Client.register_password client ~rp_name:"b.com");
+  Client.reset_channels client;
+  ignore (Client.authenticate_password client ~rp_name:"a.com");
+  let snap_a = Client.channel_snapshot client in
+  Client.reset_channels client;
+  ignore (Client.authenticate_password client ~rp_name:"b.com");
+  let snap_b = Client.channel_snapshot client in
+  Alcotest.(check int) "identical upstream bytes" snap_a.Larch_net.Channel.up
+    snap_b.Larch_net.Channel.up;
+  Alcotest.(check int) "identical downstream bytes" snap_a.Larch_net.Channel.down
+    snap_b.Larch_net.Channel.down
+
+(* --- operational machinery --- *)
+
+let policy_rate_limit () =
+  let log, client, _rand = mk_world () in
+  ignore (Client.register_password client ~rp_name:"rp.com");
+  Log_service.set_policy log ~client_id:"alice" ~token:"correct horse battery staple"
+    {
+      Log_service.max_auths_per_window = Some 2;
+      window_seconds = 60.;
+      notify = None;
+    };
+  ignore (Client.authenticate_password client ~rp_name:"rp.com");
+  ignore (Client.authenticate_password client ~rp_name:"rp.com");
+  Alcotest.check_raises "third auth rate-limited"
+    (Types.Protocol_error "policy: rate limit exceeded") (fun () ->
+      ignore (Client.authenticate_password client ~rp_name:"rp.com"));
+  (* window expiry restores service *)
+  Larch_util.Clock.advance 61.;
+  ignore (Client.authenticate_password client ~rp_name:"rp.com")
+
+let policy_notification () =
+  let log, client, _rand = mk_world () in
+  ignore (Client.register_password client ~rp_name:"rp.com");
+  let notified = ref [] in
+  Log_service.set_policy log ~client_id:"alice" ~token:"correct horse battery staple"
+    {
+      Log_service.max_auths_per_window = None;
+      window_seconds = 60.;
+      notify = Some (fun m t -> notified := (m, t) :: !notified);
+    };
+  ignore (Client.authenticate_password client ~rp_name:"rp.com");
+  Alcotest.(check int) "one notification" 1 (List.length !notified)
+
+let audit_requires_account_token () =
+  let log, client, _rand = mk_world () in
+  ignore client;
+  Alcotest.check_raises "wrong token rejected"
+    (Types.Protocol_error "log-account authentication failed") (fun () ->
+      ignore (Log_service.audit log ~client_id:"alice" ~token:"wrong password"))
+
+let compromise_detection_via_audit () =
+  let _log, client, rand = mk_world () in
+  let rp = Relying_party.create ~name:"bank.com" ~rand_bytes:rand () in
+  let pk = Client.register_fido2 client ~rp_name:"bank.com" in
+  Relying_party.fido2_register rp ~username:"alice" ~pk;
+  (* the user authenticates once herself *)
+  let chal = Relying_party.fido2_challenge rp ~username:"alice" in
+  ignore (Client.authenticate_fido2 client ~rp_name:"bank.com" ~challenge:chal);
+  (* the attacker, with full device state, authenticates twice *)
+  for _ = 1 to 2 do
+    let chal = Relying_party.fido2_challenge rp ~username:"alice" in
+    let a = Client.authenticate_fido2 client ~rp_name:"bank.com" ~challenge:chal in
+    Alcotest.(check bool) "attacker login works" true
+      (Relying_party.fido2_login rp ~username:"alice" a)
+  done;
+  (* the user expected exactly one bank.com login: audit flags two extras *)
+  let anomalies = Client.detect_anomalies client ~expected:[ (Types.Fido2, "bank.com") ] in
+  Alcotest.(check int) "two unexpected authentications" 2 (List.length anomalies)
+
+let revocation () =
+  let log, client, _rand = mk_world () in
+  ignore (Client.register_password client ~rp_name:"rp.com");
+  Client.revoke_all client;
+  Alcotest.check_raises "shares deleted" (Types.Protocol_error "password not enrolled")
+    (fun () ->
+      ignore
+        (Log_service.pw_registered_ids log ~client_id:"alice"))
+
+let migration_invalidates_old_device () =
+  let log, client, rand = mk_world () in
+  let rp = Relying_party.create ~name:"rp.com" ~rand_bytes:rand () in
+  let pk = Client.register_fido2 client ~rp_name:"rp.com" in
+  Relying_party.fido2_register rp ~username:"alice" ~pk;
+  (* snapshot the "old device" credential state *)
+  let old_f = match client.Client.fido2 with Some f -> f | None -> assert false in
+  let old_cred = Hashtbl.find old_f.Client.fido2_creds "rp.com" in
+  Client.migrate_fido2 client;
+  (* the new device still authenticates under the same public key *)
+  let chal = Relying_party.fido2_challenge rp ~username:"alice" in
+  let a = Client.authenticate_fido2 client ~rp_name:"rp.com" ~challenge:chal in
+  Alcotest.(check bool) "new device works" true (Relying_party.fido2_login rp ~username:"alice" a);
+  (* the old device's share now produces garbage signatures *)
+  let f = match client.Client.fido2 with Some f -> f | None -> assert false in
+  Hashtbl.replace f.Client.fido2_creds "rp.com"
+    { old_cred with Client.counter = old_cred.Client.counter + 10 };
+  ignore log;
+  let chal2 = Relying_party.fido2_challenge rp ~username:"alice" in
+  let a2 = Client.authenticate_fido2 client ~rp_name:"rp.com" ~challenge:chal2 in
+  Alcotest.(check bool) "old share rejected by rp" false
+    (Relying_party.fido2_login rp ~username:"alice" a2)
+
+let record_wire_roundtrip () =
+  let r =
+    {
+      Record.time = 1234.5;
+      ip = "10.0.0.1";
+      method_ = Types.Fido2;
+      payload = Record.Symmetric { nonce = String.make 12 'n'; ct = String.make 32 'c'; signature = String.make 64 's' };
+    }
+  in
+  (match Record.decode (Record.encode r) with
+  | Ok r' -> Alcotest.(check bool) "roundtrip" true (r = r')
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "fido2 record bytes" (8 + 12 + 32 + 64) (Record.storage_bytes r)
+
+(* --- multilog (§6) --- *)
+
+let multilog_flow () =
+  Larch_util.Clock.set 1_700_000_000.;
+  let rand = Larch_hash.Drbg.of_seed "multilog" in
+  let ml = Multilog.create ~n:3 ~threshold:2 ~rand_bytes:rand in
+  let c = Multilog.enroll ml ~client_id:"alice" ~account_password:"pw" in
+  let pw = Multilog.register ml c ~rp_name:"rp.com" in
+  (* all online *)
+  let pw1 = Multilog.authenticate ml c ~rp_name:"rp.com" ~now:(Larch_util.Clock.now ()) in
+  Alcotest.(check string) "t-of-n recombination" pw pw1;
+  (* one log down: still succeeds with the other two *)
+  Multilog.set_online ml 0 false;
+  let pw2 = Multilog.authenticate ml c ~rp_name:"rp.com" ~now:(Larch_util.Clock.now ()) in
+  Alcotest.(check string) "survives one failure" pw pw2;
+  (* two logs down: unavailable *)
+  Multilog.set_online ml 1 false;
+  (try
+     ignore (Multilog.authenticate ml c ~rp_name:"rp.com" ~now:(Larch_util.Clock.now ()));
+     Alcotest.fail "expected unavailability"
+   with Multilog.Unavailable _ -> ());
+  (* audit coverage: with 2 of 3 logs online, coverage is complete *)
+  Multilog.set_online ml 1 true;
+  let res = Multilog.audit ml c in
+  Alcotest.(check bool) "audit complete with n-t+1 logs" true res.Multilog.complete;
+  Alcotest.(check int) "both auths present" 2 (List.length res.Multilog.entries);
+  List.iter
+    (fun (_, rp) -> Alcotest.(check (option string)) "names recovered" (Some "rp.com") rp)
+    res.Multilog.entries;
+  (* only 1 of 3 online: audit may be incomplete and must say so *)
+  Multilog.set_online ml 1 false;
+  Multilog.set_online ml 2 false;
+  Multilog.set_online ml 0 true;
+  let res2 = Multilog.audit ml c in
+  Alcotest.(check bool) "coverage flagged incomplete" false res2.Multilog.complete
+
+(* --- 2p-ecdsa unit-level --- *)
+
+let two_party_ecdsa_signature_verifies () =
+  let rand = Larch_hash.Drbg.of_seed "tpe" in
+  let key = Two_party_ecdsa.log_keygen ~rand_bytes:rand in
+  let y, pk = Two_party_ecdsa.client_keygen ~log_pub:key.Two_party_ecdsa.x_pub ~rand_bytes:rand in
+  let cbatch, lbatch = Two_party_ecdsa.presign_batch ~count:3 ~rand_bytes:rand in
+  for i = 0 to 2 do
+    let digest = Larch_hash.Sha256.digest (Printf.sprintf "message %d" i) in
+    let log_st =
+      Two_party_ecdsa.init_party ~party:0
+        ~inp:(Two_party_ecdsa.halfmul_input_of_log lbatch i ~sk0:key.Two_party_ecdsa.x)
+        ~cap_r:lbatch.Two_party_ecdsa.entries.(i).Two_party_ecdsa.cap_r ~digest
+    in
+    let cli_st =
+      Two_party_ecdsa.init_party ~party:1
+        ~inp:(Two_party_ecdsa.halfmul_input_of_client cbatch i ~sk1:y)
+        ~cap_r:cbatch.Two_party_ecdsa.centries.(i).Two_party_ecdsa.cap_r1 ~digest
+    in
+    let m0 = Two_party_ecdsa.round1 log_st and m1 = Two_party_ecdsa.round1 cli_st in
+    let s0 = Two_party_ecdsa.round2 log_st ~own:m0 ~other:m1 in
+    let s1 = Two_party_ecdsa.round2 cli_st ~own:m1 ~other:m0 in
+    let c0 = Two_party_ecdsa.open_commit log_st ~other_s:s1 ~rand_bytes:rand in
+    let c1 = Two_party_ecdsa.open_commit cli_st ~other_s:s0 ~rand_bytes:rand in
+    let r0 = Two_party_ecdsa.open_reveal log_st and r1 = Two_party_ecdsa.open_reveal cli_st in
+    Alcotest.(check bool) "log accepts" true
+      (Two_party_ecdsa.open_check log_st ~other_commit:c1 ~other_reveal:r1);
+    Alcotest.(check bool) "client accepts" true
+      (Two_party_ecdsa.open_check cli_st ~other_commit:c0 ~other_reveal:r0);
+    let sg = Two_party_ecdsa.signature cli_st ~other_s:s0 in
+    Alcotest.(check bool) "ECDSA verifies under aggregated pk" true
+      (Larch_ec.Ecdsa.verify_digest ~pk digest sg)
+  done
+
+let schnorr_two_party () =
+  let rand = Larch_hash.Drbg.of_seed "schnorr2p" in
+  let x = Scalar.random_nonzero ~rand_bytes:rand and y = Scalar.random_nonzero ~rand_bytes:rand in
+  let pk = Point.mul_base (Scalar.add x y) in
+  let digest = Larch_hash.Sha256.digest "hello" in
+  let lst, lr1 = Schnorr_signing.log_round1 ~rand_bytes:rand in
+  let cst, cr = Schnorr_signing.client_round ~commitment:lr1 ~rand_bytes:rand in
+  let lr2 = Schnorr_signing.log_round2 lst ~client:cr ~sk0:x ~digest in
+  (match Schnorr_signing.client_finish cst ~log_msg:lr2 ~sk1:y ~digest with
+  | Some sg ->
+      Alcotest.(check bool) "schnorr verifies" true (Schnorr_signing.verify ~pk ~digest sg);
+      Alcotest.(check bool) "wrong digest fails" false
+        (Schnorr_signing.verify ~pk ~digest:(Larch_hash.Sha256.digest "other") sg)
+  | None -> Alcotest.fail "commitment check failed");
+  (* a log that equivocates on R0 is caught *)
+  let lst2, lr1' = Schnorr_signing.log_round1 ~rand_bytes:rand in
+  let cst2, cr2 = Schnorr_signing.client_round ~commitment:lr1' ~rand_bytes:rand in
+  let lr2' = Schnorr_signing.log_round2 lst2 ~client:cr2 ~sk0:x ~digest in
+  let forged = { lr2' with Schnorr_signing.r0_pub = Point.double lr2'.Schnorr_signing.r0_pub } in
+  Alcotest.(check bool) "equivocation detected" true
+    (Schnorr_signing.client_finish cst2 ~log_msg:forged ~sk1:y ~digest = None)
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "fido2",
+        [
+          Alcotest.test_case "full flow + audit" `Slow fido2_full_flow;
+          Alcotest.test_case "unlinkable keys" `Quick fido2_unlinkable_keys;
+          Alcotest.test_case "phishing protection" `Slow fido2_wrong_rp_signature_fails;
+          Alcotest.test_case "malicious client rejected" `Slow fido2_malicious_client_rejected;
+          Alcotest.test_case "presig reuse rejected" `Slow fido2_presignature_reuse_rejected;
+          Alcotest.test_case "exhaustion + topup" `Slow fido2_exhaustion_and_topup;
+          Alcotest.test_case "objection window" `Quick fido2_objection_window;
+        ] );
+      ( "totp",
+        [
+          Alcotest.test_case "full flow + audit" `Slow totp_full_flow;
+          Alcotest.test_case "matches rfc reference" `Slow totp_code_matches_reference;
+          Alcotest.test_case "wrong archive key rejected" `Slow totp_wrong_archive_key_rejected;
+        ] );
+      ( "password",
+        [
+          Alcotest.test_case "full flow + audit" `Quick password_full_flow;
+          Alcotest.test_case "legacy import" `Quick password_legacy_import;
+          Alcotest.test_case "unregistered id rejected" `Quick password_unregistered_id_rejected;
+          Alcotest.test_case "uniform traffic profile" `Quick password_log_cannot_learn_which;
+        ] );
+      ( "operations",
+        [
+          Alcotest.test_case "rate-limit policy" `Quick policy_rate_limit;
+          Alcotest.test_case "notification policy" `Quick policy_notification;
+          Alcotest.test_case "audit token" `Quick audit_requires_account_token;
+          Alcotest.test_case "compromise detection" `Slow compromise_detection_via_audit;
+          Alcotest.test_case "revocation" `Quick revocation;
+          Alcotest.test_case "migration" `Slow migration_invalidates_old_device;
+          Alcotest.test_case "record wire format" `Quick record_wire_roundtrip;
+        ] );
+      ("multilog", [ Alcotest.test_case "t-of-n passwords" `Quick multilog_flow ]);
+      ( "signing",
+        [
+          Alcotest.test_case "2p-ecdsa" `Quick two_party_ecdsa_signature_verifies;
+          Alcotest.test_case "2p-schnorr" `Quick schnorr_two_party;
+        ] );
+    ]

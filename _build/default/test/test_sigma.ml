@@ -1,0 +1,171 @@
+(* Sigma-protocol tests: Schnorr, DLEQ, Pedersen, multi-exponentiation, and
+   the Groth–Kohlweiss one-out-of-many proof used by larch passwords. *)
+
+module Point = Larch_ec.Point
+module Scalar = Larch_ec.P256.Scalar
+open Larch_sigma
+
+let rand = Larch_hash.Drbg.of_seed "test-sigma"
+
+let schnorr_roundtrip () =
+  let x = Scalar.random_nonzero ~rand_bytes:rand in
+  let base = Point.g in
+  let y = Point.mul x base in
+  let p = Schnorr.prove ~base ~secret:x ~tag:"t" ~rand_bytes:rand in
+  Alcotest.(check bool) "verifies" true (Schnorr.verify ~base ~public:y ~tag:"t" p);
+  Alcotest.(check bool) "wrong tag" false (Schnorr.verify ~base ~public:y ~tag:"u" p);
+  Alcotest.(check bool) "wrong public" false
+    (Schnorr.verify ~base ~public:(Point.double y) ~tag:"t" p);
+  (match Schnorr.decode (Schnorr.encode p) with
+  | Some p' -> Alcotest.(check bool) "decode verifies" true (Schnorr.verify ~base ~public:y ~tag:"t" p')
+  | None -> Alcotest.fail "decode");
+  (* non-generator base *)
+  let base2 = Larch_ec.Hash_to_curve.hash "another-base" in
+  let y2 = Point.mul x base2 in
+  let p2 = Schnorr.prove ~base:base2 ~secret:x ~tag:"t" ~rand_bytes:rand in
+  Alcotest.(check bool) "other base verifies" true (Schnorr.verify ~base:base2 ~public:y2 ~tag:"t" p2)
+
+let dleq_roundtrip () =
+  let k = Scalar.random_nonzero ~rand_bytes:rand in
+  let b1 = Point.g and b2 = Larch_ec.Hash_to_curve.hash "dleq-base" in
+  let y1 = Point.mul k b1 and y2 = Point.mul k b2 in
+  let p = Dleq.prove ~base1:b1 ~base2:b2 ~secret:k ~tag:"t" ~rand_bytes:rand in
+  Alcotest.(check bool) "verifies" true
+    (Dleq.verify ~base1:b1 ~base2:b2 ~public1:y1 ~public2:y2 ~tag:"t" p);
+  Alcotest.(check bool) "wrong pair rejected" false
+    (Dleq.verify ~base1:b1 ~base2:b2 ~public1:y1 ~public2:(Point.double y2) ~tag:"t" p);
+  match Dleq.decode (Dleq.encode p) with
+  | Some p' ->
+      Alcotest.(check bool) "decode verifies" true
+        (Dleq.verify ~base1:b1 ~base2:b2 ~public1:y1 ~public2:y2 ~tag:"t" p')
+  | None -> Alcotest.fail "decode"
+
+let pedersen_binding_smoke () =
+  let key = Lazy.force Pedersen.default in
+  let m = Scalar.random ~rand_bytes:rand and r = Scalar.random ~rand_bytes:rand in
+  let c = Pedersen.commit key ~msg:m ~rand:r in
+  Alcotest.(check bool) "opens" true (Pedersen.verify key ~commitment:c ~msg:m ~rand:r);
+  Alcotest.(check bool) "wrong msg" false
+    (Pedersen.verify key ~commitment:c ~msg:(Scalar.add m Scalar.one) ~rand:r)
+
+let multi_mul_matches_naive () =
+  for n = 1 to 12 do
+    let pairs =
+      Array.init n (fun _ ->
+          let k = Scalar.random ~rand_bytes:rand in
+          let p = Point.mul_base (Scalar.random_nonzero ~rand_bytes:rand) in
+          (k, p))
+    in
+    let naive =
+      Array.fold_left (fun acc (k, p) -> Point.add acc (Point.mul k p)) Point.infinity pairs
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "multi_mul n=%d" n)
+      true
+      (Point.equal naive (Point.multi_mul pairs))
+  done
+
+let gk15_complete n () =
+  let key = Pedersen.make ~h:(Larch_ec.Hash_to_curve.hash "gk-h") in
+  let index = n / 2 in
+  let opening = Scalar.random_nonzero ~rand_bytes:rand in
+  let commitments =
+    Array.init n (fun i ->
+        if i = index then Point.mul opening key.Pedersen.h
+        else Point.mul_base (Scalar.random_nonzero ~rand_bytes:rand))
+  in
+  let p = Gk15.prove ~key ~commitments ~index ~opening ~tag:"t" ~rand_bytes:rand in
+  Alcotest.(check bool) "verifies" true (Gk15.verify ~key ~commitments ~tag:"t" p);
+  Alcotest.(check bool) "wrong tag rejected" false (Gk15.verify ~key ~commitments ~tag:"u" p);
+  (* perturbing the commitment list must break the proof *)
+  let bad = Array.copy commitments in
+  bad.(0) <- Point.double bad.(0);
+  Alcotest.(check bool) "modified set rejected" false (Gk15.verify ~key ~commitments:bad ~tag:"t" p);
+  (* decode/encode *)
+  match Gk15.decode (Gk15.encode p) with
+  | Some p' -> Alcotest.(check bool) "decoded verifies" true (Gk15.verify ~key ~commitments ~tag:"t" p')
+  | None -> Alcotest.fail "decode"
+
+let gk15_soundness_no_zero_commitment () =
+  (* If no commitment opens to zero, an honest-prover run with a bogus
+     opening must fail verification. *)
+  let key = Pedersen.make ~h:(Larch_ec.Hash_to_curve.hash "gk-h2") in
+  let n = 8 in
+  let commitments =
+    Array.init n (fun _ -> Point.mul_base (Scalar.random_nonzero ~rand_bytes:rand))
+  in
+  let p =
+    Gk15.prove ~key ~commitments ~index:3 ~opening:(Scalar.random_nonzero ~rand_bytes:rand)
+      ~tag:"t" ~rand_bytes:rand
+  in
+  Alcotest.(check bool) "rejected" false (Gk15.verify ~key ~commitments ~tag:"t" p)
+
+let gk15_tamper () =
+  let key = Pedersen.make ~h:(Larch_ec.Hash_to_curve.hash "gk-h3") in
+  let n = 16 and index = 5 in
+  let opening = Scalar.random_nonzero ~rand_bytes:rand in
+  let commitments =
+    Array.init n (fun i ->
+        if i = index then Point.mul opening key.Pedersen.h
+        else Point.mul_base (Scalar.random_nonzero ~rand_bytes:rand))
+  in
+  let p = Gk15.prove ~key ~commitments ~index ~opening ~tag:"t" ~rand_bytes:rand in
+  let tampered = { p with Gk15.z_d = Scalar.add p.Gk15.z_d Scalar.one } in
+  Alcotest.(check bool) "tampered z_d rejected" false
+    (Gk15.verify ~key ~commitments ~tag:"t" tampered);
+  let tampered2 = { p with Gk15.f = Array.map (fun x -> Scalar.add x Scalar.one) p.Gk15.f } in
+  Alcotest.(check bool) "tampered f rejected" false
+    (Gk15.verify ~key ~commitments ~tag:"t" tampered2)
+
+let gk15_padding () =
+  (* non-power-of-two list sizes *)
+  List.iter
+    (fun n ->
+      let key = Pedersen.make ~h:(Larch_ec.Hash_to_curve.hash "gk-h4") in
+      let index = n - 1 in
+      let opening = Scalar.random_nonzero ~rand_bytes:rand in
+      let commitments =
+        Array.init n (fun i ->
+            if i = index then Point.mul opening key.Pedersen.h
+            else Point.mul_base (Scalar.random_nonzero ~rand_bytes:rand))
+      in
+      let p = Gk15.prove ~key ~commitments ~index ~opening ~tag:"t" ~rand_bytes:rand in
+      Alcotest.(check bool) (Printf.sprintf "n=%d verifies" n) true
+        (Gk15.verify ~key ~commitments ~tag:"t" p))
+    [ 1; 3; 5; 7; 9 ]
+
+let transcript_determinism () =
+  let mk () =
+    let t = Transcript.create "d" in
+    Transcript.absorb t ~label:"a" "hello";
+    Transcript.absorb t ~label:"b" "world";
+    Transcript.challenge_scalar t ~label:"c"
+  in
+  Alcotest.(check bool) "deterministic" true (Scalar.equal (mk ()) (mk ()));
+  let t2 = Transcript.create "d" in
+  (* label/data boundary confusion must change the challenge *)
+  Transcript.absorb t2 ~label:"ah" "ello";
+  Transcript.absorb t2 ~label:"b" "world";
+  Alcotest.(check bool) "boundary-sensitive" false
+    (Scalar.equal (mk ()) (Transcript.challenge_scalar t2 ~label:"c"))
+
+let () =
+  Alcotest.run "sigma"
+    [
+      ( "sigma",
+        [
+          Alcotest.test_case "transcript" `Quick transcript_determinism;
+          Alcotest.test_case "schnorr" `Quick schnorr_roundtrip;
+          Alcotest.test_case "dleq" `Quick dleq_roundtrip;
+          Alcotest.test_case "pedersen" `Quick pedersen_binding_smoke;
+          Alcotest.test_case "multi_mul" `Quick multi_mul_matches_naive;
+        ] );
+      ( "gk15",
+        [
+          Alcotest.test_case "complete n=8" `Quick (gk15_complete 8);
+          Alcotest.test_case "complete n=32" `Quick (gk15_complete 32);
+          Alcotest.test_case "soundness" `Quick gk15_soundness_no_zero_commitment;
+          Alcotest.test_case "tamper" `Quick gk15_tamper;
+          Alcotest.test_case "padding" `Quick gk15_padding;
+        ] );
+    ]

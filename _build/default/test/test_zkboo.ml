@@ -1,0 +1,239 @@
+(* ZKBoo proof system tests: completeness, soundness under tampering,
+   zero-knowledge smoke checks, serialization, and the full larch FIDO2
+   statement. *)
+
+module Circuit = Larch_circuit.Circuit
+module Builder = Larch_circuit.Builder
+module Zkboo = Larch_zkboo.Zkboo
+
+let rand = Larch_hash.Drbg.of_seed "test-zkboo"
+
+(* A toy circuit: out = (a AND b) XOR (NOT c), 3 inputs, plus a constant. *)
+let toy_circuit () =
+  let b = Builder.create () in
+  let a = Builder.input b and bb = Builder.input b and c = Builder.input b in
+  let t = Builder.band b a bb in
+  let nc = Builder.bnot b c in
+  let o1 = Builder.bxor b t nc in
+  let o2 = Builder.bxor b o1 (Builder.const b true) in
+  Builder.finalize b ~outputs:[| o1; o2 |]
+
+let prove_verify_toy () =
+  let circuit = toy_circuit () in
+  List.iter
+    (fun witness ->
+      let proof =
+        Zkboo.prove ~reps:40 ~circuit ~witness ~statement_tag:"toy" ~rand_bytes:rand ()
+      in
+      let public_output = Circuit.eval circuit witness in
+      Alcotest.(check bool) "verifies" true
+        (Zkboo.verify ~circuit ~public_output ~statement_tag:"toy" proof);
+      (* flipping any output bit must break it *)
+      let bad = Array.copy public_output in
+      bad.(0) <- not bad.(0);
+      Alcotest.(check bool) "wrong output rejected" false
+        (Zkboo.verify ~circuit ~public_output:bad ~statement_tag:"toy" proof);
+      Alcotest.(check bool) "wrong tag rejected" false
+        (Zkboo.verify ~circuit ~public_output ~statement_tag:"other" proof))
+    [
+      [| true; true; false |];
+      [| false; false; false |];
+      [| true; false; true |];
+      [| true; true; true |];
+    ]
+
+(* A medium circuit with many ANDs crossing the 62-lane boundary. *)
+let medium_circuit () =
+  let b = Builder.create () in
+  let xs = Builder.inputs b 64 and ys = Builder.inputs b 64 in
+  let prod = Larch_circuit.Word.add b (Array.sub xs 0 32) (Array.sub ys 0 32) in
+  let ands = Array.map2 (Builder.band b) (Array.sub xs 32 32) (Array.sub ys 32 32) in
+  Builder.finalize b ~outputs:(Array.append prod ands)
+
+let prove_verify_medium () =
+  let circuit = medium_circuit () in
+  let witness = Array.init 128 (fun i -> Char.code (rand 1).[0] land 1 = 1 || i mod 7 = 0) in
+  let public_output = Circuit.eval circuit witness in
+  (* 137 reps exercises multiple packed batches (62+62+13) *)
+  let proof = Zkboo.prove ~circuit ~witness ~statement_tag:"medium" ~rand_bytes:rand () in
+  Alcotest.(check bool) "verifies" true
+    (Zkboo.verify ~circuit ~public_output ~statement_tag:"medium" proof);
+  (* parallel verify agrees *)
+  Alcotest.(check bool) "parallel verifies" true
+    (Zkboo.verify ~domains:4 ~circuit ~public_output ~statement_tag:"medium" proof)
+
+let tamper_rejected () =
+  let circuit = toy_circuit () in
+  let witness = [| true; false; true |] in
+  let public_output = Circuit.eval circuit witness in
+  let proof = Zkboo.prove ~reps:40 ~circuit ~witness ~statement_tag:"t" ~rand_bytes:rand () in
+  let verify p = Zkboo.verify ~circuit ~public_output ~statement_tag:"t" p in
+  Alcotest.(check bool) "baseline" true (verify proof);
+  (* tamper: z_e1 bit flip in one repetition *)
+  let flip_first_byte s =
+    if s = "" then s
+    else String.mapi (fun i c -> if i = 0 then Char.chr (Char.code c lxor 1) else c) s
+  in
+  let tampered_z =
+    {
+      proof with
+      Zkboo.responses =
+        Array.mapi
+          (fun i r ->
+            if i = 0 then { r with Zkboo.z_e1 = flip_first_byte r.Zkboo.z_e1 } else r)
+          proof.Zkboo.responses;
+    }
+  in
+  Alcotest.(check bool) "tampered z rejected" false (verify tampered_z);
+  (* tamper: commitment flip *)
+  let tampered_c =
+    {
+      proof with
+      Zkboo.commits =
+        Array.mapi
+          (fun i cs -> if i = 1 then Array.map flip_first_byte cs else cs)
+          proof.Zkboo.commits;
+    }
+  in
+  Alcotest.(check bool) "tampered commit rejected" false (verify tampered_c);
+  (* tamper: output share flip (breaks the XOR identity) *)
+  let tampered_y =
+    {
+      proof with
+      Zkboo.out_shares =
+        Array.mapi
+          (fun i ys -> if i = 2 then [| flip_first_byte ys.(0); ys.(1); ys.(2) |] else ys)
+          proof.Zkboo.out_shares;
+    }
+  in
+  Alcotest.(check bool) "tampered out share rejected" false (verify tampered_y);
+  (* tamper: seed swap *)
+  let tampered_s =
+    {
+      proof with
+      Zkboo.responses =
+        Array.mapi
+          (fun i r ->
+            if i = 0 then { r with Zkboo.seed_e = String.make Zkboo.seed_len 'A' } else r)
+          proof.Zkboo.responses;
+    }
+  in
+  Alcotest.(check bool) "tampered seed rejected" false (verify tampered_s)
+
+let serialization_roundtrip () =
+  let circuit = toy_circuit () in
+  let witness = [| false; true; true |] in
+  let public_output = Circuit.eval circuit witness in
+  let proof = Zkboo.prove ~reps:20 ~circuit ~witness ~statement_tag:"s" ~rand_bytes:rand () in
+  let bytes = Zkboo.to_bytes proof in
+  match Zkboo.of_bytes bytes with
+  | None -> Alcotest.fail "decode failed"
+  | Some proof' ->
+      Alcotest.(check bool) "decoded verifies" true
+        (Zkboo.verify ~circuit ~public_output ~statement_tag:"s" proof');
+      Alcotest.(check bool) "reserialization identical" true (Zkboo.to_bytes proof' = bytes);
+      (* truncation must fail to decode *)
+      Alcotest.(check bool) "truncated rejected" true
+        (Zkboo.of_bytes (String.sub bytes 0 (String.length bytes - 3)) = None)
+
+let proofs_are_randomized () =
+  let circuit = toy_circuit () in
+  let witness = [| true; true; false |] in
+  let p1 = Zkboo.prove ~reps:10 ~circuit ~witness ~statement_tag:"zk" ~rand_bytes:rand () in
+  let p2 = Zkboo.prove ~reps:10 ~circuit ~witness ~statement_tag:"zk" ~rand_bytes:rand () in
+  Alcotest.(check bool) "distinct proofs" false (Zkboo.to_bytes p1 = Zkboo.to_bytes p2)
+
+let fido2_statement_proof () =
+  let k = rand 32 and r = rand 16 and id = rand 32 and chal = rand 32 and nonce = rand 12 in
+  let cm, ct, dgst = Larch_circuit.Larch_statements.fido2_compute ~k ~r ~id ~chal ~nonce in
+  let circuit = Lazy.force Larch_circuit.Larch_statements.fido2_circuit in
+  let witness = Larch_circuit.Larch_statements.fido2_witness_bits { k; r; id; chal; nonce } in
+  let public_output = Larch_circuit.Larch_statements.fido2_public_bits ~cm ~ct ~dgst ~nonce in
+  let tag = "larch-fido2" in
+  let t0 = Unix.gettimeofday () in
+  let proof = Zkboo.prove ~circuit ~witness ~statement_tag:tag ~rand_bytes:rand () in
+  let t1 = Unix.gettimeofday () in
+  Alcotest.(check bool) "fido2 proof verifies" true
+    (Zkboo.verify ~circuit ~public_output ~statement_tag:tag proof);
+  let t2 = Unix.gettimeofday () in
+  let size = Zkboo.size_bytes proof in
+  Printf.printf "\n  [fido2 zkboo] prove %.0fms verify %.0fms proof %.2f MiB\n" ((t1 -. t0) *. 1000.)
+    ((t2 -. t1) *. 1000.)
+    (float_of_int size /. 1024. /. 1024.);
+  (* wrong digest (e.g. different relying party) must be rejected *)
+  let bad_dgst = Larch_hash.Sha256.digest "not-the-right-rp" in
+  let bad_output = Larch_circuit.Larch_statements.fido2_public_bits ~cm ~ct ~dgst:bad_dgst ~nonce in
+  Alcotest.(check bool) "wrong dgst rejected" false
+    (Zkboo.verify ~circuit ~public_output:bad_output ~statement_tag:tag proof)
+
+(* Property: for random small circuits and random witnesses, prove/verify
+   round-trips, and verification against a flipped output bit fails. *)
+let zkboo_random_circuit_props =
+  let gen_circuit_and_witness =
+    QCheck.Gen.(
+      let* n_in = int_range 4 12 in
+      let* n_gates = int_range 5 40 in
+      let* seed = string_size ~gen:char (return 16) in
+      return (n_in, n_gates, seed))
+  in
+  let arb = QCheck.make ~print:(fun (a, b, _) -> Printf.sprintf "in=%d gates=%d" a b) gen_circuit_and_witness in
+  [
+    QCheck.Test.make ~name:"random circuits prove/verify" ~count:15 arb
+      (fun (n_in, n_gates, seed) ->
+        let prg = Larch_hash.Drbg.of_seed ("zkp" ^ seed) in
+        let byte () = Char.code (prg 1).[0] in
+        let b = Builder.create () in
+        let inputs = Builder.inputs b n_in in
+        let wires = ref (Array.to_list inputs) in
+        let pick () = List.nth !wires (byte () mod List.length !wires) in
+        for _ = 1 to n_gates do
+          let w =
+            match byte () mod 4 with
+            | 0 -> Builder.band b (pick ()) (pick ())
+            | 1 -> Builder.bxor b (pick ()) (pick ())
+            | 2 -> Builder.bnot b (pick ())
+            | _ -> Builder.const b (byte () land 1 = 1)
+          in
+          wires := w :: !wires
+        done;
+        let outputs = Array.init 4 (fun _ -> pick ()) in
+        let circuit = Builder.finalize b ~outputs in
+        let witness = Array.init n_in (fun _ -> byte () land 1 = 1) in
+        let public_output = Circuit.eval circuit witness in
+        let proof = Zkboo.prove ~reps:15 ~circuit ~witness ~statement_tag:"prop" ~rand_bytes:prg () in
+        let good = Zkboo.verify ~circuit ~public_output ~statement_tag:"prop" proof in
+        let flipped = Array.copy public_output in
+        flipped.(0) <- not flipped.(0);
+        let bad = Zkboo.verify ~circuit ~public_output:flipped ~statement_tag:"prop" proof in
+        good && not bad);
+  ]
+
+let lane_width_equivalence () =
+  (* unpacked and packed proving produce proofs the verifier accepts *)
+  let circuit = toy_circuit () in
+  let witness = [| true; false; true |] in
+  let public_output = Circuit.eval circuit witness in
+  List.iter
+    (fun w ->
+      let proof =
+        Zkboo.prove ~reps:20 ~lane_width:w ~circuit ~witness ~statement_tag:"lw" ~rand_bytes:rand ()
+      in
+      Alcotest.(check bool) (Printf.sprintf "lane width %d" w) true
+        (Zkboo.verify ~circuit ~public_output ~statement_tag:"lw" proof))
+    [ 1; 2; 7; 62 ]
+
+let () =
+  Alcotest.run "zkboo"
+    [
+      ( "zkboo",
+        [
+          Alcotest.test_case "toy completeness" `Quick prove_verify_toy;
+          Alcotest.test_case "medium circuit" `Quick prove_verify_medium;
+          Alcotest.test_case "tamper rejection" `Quick tamper_rejected;
+          Alcotest.test_case "serialization" `Quick serialization_roundtrip;
+          Alcotest.test_case "proofs randomized" `Quick proofs_are_randomized;
+          Alcotest.test_case "fido2 statement" `Slow fido2_statement_proof;
+          Alcotest.test_case "lane-width equivalence" `Quick lane_width_equivalence;
+        ] );
+      ("zkboo-props", List.map QCheck_alcotest.to_alcotest zkboo_random_circuit_props);
+    ]
