@@ -17,10 +17,9 @@ open Larch_core
 let net = Netsim.paper_default
 let rand = Larch_hash.Drbg.of_seed "larch-bench"
 
-let timed (f : unit -> 'a) : 'a * float =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+(* The shared timing substrate: a monotonic-clock span, recorded in the
+   trace when tracing is enabled (see --trace-json). *)
+let timed (f : unit -> 'a) : 'a * float = Larch_obs.Trace.timed "bench.op" f
 
 let ms t = t *. 1000.
 let mib b = float_of_int b /. 1024. /. 1024.

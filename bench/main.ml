@@ -60,7 +60,13 @@ let experiments =
   let doc = "Run only the named experiment (repeatable). One of: " ^ String.concat ", " all_ids in
   Arg.(value & opt_all string [] & info [ "e"; "experiment" ] ~doc)
 
-let main fast selected =
+let trace_json =
+  let doc =
+    "Enable tracing for the run and write the span tree as Chrome trace_event JSON to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-json" ] ~docv:"FILE" ~doc)
+
+let main fast selected trace_json =
   List.iter
     (fun id ->
       if not (List.mem id all_ids) then begin
@@ -70,10 +76,23 @@ let main fast selected =
     selected;
   Printf.printf
     "larch benchmark harness -- network model: 20 ms RTT, 100 Mbps (as in the paper, sec. 8)\n%!";
-  run_experiments ~fast ~selected
+  if trace_json <> None then begin
+    Larch_obs.Runtime.set_tracing true;
+    Larch_obs.Trace.reset ()
+  end;
+  run_experiments ~fast ~selected;
+  match trace_json with
+  | None -> ()
+  | Some file -> (
+      try
+        Larch_obs.Trace.write_chrome_json file;
+        Printf.printf "\n%d spans written to %s\n" (Larch_obs.Trace.span_count ()) file
+      with Sys_error msg ->
+        Printf.eprintf "larch-bench: cannot write trace: %s\n" msg;
+        exit 1)
 
 let cmd =
   let doc = "Regenerate the larch paper's evaluation tables and figures" in
-  Cmd.v (Cmd.info "larch-bench" ~doc) Term.(const main $ fast $ experiments)
+  Cmd.v (Cmd.info "larch-bench" ~doc) Term.(const main $ fast $ experiments $ trace_json)
 
 let () = exit (Cmd.eval cmd)

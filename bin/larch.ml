@@ -10,9 +10,13 @@
      larch demo compromise   stolen-device detection + revocation
      larch demo recovery     encrypted backup + recovery
      larch sizes             the byte-level constants of every protocol
-     larch circuits          statement-circuit statistics *)
+     larch circuits          statement-circuit statistics
+     larch trace <demo>      a demo under the observability layer: span
+                             tree, metrics table, and the log-service
+                             event stream (optionally Chrome JSON) *)
 
 open Larch_core
+module Obs = Larch_obs
 
 let rand = Larch_hash.Drbg.system ()
 
@@ -22,9 +26,8 @@ let world () =
   (log, client)
 
 let timed label f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  Printf.printf "  %-38s %7.1f ms\n%!" label ((Unix.gettimeofday () -. t0) *. 1000.);
+  let r, dt = Obs.Trace.timed label f in
+  Printf.printf "  %-38s %7.1f ms\n%!" label (dt *. 1000.);
   r
 
 let demo_fido2 () =
@@ -183,30 +186,75 @@ let circuits () =
 
 open Cmdliner
 
+let scenario_arg =
+  Arg.(required & pos 0 (some (enum [
+    ("fido2", `Fido2); ("totp", `Totp); ("password", `Password);
+    ("multilog", `Multilog); ("compromise", `Compromise); ("recovery", `Recovery) ])) None
+    & info [] ~docv:"SCENARIO")
+
+let n_arg =
+  Arg.(value & opt int 8 & info [ "n" ] ~doc:"Number of registered relying parties.")
+
+let run_scenario scenario n =
+  match scenario with
+  | `Fido2 -> demo_fido2 ()
+  | `Totp -> demo_totp (max 1 n)
+  | `Password -> demo_password (max 1 n)
+  | `Multilog -> demo_multilog ()
+  | `Compromise -> demo_compromise ()
+  | `Recovery -> demo_recovery ()
+
 let demo_cmd =
-  let scenario =
-    Arg.(required & pos 0 (some (enum [
-      ("fido2", `Fido2); ("totp", `Totp); ("password", `Password);
-      ("multilog", `Multilog); ("compromise", `Compromise); ("recovery", `Recovery) ])) None
-      & info [] ~docv:"SCENARIO")
+  Cmd.v (Cmd.info "demo" ~doc:"Run a narrated end-to-end scenario")
+    Term.(const run_scenario $ scenario_arg $ n_arg)
+
+(* Run a demo with tracing, metrics, and the event stream enabled, then
+   print all three views (and optionally a Chrome trace_event file). *)
+let trace_cmd =
+  let json =
+    Arg.(value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write the span tree as Chrome trace_event JSON (load in \
+                chrome://tracing or Perfetto).")
   in
-  let n =
-    Arg.(value & opt int 8 & info [ "n" ] ~doc:"Number of registered relying parties.")
+  let run scenario n json =
+    Obs.Runtime.enable_all ();
+    Obs.Trace.reset ();
+    Obs.Events.clear ();
+    let rc = run_scenario scenario n in
+    print_newline ();
+    print_endline "-- spans ------------------------------------------------";
+    print_string (Obs.Trace.report ());
+    print_newline ();
+    print_endline "-- metrics ----------------------------------------------";
+    print_string (Obs.Metrics.report Obs.Metrics.default);
+    print_newline ();
+    print_endline "-- log-service events (no relying-party names, ever) ----";
+    List.iter (fun e -> print_endline ("  " ^ Obs.Events.to_string e)) (Obs.Events.recent ());
+    let rc =
+      match json with
+      | None -> rc
+      | Some file -> (
+          try
+            Obs.Trace.write_chrome_json file;
+            Printf.printf "\nchrome trace written to %s\n" file;
+            rc
+          with Sys_error msg ->
+            Printf.eprintf "larch: cannot write trace: %s\n" msg;
+            1)
+    in
+    Obs.Runtime.disable_all ();
+    rc
   in
-  let run scenario n =
-    match scenario with
-    | `Fido2 -> demo_fido2 ()
-    | `Totp -> demo_totp (max 1 n)
-    | `Password -> demo_password (max 1 n)
-    | `Multilog -> demo_multilog ()
-    | `Compromise -> demo_compromise ()
-    | `Recovery -> demo_recovery ()
-  in
-  Cmd.v (Cmd.info "demo" ~doc:"Run a narrated end-to-end scenario") Term.(const run $ scenario $ n)
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Run a demo under the observability layer")
+    Term.(const run $ scenario_arg $ n_arg $ json)
 
 let sizes_cmd = Cmd.v (Cmd.info "sizes" ~doc:"Print protocol byte constants") Term.(const sizes $ const ())
 let circuits_cmd = Cmd.v (Cmd.info "circuits" ~doc:"Print statement-circuit statistics") Term.(const circuits $ const ())
 
 let () =
   let doc = "larch: accountable authentication with privacy protection" in
-  exit (Cmd.eval' (Cmd.group (Cmd.info "larch" ~doc) [ demo_cmd; sizes_cmd; circuits_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group (Cmd.info "larch" ~doc) [ demo_cmd; trace_cmd; sizes_cmd; circuits_cmd ]))

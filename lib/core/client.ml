@@ -14,6 +14,7 @@ module Channel = Larch_net.Channel
 module Tpe = Two_party_ecdsa
 module Statements = Larch_circuit.Larch_statements
 module Bytesx = Larch_util.Bytesx
+module Trace = Larch_obs.Trace
 
 type fido2_cred = { y : Scalar.t; pk : Point.t; mutable counter : int }
 type totp_cred = { tid : string; kclient : string; algo : Larch_auth.Totp.algo }
@@ -68,9 +69,9 @@ let create ~(client_id : string) ~(account_password : string) ~(log : Log_servic
     account_password;
     rand = rand_bytes;
     log;
-    chan = Channel.create ();
-    totp_offline = Channel.create ();
-    totp_online = Channel.create ();
+    chan = Channel.create ~label:"fido2" ();
+    totp_offline = Channel.create ~label:"totp.offline" ();
+    totp_online = Channel.create ~label:"totp.online" ();
     ip = "198.51.100.7";
     domains = 1;
     fido2 = None;
@@ -89,6 +90,8 @@ let send_l2c (t : t) (payload : string) = ignore (Channel.send t.chan Channel.Lo
 (* --- Step 1: enrollment --- *)
 
 let enroll ?(presignature_count = 100) (t : t) : unit =
+  Trace.with_span "client.enroll" @@ fun () ->
+  Trace.add_int "presigs" presignature_count;
   Log_service.enroll t.log ~client_id:t.client_id ~account_password:t.account_password;
   (* FIDO2: archive key + commitment, record key, presignature batch *)
   let fk = t.rand 32 and fr = t.rand 16 in
@@ -206,6 +209,7 @@ exception Log_misbehaved of string
 (* FIDO2: build the statement, prove it, and run Π_Sign with the log. *)
 let authenticate_fido2 (t : t) ~(rp_name : string) ~(challenge : string) :
     Larch_auth.Fido2.assertion =
+  Trace.with_span "client.fido2.auth" @@ fun () ->
   let f = fido2_side t in
   let cred =
     match Hashtbl.find_opt f.fido2_creds rp_name with
@@ -232,6 +236,8 @@ let authenticate_fido2 (t : t) ~(rp_name : string) ~(challenge : string) :
       ~statement_tag:Fido2_protocol.statement_tag ~rand_bytes:t.rand ()
   in
   (* consume the next presignature *)
+  let signature =
+  Trace.with_span "ecdsa2p.sign.client" @@ fun () ->
   let batch =
     match List.find_opt (fun b -> Tpe.client_batch_remaining b > 0) f.batches with
     | Some b -> b
@@ -276,12 +282,14 @@ let authenticate_fido2 (t : t) ~(rp_name : string) ~(challenge : string) :
   send_c2l t (Tpe.encode_reveal reveal_c);
   if not (Log_service.fido2_auth_finish t.log ~client_id:t.client_id ~client_reveal:reveal_c)
   then raise (Log_misbehaved "log rejected the opening");
-  let signature = Tpe.signature st ~other_s:s0 in
+  Tpe.signature st ~other_s:s0
+  in
   { Larch_auth.Fido2.payload; signature }
 
 (* TOTP: run the 2PC; returns the full outcome (code + phase timings). *)
 let authenticate_totp_detailed (t : t) ~(rp_name : string) ~(time : float) :
     Totp_protocol.outcome =
+  Trace.with_span "client.totp.auth" @@ fun () ->
   let s = totp_side t in
   let cred =
     match Hashtbl.find_opt s.totp_creds rp_name with
@@ -307,6 +315,7 @@ let authenticate_totp (t : t) ~(rp_name : string) ~(time : float) : int =
 
 (* Passwords: one-out-of-many proof, log exponentiation, recombination. *)
 let authenticate_password (t : t) ~(rp_name : string) : string =
+  Trace.with_span "client.pw.auth" @@ fun () ->
   let s = pw_side t in
   let cred =
     match Hashtbl.find_opt s.pw_creds rp_name with
@@ -373,6 +382,7 @@ let audit_of_records (t : t) (records : Record.t list) : audit_entry list =
     records
 
 let audit (t : t) : audit_entry list =
+  Trace.with_span "client.audit" @@ fun () ->
   audit_of_records t (Log_service.audit t.log ~client_id:t.client_id ~token:t.account_password)
 
 (* Verified audit: recompute the per-client record hash chain, check it

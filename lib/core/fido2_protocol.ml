@@ -30,6 +30,7 @@ let build_public_output ~(cm : string) (req : auth_request) : bool array =
   Statements.fido2_public_bits ~cm ~ct:req.ct ~dgst:req.dgst ~nonce:req.ct_nonce
 
 let verify_statement ?(domains = 1) ~(cm : string) (req : auth_request) : bool =
+  Larch_obs.Trace.with_span "fido2.verify_statement" @@ fun () ->
   let circuit = Lazy.force Statements.fido2_circuit in
   Zkboo.verify ~domains ~circuit ~public_output:(build_public_output ~cm req) ~statement_tag
     req.proof

@@ -17,6 +17,13 @@
 module Point = Larch_ec.Point
 module Scalar = Larch_ec.P256.Scalar
 module Tpe = Two_party_ecdsa
+module Trace = Larch_obs.Trace
+module Events = Larch_obs.Events
+
+(* Observability note: every [Events.emit] below carries at most the client
+   id, the auth method, and protocol-step detail.  Relying-party identities
+   never reach the log (see the module header), so they can never appear in
+   an event either — test/test_obs.ml checks this over full protocol runs. *)
 
 type policy = {
   max_auths_per_window : int option;
@@ -83,6 +90,7 @@ let check_token (c : client_state) (token : string) : unit =
 
 let enroll (t : t) ~(client_id : string) ~(account_password : string) : unit =
   if Hashtbl.mem t.clients client_id then Types.fail "client already enrolled";
+  Events.emit ~client:client_id Events.Enroll "account created";
   Hashtbl.replace t.clients client_id
     {
       account_token = Larch_hash.Sha256.digest account_password;
@@ -102,14 +110,20 @@ let set_policy (t : t) ~(client_id : string) ~(token : string) (p : policy) : un
   check_token c token;
   c.policy <- p
 
-let enforce_policy (c : client_state) ~(method_ : Types.auth_method) ~(now : float) : unit =
+let enforce_policy ?client_id (c : client_state) ~(method_ : Types.auth_method) ~(now : float) :
+    unit =
   (match c.policy.max_auths_per_window with
   | None -> ()
   | Some limit ->
       let window_start = now -. c.policy.window_seconds in
       let recent = List.filter (fun ts -> ts >= window_start) c.recent_auths in
       c.recent_auths <- recent;
-      if List.length recent >= limit then Types.fail "policy: rate limit exceeded");
+      if List.length recent >= limit then begin
+        Events.emit ~severity:Events.Warn ?client:client_id
+          ~method_:(Types.auth_method_to_string method_) Events.Policy_denied
+          (Printf.sprintf "rate limit: %d auths in %.0fs window" limit c.policy.window_seconds);
+        Types.fail "policy: rate limit exceeded"
+      end);
   c.recent_auths <- now :: c.recent_auths;
   match c.policy.notify with None -> () | Some f -> f method_ now
 
@@ -141,16 +155,20 @@ let enroll_fido2 (t : t) ~(client_id : string) ~(cm : string) ~(record_vk : Poin
         signing_record = None;
         client_commit = None;
       };
+  Events.emit ~client:client_id ~method_:"fido2" Events.Enroll
+    (Printf.sprintf "fido2 enrolled, %d presignatures" (Array.length batch.Tpe.entries));
   key.Tpe.x_pub
 
 let enroll_totp (t : t) ~(client_id : string) ~(cm : string) : unit =
   let c = get_client t client_id in
   if c.totp <> None then Types.fail "totp already enrolled";
+  Events.emit ~client:client_id ~method_:"totp" Events.Enroll "totp enrolled";
   c.totp <- Some { cm_totp = cm; registrations = [] }
 
 let enroll_password (t : t) ~(client_id : string) ~(client_pub : Point.t) : Point.t =
   let c = get_client t client_id in
   if c.pw <> None then Types.fail "password already enrolled";
+  Events.emit ~client:client_id ~method_:"password" Events.Enroll "password vault enrolled";
   let k, k_pub = Password_protocol.log_gen ~rand_bytes:t.rand in
   c.pw <- Some { client_pub; k; k_pub; ids = [] };
   k_pub
@@ -197,6 +215,8 @@ let object_to_pending (t : t) ~(client_id : string) ~(token : string) : int =
   let f = fido2_state c in
   let n = List.length f.pending in
   f.pending <- [];
+  Events.emit ~severity:Events.Warn ~client:client_id ~method_:"fido2" Events.Objection
+    (Printf.sprintf "client disavowed %d staged presignature batch(es)" n);
   n
 
 (* Audit view of staged batches, so an honest client can detect
@@ -212,27 +232,44 @@ let pending_batches (t : t) ~(client_id : string) : (int * float) list =
    answer with the log's signing message and s-share. *)
 let fido2_auth_begin ?(domains = 1) (t : t) ~(client_id : string) ~(ip : string) ~(now : float)
     (req : Fido2_protocol.auth_request) : Fido2_protocol.auth_response1 =
+  Trace.with_span "log.fido2.auth_begin" @@ fun () ->
+  let proto_err detail =
+    Events.emit ~severity:Events.Error ~client:client_id ~method_:"fido2" Events.Protocol_error
+      detail
+  in
   let c = get_client t client_id in
   let f = fido2_state c in
-  enforce_policy c ~method_:Types.Fido2 ~now;
+  enforce_policy ~client_id c ~method_:Types.Fido2 ~now;
+  Events.emit ~client:client_id ~method_:"fido2" Events.Auth_begin "zkboo proof + record received";
   if f.signing <> None then Types.fail "signing already in progress";
   (* the §7 integrity optimization: ciphertext signed outside the proof *)
   (match Larch_ec.Ecdsa.decode req.Fido2_protocol.record_sig with
   | Some sg ->
       if not (Larch_ec.Ecdsa.verify ~pk:f.record_vk (req.Fido2_protocol.ct_nonce ^ req.Fido2_protocol.ct) sg)
-      then Types.fail "record signature invalid"
-  | None -> Types.fail "record signature malformed");
-  if not (Fido2_protocol.verify_statement ~domains ~cm:f.cm req) then
-    Types.fail "zero-knowledge proof rejected";
+      then begin
+        proto_err "record signature invalid";
+        Types.fail "record signature invalid"
+      end
+  | None ->
+      proto_err "record signature malformed";
+      Types.fail "record signature malformed");
+  if not (Fido2_protocol.verify_statement ~domains ~cm:f.cm req) then begin
+    proto_err "zero-knowledge proof rejected";
+    Types.fail "zero-knowledge proof rejected"
+  end;
   (* single-use presignature discipline: indices are consumed in order *)
   let batch =
     match List.find_opt (fun b -> Tpe.log_batch_remaining b > 0) f.batches with
     | Some b -> b
-    | None -> Types.fail "out of presignatures"
+    | None ->
+        proto_err "out of presignatures";
+        Types.fail "out of presignatures"
   in
-  if req.Fido2_protocol.presig_index <> batch.Tpe.next then
+  if req.Fido2_protocol.presig_index <> batch.Tpe.next then begin
+    proto_err "presignature index mismatch";
     Types.fail "presignature index mismatch (expected %d, got %d)" batch.Tpe.next
-      req.Fido2_protocol.presig_index;
+      req.Fido2_protocol.presig_index
+  end;
   let idx = batch.Tpe.next in
   batch.Tpe.next <- idx + 1;
   (* the record is stored *before* the log releases any signing material *)
@@ -256,6 +293,7 @@ let fido2_auth_begin ?(domains = 1) (t : t) ~(client_id : string) ~(ip : string)
       ~digest:req.Fido2_protocol.dgst
   in
   f.signing <- Some st;
+  Trace.with_span "ecdsa2p.sign.log" @@ fun () ->
   let own = Tpe.round1 st in
   let s0 = Tpe.round2 st ~own ~other:req.Fido2_protocol.hm_msg in
   { Fido2_protocol.hm_msg = own; s0 = Scalar.to_bytes_be s0 }
@@ -265,6 +303,7 @@ let fido2_auth_begin ?(domains = 1) (t : t) ~(client_id : string) ~(ip : string)
 let fido2_auth_commit (t : t) ~(client_id : string) ~(s1 : Scalar.t)
     ~(client_commit : Larch_mpc.Spdz.open_commit) :
     Larch_mpc.Spdz.open_commit * Larch_mpc.Spdz.open_reveal =
+  Trace.with_span "log.fido2.auth_commit" @@ fun () ->
   let c = get_client t client_id in
   let f = fido2_state c in
   let st = match f.signing with Some s -> s | None -> Types.fail "no signing in progress" in
@@ -273,6 +312,8 @@ let fido2_auth_commit (t : t) ~(client_id : string) ~(s1 : Scalar.t)
   | Some r -> append_record c r
   | None -> Types.fail "no pending record");
   f.signing_record <- None;
+  Events.emit ~client:client_id ~method_:"fido2" Events.Auth_commit
+    "encrypted record appended to the audit chain";
   let commit = Tpe.open_commit st ~other_s:s1 ~rand_bytes:t.rand in
   (commit, Tpe.open_reveal st)
 
@@ -280,6 +321,7 @@ let fido2_auth_commit (t : t) ~(client_id : string) ~(s1 : Scalar.t)
    stored record remains (an attack trace) and the error is surfaced. *)
 let fido2_auth_finish (t : t) ~(client_id : string)
     ~(client_reveal : Larch_mpc.Spdz.open_reveal) : bool =
+  Trace.with_span "log.fido2.auth_finish" @@ fun () ->
   let c = get_client t client_id in
   let f = fido2_state c in
   let st = match f.signing with Some s -> s | None -> Types.fail "no signing in progress" in
@@ -288,7 +330,13 @@ let fido2_auth_finish (t : t) ~(client_id : string)
   in
   f.signing <- None;
   f.client_commit <- None;
-  Tpe.open_check st ~other_commit:commit ~other_reveal:client_reveal
+  let ok = Tpe.open_check st ~other_commit:commit ~other_reveal:client_reveal in
+  if ok then
+    Events.emit ~client:client_id ~method_:"fido2" Events.Auth_finish "signature share released"
+  else
+    Events.emit ~severity:Events.Error ~client:client_id ~method_:"fido2" Events.Protocol_error
+      "client opening failed the MAC check";
+  ok
 
 (* --- TOTP --- *)
 
@@ -300,7 +348,10 @@ let totp_register (t : t) ~(client_id : string) (reg : Totp_protocol.registratio
   let s = totp_state c in
   if List.exists (fun r -> r.Totp_protocol.id = reg.Totp_protocol.id) s.registrations then
     Types.fail "duplicate totp registration id";
-  s.registrations <- s.registrations @ [ reg ]
+  s.registrations <- s.registrations @ [ reg ];
+  (* the registration identifier is random and never logged *)
+  Events.emit ~client:client_id ~method_:"totp" Events.Register
+    (Printf.sprintf "totp share stored (%d registrations)" (List.length s.registrations))
 
 let totp_unregister (t : t) ~(client_id : string) ~(token : string) ~(id : string) : bool =
   (* §4: clients can delete unused registrations to speed up the 2PC *)
@@ -323,15 +374,22 @@ let totp_auth (t : t) ~(client_id : string) ~(ip : string) ~(now : float) ~(enc_
        registrations:(string * string) list ->
        rand_log:(int -> string) ->
        Totp_protocol.outcome) : Totp_protocol.outcome =
+  Trace.with_span "log.totp.auth" @@ fun () ->
   let c = get_client t client_id in
   let s = totp_state c in
-  enforce_policy c ~method_:Types.Totp ~now;
+  enforce_policy ~client_id c ~method_:Types.Totp ~now;
+  Events.emit ~client:client_id ~method_:"totp" Events.Auth_begin
+    (Printf.sprintf "2pc over %d registrations" (List.length s.registrations));
   let regs = List.map (fun r -> (r.Totp_protocol.id, r.Totp_protocol.klog)) s.registrations in
   (* the commitment baked into the circuit is the one the log recorded at
      enrollment — a client cannot substitute a commitment to a different
      archive key *)
   let outcome = run ~cm:s.cm_totp ~registrations:regs ~rand_log:t.rand in
-  if not outcome.Totp_protocol.ok then Types.fail "totp 2pc validity bit is 0";
+  if not outcome.Totp_protocol.ok then begin
+    Events.emit ~severity:Events.Error ~client:client_id ~method_:"totp" Events.Protocol_error
+      "2pc validity bit is 0";
+    Types.fail "totp 2pc validity bit is 0"
+  end;
   append_record c
     {
       Record.time = now;
@@ -344,6 +402,8 @@ let totp_auth (t : t) ~(client_id : string) ~(ip : string) ~(now : float) ~(enc_
         Record.Symmetric
           { nonce = enc_nonce; ct = outcome.Totp_protocol.ct; signature = String.make 64 '\000' };
     };
+  Events.emit ~client:client_id ~method_:"totp" Events.Auth_finish
+    "code released, encrypted record stored";
   outcome
 
 (* --- passwords --- *)
@@ -356,6 +416,9 @@ let pw_register (t : t) ~(client_id : string) ~(id : string) : Point.t =
   let s = pw_state c in
   if List.mem id s.ids then Types.fail "duplicate password registration id";
   s.ids <- s.ids @ [ id ];
+  (* the identifier is a random handle carrying no relying-party name *)
+  Events.emit ~client:client_id ~method_:"password" Events.Register
+    (Printf.sprintf "password registered (%d ids)" (List.length s.ids));
   Password_protocol.log_register ~log_sk:s.k ~id
 
 let pw_registered_ids (t : t) ~(client_id : string) : string list =
@@ -365,13 +428,19 @@ let pw_registered_ids (t : t) ~(client_id : string) : string list =
    c₂^k (and a DLEQ proof that the right k was used). *)
 let pw_auth (t : t) ~(client_id : string) ~(ip : string) ~(now : float)
     (req : Password_protocol.auth_request) : Point.t * Larch_sigma.Dleq.proof =
+  Trace.with_span "log.pw.auth" @@ fun () ->
   let c = get_client t client_id in
   let s = pw_state c in
-  enforce_policy c ~method_:Types.Password ~now;
+  enforce_policy ~client_id c ~method_:Types.Password ~now;
+  Events.emit ~client:client_id ~method_:"password" Events.Auth_begin
+    (Printf.sprintf "one-out-of-many proof over %d ids" (List.length s.ids));
   match
     Password_protocol.log_auth ~log_sk:s.k ~client_pub:s.client_pub ~ids:s.ids req
   with
-  | None -> Types.fail "one-out-of-many proof rejected"
+  | None ->
+      Events.emit ~severity:Events.Error ~client:client_id ~method_:"password"
+        Events.Protocol_error "one-out-of-many proof rejected";
+      Types.fail "one-out-of-many proof rejected"
   | Some y ->
       append_record c
         {
@@ -380,6 +449,8 @@ let pw_auth (t : t) ~(client_id : string) ~(ip : string) ~(now : float)
           method_ = Types.Password;
           payload = Record.Elgamal req.Password_protocol.ct;
         };
+      Events.emit ~client:client_id ~method_:"password" Events.Auth_finish
+        "exponentiation released, elgamal record stored";
       let proof =
         Larch_sigma.Dleq.prove ~base1:Point.g ~base2:req.Password_protocol.ct.Larch_ec.Elgamal.c2
           ~secret:s.k ~tag:"larch-pw-log" ~rand_bytes:t.rand
@@ -389,8 +460,11 @@ let pw_auth (t : t) ~(client_id : string) ~(ip : string) ~(now : float)
 (* --- auditing, revocation, migration --- *)
 
 let audit (t : t) ~(client_id : string) ~(token : string) : Record.t list =
+  Trace.with_span "log.audit" @@ fun () ->
   let c = get_client t client_id in
   check_token c token;
+  Events.emit ~client:client_id Events.Audit
+    (Printf.sprintf "served %d encrypted records" (List.length c.records));
   List.rev c.records
 
 (* Audit with the hash-chain head, for rollback detection. *)
@@ -423,7 +497,9 @@ let revoke_all (t : t) ~(client_id : string) ~(token : string) : unit =
   check_token c token;
   c.fido2 <- None;
   c.totp <- None;
-  c.pw <- None
+  c.pw <- None;
+  Events.emit ~severity:Events.Warn ~client:client_id Events.Revocation
+    "all log-side shares deleted"
 
 (* Migration: shift the log's FIDO2 key share by δ; combined with the
    client shifting every per-party share by -δ, public keys are unchanged
@@ -440,6 +516,8 @@ let migrate_fido2 (t : t) ~(client_id : string) ~(token : string) ~(delta : Scal
 (* The blob is opaque authenticated ciphertext under a password-derived
    key; the log learns nothing from storing it. *)
 let store_backup (t : t) ~(client_id : string) (blob : string) : unit =
+  Events.emit ~client:client_id Events.Backup
+    (Printf.sprintf "opaque state blob stored (%d bytes)" (String.length blob));
   (get_client t client_id).backup <- Some blob
 
 (* Fetching the backup is the one operation that must NOT require the
@@ -447,6 +525,8 @@ let store_backup (t : t) ~(client_id : string) (blob : string) : unit =
    The blob is self-protecting (wrong passwords fail its MAC), so handing
    it out reveals nothing; a production log would still rate-limit. *)
 let fetch_backup (t : t) ~(client_id : string) : string option =
+  Events.emit ~severity:Events.Warn ~client:client_id Events.Recovery
+    "backup blob fetched without account token";
   (get_client t client_id).backup
 
 (* --- storage accounting (Figure 4, left) --- *)

@@ -204,7 +204,9 @@ val storage : t -> client_id:string -> storage
 
 val get_client : t -> string -> client_state
 val check_token : client_state -> string -> unit
-val enforce_policy : client_state -> method_:Types.auth_method -> now:float -> unit
+(* [client_id], when given, names the client in any [Policy_denied] event. *)
+val enforce_policy :
+  ?client_id:string -> client_state -> method_:Types.auth_method -> now:float -> unit
 val fido2_state : client_state -> fido2_state
 val totp_state : client_state -> totp_state
 val pw_state : client_state -> pw_state

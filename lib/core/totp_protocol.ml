@@ -47,6 +47,8 @@ let run_auth ~(pub : Statements.totp_public) ~(n_rps : int)
     ~(client : string * string * string * string) (* k, r, id, kclient *)
     ~(registrations : (string * string) list) ~(rand_client : int -> string)
     ~(rand_log : int -> string) ~(offline : Channel.t) ~(online : Channel.t) : outcome =
+  Larch_obs.Trace.with_span "totp.2pc.run" @@ fun () ->
+  Larch_obs.Trace.add_int "n_rps" n_rps;
   let k, r, id, kclient = client in
   let circuit = Statements.totp_circuit ~n_rps pub in
   let garbler_inputs = Statements.totp_client_input ~k ~r ~id ~kclient in

@@ -87,6 +87,8 @@ let derived_log_shares (seed : string) (index : int) : Scalar.t * Scalar.t * Sca
 
 (* PreSign, run by the (trusted-at-enrollment) client. *)
 let presign_batch ~(count : int) ~(rand_bytes : int -> string) : client_batch * log_batch =
+  Larch_obs.Trace.with_span "ecdsa2p.presign_batch" @@ fun () ->
+  Larch_obs.Trace.add_int "count" count;
   let seed = rand_bytes 16 in
   let centries = Array.make count None and lentries = Array.make count None in
   for i = 0 to count - 1 do

@@ -121,6 +121,7 @@ type triple_pair = { share0 : halfmul_input; share1 : halfmul_input }
 let make_halfmul_inputs ~(x : Scalar.t) ~(y0 : Scalar.t) ~(y1 : Scalar.t)
     ~(rand_bytes : int -> string) : triple_pair * Scalar.t =
   (* returns the two parties' inputs and the MAC key α (for tests) *)
+  Larch_obs.Trace.with_span "spdz.triple_gen" @@ fun () ->
   let alpha = Scalar.random ~rand_bytes in
   let a = Scalar.random ~rand_bytes and b = Scalar.random ~rand_bytes in
   let c = Scalar.mul a b in

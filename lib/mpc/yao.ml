@@ -12,6 +12,7 @@
 module Bytesx = Larch_util.Bytesx
 module Circuit = Larch_circuit.Circuit
 module Channel = Larch_net.Channel
+module Trace = Larch_obs.Trace
 
 type config = {
   circuit : Circuit.t;
@@ -51,18 +52,24 @@ let run (cfg : config) ~(garbler_inputs : bool array) ~(evaluator_inputs : bool 
   in
   let t_start = clock () in
   (* --- offline phase --- *)
-  (* base OTs for the extension (evaluator = extension receiver) *)
-  let r_base, s_base, base_bytes =
-    Ot_ext.run_base_ots ~rand_bytes_r:rand_evaluator ~rand_bytes_s:rand_garbler
+  let r_base, s_base, g =
+    Trace.with_span "yao.offline" @@ fun () ->
+    Trace.add_int "n_and" c.Circuit.n_and;
+    (* base OTs for the extension (evaluator = extension receiver) *)
+    let r_base, s_base, base_bytes =
+      Ot_ext.run_base_ots ~rand_bytes_r:rand_evaluator ~rand_bytes_s:rand_garbler
+    in
+    eval_cpu := !eval_cpu +. ((clock () -. t_start) /. 2.);
+    ignore (Channel.send offline Channel.Client_to_log (String.make (base_bytes / 2) '\000'));
+    ignore (Channel.send offline Channel.Log_to_client (String.make (base_bytes - (base_bytes / 2)) '\000'));
+    (* garble and ship the tables *)
+    let g = Garble.garble c ~rand_bytes:rand_garbler in
+    ignore (Channel.send offline Channel.Client_to_log (String.make (Garble.tables_bytes g) '\000'));
+    (r_base, s_base, g)
   in
-  eval_cpu := !eval_cpu +. ((clock () -. t_start) /. 2.);
-  ignore (Channel.send offline Channel.Client_to_log (String.make (base_bytes / 2) '\000'));
-  ignore (Channel.send offline Channel.Log_to_client (String.make (base_bytes - (base_bytes / 2)) '\000'));
-  (* garble and ship the tables *)
-  let g = Garble.garble c ~rand_bytes:rand_garbler in
-  ignore (Channel.send offline Channel.Client_to_log (String.make (Garble.tables_bytes g) '\000'));
   let t_online = clock () in
   (* --- online phase --- *)
+  Trace.with_span "yao.online" @@ fun () ->
   (* OT extension for the evaluator's input labels *)
   let choices = Array.map (fun b -> if b then 1 else 0) evaluator_inputs in
   let r_ext, u = timed_eval (fun () -> Ot_ext.receiver_extend r_base ~choices) in

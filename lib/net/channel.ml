@@ -3,26 +3,69 @@
    A "round" is a direction flip: the paper's RTT cost is paid once per
    request/response exchange, so we count a round each time a message
    reverses the direction of the previous one (the first message also
-   counts as opening a round). *)
+   counts as opening a round).  [round_trips] = ceil(flips / 2): a
+   request+response pair costs one RTT, so request→response→request is
+   exactly 2 round trips (the trailing request opens the second RTT).
+
+   [reset] clears *all* accounting state — byte/message/round counters AND
+   the last-direction memory — so a snapshot taken immediately after a
+   reset is all zeros and the next message opens a fresh round, exactly as
+   on a newly created channel.  (Metrics already exported to a registry are
+   monotonic and are deliberately NOT unwound by [reset].)
+
+   Observability: when tracing is enabled, every send flows into
+   [Larch_obs.Metrics.default] counters named net.<label>.bytes_up /
+   .bytes_down / .messages / .rounds; [observe] additionally exports a
+   point-in-time snapshot (including derived round trips) into any
+   registry. *)
+
+module Obs = Larch_obs
 
 type direction = Client_to_log | Log_to_client
 
+type counters = {
+  c_up : Obs.Metrics.counter;
+  c_down : Obs.Metrics.counter;
+  c_msgs : Obs.Metrics.counter;
+  c_rounds : Obs.Metrics.counter;
+}
+
 type t = {
+  label : string;
   mutable bytes_client_to_log : int;
   mutable bytes_log_to_client : int;
   mutable messages : int;
   mutable rounds : int;
   mutable last_direction : direction option;
+  mutable live : counters option; (* lazily bound Metrics.default counters *)
 }
 
-let create () =
+let create ?(label = "chan") () =
   {
+    label;
     bytes_client_to_log = 0;
     bytes_log_to_client = 0;
     messages = 0;
     rounds = 0;
     last_direction = None;
+    live = None;
   }
+
+let live_counters (t : t) : counters =
+  match t.live with
+  | Some c -> c
+  | None ->
+      let m = Obs.Metrics.default in
+      let c =
+        {
+          c_up = Obs.Metrics.counter m ("net." ^ t.label ^ ".bytes_up");
+          c_down = Obs.Metrics.counter m ("net." ^ t.label ^ ".bytes_down");
+          c_msgs = Obs.Metrics.counter m ("net." ^ t.label ^ ".messages");
+          c_rounds = Obs.Metrics.counter m ("net." ^ t.label ^ ".rounds");
+        }
+      in
+      t.live <- Some c;
+      c
 
 let send (t : t) (dir : direction) (payload : string) : string =
   let n = String.length payload in
@@ -30,11 +73,20 @@ let send (t : t) (dir : direction) (payload : string) : string =
   | Client_to_log -> t.bytes_client_to_log <- t.bytes_client_to_log + n
   | Log_to_client -> t.bytes_log_to_client <- t.bytes_log_to_client + n);
   t.messages <- t.messages + 1;
-  (match t.last_direction with
-  | Some d when d = dir -> () (* same direction: pipelined, no extra round *)
-  | Some _ -> t.rounds <- t.rounds + 1
-  | None -> t.rounds <- t.rounds + 1);
+  let new_round =
+    match t.last_direction with
+    | Some d when d = dir -> false (* same direction: pipelined, no extra round *)
+    | Some _ -> true
+    | None -> true
+  in
+  if new_round then t.rounds <- t.rounds + 1;
   t.last_direction <- Some dir;
+  if Obs.Runtime.tracing_enabled () then begin
+    let c = live_counters t in
+    Obs.Metrics.add (match dir with Client_to_log -> c.c_up | Log_to_client -> c.c_down) n;
+    Obs.Metrics.inc c.c_msgs;
+    if new_round then Obs.Metrics.inc c.c_rounds
+  end;
   payload
 
 let total_bytes (t : t) = t.bytes_client_to_log + t.bytes_log_to_client
@@ -57,3 +109,15 @@ type snapshot = { up : int; down : int; msgs : int; rts : int }
 
 let snapshot (t : t) : snapshot =
   { up = t.bytes_client_to_log; down = t.bytes_log_to_client; msgs = t.messages; rts = round_trips t }
+
+(* Export the channel's current totals into [m] as monotonic counters
+   (net.<label>.bytes_up/.bytes_down/.messages/.round_trips).  Bypasses the
+   runtime toggle: calling [observe] is itself the opt-in.  Call once per
+   measurement interval (typically after a protocol run, before [reset]);
+   repeated calls without an intervening reset double-count. *)
+let observe (t : t) (m : Obs.Metrics.t) : unit =
+  let add name v = Obs.Metrics.force_add (Obs.Metrics.counter m ("net." ^ t.label ^ "." ^ name)) v in
+  add "bytes_up" t.bytes_client_to_log;
+  add "bytes_down" t.bytes_log_to_client;
+  add "messages" t.messages;
+  add "round_trips" (round_trips t)

@@ -6,20 +6,38 @@ type direction = Client_to_log | Log_to_client
 
 type t
 
-val create : unit -> t
+val create : ?label:string -> unit -> t
+(** [label] names the channel in automatically exported metrics
+    (counters [net.<label>.bytes_up] / [.bytes_down] / [.messages] /
+    [.rounds] in [Larch_obs.Metrics.default], live while tracing is
+    enabled).  Defaults to ["chan"]. *)
 
 val send : t -> direction -> string -> string
 (** Meter a payload; returns it unchanged.  A request/response direction
     flip counts toward round trips. *)
 
 val total_bytes : t -> int
+
 val round_trips : t -> int
+(** ceil(direction flips / 2): a request+response pair costs one RTT, so a
+    request→response→request sequence is exactly 2 round trips. *)
 
 val network_time : t -> Netsim.t -> float
 (** Modeled network time for everything sent so far. *)
 
 val reset : t -> unit
+(** Clear all accounting state, including the last-direction memory: a
+    {!snapshot} taken immediately after [reset] is all zeros and the next
+    message opens a fresh round, as on a newly created channel.  Metrics
+    already exported to a registry are monotonic and are not unwound. *)
 
 type snapshot = { up : int; down : int; msgs : int; rts : int }
 
 val snapshot : t -> snapshot
+
+val observe : t -> Larch_obs.Metrics.t -> unit
+(** Export the channel's current totals into the given registry as
+    monotonic counters ([net.<label>.bytes_up] / [.bytes_down] /
+    [.messages] / [.round_trips]); bypasses the runtime toggle — calling
+    [observe] is itself the opt-in.  Call once per measurement interval
+    (typically after a protocol run, before {!reset}). *)

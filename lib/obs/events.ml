@@ -1,0 +1,105 @@
+(* Structured log-service event stream.
+
+   Every operationally interesting protocol step emits one event: a
+   deployment can see exactly which step failed and why — without seeing
+   *what* was authenticated.
+
+   PRIVACY RULE (paper §2.3, log privacy): an event must never carry a
+   relying-party identifier — no RP name, no RP id hash, no registration
+   identifier, no ciphertext.  Allowed fields are the client id (which the
+   log already knows), the authentication method, severities, counts and
+   protocol-step error strings.  `test/test_obs.ml` enforces this over full
+   FIDO2/TOTP/password flows.
+
+   Events are buffered in a bounded in-memory ring (newest kept) and can
+   additionally be pushed to subscribers (e.g. a real log shipper).
+   Disabled (the default), [emit] is one atomic load. *)
+
+type severity = Debug | Info | Warn | Error
+
+type kind =
+  | Enroll
+  | Register
+  | Auth_begin
+  | Auth_commit
+  | Auth_finish
+  | Policy_denied
+  | Objection
+  | Revocation
+  | Audit
+  | Backup
+  | Recovery
+  | Protocol_error
+
+type event = {
+  seq : int;
+  time : float; (* Unix.gettimeofday at emission *)
+  severity : severity;
+  kind : kind;
+  method_ : string option; (* "fido2" | "totp" | "password" *)
+  client : string option;
+  detail : string;
+}
+
+let severity_to_string = function
+  | Debug -> "DEBUG"
+  | Info -> "INFO"
+  | Warn -> "WARN"
+  | Error -> "ERROR"
+
+let kind_to_string = function
+  | Enroll -> "enroll"
+  | Register -> "register"
+  | Auth_begin -> "auth_begin"
+  | Auth_commit -> "auth_commit"
+  | Auth_finish -> "auth_finish"
+  | Policy_denied -> "policy_denied"
+  | Objection -> "objection"
+  | Revocation -> "revocation"
+  | Audit -> "audit"
+  | Backup -> "backup"
+  | Recovery -> "recovery"
+  | Protocol_error -> "protocol_error"
+
+let capacity = 4096
+let mu = Mutex.create ()
+let ring : event Queue.t = Queue.create ()
+let seq = ref 0
+let subscribers : (event -> unit) list ref = ref []
+
+let subscribe (f : event -> unit) =
+  Mutex.lock mu;
+  subscribers := f :: !subscribers;
+  Mutex.unlock mu
+
+let clear () =
+  Mutex.lock mu;
+  Queue.clear ring;
+  subscribers := [];
+  Mutex.unlock mu
+
+let emit ?(severity = Info) ?method_ ?client (kind : kind) (detail : string) : unit =
+  if Runtime.events_enabled () then begin
+    Mutex.lock mu;
+    incr seq;
+    let e = { seq = !seq; time = Unix.gettimeofday (); severity; kind; method_; client; detail } in
+    Queue.push e ring;
+    if Queue.length ring > capacity then ignore (Queue.pop ring);
+    let subs = !subscribers in
+    Mutex.unlock mu;
+    List.iter (fun f -> f e) subs
+  end
+
+(* Oldest first. *)
+let recent () : event list =
+  Mutex.lock mu;
+  let l = Queue.fold (fun acc e -> e :: acc) [] ring in
+  Mutex.unlock mu;
+  List.rev l
+
+let to_string (e : event) : string =
+  Printf.sprintf "#%-4d %-5s %-14s%s%s %s" e.seq (severity_to_string e.severity)
+    (kind_to_string e.kind)
+    (match e.method_ with Some m -> Printf.sprintf " method=%s" m | None -> "")
+    (match e.client with Some c -> Printf.sprintf " client=%s" c | None -> "")
+    e.detail

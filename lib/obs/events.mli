@@ -1,0 +1,54 @@
+(** Structured log-service event stream.
+
+    PRIVACY RULE (paper §2.3): an event must never carry a relying-party
+    identifier — no RP name, no RP id hash, no registration identifier, no
+    ciphertext.  Allowed: client id (the log already knows it), the
+    authentication method, severity, counts, protocol-step error strings.
+    Enforced end-to-end by [test/test_obs.ml].
+
+    Disabled (the default; see {!Runtime.set_events}), {!emit} is one
+    atomic load. *)
+
+type severity = Debug | Info | Warn | Error
+
+type kind =
+  | Enroll
+  | Register
+  | Auth_begin
+  | Auth_commit
+  | Auth_finish
+  | Policy_denied
+  | Objection
+  | Revocation
+  | Audit
+  | Backup
+  | Recovery
+  | Protocol_error
+
+type event = {
+  seq : int;
+  time : float;
+  severity : severity;
+  kind : kind;
+  method_ : string option;  (** "fido2" | "totp" | "password" *)
+  client : string option;
+  detail : string;
+}
+
+val emit :
+  ?severity:severity -> ?method_:string -> ?client:string -> kind -> string -> unit
+(** Append to the bounded in-memory ring (newest 4096 kept) and fan out to
+    subscribers.  No-op while events are disabled. *)
+
+val recent : unit -> event list
+(** Buffered events, oldest first. *)
+
+val clear : unit -> unit
+(** Drop buffered events and subscribers. *)
+
+val subscribe : (event -> unit) -> unit
+(** Push every subsequent event to [f] (called outside the ring lock). *)
+
+val severity_to_string : severity -> string
+val kind_to_string : kind -> string
+val to_string : event -> string

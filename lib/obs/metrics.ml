@@ -1,0 +1,192 @@
+(* Process-global metrics registry: named counters, gauges, and
+   log₂-bucketed latency histograms.
+
+   Naming convention: [layer.component.op], lowercase, dot-separated
+   (e.g. "net.fido2.bytes_up", "log.records.stored", "span.zkboo.prove").
+
+   Counters are lock-free ([Atomic]); gauges and histograms take a
+   per-metric mutex, which is fine because they are only touched at span
+   granularity, never per-gate/per-byte.  All mutating entry points are
+   no-ops while [Runtime.tracing] is off, so an uninstrumented run pays one
+   atomic load per call site and allocates nothing. *)
+
+type counter = { cname : string; cell : int Atomic.t }
+type gauge = { gname : string; gmu : Mutex.t; mutable gval : float }
+
+(* Histogram bucket i counts observations v with 2^(i-bias-1) <= v <
+   2^(i-bias); percentiles are estimated at the geometric midpoint of the
+   winning bucket, clamped to the observed min/max. *)
+let n_buckets = 64
+let bias = 32
+
+type histogram = {
+  hname : string;
+  hmu : Mutex.t;
+  counts : int array; (* n_buckets *)
+  mutable total : int;
+  mutable sum : float;
+  mutable hmin : float;
+  mutable hmax : float;
+}
+
+type t = {
+  mu : Mutex.t;
+  counters : (string, counter) Hashtbl.t;
+  gauges : (string, gauge) Hashtbl.t;
+  histograms : (string, histogram) Hashtbl.t;
+}
+
+let create () : t =
+  {
+    mu = Mutex.create ();
+    counters = Hashtbl.create 32;
+    gauges = Hashtbl.create 16;
+    histograms = Hashtbl.create 32;
+  }
+
+(* The registry used by all built-in instrumentation. *)
+let default : t = create ()
+
+let with_lock mu f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+let get_or_add (type v) mu (tbl : (string, v) Hashtbl.t) (name : string) (mk : unit -> v) : v =
+  with_lock mu (fun () ->
+      match Hashtbl.find_opt tbl name with
+      | Some m -> m
+      | None ->
+          let m = mk () in
+          Hashtbl.replace tbl name m;
+          m)
+
+let counter (t : t) (name : string) : counter =
+  get_or_add t.mu t.counters name (fun () -> { cname = name; cell = Atomic.make 0 })
+
+let gauge (t : t) (name : string) : gauge =
+  get_or_add t.mu t.gauges name (fun () -> { gname = name; gmu = Mutex.create (); gval = 0. })
+
+let histogram (t : t) (name : string) : histogram =
+  get_or_add t.mu t.histograms name (fun () ->
+      {
+        hname = name;
+        hmu = Mutex.create ();
+        counts = Array.make n_buckets 0;
+        total = 0;
+        sum = 0.;
+        hmin = infinity;
+        hmax = neg_infinity;
+      })
+
+(* --- mutation (no-ops while tracing is disabled) --- *)
+
+let add (c : counter) (n : int) =
+  if Runtime.tracing_enabled () then ignore (Atomic.fetch_and_add c.cell n)
+
+let inc (c : counter) = add c 1
+let counter_value (c : counter) = Atomic.get c.cell
+
+(* Cold-path export that bypasses the runtime toggle: used by explicit
+   snapshot transfers (e.g. [Larch_net.Channel.observe]) where the caller,
+   not the toggle, decides that the data is wanted. *)
+let force_add (c : counter) (n : int) = ignore (Atomic.fetch_and_add c.cell n)
+
+let set_gauge (g : gauge) (v : float) =
+  if Runtime.tracing_enabled () then with_lock g.gmu (fun () -> g.gval <- v)
+
+let gauge_value (g : gauge) = g.gval
+
+let bucket_of (v : float) : int =
+  if v <= 0. || Float.is_nan v then 0
+  else begin
+    let _, e = Float.frexp v in
+    (* v in [2^(e-1), 2^e) *)
+    max 0 (min (n_buckets - 1) (e + bias))
+  end
+
+let observe (h : histogram) (v : float) =
+  if Runtime.tracing_enabled () then
+    with_lock h.hmu (fun () ->
+        h.counts.(bucket_of v) <- h.counts.(bucket_of v) + 1;
+        h.total <- h.total + 1;
+        h.sum <- h.sum +. v;
+        if v < h.hmin then h.hmin <- v;
+        if v > h.hmax then h.hmax <- v)
+
+(* --- queries --- *)
+
+let histogram_count (h : histogram) = h.total
+let histogram_sum (h : histogram) = h.sum
+let histogram_mean (h : histogram) = if h.total = 0 then 0. else h.sum /. float_of_int h.total
+
+(* q in [0,1]; resolution is one log₂ bucket (a factor of 2). *)
+let percentile (h : histogram) (q : float) : float =
+  if h.total = 0 then 0.
+  else begin
+    let rank = int_of_float (ceil (q *. float_of_int h.total)) in
+    let rank = max 1 (min h.total rank) in
+    let cum = ref 0 and found = ref (n_buckets - 1) in
+    (try
+       for i = 0 to n_buckets - 1 do
+         cum := !cum + h.counts.(i);
+         if !cum >= rank then begin
+           found := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    let lo = Float.ldexp 1. (!found - bias - 1) in
+    let mid = lo *. sqrt 2. in
+    (* clamp the bucket estimate to the actually observed range *)
+    max h.hmin (min h.hmax mid)
+  end
+
+let reset (t : t) =
+  with_lock t.mu (fun () ->
+      Hashtbl.iter (fun _ c -> Atomic.set c.cell 0) t.counters;
+      Hashtbl.iter (fun _ g -> g.gval <- 0.) t.gauges;
+      Hashtbl.iter
+        (fun _ h ->
+          Array.fill h.counts 0 n_buckets 0;
+          h.total <- 0;
+          h.sum <- 0.;
+          h.hmin <- infinity;
+          h.hmax <- neg_infinity)
+        t.histograms)
+
+(* --- rendering --- *)
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+
+let report (t : t) : string =
+  let buf = Buffer.create 1024 in
+  let counters = sorted_bindings t.counters
+  and gauges = sorted_bindings t.gauges
+  and histograms = sorted_bindings t.histograms in
+  if counters <> [] then begin
+    Buffer.add_string buf "counters:\n";
+    List.iter
+      (fun (name, c) -> Buffer.add_string buf (Printf.sprintf "  %-42s %12d\n" name (counter_value c)))
+      counters
+  end;
+  if gauges <> [] then begin
+    Buffer.add_string buf "gauges:\n";
+    List.iter
+      (fun (name, g) -> Buffer.add_string buf (Printf.sprintf "  %-42s %12.3f\n" name g.gval))
+      gauges
+  end;
+  if histograms <> [] then begin
+    Buffer.add_string buf
+      (Printf.sprintf "histograms (ms):\n  %-42s %8s %9s %9s %9s %9s %9s\n" "name" "count"
+         "mean" "p50" "p95" "p99" "max");
+    List.iter
+      (fun (name, h) ->
+        if h.total > 0 then
+          Buffer.add_string buf
+            (Printf.sprintf "  %-42s %8d %9.2f %9.2f %9.2f %9.2f %9.2f\n" name h.total
+               (histogram_mean h) (percentile h 0.50) (percentile h 0.95) (percentile h 0.99)
+               h.hmax))
+      histograms
+  end;
+  Buffer.contents buf

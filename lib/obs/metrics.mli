@@ -1,0 +1,57 @@
+(** Metrics registry: named counters, gauges, and log₂-bucketed latency
+    histograms with percentile summaries.
+
+    Naming convention: [layer.component.op], lowercase, dot-separated
+    (e.g. ["net.fido2.bytes_up"], ["span.zkboo.prove"]).
+
+    All mutating entry points except {!force_add} are no-ops while
+    [Runtime.tracing] is disabled, and the disabled path allocates
+    nothing. *)
+
+type counter
+type gauge
+type histogram
+
+type t
+(** A registry.  Built-in instrumentation writes to {!default}; tests and
+    embedders can create private registries. *)
+
+val create : unit -> t
+val default : t
+
+val counter : t -> string -> counter
+(** Get or create (registration is idempotent and thread-safe). *)
+
+val gauge : t -> string -> gauge
+val histogram : t -> string -> histogram
+
+val add : counter -> int -> unit
+val inc : counter -> unit
+val counter_value : counter -> int
+
+val force_add : counter -> int -> unit
+(** Like {!add} but bypasses the runtime toggle: for explicit cold-path
+    snapshot exports (e.g. [Larch_net.Channel.observe]) where the call
+    itself is the opt-in. *)
+
+val set_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val observe : histogram -> float -> unit
+(** Record one observation (by convention: milliseconds for latency). *)
+
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+val histogram_mean : histogram -> float
+
+val percentile : histogram -> float -> float
+(** [percentile h 0.99] estimates the q-quantile at the geometric midpoint
+    of the winning log₂ bucket, clamped to the observed min/max; the
+    resolution is one bucket (a factor of 2). *)
+
+val reset : t -> unit
+(** Zero every registered metric (metrics stay registered). *)
+
+val report : t -> string
+(** Render counters, gauges, and histogram summary rows (count, mean,
+    p50/p95/p99, max) as an aligned text table. *)

@@ -1,0 +1,26 @@
+(* Process-wide observability switches.
+
+   Tracing (spans + metrics) and the log-service event stream are gated
+   separately: a deployment may want the operational event stream always on
+   while paying for spans only during an investigation.  Both default to
+   off; the disabled hot path is a single [Atomic.get] and allocates
+   nothing, so instrumentation can stay compiled into every layer.
+
+   [Atomic.t] rather than [ref] because spans are opened and metrics bumped
+   from worker domains ([Larch_util.Parallel]). *)
+
+let tracing = Atomic.make false
+let events = Atomic.make false
+
+let tracing_enabled () = Atomic.get tracing
+let events_enabled () = Atomic.get events
+let set_tracing b = Atomic.set tracing b
+let set_events b = Atomic.set events b
+
+let enable_all () =
+  set_tracing true;
+  set_events true
+
+let disable_all () =
+  set_tracing false;
+  set_events false

@@ -1,0 +1,10 @@
+(** Process-wide observability switches.  Tracing (spans + metrics) and
+    the log-service event stream are gated separately; both default to
+    off, and the disabled hot path is a single atomic load. *)
+
+val tracing_enabled : unit -> bool
+val events_enabled : unit -> bool
+val set_tracing : bool -> unit
+val set_events : bool -> unit
+val enable_all : unit -> unit
+val disable_all : unit -> unit

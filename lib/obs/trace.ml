@@ -1,0 +1,302 @@
+(* Hierarchical tracing spans.
+
+   [with_span "zkboo.prove" f] measures [f] on the monotonic clock and
+   records a span whose parent is the span currently open on the same
+   domain.  Each domain keeps its own open-span stack (domain-local
+   storage), so spans opened inside [Larch_util.Parallel] workers nest
+   correctly; the parallel runner seeds each worker with the spawning
+   domain's current span via [with_parent], stitching the forest back into
+   one tree.
+
+   Finished spans aggregate into a call tree renderable as an indented text
+   report ([report]) and as Chrome trace_event JSON ([to_chrome_json],
+   loadable in chrome://tracing / Perfetto).  Every finished span also
+   feeds the latency histogram "span.<name>" in [Metrics.default].
+
+   When tracing is disabled the hot path is [if Atomic.get then f ()]:
+   no clock read, no allocation. *)
+
+type attr = Int of int | Float of float | Str of string
+
+type span = {
+  id : int;
+  parent : int; (* -1 = root *)
+  name : string;
+  domain : int;
+  start_ns : int64; (* monotonic, relative to [epoch] *)
+  mutable dur_ns : int64;
+  mutable attrs : (string * attr) list; (* newest first *)
+}
+
+let now_ns () = Monotonic_clock.now ()
+
+(* trace epoch: set at [reset]; span timestamps are offsets from it *)
+let epoch = Atomic.make (now_ns ())
+let next_id = Atomic.make 0
+
+let finished_mu = Mutex.create ()
+let finished : span list ref = ref [] (* newest first *)
+
+let stack_key : span list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+
+let reset () =
+  Mutex.lock finished_mu;
+  finished := [];
+  Mutex.unlock finished_mu;
+  Atomic.set epoch (now_ns ())
+
+let record (sp : span) =
+  Mutex.lock finished_mu;
+  finished := sp :: !finished;
+  Mutex.unlock finished_mu;
+  Metrics.observe
+    (Metrics.histogram Metrics.default ("span." ^ sp.name))
+    (Int64.to_float sp.dur_ns /. 1e6)
+
+let with_span (name : string) (f : unit -> 'a) : 'a =
+  if not (Runtime.tracing_enabled ()) then f ()
+  else begin
+    let stack = Domain.DLS.get stack_key in
+    let parent = match !stack with [] -> -1 | s :: _ -> s.id in
+    let sp =
+      {
+        id = Atomic.fetch_and_add next_id 1;
+        parent;
+        name;
+        domain = (Domain.self () :> int);
+        start_ns = Int64.sub (now_ns ()) (Atomic.get epoch);
+        dur_ns = 0L;
+        attrs = [];
+      }
+    in
+    stack := sp :: !stack;
+    let finish () =
+      sp.dur_ns <- Int64.sub (Int64.sub (now_ns ()) (Atomic.get epoch)) sp.start_ns;
+      (stack := match !stack with _ :: tl -> tl | [] -> []);
+      record sp
+    in
+    match f () with
+    | r ->
+        finish ();
+        r
+    | exception e ->
+        finish ();
+        raise e
+  end
+
+(* Attach an attribute to the innermost open span on this domain.  Call
+   sites pass unboxed ints/static strings so the disabled path allocates
+   nothing. *)
+let add_attr (name : string) (v : attr) =
+  match !(Domain.DLS.get stack_key) with
+  | [] -> ()
+  | sp :: _ -> sp.attrs <- (name, v) :: sp.attrs
+
+let add_int (name : string) (v : int) = if Runtime.tracing_enabled () then add_attr name (Int v)
+
+let add_str (name : string) (v : string) =
+  if Runtime.tracing_enabled () then add_attr name (Str v)
+
+let add_float (name : string) (v : float) =
+  if Runtime.tracing_enabled () then add_attr name (Float v)
+
+(* --- cross-domain stitching (used by Larch_util.Parallel) --- *)
+
+let current () : int option =
+  match !(Domain.DLS.get stack_key) with [] -> None | s :: _ -> Some s.id
+
+(* Run [f] with span [pid] as the adoption parent for spans opened on this
+   domain while no local span is open.  The ghost context frame is never
+   recorded. *)
+let with_parent (pid : int option) (f : unit -> 'a) : 'a =
+  match pid with
+  | None -> f ()
+  | Some id ->
+      let stack = Domain.DLS.get stack_key in
+      let saved = !stack in
+      let ghost =
+        {
+          id;
+          parent = -1;
+          name = "<context>";
+          domain = (Domain.self () :> int);
+          start_ns = 0L;
+          dur_ns = 0L;
+          attrs = [];
+        }
+      in
+      stack := ghost :: saved;
+      Fun.protect ~finally:(fun () -> stack := saved) f
+
+(* Measure [f] on the monotonic clock, recording a span when tracing is
+   enabled.  Always returns the measured duration in seconds, so CLI demos
+   and the bench can print timings whether or not spans are being
+   collected — the one timing substrate both share. *)
+let timed (name : string) (f : unit -> 'a) : 'a * float =
+  let t0 = now_ns () in
+  let r = with_span name f in
+  (r, Int64.to_float (Int64.sub (now_ns ()) t0) /. 1e9)
+
+(* --- inspection --- *)
+
+(* Finished spans in start order. *)
+let spans () : span list =
+  Mutex.lock finished_mu;
+  let l = !finished in
+  Mutex.unlock finished_mu;
+  List.sort
+    (fun a b ->
+      match Int64.compare a.start_ns b.start_ns with 0 -> compare a.id b.id | c -> c)
+    l
+
+let span_count () = List.length (spans ())
+let ms_of_ns ns = Int64.to_float ns /. 1e6
+
+(* Walk a span's ancestry (by parent id) within [all]; used by tests. *)
+let ancestors (all : span list) (sp : span) : span list =
+  let by_id = Hashtbl.create 64 in
+  List.iter (fun s -> Hashtbl.replace by_id s.id s) all;
+  let rec go acc id =
+    if id < 0 then List.rev acc
+    else
+      match Hashtbl.find_opt by_id id with
+      | None -> List.rev acc
+      | Some p -> go (p :: acc) p.parent
+  in
+  go [] sp.parent
+
+(* --- text report --- *)
+
+let attr_to_string = function
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%.3f" f
+  | Str s -> s
+
+let attrs_to_string (sp : span) : string =
+  match sp.attrs with
+  | [] -> ""
+  | attrs ->
+      "  "
+      ^ String.concat " "
+          (List.rev_map (fun (k, v) -> Printf.sprintf "%s=%s" k (attr_to_string v)) attrs)
+
+(* Children grouped under their parent; same-name sibling runs of length
+   > 1 collapse into one aggregate line so e.g. per-batch ZKBoo spans stay
+   readable at 137 repetitions. *)
+let report () : string =
+  let all = spans () in
+  let buf = Buffer.create 1024 in
+  let children = Hashtbl.create 64 in
+  let ids = Hashtbl.create 64 in
+  List.iter (fun s -> Hashtbl.replace ids s.id ()) all;
+  List.iter
+    (fun s ->
+      (* spans whose parent never finished (or belonged to a cleared trace)
+         render as roots *)
+      let p = if s.parent >= 0 && Hashtbl.mem ids s.parent then s.parent else -1 in
+      Hashtbl.replace children p (s :: (Option.value ~default:[] (Hashtbl.find_opt children p))))
+    (List.rev all);
+  let rec render depth parent =
+    let kids = Option.value ~default:[] (Hashtbl.find_opt children parent) in
+    let indent = String.make (2 * depth) ' ' in
+    let rec groups = function
+      | [] -> ()
+      | sp :: rest ->
+          let same, rest' = List.partition (fun s -> s.name = sp.name) rest in
+          (match same with
+          | [] ->
+              Buffer.add_string buf
+                (Printf.sprintf "%s%-*s %9.1f ms%s\n" indent (max 1 (44 - (2 * depth))) sp.name
+                   (ms_of_ns sp.dur_ns) (attrs_to_string sp));
+              render (depth + 1) sp.id
+          | _ ->
+              let group = sp :: same in
+              let total =
+                List.fold_left (fun acc s -> acc +. ms_of_ns s.dur_ns) 0. group
+              in
+              let n = List.length group in
+              Buffer.add_string buf
+                (Printf.sprintf "%s%-*s %9.1f ms  (x%d, avg %.1f ms)%s\n" indent
+                   (max 1 (44 - (2 * depth)))
+                   sp.name total n
+                   (total /. float_of_int n)
+                   (attrs_to_string sp));
+              (* render the first instance's subtree as the exemplar *)
+              render (depth + 1) sp.id);
+          groups rest'
+    in
+    groups kids
+  in
+  let n = List.length all in
+  if n = 0 then "trace: no spans recorded (is tracing enabled?)\n"
+  else begin
+    let wall =
+      List.fold_left
+        (fun acc s -> max acc (Int64.add s.start_ns s.dur_ns))
+        0L
+        (List.filter (fun s -> not (Hashtbl.mem ids s.parent)) all)
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "trace: %d spans, %.1f ms wall  (x-N lines aggregate same-name siblings)\n" n
+         (ms_of_ns wall));
+    render 0 (-1);
+    Buffer.contents buf
+  end
+
+(* --- Chrome trace_event export --- *)
+
+let json_escape (s : string) : string =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let attr_to_json = function
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%g" f
+  | Str s -> Printf.sprintf "\"%s\"" (json_escape s)
+
+(* Complete-event ("ph":"X") records; ts/dur in microseconds, tid = the
+   OCaml domain id, so domain utilization is visible on the timeline. *)
+let to_chrome_json () : string =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  List.iter
+    (fun sp ->
+      if not !first then Buffer.add_char buf ',';
+      first := false;
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"larch\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d"
+           (json_escape sp.name)
+           (Int64.to_float sp.start_ns /. 1e3)
+           (Int64.to_float sp.dur_ns /. 1e3)
+           sp.domain);
+      (match sp.attrs with
+      | [] -> ()
+      | attrs ->
+          Buffer.add_string buf ",\"args\":{";
+          Buffer.add_string buf
+            (String.concat ","
+               (List.rev_map
+                  (fun (k, v) -> Printf.sprintf "\"%s\":%s" (json_escape k) (attr_to_json v))
+                  attrs));
+          Buffer.add_char buf '}');
+      Buffer.add_char buf '}')
+    (spans ());
+  Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}";
+  Buffer.contents buf
+
+let write_chrome_json (path : string) : unit =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_chrome_json ()))

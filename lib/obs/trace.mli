@@ -1,0 +1,73 @@
+(** Hierarchical tracing spans on the monotonic clock.
+
+    Each domain keeps its own open-span stack, so spans opened inside
+    [Larch_util.Parallel] workers nest correctly; the parallel runner
+    stitches worker spans under the spawning domain's current span via
+    {!with_parent}.  Every finished span also feeds the latency histogram
+    ["span.<name>"] in [Metrics.default].
+
+    When tracing is disabled ({!Runtime.set_tracing}[ false], the
+    default), {!with_span} is [f ()] after one atomic load: no clock read,
+    no allocation. *)
+
+type attr = Int of int | Float of float | Str of string
+
+type span = {
+  id : int;
+  parent : int;  (** -1 = root *)
+  name : string;
+  domain : int;  (** OCaml domain the span ran on *)
+  start_ns : int64;  (** monotonic, relative to the trace epoch *)
+  mutable dur_ns : int64;
+  mutable attrs : (string * attr) list;  (** newest first *)
+}
+
+val now_ns : unit -> int64
+(** The monotonic clock backing all spans (CLOCK_MONOTONIC, nanoseconds). *)
+
+val reset : unit -> unit
+(** Drop all finished spans and restart the trace epoch. *)
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** Run the thunk under a named span.  Exceptions propagate; the span is
+    recorded either way. *)
+
+val add_int : string -> int -> unit
+(** Attach an attribute to the innermost open span on this domain (no-op
+    when tracing is disabled or no span is open). *)
+
+val add_str : string -> string -> unit
+val add_float : string -> float -> unit
+
+val current : unit -> int option
+(** Id of the innermost open span on this domain. *)
+
+val with_parent : int option -> (unit -> 'a) -> 'a
+(** Adopt [pid] as the parent for spans opened on this domain while no
+    local span is open — used to stitch worker-domain spans under the
+    spawning domain's span. *)
+
+val timed : string -> (unit -> 'a) -> 'a * float
+(** Measure the thunk on the monotonic clock (seconds), recording a span
+    when tracing is enabled.  The shared timing substrate for CLI demos
+    and the bench. *)
+
+val spans : unit -> span list
+(** Finished spans in start order. *)
+
+val span_count : unit -> int
+val ms_of_ns : int64 -> float
+
+val ancestors : span list -> span -> span list
+(** [ancestors all sp]: [sp]'s ancestry, outermost first, resolved within
+    [all]. *)
+
+val report : unit -> string
+(** Indented call-tree report; same-name sibling groups aggregate into one
+    ["×n"] line. *)
+
+val to_chrome_json : unit -> string
+(** Chrome trace_event JSON (complete "X" events; ts/dur in µs, tid = the
+    OCaml domain id), loadable in chrome://tracing or Perfetto. *)
+
+val write_chrome_json : string -> unit

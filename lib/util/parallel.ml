@@ -4,7 +4,17 @@
    (Figure 3, left: latency vs. client cores).  [map ~domains f xs] evaluates
    [f] on each element of [xs] using at most [domains] concurrent domains.
    [domains = 1] runs sequentially in the calling domain, which keeps
-   single-core measurements free of domain overhead. *)
+   single-core measurements free of domain overhead.
+
+   Observability: each worker runs under a "parallel.worker" span adopted
+   into the caller's current span (so spans opened inside [f] nest
+   correctly across domains), and per-domain busy time aggregates into
+   [Larch_obs.Metrics.default] — the histogram "parallel.worker_busy_ms"
+   and the gauge "parallel.utilization" (busy ÷ domains×wall of the last
+   parallel section).  All of it compiles to a single atomic load when
+   tracing is disabled. *)
+
+module Obs = Larch_obs
 
 let available_cores () = Domain.recommended_domain_count ()
 
@@ -15,19 +25,50 @@ let map ~(domains : int) (f : 'a -> 'b) (xs : 'a array) : 'b array =
     let domains = min domains n in
     let results = Array.make n None in
     let next = Atomic.make 0 in
-    let worker () =
-      let rec loop () =
+    let traced = Obs.Runtime.tracing_enabled () in
+    let parent = if traced then Obs.Trace.current () else None in
+    let busy_ns = Array.make domains 0L in
+    let body () =
+      let rec loop count =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
           results.(i) <- Some (f xs.(i));
-          loop ()
+          loop (count + 1)
         end
+        else count
       in
-      loop ()
+      loop 0
     in
-    let spawned = Array.init (domains - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
+    let worker w () =
+      if not traced then ignore (body ())
+      else
+        Obs.Trace.with_parent parent (fun () ->
+            let t0 = Obs.Trace.now_ns () in
+            Obs.Trace.with_span "parallel.worker" (fun () ->
+                Obs.Trace.add_int "worker" w;
+                let tasks = body () in
+                Obs.Trace.add_int "tasks" tasks);
+            busy_ns.(w) <- Int64.sub (Obs.Trace.now_ns ()) t0)
+    in
+    let t_start = if traced then Obs.Trace.now_ns () else 0L in
+    let spawned = Array.init (domains - 1) (fun w -> Domain.spawn (worker (w + 1))) in
+    worker 0 ();
     Array.iter Domain.join spawned;
+    if traced then begin
+      let m = Obs.Metrics.default in
+      let wall = Int64.to_float (Int64.sub (Obs.Trace.now_ns ()) t_start) in
+      let busy = ref 0. in
+      Array.iter
+        (fun b ->
+          busy := !busy +. Int64.to_float b;
+          Obs.Metrics.observe (Obs.Metrics.histogram m "parallel.worker_busy_ms")
+            (Int64.to_float b /. 1e6))
+        busy_ns;
+      if wall > 0. then
+        Obs.Metrics.set_gauge
+          (Obs.Metrics.gauge m "parallel.utilization")
+          (!busy /. (wall *. float_of_int domains))
+    end;
     Array.map
       (function Some r -> r | None -> failwith "Parallel.map: missing result")
       results

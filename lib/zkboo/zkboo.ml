@@ -20,6 +20,7 @@
 
 module Bytesx = Larch_util.Bytesx
 module Circuit = Larch_circuit.Circuit
+module Trace = Larch_obs.Trace
 open Circuit
 
 let default_reps = 137
@@ -220,6 +221,10 @@ type rep_artifact = { z : string array; y : string array; c : string array }
    paper's SIMD optimization). *)
 let prove ?(reps = default_reps) ?(domains = 1) ?(lane_width = lanes) ~(circuit : Circuit.t)
     ~(witness : bool array) ~(statement_tag : string) ~(rand_bytes : int -> string) () : proof =
+  Trace.with_span "zkboo.prove" @@ fun () ->
+  Trace.add_int "reps" reps;
+  Trace.add_int "domains" domains;
+  Trace.add_int "n_and" circuit.n_and;
   let lanes = max 1 (min lanes lane_width) in
   if Array.length witness <> circuit.n_inputs then invalid_arg "Zkboo.prove: witness size mismatch";
   let n_in = circuit.n_inputs and n_and = circuit.n_and in
@@ -247,6 +252,8 @@ let prove ?(reps = default_reps) ?(domains = 1) ?(lane_width = lanes) ~(circuit 
     Array.of_list (go 0 [])
   in
   let run_batch (start, count) : rep_artifact array =
+    Trace.with_span "zkboo.prove.batch" @@ fun () ->
+    Trace.add_int "reps" count;
     let mask = if count >= 62 then max_int else (1 lsl count) - 1 in
     let inputs = Array.init 3 (fun _ -> Array.make n_in 0) in
     let tapes = Array.init 3 (fun _ -> Array.make n_and 0) in
@@ -297,6 +304,9 @@ let prove ?(reps = default_reps) ?(domains = 1) ?(lane_width = lanes) ~(circuit 
 
 let verify ?(domains = 1) ~(circuit : Circuit.t) ~(public_output : bool array)
     ~(statement_tag : string) (proof : proof) : bool =
+  Trace.with_span "zkboo.verify" @@ fun () ->
+  Trace.add_int "reps" proof.n_reps;
+  Trace.add_int "domains" domains;
   let n_in = circuit.n_inputs and n_and = circuit.n_and in
   let n_out = Circuit.n_outputs circuit in
   let out_bytes = bits_to_bytes public_output in
@@ -340,7 +350,9 @@ let verify ?(domains = 1) ~(circuit : Circuit.t) ~(public_output : bool array)
         |> Array.of_list
       in
       let check_chunk (rep_ids : int array) : bool =
+        Trace.with_span "zkboo.verify.chunk" @@ fun () ->
         let count = Array.length rep_ids in
+        Trace.add_int "reps" count;
         if count = 0 then true
         else begin
           let e = challenges.(rep_ids.(0)) in

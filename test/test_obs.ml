@@ -1,0 +1,379 @@
+(* Observability-layer tests: span nesting across Parallel.map domains,
+   histogram percentile accuracy, the log-service event stream's privacy
+   guarantee over full protocol flows, the disabled-mode zero-allocation
+   contract, channel round-trip accounting, and Chrome JSON validity. *)
+
+module Obs = Larch_obs
+module Trace = Larch_obs.Trace
+module Metrics = Larch_obs.Metrics
+module Events = Larch_obs.Events
+module Channel = Larch_net.Channel
+open Larch_core
+
+(* substring search, KMP-free: fine for test-sized inputs *)
+let contains (hay : string) (needle : string) : bool =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* Every test leaves the global toggles off. *)
+let with_obs f =
+  Obs.Runtime.enable_all ();
+  Trace.reset ();
+  Events.clear ();
+  Metrics.reset Metrics.default;
+  Fun.protect ~finally:(fun () -> Obs.Runtime.disable_all ()) f
+
+(* --- tracing --- *)
+
+let span_nesting_parallel () =
+  with_obs @@ fun () ->
+  (* each task must be slow enough that the spawned domains win a share of
+     the work queue before the calling domain drains it *)
+  let busy x =
+    let acc = ref x in
+    for _ = 1 to 2_000_000 do
+      acc := (!acc * 7) land 0xFFFFFF
+    done;
+    ignore (Sys.opaque_identity !acc)
+  in
+  let results =
+    Trace.with_span "outer" (fun () ->
+        Trace.add_int "tasks" 16;
+        Larch_util.Parallel.map ~domains:4
+          (fun x ->
+            Trace.with_span "work" (fun () ->
+                busy x;
+                x * x))
+          (Array.init 16 Fun.id))
+  in
+  Alcotest.(check (array int)) "map results" (Array.init 16 (fun i -> i * i)) results;
+  let spans = Trace.spans () in
+  let outer = List.find (fun s -> s.Trace.name = "outer") spans in
+  let works = List.filter (fun s -> s.Trace.name = "work") spans in
+  Alcotest.(check int) "one work span per task" 16 (List.length works);
+  (* every work span must sit under the outer span, even though it ran on a
+     worker domain: Parallel.map stitches the parent across domains *)
+  List.iter
+    (fun w ->
+      let anc = Trace.ancestors spans w in
+      Alcotest.(check bool) "outer is an ancestor" true
+        (List.exists (fun a -> a.Trace.id = outer.Trace.id) anc))
+    works;
+  (* the work really was spread over multiple domains *)
+  let domains = List.sort_uniq compare (List.map (fun s -> s.Trace.domain) works) in
+  Alcotest.(check bool) "more than one domain" true (List.length domains > 1);
+  (* worker spans exist and are direct children of outer *)
+  let workers = List.filter (fun s -> s.Trace.name = "parallel.worker") spans in
+  Alcotest.(check bool) "worker spans recorded" true (List.length workers >= 2);
+  List.iter
+    (fun w -> Alcotest.(check int) "worker parent is outer" outer.Trace.id w.Trace.parent)
+    workers;
+  (* spans () is start-ordered *)
+  let starts = List.map (fun s -> s.Trace.start_ns) spans in
+  Alcotest.(check bool) "start-ordered" true (List.sort compare starts = starts)
+
+let span_exception_safety () =
+  with_obs @@ fun () ->
+  (try Trace.with_span "boom" (fun () -> failwith "expected") with Failure _ -> ());
+  let spans = Trace.spans () in
+  Alcotest.(check int) "span recorded despite raise" 1 (List.length spans);
+  Alcotest.(check bool) "duration measured" true
+    ((List.hd spans).Trace.dur_ns >= 0L)
+
+(* --- metrics --- *)
+
+let histogram_percentiles () =
+  with_obs @@ fun () ->
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "test.latency" in
+  for i = 1 to 1000 do
+    Metrics.observe h (float_of_int i)
+  done;
+  Alcotest.(check int) "count" 1000 (Metrics.histogram_count h);
+  Alcotest.(check (float 0.001)) "sum" 500500.0 (Metrics.histogram_sum h);
+  Alcotest.(check (float 0.001)) "mean" 500.5 (Metrics.histogram_mean h);
+  (* log2 buckets: estimates are exact to within a factor of 2 *)
+  let within q lo hi =
+    let v = Metrics.percentile h q in
+    if v < lo || v > hi then
+      Alcotest.failf "p%.0f = %.1f outside [%g, %g]" (q *. 100.) v lo hi
+  in
+  within 0.50 250. 1000.;
+  within 0.95 475. 1000.;
+  within 0.99 495. 1000.;
+  (* clamped to the observed range *)
+  Alcotest.(check bool) "p100 <= max" true (Metrics.percentile h 1.0 <= 1000.);
+  Alcotest.(check bool) "p0 >= min" true (Metrics.percentile h 0.0 >= 1.0)
+
+let counters_and_gauges () =
+  with_obs @@ fun () ->
+  let m = Metrics.create () in
+  let c = Metrics.counter m "test.count" in
+  Metrics.inc c;
+  Metrics.add c 41;
+  Alcotest.(check int) "counter" 42 (Metrics.counter_value c);
+  Alcotest.(check bool) "registration idempotent" true (Metrics.counter m "test.count" == c);
+  let g = Metrics.gauge m "test.gauge" in
+  Metrics.set_gauge g 2.5;
+  Alcotest.(check (float 0.0)) "gauge" 2.5 (Metrics.gauge_value g);
+  Metrics.reset m;
+  Alcotest.(check int) "reset zeroes counters" 0 (Metrics.counter_value c);
+  (* the report renders every registered metric *)
+  Metrics.add c 7;
+  let report = Metrics.report m in
+  Alcotest.(check bool) "report mentions counter" true
+    (contains report "test.count")
+
+(* --- disabled-mode contract: no allocation, no recording --- *)
+
+let disabled_is_noop () =
+  Obs.Runtime.disable_all ();
+  Trace.reset ();
+  Events.clear ();
+  let m = Metrics.create () in
+  let c = Metrics.counter m "noop.count" in
+  let h = Metrics.histogram m "noop.hist" in
+  let f = Fun.id in
+  (* warm up so any lazy setup has happened *)
+  for _ = 1 to 10 do
+    ignore (Trace.with_span "noop" (fun () -> ()));
+    Metrics.inc c;
+    Metrics.observe h 1.5
+  done;
+  let before = Gc.minor_words () in
+  for _ = 1 to 1000 do
+    ignore (f (Trace.with_span "noop" (fun () -> ())));
+    Metrics.inc c;
+    Metrics.observe h 1.5;
+    Events.emit Events.Audit "never recorded"
+  done;
+  let allocated = Gc.minor_words () -. before in
+  Alcotest.(check (float 0.0)) "no allocation while disabled" 0.0 allocated;
+  Alcotest.(check int) "no spans recorded" 0 (Trace.span_count ());
+  Alcotest.(check int) "counter untouched" 0 (Metrics.counter_value c);
+  Alcotest.(check int) "histogram untouched" 0 (Metrics.histogram_count h);
+  Alcotest.(check int) "no events recorded" 0 (List.length (Events.recent ()))
+
+(* --- channel round trips + metrics export --- *)
+
+let channel_round_trips () =
+  let ch = Channel.create ~label:"test" () in
+  ignore (Channel.send ch Channel.Client_to_log "request-1");
+  ignore (Channel.send ch Channel.Log_to_client "response-1");
+  ignore (Channel.send ch Channel.Client_to_log "request-2");
+  (* request -> response -> request is exactly 2 round trips: the second
+     request opens a round whose response has not yet been paid for *)
+  let snap = Channel.snapshot ch in
+  Alcotest.(check int) "req/resp/req = 2 RTs" 2 snap.Channel.rts;
+  Alcotest.(check int) "messages" 3 snap.Channel.msgs;
+  Alcotest.(check int) "bytes up" 18 snap.Channel.up;
+  Alcotest.(check int) "bytes down" 10 snap.Channel.down;
+  (* completing the pair does not add a round trip *)
+  ignore (Channel.send ch Channel.Log_to_client "response-2");
+  Alcotest.(check int) "completed pair still 2 RTs" 2 (Channel.snapshot ch).Channel.rts;
+  (* observe exports totals even with the runtime toggle off *)
+  let m = Metrics.create () in
+  Channel.observe ch m;
+  Alcotest.(check int) "exported round trips" 2
+    (Metrics.counter_value (Metrics.counter m "net.test.round_trips"));
+  Alcotest.(check int) "exported bytes up" 18
+    (Metrics.counter_value (Metrics.counter m "net.test.bytes_up"));
+  (* reset clears everything including the direction memory *)
+  Channel.reset ch;
+  let z = Channel.snapshot ch in
+  Alcotest.(check int) "post-reset up" 0 z.Channel.up;
+  Alcotest.(check int) "post-reset rts" 0 z.Channel.rts;
+  ignore (Channel.send ch Channel.Log_to_client "x");
+  Alcotest.(check int) "fresh round after reset" 1 (Channel.snapshot ch).Channel.rts
+
+(* --- event-stream privacy over the full three-protocol flow --- *)
+
+(* Relying-party identifiers that must never reach an event. *)
+let forbidden = [ "github"; "target.example"; "decoy" ]
+
+let event_privacy () =
+  with_obs @@ fun () ->
+  Larch_util.Clock.set 1_700_000_000.;
+  let rand = Larch_hash.Drbg.of_seed "test-obs-privacy" in
+  let log = Log_service.create ~rand_bytes:rand () in
+  let client =
+    Client.create ~client_id:"alice" ~account_password:"hunter2 but longer" ~log
+      ~rand_bytes:rand ()
+  in
+  Client.enroll ~presignature_count:4 client;
+  (* FIDO2 against github.com *)
+  let rp = Relying_party.create ~name:"github.com" ~rand_bytes:rand () in
+  let pk = Client.register_fido2 client ~rp_name:"github.com" in
+  Relying_party.fido2_register rp ~username:"alice" ~pk;
+  let challenge = Relying_party.fido2_challenge rp ~username:"alice" in
+  let assertion = Client.authenticate_fido2 client ~rp_name:"github.com" ~challenge in
+  Alcotest.(check bool) "fido2 accepted" true
+    (Relying_party.fido2_login rp ~username:"alice" assertion);
+  (* TOTP against target.example with a decoy registration *)
+  let trp = Relying_party.create ~name:"target.example" ~rand_bytes:rand () in
+  let tkey = Relying_party.totp_register trp ~username:"alice" in
+  Client.register_totp client ~rp_name:"target.example" ~totp_key:tkey;
+  Client.register_totp client ~rp_name:"decoy01.example" ~totp_key:(rand 20);
+  let time = 1_700_000_000. in
+  let code = Client.authenticate_totp client ~rp_name:"target.example" ~time in
+  Alcotest.(check bool) "totp accepted" true
+    (Relying_party.totp_login trp ~username:"alice" ~time code);
+  (* passwords against target.example with a decoy *)
+  let pw = Client.register_password client ~rp_name:"target.example" in
+  ignore (Client.register_password client ~rp_name:"decoy02.example");
+  let pw' = Client.authenticate_password client ~rp_name:"target.example" in
+  Alcotest.(check string) "password stable" pw pw';
+  (* audit + revocation emit too *)
+  ignore (Client.audit client);
+  Client.revoke_all client;
+  let events = Events.recent () in
+  Alcotest.(check bool) "events were captured" true (List.length events >= 12);
+  List.iter
+    (fun e ->
+      let rendered = Events.to_string e in
+      List.iter
+        (fun bad ->
+          if contains rendered bad then
+            Alcotest.failf "event leaks relying-party identifier %S: %s" bad rendered)
+        forbidden)
+    events;
+  (* the stream still names the client, method, and lifecycle kinds *)
+  let kinds = List.map (fun e -> e.Events.kind) events in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (Events.kind_to_string k ^ " present")
+        true (List.mem k kinds))
+    [ Events.Enroll; Events.Register; Events.Auth_begin; Events.Auth_finish;
+      Events.Audit; Events.Revocation ]
+
+(* --- Chrome trace_event JSON: validate with a minimal JSON parser --- *)
+
+exception Bad_json of string
+
+let validate_json (s : string) : unit =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let fail m = raise (Bad_json (Printf.sprintf "%s at %d" m !pos)) in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      incr pos
+    done
+  in
+  let expect c = if peek () = Some c then incr pos else fail (Printf.sprintf "expected %c" c) in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> obj ()
+    | Some '[' -> arr ()
+    | Some '"' -> string_lit ()
+    | Some ('-' | '0' .. '9') -> number ()
+    | Some 't' -> literal "true"
+    | Some 'f' -> literal "false"
+    | Some 'n' -> literal "null"
+    | _ -> fail "value"
+  and literal lit =
+    if !pos + String.length lit <= n && String.sub s !pos (String.length lit) = lit then
+      pos := !pos + String.length lit
+    else fail lit
+  and number () =
+    let start = !pos in
+    while
+      !pos < n
+      && match s.[!pos] with '-' | '+' | '.' | 'e' | 'E' | '0' .. '9' -> true | _ -> false
+    do
+      incr pos
+    done;
+    if !pos = start then fail "number"
+  and string_lit () =
+    expect '"';
+    let fin = ref false in
+    while not !fin do
+      if !pos >= n then fail "unterminated string";
+      (match s.[!pos] with
+      | '"' -> fin := true
+      | '\\' -> incr pos (* skip the escaped char *)
+      | c when Char.code c < 0x20 -> fail "unescaped control char"
+      | _ -> ());
+      incr pos
+    done
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then incr pos
+    else begin
+      let fin = ref false in
+      while not !fin do
+        skip_ws ();
+        string_lit ();
+        skip_ws ();
+        expect ':';
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' -> incr pos
+        | Some '}' -> incr pos; fin := true
+        | _ -> fail "object"
+      done
+    end
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then incr pos
+    else begin
+      let fin = ref false in
+      while not !fin do
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' -> incr pos
+        | Some ']' -> incr pos; fin := true
+        | _ -> fail "array"
+      done
+    end
+  in
+  value ();
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage"
+
+let chrome_json_valid () =
+  with_obs @@ fun () ->
+  Trace.with_span "outer \"quoted\\name\"" (fun () ->
+      Trace.add_str "note" "attrs with \"quotes\", newline \n and tab \t";
+      Trace.add_int "n" 3;
+      Trace.add_float "ratio" 0.5;
+      Trace.with_span "inner" (fun () -> ()));
+  let json = Trace.to_chrome_json () in
+  (match validate_json json with
+  | () -> ()
+  | exception Bad_json m -> Alcotest.failf "invalid chrome json (%s): %s" m json);
+  Alcotest.(check bool) "has traceEvents" true
+    (contains json "\"traceEvents\"");
+  Alcotest.(check bool) "has complete events" true
+    (contains json "\"ph\":\"X\"")
+
+(* --- runner --- *)
+
+let () =
+  Alcotest.run "larch-obs"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "span nesting across 4 domains" `Quick span_nesting_parallel;
+          Alcotest.test_case "span survives exceptions" `Quick span_exception_safety;
+          Alcotest.test_case "chrome json validity" `Quick chrome_json_valid;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "histogram percentiles" `Quick histogram_percentiles;
+          Alcotest.test_case "counters and gauges" `Quick counters_and_gauges;
+        ] );
+      ( "runtime",
+        [ Alcotest.test_case "disabled mode allocates nothing" `Quick disabled_is_noop ] );
+      ( "channel",
+        [ Alcotest.test_case "round trips, observe, reset" `Quick channel_round_trips ] );
+      ( "events",
+        [ Alcotest.test_case "privacy across all three protocols" `Slow event_privacy ] );
+    ]
