@@ -14,7 +14,7 @@ let all_ids =
     "enroll"; "ecdsa-compare"; "ablate-schnorr"; "ablate-pack"; "groth16"; "micro";
   ]
 
-let run_experiments ~fast ~selected =
+let run_experiments ~fast ~micro_json ~micro_quota ~selected =
   let want id = match selected with [] -> true | l -> List.mem id l in
   let pw_rows = ref None in
   let methods = ref None in
@@ -48,7 +48,7 @@ let run_experiments ~fast ~selected =
   if want "ablate-schnorr" then Experiments.ablate_schnorr ();
   if want "ablate-pack" then Experiments.ablate_pack ();
   if want "groth16" then Experiments.groth16_note ();
-  if want "micro" then Micro.run ()
+  if want "micro" then Micro.run ?quota:micro_quota ?json:micro_json ()
 
 open Cmdliner
 
@@ -60,13 +60,21 @@ let experiments =
   let doc = "Run only the named experiment (repeatable). One of: " ^ String.concat ", " all_ids in
   Arg.(value & opt_all string [] & info [ "e"; "experiment" ] ~doc)
 
+let micro_json =
+  let doc = "Write the micro benchmark estimates as a flat JSON object to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let micro_quota =
+  let doc = "Per-benchmark time quota in seconds for the micro experiment (default 0.5)." in
+  Arg.(value & opt (some float) None & info [ "quota" ] ~docv:"SECONDS" ~doc)
+
 let trace_json =
   let doc =
     "Enable tracing for the run and write the span tree as Chrome trace_event JSON to $(docv)."
   in
   Arg.(value & opt (some string) None & info [ "trace-json" ] ~docv:"FILE" ~doc)
 
-let main fast selected trace_json =
+let main fast selected micro_json micro_quota trace_json =
   List.iter
     (fun id ->
       if not (List.mem id all_ids) then begin
@@ -80,7 +88,7 @@ let main fast selected trace_json =
     Larch_obs.Runtime.set_tracing true;
     Larch_obs.Trace.reset ()
   end;
-  run_experiments ~fast ~selected;
+  run_experiments ~fast ~micro_json ~micro_quota ~selected;
   match trace_json with
   | None -> ()
   | Some file -> (
@@ -93,6 +101,8 @@ let main fast selected trace_json =
 
 let cmd =
   let doc = "Regenerate the larch paper's evaluation tables and figures" in
-  Cmd.v (Cmd.info "larch-bench" ~doc) Term.(const main $ fast $ experiments $ trace_json)
+  Cmd.v
+    (Cmd.info "larch-bench" ~doc)
+    Term.(const main $ fast $ experiments $ micro_json $ micro_quota $ trace_json)
 
 let () = exit (Cmd.eval cmd)

@@ -1,5 +1,9 @@
 (* Bechamel microbenchmarks for the substrate primitives whose costs
-   dominate the macro experiments. *)
+   dominate the macro experiments.
+
+   [run ?quota ?json ()] optionally dumps every estimate to [json] as a flat
+   {name: ns_per_op} object so perf trajectories (BENCH_*.json) can be
+   regenerated mechanically instead of transcribed by hand. *)
 
 open Bechamel
 open Toolkit
@@ -11,8 +15,11 @@ let tests () =
   let fe_a = Larch_ec.P256.Fe.random ~rand_bytes:rand in
   let fe_b = Larch_ec.P256.Fe.random ~rand_bytes:rand in
   let scalar = Larch_ec.P256.Scalar.random_nonzero ~rand_bytes:rand in
+  let scalar2 = Larch_ec.P256.Scalar.random_nonzero ~rand_bytes:rand in
   let p = Larch_ec.Point.mul_base scalar in
   let q = Larch_ec.Point.double p in
+  let sk, pk = Larch_ec.Ecdsa.keygen ~rand_bytes:rand in
+  let sg = Larch_ec.Ecdsa.sign ~sk "m" in
   let key = rand 32 and nonce = rand 12 in
   let aes_ks = Larch_cipher.Aes.expand_key (rand 16) in
   let block16 = rand 16 in
@@ -22,22 +29,41 @@ let tests () =
     Test.make ~name:"chacha20/block" (Staged.stage (fun () -> Larch_cipher.Chacha20.block ~key ~nonce ~counter:0));
     Test.make ~name:"aes128/block" (Staged.stage (fun () -> Larch_cipher.Aes.encrypt_block aes_ks block16));
     Test.make ~name:"p256/fe-mul" (Staged.stage (fun () -> Larch_ec.P256.Fe.mul fe_a fe_b));
+    Test.make ~name:"p256/fe-sqr" (Staged.stage (fun () -> Larch_ec.P256.Fe.sqr fe_a));
     Test.make ~name:"p256/point-add" (Staged.stage (fun () -> Larch_ec.Point.add p q));
+    Test.make ~name:"p256/point-mul" (Staged.stage (fun () -> Larch_ec.Point.mul scalar2 p));
     Test.make ~name:"p256/mul-base" (Staged.stage (fun () -> Larch_ec.Point.mul_base scalar));
     Test.make ~name:"ecdsa/sign" (Staged.stage (fun () -> Larch_ec.Ecdsa.sign ~sk:scalar "m"));
+    Test.make ~name:"ecdsa/verify" (Staged.stage (fun () -> Larch_ec.Ecdsa.verify ~pk "m" sg));
   ]
 
-let run () =
+let dump_json ~file rows =
+  let oc = open_out file in
+  output_string oc "{\n";
+  List.iteri
+    (fun i (name, ns) ->
+      Printf.fprintf oc "  %S: %.1f%s\n" name ns (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "}\n";
+  close_out oc
+
+let run ?(quota = 0.5) ?json () =
   Printf.printf "\n=== microbenchmarks (bechamel, ns/op) ===\n%!";
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) () in
   let grouped = Test.make_grouped ~name:"micro" ~fmt:"%s %s" (tests ()) in
   let raw = Benchmark.all cfg [ Instance.monotonic_clock ] grouped in
   let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = Hashtbl.fold (fun name v acc -> (name, v) :: acc) results [] in
-  List.iter
-    (fun (name, v) ->
-      match Analyze.OLS.estimates v with
-      | Some [ est ] -> Printf.printf "%-28s %12.1f ns/op\n" name est
-      | _ -> Printf.printf "%-28s (no estimate)\n" name)
-    (List.sort compare rows)
+  let estimates =
+    List.filter_map
+      (fun (name, v) ->
+        match Analyze.OLS.estimates v with Some [ est ] -> Some (name, est) | _ -> None)
+      (List.sort compare rows)
+  in
+  List.iter (fun (name, est) -> Printf.printf "%-28s %12.1f ns/op\n" name est) estimates;
+  match json with
+  | None -> ()
+  | Some file ->
+      dump_json ~file estimates;
+      Printf.printf "micro estimates written to %s\n" file

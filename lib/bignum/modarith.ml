@@ -56,10 +56,43 @@ let pow (ctx : ctx) (base : Nat.t) (e : Nat.t) : Nat.t =
   done;
   !acc
 
-(* Inverse modulo a prime via Fermat: a^(m-2) mod m. *)
+(* Inverse modulo an odd prime via the binary extended Euclidean algorithm
+   (HAC 14.61).  ~2×lg m cheap shift/sub steps instead of the ~1.5×lg m
+   Barrett multiplications Fermat costs — an order of magnitude faster, and
+   it is what keeps ECDSA's per-signature Scalar.inv off the profile.  Even
+   moduli (never used by larch, but reachable through the generic functor)
+   fall back to Fermat. *)
+let inv_binary (ctx : ctx) (a : Nat.t) : Nat.t =
+  let m = ctx.modulus in
+  let half x = Nat.shift_right x 1 in
+  let half_mod x = if Nat.is_even x then half x else half (Nat.add x m) in
+  let u = ref a and v = ref m in
+  let x1 = ref Nat.one and x2 = ref Nat.zero in
+  while (not (Nat.is_one !u)) && not (Nat.is_one !v) do
+    while Nat.is_even !u do
+      u := half !u;
+      x1 := half_mod !x1
+    done;
+    while Nat.is_even !v do
+      v := half !v;
+      x2 := half_mod !x2
+    done;
+    if Nat.compare !u !v >= 0 then begin
+      u := Nat.sub !u !v;
+      x1 := sub ctx !x1 !x2
+    end
+    else begin
+      v := Nat.sub !v !u;
+      x2 := sub ctx !x2 !x1
+    end
+  done;
+  if Nat.is_one !u then !x1 else !x2
+
 let inv (ctx : ctx) (a : Nat.t) : Nat.t =
+  let a = reduce ctx a in
   if Nat.is_zero a then invalid_arg "Modarith.inv: zero";
-  pow ctx a (Nat.sub ctx.modulus (Nat.of_int 2))
+  if Nat.is_even ctx.modulus then pow ctx a (Nat.sub ctx.modulus (Nat.of_int 2))
+  else inv_binary ctx a
 
 (* Square root modulo a prime p = 3 (mod 4): a^((p+1)/4).  Returns [None]
    when [a] is not a quadratic residue. *)

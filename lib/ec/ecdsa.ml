@@ -57,7 +57,8 @@ let verify_digest ~(pk : Point.t) (digest : string) (sg : signature) : bool =
   let e = Scalar.of_nat (Nat.of_bytes_be digest) in
   let sinv = Scalar.inv sg.s in
   let u1 = Scalar.mul e sinv and u2 = Scalar.mul sg.r sinv in
-  let rp = Point.add (Point.mul_base u1) (Point.mul u2 pk) in
+  (* Strauss–Shamir joint ladder: u1·G + u2·pk on one doubling chain. *)
+  let rp = Point.mul_add u1 u2 pk in
   (not (Point.is_infinity rp)) && Scalar.equal (Point.x_scalar rp) sg.r
 
 let verify ~(pk : Point.t) (msg : string) (sg : signature) : bool =

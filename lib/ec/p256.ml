@@ -12,9 +12,11 @@ let b = Nat.of_hex "5ac635d8aa3a93e7b3ebbd55769886bc651d06b0cc53b0f63bce3c3e27d2
 let gx = Nat.of_hex "6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296"
 let gy = Nat.of_hex "4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5"
 
-module Fe = Modarith.Make (struct
-  let modulus = p
-end)
+(* The base field runs on the dedicated fixed-limb Solinas backend
+   (lib/ec/fe256.ml); it satisfies the same [Modarith.S] signature, so
+   consumers are oblivious.  The generic Barrett functor remains the
+   differential-testing oracle for it (test/test_fe256.ml). *)
+module Fe = Fe256.Fe
 
 module Scalar = Modarith.Make (struct
   let modulus = n

@@ -30,11 +30,16 @@ val neg : t -> t
 val sub : t -> t -> t
 
 val mul : Scalar.t -> t -> t
-(** Variable-point scalar multiplication (4-bit fixed window). *)
+(** Variable-point scalar multiplication (width-5 wNAF). *)
 
 val mul_base : Scalar.t -> t
-(** Base-point multiplication via a cached comb table; ~3× faster than
+(** Base-point multiplication via a cached comb table; ~4× faster than
     [mul _ g]. *)
+
+val mul_add : Scalar.t -> Scalar.t -> t -> t
+(** [mul_add k1 k2 q] is k1·G + k2·Q via Strauss–Shamir interleaving: one
+    shared doubling chain instead of two full ladders.  The shape of ECDSA
+    verification (u1·G + u2·Q). *)
 
 val multi_mul : (Scalar.t * t) array -> t
 (** Pippenger multi-scalar multiplication: Σᵢ kᵢ·Pᵢ.  The workhorse of
@@ -69,4 +74,7 @@ val pp : Format.formatter -> t -> unit
 
 (**/**)
 
-val base_table : t array array lazy_t
+val base_table_builds : unit -> int
+(** How many times the cached base-point tables have been constructed;
+    stays at most 1 per table even when first forced concurrently from
+    several domains (regression hook for the once-only guarantee). *)

@@ -1,0 +1,171 @@
+(* Differential fuzzing of the fixed-limb Solinas P-256 base-field backend
+   (lib/ec/fe256.ml) against the generic Barrett [Modarith] functor, which
+   stays in the tree precisely to serve as this oracle.  Random operand
+   streams plus the edge values a fast-reduction implementation is most
+   likely to get wrong: 0, 1, p±ε, Solinas term boundaries, limb patterns. *)
+
+open Larch_bignum
+module Fe256 = Larch_ec.Fe256
+module Fe = Fe256.Fe
+
+module Oracle = Modarith.Make (struct
+  let modulus = Larch_ec.P256.p
+end)
+
+let p = Larch_ec.P256.p
+let rand = Larch_hash.Drbg.of_seed "fe256-differential"
+
+(* Random Nat of up to [maxbytes] bytes; short lengths arise naturally from
+   leading zero bytes in the stream. *)
+let rand_nat maxbytes =
+  let len = Char.code (rand 1).[0] mod (maxbytes + 1) in
+  Nat.of_bytes_be (rand len)
+
+let check_eq what i ~a ~b expected actual =
+  if not (Nat.equal expected actual) then
+    Alcotest.failf "%s diverged at case %d:@ a=%s@ b=%s@ oracle=%s@ fe256=%s" what i
+      (Nat.to_hex a) (Nat.to_hex b) (Nat.to_hex expected) (Nat.to_hex actual)
+
+(* Run one operand pair through every public operation of both backends.
+   [x] and [y] may be unreduced (anything a caller could feed [of_nat]). *)
+let differential i x y =
+  let a = Fe.of_nat x and b = Fe.of_nat y in
+  check_eq "of_nat" i ~a:x ~b:y (Oracle.of_nat x) a;
+  check_eq "add" i ~a ~b (Oracle.add a b) (Fe.add a b);
+  check_eq "sub" i ~a ~b (Oracle.sub a b) (Fe.sub a b);
+  check_eq "neg" i ~a ~b:Nat.zero (Oracle.neg a) (Fe.neg a);
+  check_eq "mul" i ~a ~b (Oracle.mul a b) (Fe.mul a b);
+  check_eq "sqr" i ~a ~b:a (Oracle.sqr a) (Fe.sqr a);
+  check_eq "bytes roundtrip" i ~a ~b:a a (Fe.of_bytes_be (Fe.to_bytes_be a));
+  if not (Nat.is_zero a) then begin
+    let ia = Fe.inv a in
+    check_eq "inv" i ~a ~b:a (Oracle.inv a) ia;
+    check_eq "a * inv a" i ~a ~b:ia Fe.one (Fe.mul a ia)
+  end
+
+let fuzz_iterations = 10_000
+
+let fuzz_random_stream () =
+  for i = 1 to fuzz_iterations do
+    (* Up to 512-bit operands: covers reduced values, the [reduce_wide]
+       fast path for wide inputs, and everything in between. *)
+    let x = rand_nat 64 and y = rand_nat 64 in
+    let a = Fe.of_nat x and b = Fe.of_nat y in
+    check_eq "of_nat" i ~a:x ~b:y (Oracle.of_nat x) a;
+    check_eq "add" i ~a ~b (Oracle.add a b) (Fe.add a b);
+    check_eq "sub" i ~a ~b (Oracle.sub a b) (Fe.sub a b);
+    check_eq "mul" i ~a ~b (Oracle.mul a b) (Fe.mul a b);
+    check_eq "sqr" i ~a ~b:a (Oracle.sqr a) (Fe.sqr a);
+    check_eq "bytes roundtrip" i ~a ~b:a a (Fe.of_bytes_be (Fe.to_bytes_be a));
+    (* Inversion costs ~300 mults; sampling keeps the suite fast while the
+       product check below still exercises it against fuzzed [mul]. *)
+    if i mod 50 = 0 && not (Nat.is_zero a) then begin
+      let ia = Fe.inv a in
+      check_eq "inv" i ~a ~b:a (Oracle.inv a) ia;
+      check_eq "a * inv a" i ~a ~b:ia Fe.one (Fe.mul a ia)
+    end
+  done
+
+(* The values most likely to expose a broken carry chain, reduction bound,
+   or conditional subtraction. *)
+let edge_values =
+  let h = Nat.of_hex in
+  let bit k = Nat.shift_left Nat.one k in
+  [
+    Nat.zero;
+    Nat.one;
+    Nat.of_int 2;
+    Nat.sub p (Nat.of_int 2);
+    Nat.sub p Nat.one;
+    p;
+    (* p is an allowed *input* (of_nat reduces); so are its neighbours *)
+    Nat.add p Nat.one;
+    Nat.sub (Nat.mul p (Nat.of_int 2)) Nat.one;
+    Nat.mul p (Nat.of_int 2);
+    Nat.mul p p;
+    (* the Solinas fold terms: 2^224, 2^192, 2^96 and neighbours *)
+    bit 96;
+    Nat.sub (bit 96) Nat.one;
+    bit 192;
+    bit 224;
+    Nat.sub (bit 224) Nat.one;
+    bit 255;
+    Nat.sub (bit 256) Nat.one;
+    bit 256;
+    (* limb-boundary patterns in the 10x26-bit representation *)
+    h "3ffffff";
+    (* one full limb *)
+    h "fffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffe";
+    h "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa";
+    h "5555555555555555555555555555555555555555555555555555555555555555";
+    (* all 32-bit words at their max: worst case for the c0..c15 sums *)
+    h "ffffffff00000001000000000000000000000000fffffffffffffffe00000001";
+  ]
+
+let edge_cases () =
+  let i = ref 0 in
+  List.iter
+    (fun x ->
+      List.iter
+        (fun y ->
+          incr i;
+          differential !i x y)
+        edge_values)
+    edge_values
+
+(* The in-place kernels advertise that [dst] may alias the sources (the
+   product drains into separate scratch first).  Point arithmetic leans on
+   this heavily, so pin it down at the kernel level. *)
+let kernel_aliasing () =
+  let wide = Array.make Fe256.wide_limbs 0 in
+  for i = 1 to 200 do
+    let x = Fe.of_nat (rand_nat 40) and y = Fe.of_nat (rand_nat 40) in
+    let expect_mul = Oracle.mul x y and expect_sqr = Oracle.sqr x in
+    let expect_add = Oracle.add x y and expect_sub = Oracle.sub x y in
+    (* r aliases a *)
+    let a = Fe256.own_of_fe x and b = Fe256.own_of_fe y in
+    Fe256.mul_into wide a a b;
+    check_eq "mul_into r=a" i ~a:x ~b:y expect_mul (Fe256.to_fe a);
+    (* r aliases b *)
+    let a = Fe256.own_of_fe x and b = Fe256.own_of_fe y in
+    Fe256.mul_into wide b a b;
+    check_eq "mul_into r=b" i ~a:x ~b:y expect_mul (Fe256.to_fe b);
+    (* square in place *)
+    let a = Fe256.own_of_fe x in
+    Fe256.sqr_into wide a a;
+    check_eq "sqr_into r=a" i ~a:x ~b:x expect_sqr (Fe256.to_fe a);
+    (* add/sub with dst aliasing both operands *)
+    let a = Fe256.own_of_fe x and b = Fe256.own_of_fe y in
+    Fe256.add_into a a b;
+    check_eq "add_into r=a" i ~a:x ~b:y expect_add (Fe256.to_fe a);
+    let a = Fe256.own_of_fe x and b = Fe256.own_of_fe y in
+    Fe256.sub_into a a b;
+    check_eq "sub_into r=a" i ~a:x ~b:y expect_sub (Fe256.to_fe a);
+    let a = Fe256.own_of_fe x in
+    Fe256.add_into a a a;
+    check_eq "add_into r=a=b" i ~a:x ~b:x (Oracle.add x x) (Fe256.to_fe a)
+  done
+
+(* Outputs must be normalized Nats (no high zero limbs): the rest of the
+   tree compares field elements with [Nat.equal] / prints via [Nat.to_hex]. *)
+let normalization () =
+  List.iter
+    (fun x ->
+      let a = Fe.of_nat x in
+      let la = Array.length a in
+      Alcotest.(check bool) "normalized" true (la = 0 || a.(la - 1) <> 0);
+      let s = Fe.sub a a in
+      Alcotest.(check bool) "x - x = [||]" true (Array.length s = 0))
+    edge_values
+
+let () =
+  Alcotest.run "fe256"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "10k random operand streams" `Quick fuzz_random_stream;
+          Alcotest.test_case "edge-value cross product" `Quick edge_cases;
+          Alcotest.test_case "kernel aliasing contracts" `Quick kernel_aliasing;
+          Alcotest.test_case "output normalization" `Quick normalization;
+        ] );
+    ]

@@ -247,6 +247,110 @@ let ecdsa_rfc6979 () =
   Alcotest.(check string) "r(test)" "f1abb023518351cd71d881567b1ea663ed3efcf6c5132b354f28d3b0b7d38367" (Nat.to_hex sg2.r);
   Alcotest.(check string) "s(test)" "019f4113742a2b14bd25926b49c649155f267e60d3814b4c0cc84250e46f0083" (Nat.to_hex sg2.s)
 
+(* Known-answer scalar multiplication: small multiples of G (independently
+   recomputed from the curve equation), k = n-1 (the negation edge of the
+   wNAF recoding), and a full-width scalar.  [Point.mul] exercises the wNAF
+   ladder, [Point.mul_base] the comb, and they must agree with each other
+   and with the published points. *)
+let check_affine msg (ex, ey) pt =
+  match Point.to_affine pt with
+  | None -> Alcotest.failf "%s: unexpected infinity" msg
+  | Some (x, y) ->
+      Alcotest.(check string) (msg ^ ".x") ex (Nat.to_hex x);
+      Alcotest.(check string) (msg ^ ".y") ey (Nat.to_hex y)
+
+let p256_scalar_mul_kats () =
+  let kats =
+    [
+      ( 2,
+        "7cf27b188d034f7e8a52380304b51ac3c08969e277f21b35a60b48fc47669978",
+        "07775510db8ed040293d9ac69f7430dbba7dade63ce982299e04b79d227873d1" );
+      ( 3,
+        "5ecbe4d1a6330a44c8f7ef951d4bf165e6c6b721efada985fb41661bc6e7fd6c",
+        "8734640c4998ff7e374b06ce1a64a2ecd82ab036384fb83d9a79b127a27d5032" );
+      ( 4,
+        "e2534a3532d08fbba02dde659ee62bd0031fe2db785596ef509302446b030852",
+        "e0f1575a4c633cc719dfee5fda862d764efc96c3f30ee0055c42c23f184ed8c6" );
+      ( 5,
+        "51590b7a515140d2d784c85608668fdfef8c82fd1f5be52421554a0dc3d033ed",
+        "e0c17da8904a727d8ae1bf36bf8a79260d012f00d4d80888d1d0bb44fda16da4" );
+    ]
+  in
+  Alcotest.(check bool) "1*G = G (wNAF)" true (Point.equal (Point.mul Nat.one Point.g) Point.g);
+  Alcotest.(check bool) "1*G = G (comb)" true (Point.equal (Point.mul_base Nat.one) Point.g);
+  List.iter
+    (fun (k, x, y) ->
+      let kn = Nat.of_int k in
+      check_affine (string_of_int k ^ "G wNAF") (x, y) (Point.mul kn Point.g);
+      check_affine (string_of_int k ^ "G comb") (x, y) (Point.mul_base kn))
+    kats;
+  (* (n-1)*G = -G: same x as G, y = p - G.y.  Exercises the top negative
+     wNAF digit and the comb's final window. *)
+  let n_minus_1 = Nat.sub Larch_ec.P256.n Nat.one in
+  let neg_g =
+    ( "6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296",
+      "b01cbd1c01e58065711814b583f061e9d431cca994cea1313449bf97c840ae0a" )
+  in
+  check_affine "(n-1)G wNAF" neg_g (Point.mul n_minus_1 Point.g);
+  check_affine "(n-1)G comb" neg_g (Point.mul_base n_minus_1);
+  (* full-width scalar (the RFC 6979 key) through the wNAF path *)
+  let sk = Nat.of_hex "c9afa9d845ba75166b5c215767b1d6934e50c3db36e89b127b8a622b120f6721" in
+  check_affine "skG wNAF"
+    ( "60fed4ba255a9d31c961eb74c6356d68c049b8923b61fa6ce669622e60f29fb6",
+      "7903fe1008b8bc99a41ae9e95628bc64f2f1b20c2d7e9f5177a3c294d4462299" )
+    (Point.mul sk Point.g);
+  (* Strauss-Shamir joint ladder against its naive decomposition *)
+  let u1 = Scalar.of_bytes_be (rand 40) and u2 = Scalar.of_bytes_be (rand 40) in
+  let q = Point.mul_base (Scalar.of_bytes_be (rand 40)) in
+  Alcotest.(check bool) "mul_add = u1*G + u2*Q" true
+    (Point.equal (Point.mul_add u1 u2 q) (Point.add (Point.mul_base u1) (Point.mul u2 q)));
+  Alcotest.(check bool) "mul_add with k2 = 0" true
+    (Point.equal (Point.mul_add u1 Scalar.zero q) (Point.mul_base u1));
+  Alcotest.(check bool) "mul_add with k1 = 0" true
+    (Point.equal (Point.mul_add Scalar.zero u2 q) (Point.mul u2 q))
+
+(* Verify-side RFC 6979 vectors: signatures built from the published r/s
+   (not produced by our signer), pushed through [Ecdsa.verify] and hence the
+   Strauss-Shamir [Point.mul_add]. *)
+let ecdsa_verify_vectors () =
+  let fe h = Larch_ec.P256.Fe.of_nat (Nat.of_hex h) in
+  let pk =
+    Point.of_affine
+      ~x:(fe "60fed4ba255a9d31c961eb74c6356d68c049b8923b61fa6ce669622e60f29fb6")
+      ~y:(fe "7903fe1008b8bc99a41ae9e95628bc64f2f1b20c2d7e9f5177a3c294d4462299")
+  in
+  let sig_of r s = Larch_ec.Ecdsa.{ r = Scalar.of_nat (Nat.of_hex r); s = Scalar.of_nat (Nat.of_hex s) } in
+  let sg_sample =
+    sig_of "efd48b2aacb6a8fd1140dd9cd45e81d69d2c877b56aaf991c34d0ea84eaf3716"
+      "f7cb1c942d657c41d436c7a1b6e29f65f3e900dbb9aff4064dc4ab2f843acda8"
+  in
+  Alcotest.(check bool) "verify(sample)" true (Larch_ec.Ecdsa.verify ~pk "sample" sg_sample);
+  let sg_test =
+    sig_of "f1abb023518351cd71d881567b1ea663ed3efcf6c5132b354f28d3b0b7d38367"
+      "019f4113742a2b14bd25926b49c649155f267e60d3814b4c0cc84250e46f0083"
+  in
+  Alcotest.(check bool) "verify(test)" true (Larch_ec.Ecdsa.verify ~pk "test" sg_test);
+  Alcotest.(check bool) "cross message rejected" false
+    (Larch_ec.Ecdsa.verify ~pk "test" sg_sample);
+  Alcotest.(check bool) "swapped r/s rejected" false
+    (Larch_ec.Ecdsa.verify ~pk "sample" Larch_ec.Ecdsa.{ r = sg_sample.s; s = sg_sample.r });
+  Alcotest.(check bool) "zero r rejected" false
+    (Larch_ec.Ecdsa.verify ~pk "sample" Larch_ec.Ecdsa.{ sg_sample with r = Scalar.zero })
+
+(* The cached base-point tables (comb for mul_base, odd multiples of G for
+   mul_add) must be built exactly once even when first forced from several
+   domains at once. *)
+let table_once_parallel () =
+  let scalars = Array.init 16 (fun i -> Scalar.of_nat (Nat.of_int (i + 2))) in
+  let combed = Larch_util.Parallel.map ~domains:4 (fun k -> Point.encode (Point.mul_base k)) scalars in
+  let _ = Larch_util.Parallel.map ~domains:4 (fun k -> Point.encode (Point.mul_add k k Point.g)) scalars in
+  Alcotest.(check string) "mul_base correct under domains"
+    (Point.encode (Point.double Point.g)) combed.(0);
+  let builds = Point.base_table_builds () in
+  Alcotest.(check bool)
+    (Printf.sprintf "each table built at most once (saw %d builds)" builds)
+    true (builds <= 2)
+
 let ecdsa_negative () =
   let sk, pk = Larch_ec.Ecdsa.keygen ~rand_bytes:rand in
   let sg = Larch_ec.Ecdsa.sign ~sk "message" in
@@ -327,7 +431,10 @@ let () =
       ( "p256",
         [
           Alcotest.test_case "known points" `Quick p256_known_points;
+          Alcotest.test_case "scalar-mul KATs" `Quick p256_scalar_mul_kats;
+          Alcotest.test_case "table built once under domains" `Quick table_once_parallel;
           Alcotest.test_case "ecdsa rfc6979" `Quick ecdsa_rfc6979;
+          Alcotest.test_case "ecdsa verify vectors" `Quick ecdsa_verify_vectors;
           Alcotest.test_case "ecdsa negative" `Quick ecdsa_negative;
           Alcotest.test_case "elgamal" `Quick elgamal_roundtrip;
           Alcotest.test_case "hash-to-curve" `Quick hash_to_curve_props;
