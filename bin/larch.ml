@@ -101,7 +101,7 @@ let demo_password n =
 
 let demo_multilog () =
   print_endline "2-of-3 multi-log deployment (paper §6)";
-  let ml = Multilog.create ~n:3 ~threshold:2 ~rand_bytes:rand in
+  let ml = Multilog.create ~n:3 ~threshold:2 ~rand_bytes:rand () in
   let c = Multilog.enroll ml ~client_id:"cli-user" ~account_password:"pw" in
   let pw = Multilog.register ml c ~rp_name:"rp.example" in
   ignore pw;
@@ -150,6 +150,116 @@ let demo_recovery () =
       print_endline "  recovered on a fresh device; authentication works"
   | Error e -> Printf.printf "  recovery failed: %s\n" e);
   0
+
+(* Deterministic faulty-transport demo: run the same seeded world twice —
+   same DRBG for all randomness, same seeded fault injector, simulated
+   clock — and show that the two transcripts (operation outcomes, event
+   stream, channel meters, audit history) are byte-for-byte identical. *)
+
+let hex (s : string) : string =
+  String.concat "" (List.map (Printf.sprintf "%02x") (List.map Char.code (List.init (String.length s) (String.get s))))
+
+let faults_run ~(seed : string) ~(auths : int) : string * string =
+  Larch_util.Clock.set 1_700_000_000.;
+  Obs.Runtime.set_time_source (Some Larch_util.Clock.now);
+  Obs.Runtime.set_events true;
+  Obs.Events.clear ();
+  let drbg = Larch_hash.Drbg.create ~entropy:("larch-faults-" ^ seed) in
+  let rand n = Larch_hash.Drbg.generate drbg n in
+  let log = Log_service.create ~rand_bytes:rand () in
+  let client =
+    Client.create ~client_id:"fault-user" ~account_password:"pw" ~log ~rand_bytes:rand ()
+  in
+  let buf = Buffer.create 512 in
+  let record outcome = Buffer.add_string buf (outcome ^ "\n") in
+  (* clean enrollment and registrations, then inject faults *)
+  Client.enroll ~presignature_count:(4 * auths) client;
+  let rp = Relying_party.create ~name:"rp.example" ~rand_bytes:rand () in
+  let pk = Client.register_fido2 client ~rp_name:"rp.example" in
+  Relying_party.fido2_register rp ~username:"fault-user" ~pk;
+  let totp_key = Relying_party.totp_register rp ~username:"fault-user" in
+  Client.register_totp client ~rp_name:"rp.example" ~totp_key;
+  let site_pw = Client.register_password client ~rp_name:"rp.example" in
+  Relying_party.password_set rp ~username:"fault-user" ~password:site_pw;
+  Client.Transport.set_injector client.Client.transport
+    (Some (Larch_net.Fault.seeded ~seed Larch_net.Fault.stormy));
+  let ok = ref 0 and failed = ref 0 in
+  let attempt label f =
+    Larch_util.Clock.advance 1.0;
+    match f () with
+    | () ->
+        incr ok;
+        record (label ^ " ok")
+    | exception Client.Transport.Error e ->
+        incr failed;
+        record
+          (Printf.sprintf "%s error %s attempts=%d" label
+             (Client.Transport.failure_to_string e.Client.Transport.last)
+             e.Client.Transport.attempts)
+    | exception Types.Protocol_error m ->
+        incr failed;
+        record (label ^ " protocol-error " ^ m)
+    | exception Client.Log_misbehaved m ->
+        incr failed;
+        record (label ^ " log-misbehaved " ^ m)
+  in
+  for i = 1 to auths do
+    attempt
+      (Printf.sprintf "fido2[%d]" i)
+      (fun () ->
+        let challenge = Relying_party.fido2_challenge rp ~username:"fault-user" in
+        let assertion = Client.authenticate_fido2 client ~rp_name:"rp.example" ~challenge in
+        if not (Relying_party.fido2_login rp ~username:"fault-user" assertion) then
+          failwith "relying party rejected");
+    attempt
+      (Printf.sprintf "totp[%d]" i)
+      (fun () ->
+        ignore (Client.authenticate_totp client ~rp_name:"rp.example" ~time:(Larch_util.Clock.now ())));
+    attempt
+      (Printf.sprintf "password[%d]" i)
+      (fun () ->
+        let pw = Client.authenticate_password client ~rp_name:"rp.example" in
+        if not (Relying_party.password_login rp ~username:"fault-user" ~password:pw) then
+          failwith "relying party rejected")
+  done;
+  (* calm the link again and audit what actually got recorded *)
+  Client.Transport.set_injector client.Client.transport None;
+  Client.resync client;
+  let _, head, len = Log_service.audit_with_head log ~client_id:"fault-user" ~token:"pw" in
+  Buffer.add_string buf (Printf.sprintf "audit chain len=%d head=%s\n" len (hex head));
+  let snap = Client.channel_snapshot client in
+  Buffer.add_string buf
+    (Printf.sprintf "wire up=%d down=%d msgs=%d rts=%d\n" snap.Larch_net.Channel.up
+       snap.Larch_net.Channel.down snap.Larch_net.Channel.msgs snap.Larch_net.Channel.rts);
+  List.iter (fun e -> Buffer.add_string buf (Obs.Events.to_string e ^ "\n")) (Obs.Events.recent ());
+  let st = Client.Transport.stats client.Client.transport in
+  let summary =
+    Printf.sprintf
+      "%d ok / %d failed (typed); transport: %d attempts, %d retries, %d timeouts, %d faults, %d replays; %d events"
+      !ok !failed st.Client.Transport.attempts st.Client.Transport.retries
+      st.Client.Transport.timeouts st.Client.Transport.faults st.Client.Transport.replays
+      (List.length (Obs.Events.recent ()))
+  in
+  Obs.Runtime.set_events false;
+  Obs.Runtime.set_time_source None;
+  Larch_util.Clock.use_real_time ();
+  (hex (Larch_hash.Sha256.digest (Buffer.contents buf)), summary)
+
+let faults seed auths =
+  Printf.printf "seeded fault injection (seed=%s, stormy profile, %d auths per method)\n" seed auths;
+  let d1, s1 = faults_run ~seed ~auths in
+  Printf.printf "  run 1: %s\n         transcript digest %s\n" s1 (String.sub d1 0 16);
+  let d2, s2 = faults_run ~seed ~auths in
+  Printf.printf "  run 2: %s\n         transcript digest %s\n" s2 (String.sub d2 0 16);
+  if d1 = d2 then begin
+    print_endline "  deterministic: run 2 replayed run 1 byte for byte";
+    Printf.printf "  reproduce with: larch faults --seed %s -n %d\n" seed auths;
+    0
+  end
+  else begin
+    print_endline "  NOT deterministic: transcripts differ";
+    1
+  end
 
 let sizes () =
   print_endline "byte-level protocol constants:";
@@ -250,6 +360,18 @@ let trace_cmd =
     (Cmd.info "trace" ~doc:"Run a demo under the observability layer")
     Term.(const run $ scenario_arg $ n_arg $ json)
 
+let faults_cmd =
+  let seed =
+    Arg.(value & opt string "42" & info [ "seed" ] ~docv:"SEED"
+      ~doc:"Fault-injection seed; the same seed replays the same faults, retries, and records.")
+  in
+  let auths =
+    Arg.(value & opt int 4 & info [ "n" ] ~doc:"Authentications per method under fault injection.")
+  in
+  Cmd.v
+    (Cmd.info "faults" ~doc:"Run a seeded faulty-transport world twice and compare transcripts")
+    Term.(const faults $ seed $ auths)
+
 let sizes_cmd = Cmd.v (Cmd.info "sizes" ~doc:"Print protocol byte constants") Term.(const sizes $ const ())
 let circuits_cmd = Cmd.v (Cmd.info "circuits" ~doc:"Print statement-circuit statistics") Term.(const circuits $ const ())
 
@@ -257,4 +379,5 @@ let () =
   let doc = "larch: accountable authentication with privacy protection" in
   exit
     (Cmd.eval'
-       (Cmd.group (Cmd.info "larch" ~doc) [ demo_cmd; trace_cmd; sizes_cmd; circuits_cmd ]))
+       (Cmd.group (Cmd.info "larch" ~doc)
+          [ demo_cmd; trace_cmd; faults_cmd; sizes_cmd; circuits_cmd ]))

@@ -9,7 +9,7 @@ open Larch_core
 
 let () =
   let rand = Larch_hash.Drbg.system () in
-  let ml = Multilog.create ~n:3 ~threshold:2 ~rand_bytes:rand in
+  let ml = Multilog.create ~n:3 ~threshold:2 ~rand_bytes:rand () in
   let alice = Multilog.enroll ml ~client_id:"alice" ~account_password:"log password" in
   print_endline "enrolled with 3 logs, threshold 2 (Shamir-shared DH key)";
 

@@ -11,6 +11,7 @@
 module Point = Larch_ec.Point
 module Scalar = Larch_ec.P256.Scalar
 module Channel = Larch_net.Channel
+module Transport = Larch_net.Transport
 module Tpe = Two_party_ecdsa
 module Statements = Larch_circuit.Larch_statements
 module Bytesx = Larch_util.Bytesx
@@ -52,6 +53,7 @@ type t = {
   rand : int -> string;
   log : Log_service.t;
   chan : Channel.t; (* FIDO2/password auth traffic *)
+  transport : Transport.t; (* every client↔log exchange rides this *)
   totp_offline : Channel.t;
   totp_online : Channel.t;
   mutable ip : string;
@@ -60,16 +62,22 @@ type t = {
   mutable totp : totp_side option;
   mutable pw : pw_side option;
   mutable last_chain : (string * int) option; (* last verified audit head *)
+  mutable dirty : bool; (* a transport failure may have left the log mid-session *)
 }
 
-let create ~(client_id : string) ~(account_password : string) ~(log : Log_service.t)
-    ~(rand_bytes : int -> string) () : t =
+let create ?policy ?net ~(client_id : string) ~(account_password : string)
+    ~(log : Log_service.t) ~(rand_bytes : int -> string) () : t =
+  let chan = Channel.create ~label:"fido2" () in
+  let transport = Transport.create ?policy ?net ~label:"log" chan in
+  (* a peer restart loses the log's volatile in-flight session state *)
+  Transport.on_restart transport (fun () -> Log_service.restart log);
   {
     client_id;
     account_password;
     rand = rand_bytes;
     log;
-    chan = Channel.create ~label:"fido2" ();
+    chan;
+    transport;
     totp_offline = Channel.create ~label:"totp.offline" ();
     totp_online = Channel.create ~label:"totp.online" ();
     ip = "198.51.100.7";
@@ -78,6 +86,7 @@ let create ~(client_id : string) ~(account_password : string) ~(log : Log_servic
     totp = None;
     pw = None;
     last_chain = None;
+    dirty = false;
   }
 
 let set_domains (t : t) (n : int) = t.domains <- max 1 n
@@ -87,48 +96,98 @@ let now () = Larch_util.Clock.now ()
 let send_c2l (t : t) (payload : string) = ignore (Channel.send t.chan Channel.Client_to_log payload)
 let send_l2c (t : t) (payload : string) = ignore (Channel.send t.chan Channel.Log_to_client payload)
 
+(* --- transport failure discipline --- *)
+
+(* [dirty] is set only when a typed error escapes an operation while a
+   fault injector is installed (the flag can never be set on the clean
+   path, so checking it unconditionally is a zero-behavior change).  The
+   next session start then resynchronizes with the log: the in-flight
+   FIDO2 signing session is aborted with the presignature cursors aligned
+   to the client's own count, and the password identifier list is adopted
+   from the log (a registration whose ack was lost may live only there). *)
+let mark_dirty (t : t) = if Transport.faulty t.transport then t.dirty <- true
+
+let resync (t : t) : unit =
+  if t.dirty then begin
+    (match t.fido2 with
+    | Some f ->
+        let consumed = List.fold_left (fun acc b -> acc + b.Tpe.cnext) 0 f.batches in
+        Transport.invoke t.transport ~op:"fido2.abort" (fun () ->
+            Log_service.fido2_auth_abort t.log ~client_id:t.client_id ~consumed)
+    | None -> ());
+    (match t.pw with
+    | Some s ->
+        s.pw_ids <-
+          Transport.invoke t.transport ~op:"pw.resync" (fun () ->
+              Log_service.pw_registered_ids t.log ~client_id:t.client_id)
+    | None -> ());
+    t.dirty <- false
+  end
+
 (* --- Step 1: enrollment --- *)
 
 let enroll ?(presignature_count = 100) (t : t) : unit =
   Trace.with_span "client.enroll" @@ fun () ->
   Trace.add_int "presigs" presignature_count;
-  Log_service.enroll t.log ~client_id:t.client_id ~account_password:t.account_password;
-  (* FIDO2: archive key + commitment, record key, presignature batch *)
+  (* All client-side randomness is drawn before the first log exchange, so
+     a retried step retransmits identical material and the log-side
+     idempotency checks recognize it instead of rejecting a duplicate. *)
   let fk = t.rand 32 and fr = t.rand 16 in
   let cm = Larch_hash.Sha256.digest (fk ^ fr) in
   let record_sk, record_vk = Larch_ec.Ecdsa.keygen ~rand_bytes:t.rand in
   let cbatch, lbatch = Tpe.presign_batch ~count:presignature_count ~rand_bytes:t.rand in
-  send_c2l t (String.make (Tpe.log_batch_wire_bytes lbatch) '\000');
-  let log_pub = Log_service.enroll_fido2 t.log ~client_id:t.client_id ~cm ~record_vk ~batch:lbatch in
-  t.fido2 <-
-    Some
-      {
-        fk;
-        fr;
-        record_sk;
-        log_pub;
-        batches = [ cbatch ];
-        fido2_creds = Hashtbl.create 8;
-        fido2_names = Hashtbl.create 8;
-      };
-  (* TOTP: its own archive key + commitment *)
   let tk = t.rand 32 and tr = t.rand 16 in
-  Log_service.enroll_totp t.log ~client_id:t.client_id ~cm:(Larch_hash.Sha256.digest (tk ^ tr));
-  t.totp <-
-    Some { tk; tr; totp_creds = Hashtbl.create 8; totp_names = Hashtbl.create 8 };
-  (* passwords: ElGamal archive keypair *)
+  let tcm = Larch_hash.Sha256.digest (tk ^ tr) in
   let x, x_pub = Password_protocol.client_gen ~rand_bytes:t.rand in
-  let log_k_pub = Log_service.enroll_password t.log ~client_id:t.client_id ~client_pub:x_pub in
-  t.pw <-
-    Some
-      {
-        x;
-        x_pub;
-        log_k_pub;
-        pw_ids = [];
-        pw_creds = Hashtbl.create 8;
-        pw_names = Hashtbl.create 8;
-      }
+  try
+    Transport.invoke t.transport ~op:"enroll.account" (fun () ->
+        Log_service.enroll t.log ~client_id:t.client_id ~account_password:t.account_password);
+    (* FIDO2: archive key + commitment, record key, presignature batch *)
+    let log_pub =
+      Transport.invoke t.transport ~op:"enroll.fido2" (fun () ->
+          send_c2l t (String.make (Tpe.log_batch_wire_bytes lbatch) '\000');
+          Log_service.enroll_fido2 t.log ~client_id:t.client_id ~cm ~record_vk ~batch:lbatch)
+    in
+    t.fido2 <-
+      Some
+        {
+          fk;
+          fr;
+          record_sk;
+          log_pub;
+          batches = [ cbatch ];
+          fido2_creds = Hashtbl.create 8;
+          fido2_names = Hashtbl.create 8;
+        };
+    (* TOTP: its own archive key + commitment *)
+    Transport.invoke t.transport ~op:"enroll.totp" (fun () ->
+        Log_service.enroll_totp t.log ~client_id:t.client_id ~cm:tcm);
+    t.totp <-
+      Some { tk; tr; totp_creds = Hashtbl.create 8; totp_names = Hashtbl.create 8 };
+    (* passwords: ElGamal archive keypair *)
+    let log_k_pub =
+      Transport.invoke t.transport ~op:"enroll.pw" (fun () ->
+          Log_service.enroll_password t.log ~client_id:t.client_id ~client_pub:x_pub)
+    in
+    t.pw <-
+      Some
+        {
+          x;
+          x_pub;
+          log_k_pub;
+          pw_ids = [];
+          pw_creds = Hashtbl.create 8;
+          pw_names = Hashtbl.create 8;
+        }
+  with Transport.Error _ as e ->
+    (* never leave half-enrolled state behind: best-effort server-side
+       revocation, then a clean client, then the typed error *)
+    (try Log_service.revoke_all t.log ~client_id:t.client_id ~token:t.account_password
+     with _ -> ());
+    t.fido2 <- None;
+    t.totp <- None;
+    t.pw <- None;
+    raise e
 
 let fido2_side (t : t) = match t.fido2 with Some f -> f | None -> Types.fail "not enrolled (fido2)"
 let totp_side (t : t) = match t.totp with Some s -> s | None -> Types.fail "not enrolled (totp)"
@@ -142,10 +201,14 @@ let presignatures_remaining (t : t) : int =
 (* Generate and stage a fresh batch; it becomes active at the log only
    after the objection window. *)
 let top_up_presignatures (t : t) ~(count : int) : unit =
+  resync t;
   let f = fido2_side t in
   let cbatch, lbatch = Tpe.presign_batch ~count ~rand_bytes:t.rand in
-  send_c2l t (String.make (Tpe.log_batch_wire_bytes lbatch) '\000');
-  Log_service.stage_presignatures t.log ~client_id:t.client_id ~batch:lbatch ~now:(now ());
+  Transport.invoke t.transport ~op:"fido2.top_up" (fun () ->
+      send_c2l t (String.make (Tpe.log_batch_wire_bytes lbatch) '\000');
+      (* staging is idempotent on the batch value, so a retried invocation
+         cannot double the inventory *)
+      Log_service.stage_presignatures t.log ~client_id:t.client_id ~batch:lbatch ~now:(now ()));
   f.batches <- f.batches @ [ cbatch ]
 
 let object_to_presignatures (t : t) : int =
@@ -174,8 +237,12 @@ let register_totp ?(algo = Larch_auth.Totp.SHA1) (t : t) ~(rp_name : string) ~(t
   let tid = t.rand Statements.totp_id_len in
   let kclient, klog = Larch_mpc.Sharing.xor totp_key ~rand_bytes:t.rand in
   let reg = { Totp_protocol.id = tid; klog } in
-  send_c2l t (Totp_protocol.encode_registration reg);
-  Log_service.totp_register t.log ~client_id:t.client_id reg;
+  Transport.post t.transport ~op:"totp.register"
+    ~req:(Totp_protocol.encode_registration reg)
+    (fun bytes ->
+      match Totp_protocol.decode_registration bytes with
+      | Some r -> Log_service.totp_register t.log ~client_id:t.client_id r
+      | None -> raise (Transport.Reject "undecodable totp registration"));
   Hashtbl.replace s.totp_creds rp_name { tid; kclient; algo };
   Hashtbl.replace s.totp_names tid rp_name
 
@@ -183,12 +250,22 @@ let register_totp ?(algo = Larch_auth.Totp.SHA1) (t : t) ~(rp_name : string) ~(t
    party.  [legacy] imports an existing password instead of generating a
    fresh random one (§5). *)
 let register_password ?legacy (t : t) ~(rp_name : string) : string =
+  resync t;
   let s = pw_side t in
   if Hashtbl.mem s.pw_creds rp_name then Types.fail "already registered (password): %s" rp_name;
   let pid, fresh_k_id = Password_protocol.client_register ~rand_bytes:t.rand in
-  send_c2l t pid;
-  let y = Log_service.pw_register t.log ~client_id:t.client_id ~id:pid in
-  send_l2c t (Point.encode y);
+  let y =
+    try
+      Transport.call t.transport ~op:"pw.register" ~req:pid ~decode:Point.decode (fun bytes ->
+          if String.length bytes <> Password_protocol.id_len then
+            raise (Transport.Reject "bad password id length");
+          Point.encode (Log_service.pw_register t.log ~client_id:t.client_id ~id:bytes))
+    with Transport.Error _ as e ->
+      (* the log may have stored the id even though the ack never arrived;
+         the next session adopts the log's list *)
+      mark_dirty t;
+      raise e
+  in
   let k_id, pw_point =
     match legacy with
     | None -> (fresh_k_id, Password_protocol.finish_register ~k_id:fresh_k_id ~y)
@@ -206,10 +283,17 @@ let register_password ?legacy (t : t) ~(rp_name : string) : string =
 
 exception Log_misbehaved of string
 
-(* FIDO2: build the statement, prove it, and run Π_Sign with the log. *)
-let authenticate_fido2 (t : t) ~(rp_name : string) ~(challenge : string) :
+(* FIDO2: build the statement, prove it, and run Π_Sign with the log.
+
+   Transport discipline: each of the three rounds is one [Transport.call],
+   so within a session every retry retransmits the identical bytes and the
+   log's replay cache answers duplicates without consuming anything.  If a
+   round still fails after the retry budget, the whole session is abandoned
+   (the log aborts its in-flight state, cursors are realigned forward) and
+   driven once more from scratch — costing exactly one presignature on
+   both sides, never leaving a wedged session. *)
+let fido2_session (t : t) ~(rp_name : string) ~(challenge : string) :
     Larch_auth.Fido2.assertion =
-  Trace.with_span "client.fido2.auth" @@ fun () ->
   let f = fido2_side t in
   let cred =
     match Hashtbl.find_opt f.fido2_creds rp_name with
@@ -263,50 +347,103 @@ let authenticate_fido2 (t : t) ~(rp_name : string) ~(challenge : string) :
       hm_msg = m1;
     }
   in
-  send_c2l t (Fido2_protocol.encode_auth_request req);
   let resp1 =
-    Log_service.fido2_auth_begin ~domains:2 t.log ~client_id:t.client_id ~ip:t.ip ~now:(now ()) req
+    Transport.call t.transport ~op:"fido2.auth_begin"
+      ~req:(Fido2_protocol.encode_auth_request req)
+      ~decode:Fido2_protocol.decode_auth_response1
+      (fun bytes ->
+        match Fido2_protocol.decode_auth_request bytes with
+        | Some r ->
+            Fido2_protocol.encode_auth_response1
+              (Log_service.fido2_auth_begin ~domains:2 t.log ~client_id:t.client_id ~ip:t.ip
+                 ~now:(now ()) r)
+        | None -> raise (Transport.Reject "undecodable auth request"))
   in
-  send_l2c t (Fido2_protocol.encode_auth_response1 resp1);
   let s0 = Scalar.of_bytes_be resp1.Fido2_protocol.s0 in
   let s1 = Tpe.round2 st ~own:m1 ~other:resp1.Fido2_protocol.hm_msg in
   let commit_c = Tpe.open_commit st ~other_s:s0 ~rand_bytes:t.rand in
-  send_c2l t (Scalar.to_bytes_be s1 ^ commit_c.Larch_mpc.Spdz.commitment);
   let commit_l, reveal_l =
-    Log_service.fido2_auth_commit t.log ~client_id:t.client_id ~s1 ~client_commit:commit_c
+    Transport.call t.transport ~op:"fido2.auth_commit"
+      ~req:(Scalar.to_bytes_be s1 ^ commit_c.Larch_mpc.Spdz.commitment)
+      ~decode:(fun s ->
+        if String.length s < 32 then None
+        else
+          match Tpe.decode_reveal (String.sub s 32 (String.length s - 32)) with
+          | Some reveal -> Some ({ Larch_mpc.Spdz.commitment = String.sub s 0 32 }, reveal)
+          | None -> None)
+      (fun bytes ->
+        if String.length bytes <> 64 then raise (Transport.Reject "bad commit message length");
+        let s1' = Scalar.of_bytes_be (String.sub bytes 0 32) in
+        let commit = { Larch_mpc.Spdz.commitment = String.sub bytes 32 32 } in
+        let cl, rl =
+          Log_service.fido2_auth_commit t.log ~client_id:t.client_id ~s1:s1' ~client_commit:commit
+        in
+        cl.Larch_mpc.Spdz.commitment ^ Tpe.encode_reveal rl)
   in
-  send_l2c t (commit_l.Larch_mpc.Spdz.commitment ^ Tpe.encode_reveal reveal_l);
   if not (Tpe.open_check st ~other_commit:commit_l ~other_reveal:reveal_l) then
     raise (Log_misbehaved "signing MAC check failed");
   let reveal_c = Tpe.open_reveal st in
-  send_c2l t (Tpe.encode_reveal reveal_c);
-  if not (Log_service.fido2_auth_finish t.log ~client_id:t.client_id ~client_reveal:reveal_c)
-  then raise (Log_misbehaved "log rejected the opening");
+  let ok =
+    Transport.call t.transport ~op:"fido2.auth_finish" ~req:(Tpe.encode_reveal reveal_c)
+      ~decode:(function "\001" -> Some true | "\000" -> Some false | _ -> None)
+      ~meter_resp:false
+      (fun bytes ->
+        match Tpe.decode_reveal bytes with
+        | Some reveal ->
+            if Log_service.fido2_auth_finish t.log ~client_id:t.client_id ~client_reveal:reveal
+            then "\001"
+            else "\000"
+        | None -> raise (Transport.Reject "undecodable reveal"))
+  in
+  if not ok then raise (Log_misbehaved "log rejected the opening");
   Tpe.signature st ~other_s:s0
   in
   { Larch_auth.Fido2.payload; signature }
+
+let authenticate_fido2 (t : t) ~(rp_name : string) ~(challenge : string) :
+    Larch_auth.Fido2.assertion =
+  Trace.with_span "client.fido2.auth" @@ fun () ->
+  resync t;
+  try fido2_session t ~rp_name ~challenge with
+  | Transport.Error _ when Transport.faulty t.transport -> (
+      (* abandon the wedged session (abort + cursor realignment), then
+         drive one fresh session; a second failure surfaces typed *)
+      t.dirty <- true;
+      resync t;
+      try fido2_session t ~rp_name ~challenge
+      with e ->
+        mark_dirty t;
+        raise e)
+  | (Log_misbehaved _ | Types.Protocol_error _) as e ->
+      mark_dirty t;
+      raise e
 
 (* TOTP: run the 2PC; returns the full outcome (code + phase timings). *)
 let authenticate_totp_detailed (t : t) ~(rp_name : string) ~(time : float) :
     Totp_protocol.outcome =
   Trace.with_span "client.totp.auth" @@ fun () ->
+  resync t;
   let s = totp_side t in
   let cred =
     match Hashtbl.find_opt s.totp_creds rp_name with
     | Some c -> c
     | None -> Types.fail "not registered (totp): %s" rp_name
   in
+  (* the nonce is drawn once per authentication, not per attempt: the log
+     dedups the 2PC on it, so a retried invocation replays the finished
+     outcome instead of re-running the circuit or double-logging *)
   let enc_nonce = t.rand 12 in
   let outcome =
-    Log_service.totp_auth t.log ~client_id:t.client_id ~ip:t.ip ~now:(now ()) ~enc_nonce
-      ~run:(fun ~cm ~registrations ~rand_log ->
-        let pub =
-          { Statements.cm; enc_nonce; time_counter = Larch_auth.Totp.counter_of_time time }
-        in
-        Totp_protocol.run_auth ~pub ~n_rps:(List.length registrations)
-          ~client:(s.tk, s.tr, cred.tid, cred.kclient)
-          ~registrations ~rand_client:t.rand ~rand_log ~offline:t.totp_offline
-          ~online:t.totp_online)
+    Transport.invoke t.transport ~op:"totp.auth" (fun () ->
+        Log_service.totp_auth t.log ~client_id:t.client_id ~ip:t.ip ~now:(now ()) ~enc_nonce
+          ~run:(fun ~cm ~registrations ~rand_log ->
+            let pub =
+              { Statements.cm; enc_nonce; time_counter = Larch_auth.Totp.counter_of_time time }
+            in
+            Totp_protocol.run_auth ~pub ~n_rps:(List.length registrations)
+              ~client:(s.tk, s.tr, cred.tid, cred.kclient)
+              ~registrations ~rand_client:t.rand ~rand_log ~offline:t.totp_offline
+              ~online:t.totp_online))
   in
   outcome
 
@@ -316,6 +453,7 @@ let authenticate_totp (t : t) ~(rp_name : string) ~(time : float) : int =
 (* Passwords: one-out-of-many proof, log exponentiation, recombination. *)
 let authenticate_password (t : t) ~(rp_name : string) : string =
   Trace.with_span "client.pw.auth" @@ fun () ->
+  resync t;
   let s = pw_side t in
   let cred =
     match Hashtbl.find_opt s.pw_creds rp_name with
@@ -328,11 +466,31 @@ let authenticate_password (t : t) ~(rp_name : string) : string =
     | None -> Types.fail "identifier missing from registration list"
   in
   let r, req = Password_protocol.client_auth ~idx ~x:s.x ~ids:s.pw_ids ~rand_bytes:t.rand in
-  send_c2l t (Password_protocol.encode_auth_request req);
   let y, dleq =
-    Log_service.pw_auth t.log ~client_id:t.client_id ~ip:t.ip ~now:(now ()) req
+    try
+      Transport.call t.transport ~op:"pw.auth"
+        ~req:(Password_protocol.encode_auth_request req)
+        ~decode:(fun bytes ->
+          if String.length bytes < 65 then None
+          else
+            match
+              ( Point.decode (String.sub bytes 0 65),
+                Larch_sigma.Dleq.decode (String.sub bytes 65 (String.length bytes - 65)) )
+            with
+            | Some y, Some d -> Some (y, d)
+            | _ -> None)
+        (fun bytes ->
+          match Password_protocol.decode_auth_request bytes with
+          | Some r ->
+              let y, dleq =
+                Log_service.pw_auth t.log ~client_id:t.client_id ~ip:t.ip ~now:(now ()) r
+              in
+              Point.encode y ^ Larch_sigma.Dleq.encode dleq
+          | None -> raise (Transport.Reject "undecodable auth request"))
+    with Transport.Error _ as e ->
+      mark_dirty t;
+      raise e
   in
-  send_l2c t (Point.encode y ^ Larch_sigma.Dleq.encode dleq);
   (* check the log exponentiated with its registered key *)
   if
     not
@@ -383,7 +541,9 @@ let audit_of_records (t : t) (records : Record.t list) : audit_entry list =
 
 let audit (t : t) : audit_entry list =
   Trace.with_span "client.audit" @@ fun () ->
-  audit_of_records t (Log_service.audit t.log ~client_id:t.client_id ~token:t.account_password)
+  audit_of_records t
+    (Transport.invoke t.transport ~op:"audit" (fun () ->
+         Log_service.audit t.log ~client_id:t.client_id ~token:t.account_password))
 
 (* Verified audit: recompute the per-client record hash chain, check it
    against the head the log reports, and check consistency with the last
@@ -391,7 +551,8 @@ let audit (t : t) : audit_entry list =
    rewrites history (§9). *)
 let audit_verified (t : t) : (audit_entry list, string) result =
   let records, head, len =
-    Log_service.audit_with_head t.log ~client_id:t.client_id ~token:t.account_password
+    Transport.invoke t.transport ~op:"audit.head" (fun () ->
+        Log_service.audit_with_head t.log ~client_id:t.client_id ~token:t.account_password)
   in
   let chain_over rs =
     List.fold_left
@@ -444,7 +605,8 @@ let detect_anomalies (t : t) ~(expected : (Types.auth_method * string) list) : a
 (* --- revocation & migration (§9) --- *)
 
 let revoke_all (t : t) : unit =
-  Log_service.revoke_all t.log ~client_id:t.client_id ~token:t.account_password;
+  Transport.invoke t.transport ~op:"revoke" (fun () ->
+      Log_service.revoke_all t.log ~client_id:t.client_id ~token:t.account_password);
   t.fido2 <- None;
   t.totp <- None;
   t.pw <- None
@@ -453,9 +615,13 @@ let revoke_all (t : t) : unit =
    shifts its share by δ, we shift every per-party share by -δ.  Public
    keys are unchanged; the old device's shares are now useless. *)
 let migrate_fido2 (t : t) : unit =
+  resync t;
   let f = fido2_side t in
   let delta = Scalar.random_nonzero ~rand_bytes:t.rand in
-  Log_service.migrate_fido2 t.log ~client_id:t.client_id ~token:t.account_password ~delta;
+  (* the log dedups on δ, so the at-least-once invoke applies it exactly
+     once; the local shift below runs only after the log confirmed *)
+  Transport.invoke t.transport ~op:"fido2.migrate" (fun () ->
+      Log_service.migrate_fido2 t.log ~client_id:t.client_id ~token:t.account_password ~delta);
   let log_pub' = Point.add f.log_pub (Point.mul_base delta) in
   Hashtbl.iter
     (fun name cred ->

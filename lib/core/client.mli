@@ -13,6 +13,7 @@
 module Point = Larch_ec.Point
 module Scalar = Larch_ec.P256.Scalar
 module Channel = Larch_net.Channel
+module Transport = Larch_net.Transport
 module Tpe = Two_party_ecdsa
 module Statements = Larch_circuit.Larch_statements
 module Bytesx = Larch_util.Bytesx
@@ -70,6 +71,7 @@ type t = {
   rand : int -> string;
   log : Log_service.t;
   chan : Channel.t; (** metered FIDO2/password traffic *)
+  transport : Transport.t; (** fault/retry layer wrapping [chan] *)
   totp_offline : Channel.t; (** metered TOTP offline-phase traffic *)
   totp_online : Channel.t; (** metered TOTP online-phase traffic *)
   mutable ip : string; (** source address recorded by the log *)
@@ -79,9 +81,14 @@ type t = {
   mutable pw : pw_side option;
   mutable last_chain : (string * int) option;
       (** head/length of the last verified audit chain *)
+  mutable dirty : bool;
+      (** a faulty exchange may have left the log's volatile session state
+          out of step; the next operation resynchronizes first *)
 }
 
 val create :
+  ?policy:Transport.policy ->
+  ?net:Larch_net.Netsim.t ->
   client_id:string ->
   account_password:string ->
   log:Log_service.t ->
@@ -89,7 +96,15 @@ val create :
   unit ->
   t
 (** A fresh, unenrolled client bound to a log service.  [rand_bytes] is the
-    randomness source (see {!Larch_hash.Drbg.system}). *)
+    randomness source (see {!Larch_hash.Drbg.system}).  [policy] sets the
+    transport retry policy (default {!Transport.default_policy}); [net]
+    models link latency/bandwidth for injected-fault timeout accounting. *)
+
+val resync : t -> unit
+(** Abandon any half-finished log session after a transport failure:
+    rolls the log's volatile signing state back (burning possibly-leaked
+    presignatures forward) and re-adopts the log's password identifier
+    list.  A no-op unless the previous operation failed mid-flight. *)
 
 val set_domains : t -> int -> unit
 (** Number of domains (cores) the client uses for ZKBoo proving. *)

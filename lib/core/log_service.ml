@@ -46,7 +46,14 @@ type fido2_state = {
   mutable client_commit : Larch_mpc.Spdz.open_commit option; (* client's opening commitment *)
 }
 
-type totp_state = { cm_totp : string; mutable registrations : Totp_protocol.registration list }
+type totp_state = {
+  cm_totp : string;
+  mutable registrations : Totp_protocol.registration list;
+  mutable last_auth : (string * Totp_protocol.outcome) option;
+      (* (enc_nonce, outcome) of the last 2PC: a retransmitted invocation
+         with the same nonce replays the outcome instead of re-running the
+         circuit and double-appending the record *)
+}
 
 type pw_state = {
   client_pub : Point.t; (* X = g^x, the ElGamal archive public key *)
@@ -66,6 +73,7 @@ type client_state = {
   mutable backup : string option; (* opaque encrypted client-state blob (§9 recovery) *)
   mutable chain_head : string; (* hash chain over records: rollback detection (§9) *)
   mutable chain_len : int;
+  mutable last_migrate : string option; (* δ of the last key migration, for retry dedup *)
 }
 
 type t = {
@@ -89,7 +97,14 @@ let check_token (c : client_state) (token : string) : unit =
 (* --- enrollment --- *)
 
 let enroll (t : t) ~(client_id : string) ~(account_password : string) : unit =
-  if Hashtbl.mem t.clients client_id then Types.fail "client already enrolled";
+  match Hashtbl.find_opt t.clients client_id with
+  | Some c when Larch_util.Bytesx.ct_equal c.account_token (Larch_hash.Sha256.digest account_password)
+    ->
+      (* a retransmitted enrollment from the same account holder: the
+         account already exists, nothing to do *)
+      ()
+  | Some _ -> Types.fail "client already enrolled"
+  | None ->
   Events.emit ~client:client_id Events.Enroll "account created";
   Hashtbl.replace t.clients client_id
     {
@@ -103,6 +118,7 @@ let enroll (t : t) ~(client_id : string) ~(account_password : string) : unit =
       backup = None;
       chain_head = Larch_hash.Sha256.digest "larch-chain-genesis";
       chain_len = 0;
+      last_migrate = None;
     }
 
 let set_policy (t : t) ~(client_id : string) ~(token : string) (p : policy) : unit =
@@ -141,47 +157,64 @@ let append_record (c : client_state) (r : Record.t) : unit =
 let enroll_fido2 (t : t) ~(client_id : string) ~(cm : string) ~(record_vk : Point.t)
     ~(batch : Tpe.log_batch) : Point.t =
   let c = get_client t client_id in
-  if c.fido2 <> None then Types.fail "fido2 already enrolled";
-  let key = Tpe.log_keygen ~rand_bytes:t.rand in
-  c.fido2 <-
-    Some
-      {
-        cm;
-        record_vk;
-        key;
-        batches = [ batch ];
-        pending = [];
-        signing = None;
-        signing_record = None;
-        client_commit = None;
-      };
-  Events.emit ~client:client_id ~method_:"fido2" Events.Enroll
-    (Printf.sprintf "fido2 enrolled, %d presignatures" (Array.length batch.Tpe.entries));
-  key.Tpe.x_pub
+  match c.fido2 with
+  | Some f when Larch_util.Bytesx.ct_equal f.cm cm ->
+      (* retransmission of the enrollment the log already processed *)
+      f.key.Tpe.x_pub
+  | Some _ -> Types.fail "fido2 already enrolled"
+  | None ->
+      let key = Tpe.log_keygen ~rand_bytes:t.rand in
+      c.fido2 <-
+        Some
+          {
+            cm;
+            record_vk;
+            key;
+            batches = [ batch ];
+            pending = [];
+            signing = None;
+            signing_record = None;
+            client_commit = None;
+          };
+      Events.emit ~client:client_id ~method_:"fido2" Events.Enroll
+        (Printf.sprintf "fido2 enrolled, %d presignatures" (Array.length batch.Tpe.entries));
+      key.Tpe.x_pub
 
 let enroll_totp (t : t) ~(client_id : string) ~(cm : string) : unit =
   let c = get_client t client_id in
-  if c.totp <> None then Types.fail "totp already enrolled";
-  Events.emit ~client:client_id ~method_:"totp" Events.Enroll "totp enrolled";
-  c.totp <- Some { cm_totp = cm; registrations = [] }
+  match c.totp with
+  | Some s when Larch_util.Bytesx.ct_equal s.cm_totp cm -> () (* retransmission *)
+  | Some _ -> Types.fail "totp already enrolled"
+  | None ->
+      Events.emit ~client:client_id ~method_:"totp" Events.Enroll "totp enrolled";
+      c.totp <- Some { cm_totp = cm; registrations = []; last_auth = None }
 
 let enroll_password (t : t) ~(client_id : string) ~(client_pub : Point.t) : Point.t =
   let c = get_client t client_id in
-  if c.pw <> None then Types.fail "password already enrolled";
-  Events.emit ~client:client_id ~method_:"password" Events.Enroll "password vault enrolled";
-  let k, k_pub = Password_protocol.log_gen ~rand_bytes:t.rand in
-  c.pw <- Some { client_pub; k; k_pub; ids = [] };
-  k_pub
+  match c.pw with
+  | Some s when Point.equal s.client_pub client_pub -> s.k_pub (* retransmission *)
+  | Some _ -> Types.fail "password already enrolled"
+  | None ->
+      Events.emit ~client:client_id ~method_:"password" Events.Enroll "password vault enrolled";
+      let k, k_pub = Password_protocol.log_gen ~rand_bytes:t.rand in
+      c.pw <- Some { client_pub; k; k_pub; ids = [] };
+      k_pub
 
 (* Multi-log deployments (§6): the client, trusted at enrollment, deals
    this log a Shamir share of the joint Diffie-Hellman key. *)
 let enroll_password_share (t : t) ~(client_id : string) ~(client_pub : Point.t)
     ~(k_share : Scalar.t) : Point.t =
   let c = get_client t client_id in
-  if c.pw <> None then Types.fail "password already enrolled";
-  let k_pub = Point.mul_base k_share in
-  c.pw <- Some { client_pub; k = k_share; k_pub; ids = [] };
-  k_pub
+  match c.pw with
+  | Some s
+    when Point.equal s.client_pub client_pub
+         && Larch_util.Bytesx.ct_equal (Scalar.to_bytes_be s.k) (Scalar.to_bytes_be k_share) ->
+      s.k_pub (* retransmission *)
+  | Some _ -> Types.fail "password already enrolled"
+  | None ->
+      let k_pub = Point.mul_base k_share in
+      c.pw <- Some { client_pub; k = k_share; k_pub; ids = [] };
+      k_pub
 
 (* --- presignature inventory (§3.3) --- *)
 
@@ -197,7 +230,10 @@ let presignatures_remaining (t : t) ~(client_id : string) : int =
 let stage_presignatures (t : t) ~(client_id : string) ~(batch : Tpe.log_batch) ~(now : float) :
     unit =
   let f = fido2_state (get_client t client_id) in
-  f.pending <- f.pending @ [ (batch, now +. t.objection_window) ]
+  (* a retransmitted staging request carries the very same batch value;
+     staging it twice would double the inventory *)
+  if not (List.exists (fun (b, _) -> b == batch) f.pending) then
+    f.pending <- f.pending @ [ (batch, now +. t.objection_window) ]
 
 let activate_pending (t : t) ~(client_id : string) ~(now : float) : int =
   let f = fido2_state (get_client t client_id) in
@@ -338,6 +374,47 @@ let fido2_auth_finish (t : t) ~(client_id : string)
       "client opening failed the MAC check";
   ok
 
+(* Abandon an in-flight FIDO2 signing session after a transport failure.
+
+   The volatile session state is discarded (any staged-but-uncommitted
+   record with it), and the presignature cursors are burned *forward* until
+   the log has consumed [consumed] presignatures in total — the client's
+   own count.  Never backward: a presignature whose round-1 message may
+   have left this log is compromised and must not be reused, so a
+   half-spent session costs one presignature on both sides and the next
+   session starts aligned. *)
+let fido2_auth_abort (t : t) ~(client_id : string) ~(consumed : int) : unit =
+  let c = get_client t client_id in
+  let f = fido2_state c in
+  if f.signing <> None || f.signing_record <> None || f.client_commit <> None then
+    Events.emit ~severity:Events.Warn ~client:client_id ~method_:"fido2" Events.Protocol_error
+      "in-flight signing session abandoned by the client";
+  f.signing <- None;
+  f.signing_record <- None;
+  f.client_commit <- None;
+  let rec burn batches need =
+    match batches with
+    | [] -> ()
+    | (b : Tpe.log_batch) :: rest ->
+        let take = min (Array.length b.Tpe.entries) need in
+        if b.Tpe.next < take then b.Tpe.next <- take;
+        burn rest (need - take)
+  in
+  burn f.batches (max 0 consumed)
+
+(* A log-process restart: durable state (records, enrollments, inventory
+   cursors) survives; volatile in-flight session state does not. *)
+let restart (t : t) : unit =
+  Hashtbl.iter
+    (fun _ (c : client_state) ->
+      match c.fido2 with
+      | Some f ->
+          f.signing <- None;
+          f.signing_record <- None;
+          f.client_commit <- None
+      | None -> ())
+    t.clients
+
 (* --- TOTP --- *)
 
 let totp_state (c : client_state) : totp_state =
@@ -346,12 +423,20 @@ let totp_state (c : client_state) : totp_state =
 let totp_register (t : t) ~(client_id : string) (reg : Totp_protocol.registration) : unit =
   let c = get_client t client_id in
   let s = totp_state c in
+  if
+    List.exists
+      (fun r ->
+        r.Totp_protocol.id = reg.Totp_protocol.id && r.Totp_protocol.klog = reg.Totp_protocol.klog)
+      s.registrations
+  then () (* byte-identical retransmission: already stored *)
+  else begin
   if List.exists (fun r -> r.Totp_protocol.id = reg.Totp_protocol.id) s.registrations then
     Types.fail "duplicate totp registration id";
   s.registrations <- s.registrations @ [ reg ];
   (* the registration identifier is random and never logged *)
   Events.emit ~client:client_id ~method_:"totp" Events.Register
     (Printf.sprintf "totp share stored (%d registrations)" (List.length s.registrations))
+  end
 
 let totp_unregister (t : t) ~(client_id : string) ~(token : string) ~(id : string) : bool =
   (* §4: clients can delete unused registrations to speed up the 2PC *)
@@ -377,6 +462,13 @@ let totp_auth (t : t) ~(client_id : string) ~(ip : string) ~(now : float) ~(enc_
   Trace.with_span "log.totp.auth" @@ fun () ->
   let c = get_client t client_id in
   let s = totp_state c in
+  match s.last_auth with
+  | Some (n, outcome) when Larch_util.Bytesx.ct_equal n enc_nonce ->
+      (* retransmitted invocation of a 2PC that already completed: replay
+         the outcome; the record is already stored and the policy already
+         charged *)
+      outcome
+  | _ ->
   enforce_policy ~client_id c ~method_:Types.Totp ~now;
   Events.emit ~client:client_id ~method_:"totp" Events.Auth_begin
     (Printf.sprintf "2pc over %d registrations" (List.length s.registrations));
@@ -404,6 +496,7 @@ let totp_auth (t : t) ~(client_id : string) ~(ip : string) ~(now : float) ~(enc_
     };
   Events.emit ~client:client_id ~method_:"totp" Events.Auth_finish
     "code released, encrypted record stored";
+  s.last_auth <- Some (enc_nonce, outcome);
   outcome
 
 (* --- passwords --- *)
@@ -414,15 +507,31 @@ let pw_state (c : client_state) : pw_state =
 let pw_register (t : t) ~(client_id : string) ~(id : string) : Point.t =
   let c = get_client t client_id in
   let s = pw_state c in
-  if List.mem id s.ids then Types.fail "duplicate password registration id";
-  s.ids <- s.ids @ [ id ];
-  (* the identifier is a random handle carrying no relying-party name *)
-  Events.emit ~client:client_id ~method_:"password" Events.Register
-    (Printf.sprintf "password registered (%d ids)" (List.length s.ids));
-  Password_protocol.log_register ~log_sk:s.k ~id
+  if List.mem id s.ids then
+    (* retransmission: the id is a 128-bit random handle the client drew,
+       so a repeat can only be the same registration arriving twice; the
+       answer Hash(id)^k is deterministic *)
+    Password_protocol.log_register ~log_sk:s.k ~id
+  else begin
+    s.ids <- s.ids @ [ id ];
+    (* the identifier is a random handle carrying no relying-party name *)
+    Events.emit ~client:client_id ~method_:"password" Events.Register
+      (Printf.sprintf "password registered (%d ids)" (List.length s.ids));
+    Password_protocol.log_register ~log_sk:s.k ~id
+  end
 
 let pw_registered_ids (t : t) ~(client_id : string) : string list =
   (pw_state (get_client t client_id)).ids
+
+(* Roll back a registration that failed partway across a multi-log
+   deployment; token-authenticated like every other destructive call. *)
+let pw_unregister (t : t) ~(client_id : string) ~(token : string) ~(id : string) : bool =
+  let c = get_client t client_id in
+  check_token c token;
+  let s = pw_state c in
+  let before = List.length s.ids in
+  s.ids <- List.filter (fun i -> i <> id) s.ids;
+  List.length s.ids < before
 
 (* Verify the one-out-of-many proofs, store the ElGamal record, reply with
    c₂^k (and a DLEQ proof that the right k was used). *)
@@ -508,8 +617,13 @@ let migrate_fido2 (t : t) ~(client_id : string) ~(token : string) ~(delta : Scal
   let c = get_client t client_id in
   check_token c token;
   let f = fido2_state c in
-  let x' = Scalar.add f.key.Tpe.x delta in
-  c.fido2 <- Some { f with key = { Tpe.x = x'; x_pub = Point.mul_base x' } }
+  let delta_bytes = Scalar.to_bytes_be delta in
+  match c.last_migrate with
+  | Some d when Larch_util.Bytesx.ct_equal d delta_bytes -> () (* retransmission: δ already applied *)
+  | _ ->
+      let x' = Scalar.add f.key.Tpe.x delta in
+      c.fido2 <- Some { f with key = { Tpe.x = x'; x_pub = Point.mul_base x' } };
+      c.last_migrate <- Some delta_bytes
 
 (* --- encrypted state backups (§9 "Account recovery") --- *)
 

@@ -39,7 +39,12 @@ type fido2_state = {
   mutable client_commit : Larch_mpc.Spdz.open_commit option;
 }
 
-type totp_state = { cm_totp : string; mutable registrations : Totp_protocol.registration list }
+type totp_state = {
+  cm_totp : string;
+  mutable registrations : Totp_protocol.registration list;
+  mutable last_auth : (string * Totp_protocol.outcome) option;
+      (** (nonce, outcome) of the last 2PC: retransmission replay dedup *)
+}
 
 type pw_state = {
   client_pub : Point.t; (** the client's ElGamal archive public key X *)
@@ -59,6 +64,7 @@ type client_state = {
   mutable backup : string option; (** opaque encrypted client-state blob (§9) *)
   mutable chain_head : string; (** hash chain over records (rollback detection) *)
   mutable chain_len : int;
+  mutable last_migrate : string option; (** δ of the last key migration (retry dedup) *)
 }
 
 type t = {
@@ -72,6 +78,10 @@ val create : ?objection_window:float -> rand_bytes:(int -> string) -> unit -> t
 (** {1 Enrollment} *)
 
 val enroll : t -> client_id:string -> account_password:string -> unit
+(** Idempotent for a retransmission from the same account holder (same
+    credential); a different credential for an existing client still
+    fails. *)
+
 val set_policy : t -> client_id:string -> token:string -> policy -> unit
 
 val enroll_fido2 :
@@ -132,6 +142,18 @@ val fido2_auth_finish :
 (** Round 3: check the client's MAC opening; [false] flags a cheating
     client (the stored record remains as an attack trace). *)
 
+val fido2_auth_abort : t -> client_id:string -> consumed:int -> unit
+(** Abandon an in-flight signing session after a transport failure: the
+    volatile session state is discarded and the presignature cursors are
+    burned {e forward} to [consumed] (the client's own total) — never
+    backward, since a presignature whose round-1 message may have leaked
+    must not be reused. *)
+
+val restart : t -> unit
+(** Simulate a log-process restart: durable state (enrollments, records,
+    inventory cursors) survives, volatile in-flight session state is
+    dropped.  {!Larch_net.Transport.on_restart} hooks call this. *)
+
 (** {1 TOTP} *)
 
 val totp_register : t -> client_id:string -> Totp_protocol.registration -> unit
@@ -161,6 +183,10 @@ val pw_register : t -> client_id:string -> id:string -> Point.t
 (** Store the identifier, reply with Hash(id)^k. *)
 
 val pw_registered_ids : t -> client_id:string -> string list
+
+val pw_unregister : t -> client_id:string -> token:string -> id:string -> bool
+(** Roll back a registration that failed partway across a multi-log
+    deployment; [true] if the identifier was present. *)
 
 val pw_auth :
   t ->

@@ -4,24 +4,42 @@
     n − t + 1.  Fully implemented for passwords via Shamir sharing of the
     log-side Diffie-Hellman key with recombination in the exponent; FIDO2
     and TOTP generalize via threshold ECDSA / multi-party GC (the paper
-    defers to existing protocols). *)
+    defers to existing protocols).
+
+    Every log sits behind its own {!Larch_net.Transport}: logs can be taken
+    down administratively or given fault injectors, and authentication
+    fails over mid-flight to any other online t-subset. *)
 
 module Point = Larch_ec.Point
 module Scalar = Larch_ec.P256.Scalar
 module Shamir = Larch_mpc.Shamir
+module Transport = Larch_net.Transport
 
 type t = {
   logs : Log_service.t array;
+  transports : Transport.t array; (** one per log, labelled ["log<i>"] *)
   threshold : int;
   online : bool array;
   rand : int -> string;
 }
 
-val create : n:int -> threshold:int -> rand_bytes:(int -> string) -> t
+val create :
+  ?policy:Transport.policy ->
+  ?net:Larch_net.Netsim.t ->
+  n:int ->
+  threshold:int ->
+  rand_bytes:(int -> string) ->
+  unit ->
+  t
+
 val n_logs : t -> int
 
 val set_online : t -> int -> bool -> unit
-(** Availability simulation: mark log [i] up or down. *)
+(** Availability simulation: mark log [i] up or down (administratively —
+    the transport fails fast without retrying). *)
+
+val set_injector : t -> int -> Larch_net.Fault.t option -> unit
+(** Install (or clear) a fault injector on log [i]'s transport. *)
 
 val online_indices : t -> int list
 
@@ -37,20 +55,28 @@ type client = {
   names : (string, string) Hashtbl.t;
 }
 
+exception Unavailable of string
+
 val enroll : t -> client_id:string -> account_password:string -> client
 (** One-time enrollment with all n logs; the client deals Shamir shares of
-    the joint key and deletes it. *)
+    the joint key and deletes it.  If any log is unreachable the
+    already-enrolled logs are rolled back (best-effort revocation) and the
+    transport error is re-raised, leaving the client re-enrollable. *)
+
+val revoke : t -> client -> unit
+(** Best-effort revocation at every reachable log; clears the client's
+    credential maps so a fresh {!enroll} can follow. *)
 
 val register : t -> client -> rp_name:string -> string
 (** Register at every log (so identifier sets stay aligned); returns the
-    password for the relying party. *)
-
-exception Unavailable of string
+    password for the relying party.  A failure partway unregisters the
+    identifier from the logs that already stored it. *)
 
 val authenticate : t -> client -> rp_name:string -> now:float -> string
-(** Authenticate against any t online logs; each verifies the GK15 proofs
-    and stores the record.
-    @raise Unavailable when fewer than t logs are up *)
+(** Authenticate against any t reachable logs, failing over past logs
+    whose transport gives up (each failover emits a
+    {!Larch_obs.Events.Failover} event).
+    @raise Unavailable when fewer than t logs answer *)
 
 type audit_result = {
   entries : (float * string option) list;
@@ -58,4 +84,5 @@ type audit_result = {
 }
 
 val audit : t -> client -> audit_result
-(** Union of reachable logs' records, deduplicated by ciphertext. *)
+(** Union of reachable logs' records, deduplicated by ciphertext;
+    unreachable logs are skipped and counted against [complete]. *)

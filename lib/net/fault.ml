@@ -1,0 +1,178 @@
+(* Deterministic fault injector for the client↔log transport.
+
+   Two modes share one [next] entry point:
+
+   - Scripted: an explicit (message_index, action) schedule plus optional
+     (message_index, Crash|Restart) events.  Every leg not named in the
+     schedule delivers cleanly; nothing is random, so test schedules are
+     exact down to the leg.
+
+   - Seeded: every decision is drawn from an HMAC-DRBG keyed on the seed
+     (uniform floats from 48 DRBG bits).  The draw sequence is a pure
+     function of the seed and the call sequence, so a whole failure run —
+     actions, delay magnitudes, corruption positions, backoff jitter —
+     replays byte-for-byte from the seed.  Crashes last [crash_span]
+     message legs, then the peer restarts (volatile state lost).
+
+   The injector itself never touches the clock or any channel; the
+   transport interprets the returned actions. *)
+
+type corruption = Truncate | Flip_bit | Flip_length
+
+type action =
+  | Deliver
+  | Drop
+  | Delay of float
+  | Duplicate
+  | Reorder
+  | Corrupt of corruption
+
+type event = Crash | Restart
+
+type profile = {
+  p_drop : float;
+  p_delay : float;
+  max_delay : float;
+  p_duplicate : float;
+  p_reorder : float;
+  p_corrupt : float;
+  p_crash : float;
+  crash_span : int;
+}
+
+let calm =
+  {
+    p_drop = 0.;
+    p_delay = 0.;
+    max_delay = 0.;
+    p_duplicate = 0.;
+    p_reorder = 0.;
+    p_corrupt = 0.;
+    p_crash = 0.;
+    crash_span = 0;
+  }
+
+let stormy =
+  {
+    p_drop = 0.04;
+    p_delay = 0.10;
+    max_delay = 0.2;
+    p_duplicate = 0.05;
+    p_reorder = 0.04;
+    p_corrupt = 0.03;
+    p_crash = 0.01;
+    crash_span = 4;
+  }
+
+type mode =
+  | Scripted of { sched : (int * action) list; events : (int * event) list }
+  | Seeded of { drbg : Larch_hash.Drbg.t; profile : profile }
+
+type t = {
+  mode : mode;
+  mutable counter : int;  (* message legs judged so far *)
+  mutable down : bool;
+  mutable down_remaining : int;  (* seeded mode: legs left before auto-restart *)
+}
+
+let scripted ?(events = []) sched = { mode = Scripted { sched; events }; counter = 0; down = false; down_remaining = 0 }
+
+let seeded ~seed profile =
+  {
+    mode = Seeded { drbg = Larch_hash.Drbg.create ~entropy:seed; profile };
+    counter = 0;
+    down = false;
+    down_remaining = 0;
+  }
+
+(* Uniform float in [0,1) from 48 DRBG bits. *)
+let u01 (t : t) : float =
+  match t.mode with
+  | Scripted _ -> 0.
+  | Seeded { drbg; _ } ->
+      let b = Larch_hash.Drbg.generate drbg 6 in
+      let v = ref 0 in
+      String.iter (fun c -> v := (!v lsl 8) lor Char.code c) b;
+      float_of_int !v /. 281474976710656. (* 2^48 *)
+
+type outcome = { restarted : bool; down : bool; action : action }
+
+let draw_action (t : t) (p : profile) : action =
+  if p.p_drop > 0. && u01 t < p.p_drop then Drop
+  else if p.p_delay > 0. && u01 t < p.p_delay then Delay (p.max_delay *. u01 t)
+  else if p.p_duplicate > 0. && u01 t < p.p_duplicate then Duplicate
+  else if p.p_reorder > 0. && u01 t < p.p_reorder then Reorder
+  else if p.p_corrupt > 0. && u01 t < p.p_corrupt then
+    Corrupt
+      (match int_of_float (u01 t *. 3.) with
+      | 0 -> Truncate
+      | 1 -> Flip_bit
+      | _ -> Flip_length)
+  else Deliver
+
+let next (t : t) : outcome =
+  let i = t.counter in
+  t.counter <- i + 1;
+  let restarted = ref false in
+  (match t.mode with
+  | Scripted { events; _ } ->
+      List.iter
+        (fun (j, (e : event)) ->
+          if j = i then
+            match e with
+            | Crash -> t.down <- true
+            | Restart ->
+                if t.down then begin
+                  t.down <- false;
+                  restarted := true
+                end)
+        events
+  | Seeded { profile; _ } ->
+      if t.down then begin
+        t.down_remaining <- t.down_remaining - 1;
+        if t.down_remaining <= 0 then begin
+          t.down <- false;
+          restarted := true
+        end
+      end
+      else if profile.p_crash > 0. && u01 t < profile.p_crash then begin
+        t.down <- true;
+        t.down_remaining <- max 1 profile.crash_span
+      end);
+  if t.down then { restarted = false; down = true; action = Deliver }
+  else
+    let action =
+      match t.mode with
+      | Scripted { sched; _ } -> ( match List.assoc_opt i sched with Some a -> a | None -> Deliver)
+      | Seeded { profile; _ } -> draw_action t profile
+    in
+    { restarted = !restarted; down = false; action }
+
+let peer_down (t : t) = t.down
+let jitter (t : t) = u01 t
+let msg_index (t : t) = t.counter
+
+(* Corruption position: DRBG-drawn when seeded, counter-derived when
+   scripted — deterministic either way. *)
+let pick_pos (t : t) (n : int) : int =
+  if n <= 1 then 0
+  else
+    match t.mode with
+    | Scripted _ -> t.counter mod n
+    | Seeded _ -> int_of_float (u01 t *. float_of_int n) mod n
+
+let corrupt_payload (t : t) (c : corruption) (payload : string) : string =
+  if String.length payload = 0 then "\001"
+  else
+    match c with
+    | Truncate -> String.sub payload 0 (max 1 (String.length payload / 2))
+    | Flip_bit ->
+        let b = Bytes.of_string payload in
+        let pos = pick_pos t (Bytes.length b) in
+        Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x40));
+        Bytes.to_string b
+    | Flip_length ->
+        let b = Bytes.of_string payload in
+        let pos = pick_pos t (min 4 (Bytes.length b)) in
+        Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x01));
+        Bytes.to_string b

@@ -1,0 +1,87 @@
+(** Deterministic fault injector for the client↔log transport.
+
+    An injector decides, per transmitted message leg, whether the leg is
+    delivered cleanly or suffers a fault (drop, added latency, duplication,
+    reordering, corruption), and whether the log peer crashes or restarts.
+    Two construction modes:
+
+    - {!scripted}: an explicit [(message_index, action)] schedule plus
+      optional [(message_index, Crash|Restart)] events — exact, minimal,
+      and ideal for the per-protocol schedule matrix in [test/test_fault.ml].
+    - {!seeded}: every decision is drawn from an HMAC-DRBG keyed on the
+      seed, so a whole failure run is byte-for-byte reproducible from
+      [seed] alone.
+
+    The injector never performs I/O and never reads real time; it is pure
+    state + (optionally) a DRBG stream, which is what makes replays exact. *)
+
+type corruption =
+  | Truncate  (** keep only the first half of the payload *)
+  | Flip_bit  (** flip one bit in the payload body *)
+  | Flip_length  (** flip a low bit inside the leading 4 bytes (a length prefix, when present) *)
+
+type action =
+  | Deliver
+  | Drop
+  | Delay of float  (** seconds of added one-way latency *)
+  | Duplicate
+  | Reorder  (** the previous message on this link arrives again, late *)
+  | Corrupt of corruption
+
+type event = Crash | Restart
+
+type profile = {
+  p_drop : float;
+  p_delay : float;
+  max_delay : float;  (** delays are uniform in [0, max_delay) *)
+  p_duplicate : float;
+  p_reorder : float;
+  p_corrupt : float;
+  p_crash : float;
+  crash_span : int;  (** message legs the log stays down before auto-restarting *)
+}
+
+val calm : profile
+(** All probabilities zero — a seeded injector that never misbehaves. *)
+
+val stormy : profile
+(** A lively default for demos and soak tests: a few percent of every
+    fault class, short crashes. *)
+
+type t
+
+val scripted : ?events:(int * event) list -> (int * action) list -> t
+(** [scripted sched] faults exactly the message legs named in [sched]
+    (0-based, counted per injector); all other legs deliver cleanly.
+    [events] crash/restart the peer when the counter reaches the given
+    index.  Duplicate indices are allowed in [events] (processed in list
+    order); [sched] lookups take the first match. *)
+
+val seeded : seed:string -> profile -> t
+(** Every decision drawn from HMAC-DRBG(seed).  Same seed + same call
+    sequence ⇒ identical action sequence. *)
+
+type outcome = {
+  restarted : bool;  (** the peer came back up at this leg (volatile state was lost) *)
+  down : bool;  (** the peer is crashed for this leg — nothing is delivered *)
+  action : action;  (** [Deliver] whenever [down] *)
+}
+
+val next : t -> outcome
+(** Advance the per-injector message counter and decide the fate of the
+    next message leg. *)
+
+val peer_down : t -> bool
+(** Whether the peer is currently crashed (without consuming a leg). *)
+
+val jitter : t -> float
+(** A backoff-jitter draw in [0,1): from the DRBG when seeded, [0.] when
+    scripted (so scripted schedules stay exact). *)
+
+val corrupt_payload : t -> corruption -> string -> string
+(** Apply a corruption.  Positions come from the DRBG when seeded and from
+    the message counter when scripted.  The empty payload corrupts to
+    ["\001"] so corruption is never a silent no-op. *)
+
+val msg_index : t -> int
+(** Message legs consumed so far (= index the next {!next} will judge). *)

@@ -1,0 +1,482 @@
+(* Faultable client↔log transport with a typed retry policy.
+
+   Shape of the layer: the protocol drivers in lib/core hand us either a
+   byte-level exchange ([call]/[post]: request bytes → handler → response
+   bytes) or an opaque typed thunk ([invoke], for exchanges whose payloads
+   never existed as one serialized message — enrollment key-setup, the TOTP
+   garbled-circuit umbrella, audit).  We own the metering channel and,
+   optionally, a [Fault.t] injector.
+
+   Injector absent (the default): every operation is a pure passthrough —
+   exactly one [Channel.send] per metered leg, no clock reads, no caching,
+   no stats.  This reproduces the drivers' pre-transport metering
+   byte-for-byte, so turning the layer "off" is a zero-behavior change.
+
+   Injector present: each attempt draws one fault action per leg.  Drops
+   and over-budget delays cost [attempt_timeout] on the simulated clock and
+   surface as [Timeout]; crashes as [Unavailable]; corruption as [Garbled]
+   (either because the log-side handler raises [Reject] on undecodable
+   request bytes, or because the client-side [decode] returns [None] on a
+   damaged response).  The policy retries with exponential backoff plus
+   DRBG jitter, all on [Larch_util.Clock] — never the real clock — so runs
+   replay exactly.
+
+   Idempotency: a retried request is byte-identical, and the log side keeps
+   a replay cache keyed by sha256(op ‖ 0x00 ‖ request-bytes) — a
+   retransmitted or duplicated request is answered from the cache without
+   re-executing the handler, so a retry can never burn an extra
+   presignature or double-append a record.  A peer restart (injected or
+   explicit) clears the cache and fires [on_restart] hooks, which is where
+   the log service drops its volatile in-flight session state.
+
+   Everything transmitted is metered, including dropped, duplicated, stale
+   and corrupted copies — the accounting reflects bytes on the wire, not
+   bytes usefully received. *)
+
+module Obs = Larch_obs
+module Clock = Larch_util.Clock
+
+type policy = {
+  max_attempts : int;
+  attempt_timeout : float;
+  base_backoff : float;
+  backoff_factor : float;
+  max_backoff : float;
+  jitter : float;
+}
+
+let default_policy =
+  {
+    max_attempts = 4;
+    attempt_timeout = 1.0;
+    base_backoff = 0.05;
+    backoff_factor = 2.0;
+    max_backoff = 2.0;
+    jitter = 0.2;
+  }
+
+type failure = Timeout | Unavailable | Garbled of string
+
+type error = { op : string; attempts : int; elapsed : float; last : failure }
+
+exception Error of error
+exception Reject of string
+
+let failure_to_string = function
+  | Timeout -> "timeout"
+  | Unavailable -> "unavailable"
+  | Garbled m -> Printf.sprintf "garbled (%s)" m
+
+let error_to_string (e : error) =
+  Printf.sprintf "%s failed after %d attempt%s (%.3fs simulated): %s" e.op e.attempts
+    (if e.attempts = 1 then "" else "s")
+    e.elapsed (failure_to_string e.last)
+
+type stats = { attempts : int; retries : int; timeouts : int; faults : int; replays : int }
+
+type mstats = {
+  mutable s_attempts : int;
+  mutable s_retries : int;
+  mutable s_timeouts : int;
+  mutable s_faults : int;
+  mutable s_replays : int;
+}
+
+type counters = {
+  c_retries : Obs.Metrics.counter;
+  c_timeouts : Obs.Metrics.counter;
+  c_faults : Obs.Metrics.counter;
+  c_replays : Obs.Metrics.counter;
+}
+
+type t = {
+  chan : Channel.t;
+  label : string;
+  policy : policy;
+  net : Netsim.t;
+  mutable injector : Fault.t option;
+  mutable admin : bool;
+  cache : (string, string) Hashtbl.t;  (* log-side idempotent replay cache *)
+  mutable restart_hooks : (unit -> unit) list;
+  st : mstats;
+  mutable last_req : (string * string) option;  (* (op, bytes) last delivered request *)
+  mutable last_resp : string option;  (* last delivered response *)
+  mutable op_elapsed : float;  (* simulated seconds spent on the current op *)
+  mutable live : counters option;
+}
+
+let create ?(label = "log") ?(policy = default_policy) ?(net = Netsim.zero) chan =
+  {
+    chan;
+    label;
+    policy;
+    net;
+    injector = None;
+    admin = false;
+    cache = Hashtbl.create 32;
+    restart_hooks = [];
+    st = { s_attempts = 0; s_retries = 0; s_timeouts = 0; s_faults = 0; s_replays = 0 };
+    last_req = None;
+    last_resp = None;
+    op_elapsed = 0.;
+    live = None;
+  }
+
+let channel t = t.chan
+let set_injector t i = t.injector <- i
+let injector t = t.injector
+let faulty t = t.injector <> None
+let set_admin_down t b = t.admin <- b
+let admin_down t = t.admin
+let on_restart t f = t.restart_hooks <- t.restart_hooks @ [ f ]
+let stats t = { attempts = t.st.s_attempts; retries = t.st.s_retries; timeouts = t.st.s_timeouts; faults = t.st.s_faults; replays = t.st.s_replays }
+
+let reset_stats t =
+  t.st.s_attempts <- 0;
+  t.st.s_retries <- 0;
+  t.st.s_timeouts <- 0;
+  t.st.s_faults <- 0;
+  t.st.s_replays <- 0
+
+let live_counters (t : t) : counters =
+  match t.live with
+  | Some c -> c
+  | None ->
+      let m = Obs.Metrics.default in
+      let n suffix = "transport." ^ t.label ^ "." ^ suffix in
+      let c =
+        {
+          c_retries = Obs.Metrics.counter m (n "retries");
+          c_timeouts = Obs.Metrics.counter m (n "timeouts");
+          c_faults = Obs.Metrics.counter m (n "faults");
+          c_replays = Obs.Metrics.counter m (n "replays");
+        }
+      in
+      t.live <- Some c;
+      c
+
+(* All helpers below run only on the faulty path. *)
+
+exception Fail_attempt of failure
+
+let fail (f : failure) = raise (Fail_attempt f)
+
+let advance t dt =
+  if dt > 0. then begin
+    Clock.advance dt;
+    t.op_elapsed <- t.op_elapsed +. dt
+  end
+
+(* One delivered leg costs half an RTT plus serialization time. *)
+let wire_time t bytes =
+  advance t ((t.net.Netsim.rtt_s /. 2.) +. (float_of_int bytes /. t.net.Netsim.bandwidth_bytes_per_s))
+
+let meter_up t s =
+  ignore (Channel.send t.chan Channel.Client_to_log s);
+  wire_time t (String.length s)
+
+let meter_down t s =
+  ignore (Channel.send t.chan Channel.Log_to_client s);
+  wire_time t (String.length s)
+
+let bump_replays t =
+  t.st.s_replays <- t.st.s_replays + 1;
+  if Obs.Runtime.tracing_enabled () then Obs.Metrics.inc (live_counters t).c_replays
+
+let bump_fault t ~op reason =
+  t.st.s_faults <- t.st.s_faults + 1;
+  if Obs.Runtime.tracing_enabled () then Obs.Metrics.inc (live_counters t).c_faults;
+  Obs.Events.emit ~severity:Warn Obs.Events.Transport_fault
+    (Printf.sprintf "%s op=%s %s" t.label op reason)
+
+let do_restart t =
+  Hashtbl.reset t.cache;
+  t.last_req <- None;
+  t.last_resp <- None;
+  t.st.s_faults <- t.st.s_faults + 1;
+  if Obs.Runtime.tracing_enabled () then Obs.Metrics.inc (live_counters t).c_faults;
+  Obs.Events.emit ~severity:Warn Obs.Events.Transport_fault
+    (Printf.sprintf "%s peer restarted (volatile state lost)" t.label);
+  List.iter (fun f -> f ()) t.restart_hooks
+
+let restart = do_restart
+
+let cache_key op bytes = Larch_hash.Sha256.digest (op ^ "\x00" ^ bytes)
+
+(* Log-side receipt of request bytes: answer retransmissions from the
+   replay cache, execute the handler exactly once per distinct request. *)
+let exec t ~op bytes handler : string =
+  t.last_req <- Some (op, bytes);
+  let key = cache_key op bytes in
+  match Hashtbl.find_opt t.cache key with
+  | Some resp ->
+      bump_replays t;
+      resp
+  | None ->
+      let resp = handler bytes in
+      Hashtbl.replace t.cache key resp;
+      resp
+
+let unavailable_leg t =
+  advance t t.policy.attempt_timeout;
+  fail Unavailable
+
+(* Request leg: returns the handler's response bytes, or fails the
+   attempt.  [Reject] from the handler propagates (the retry loop maps it
+   to [Garbled]). *)
+let request_leg t inj ~op ~req handler : string =
+  let pol = t.policy in
+  let o = Fault.next inj in
+  if o.Fault.restarted then do_restart t;
+  if o.Fault.down then unavailable_leg t;
+  match o.Fault.action with
+  | Fault.Deliver ->
+      meter_up t req;
+      exec t ~op req handler
+  | Fault.Drop ->
+      meter_up t req;
+      bump_fault t ~op "request dropped";
+      advance t pol.attempt_timeout;
+      fail Timeout
+  | Fault.Delay dt when dt >= pol.attempt_timeout ->
+      (* the log still receives — and answers into its cache — after the
+         client has given up; the retry is then a pure replay *)
+      meter_up t req;
+      bump_fault t ~op "request over-delayed";
+      (try ignore (exec t ~op req handler) with Reject _ -> ());
+      advance t pol.attempt_timeout;
+      fail Timeout
+  | Fault.Delay dt ->
+      meter_up t req;
+      advance t dt;
+      exec t ~op req handler
+  | Fault.Duplicate ->
+      meter_up t req;
+      meter_up t req;
+      bump_fault t ~op "request duplicated";
+      let resp = exec t ~op req handler in
+      ignore (exec t ~op req handler);
+      (* the duplicate: replay-cached *)
+      resp
+  | Fault.Reorder ->
+      bump_fault t ~op "stale request re-delivered";
+      (match t.last_req with
+      | Some (lop, lbytes) ->
+          meter_up t lbytes;
+          (* the log answers the stale copy from its cache; the client
+             discards that stale answer by attempt-tag *)
+          if Hashtbl.mem t.cache (cache_key lop lbytes) then bump_replays t
+      | None -> ());
+      meter_up t req;
+      exec t ~op req handler
+  | Fault.Corrupt c ->
+      let damaged = Fault.corrupt_payload inj c req in
+      meter_up t damaged;
+      bump_fault t ~op "request corrupted";
+      exec t ~op damaged handler
+
+(* Response leg: returns the bytes the client actually received. *)
+let response_leg t inj ~op ~meter_resp resp : string =
+  let pol = t.policy in
+  let meter s = if meter_resp then meter_down t s in
+  let o = Fault.next inj in
+  if o.Fault.restarted then begin
+    (* the log died after executing and came back — the response is gone *)
+    do_restart t;
+    advance t pol.attempt_timeout;
+    fail Timeout
+  end;
+  if o.Fault.down then unavailable_leg t;
+  let delivered =
+    match o.Fault.action with
+    | Fault.Deliver ->
+        meter resp;
+        resp
+    | Fault.Drop ->
+        meter resp;
+        bump_fault t ~op "response dropped";
+        advance t pol.attempt_timeout;
+        fail Timeout
+    | Fault.Delay dt when dt >= pol.attempt_timeout ->
+        meter resp;
+        bump_fault t ~op "response over-delayed";
+        advance t pol.attempt_timeout;
+        fail Timeout
+    | Fault.Delay dt ->
+        meter resp;
+        advance t dt;
+        resp
+    | Fault.Duplicate ->
+        meter resp;
+        meter resp;
+        bump_fault t ~op "response duplicated";
+        resp
+    | Fault.Reorder ->
+        bump_fault t ~op "stale response re-delivered";
+        (match t.last_resp with Some s -> meter s | None -> ());
+        meter resp;
+        resp
+    | Fault.Corrupt c ->
+        let damaged = Fault.corrupt_payload inj c resp in
+        meter damaged;
+        bump_fault t ~op "response corrupted";
+        damaged
+  in
+  t.last_resp <- Some delivered;
+  delivered
+
+let fail_now t ~op ~attempts (last : failure) =
+  raise (Error { op; attempts; elapsed = t.op_elapsed; last })
+
+(* Retry loop for the faulty path: typed failures, exponential backoff +
+   DRBG jitter on the simulated clock, obs events per retry/timeout. *)
+let run_op t ~op (attempt : unit -> 'a) : 'a =
+  let pol = t.policy in
+  t.op_elapsed <- 0.;
+  let rec go k =
+    t.st.s_attempts <- t.st.s_attempts + 1;
+    match attempt () with
+    | v -> v
+    | exception Fail_attempt f -> handle f k
+    | exception Reject m -> handle (Garbled m) k
+  and handle f k =
+    (match f with
+    | Timeout | Unavailable ->
+        t.st.s_timeouts <- t.st.s_timeouts + 1;
+        if Obs.Runtime.tracing_enabled () then Obs.Metrics.inc (live_counters t).c_timeouts;
+        Obs.Events.emit ~severity:Warn Obs.Events.Transport_timeout
+          (Printf.sprintf "%s op=%s attempt=%d %s" t.label op k (failure_to_string f))
+    | Garbled _ -> ());
+    if k >= pol.max_attempts then begin
+      Obs.Events.emit ~severity:Error Obs.Events.Transport_fault
+        (Printf.sprintf "%s op=%s giving up after %d attempts: %s" t.label op k (failure_to_string f));
+      fail_now t ~op ~attempts:k f
+    end
+    else begin
+      t.st.s_retries <- t.st.s_retries + 1;
+      if Obs.Runtime.tracing_enabled () then Obs.Metrics.inc (live_counters t).c_retries;
+      let backoff =
+        min pol.max_backoff (pol.base_backoff *. (pol.backoff_factor ** float_of_int (k - 1)))
+      in
+      let j = match t.injector with Some i -> Fault.jitter i | None -> 0. in
+      advance t (backoff *. (1. +. (pol.jitter *. j)));
+      Obs.Events.emit ~severity:Warn Obs.Events.Transport_retry
+        (Printf.sprintf "%s op=%s attempt=%d/%d after %s" t.label op (k + 1) pol.max_attempts
+           (failure_to_string f));
+      go (k + 1)
+    end
+  in
+  go 1
+
+let call t ~op ~req ~decode ?(meter_resp = true) handler =
+  if t.admin then raise (Error { op; attempts = 1; elapsed = 0.; last = Unavailable });
+  match t.injector with
+  | None -> (
+      (* passthrough: byte-for-byte the drivers' historical metering *)
+      ignore (Channel.send t.chan Channel.Client_to_log req);
+      let resp =
+        try handler req
+        with Reject m -> raise (Error { op; attempts = 1; elapsed = 0.; last = Garbled m })
+      in
+      if meter_resp then ignore (Channel.send t.chan Channel.Log_to_client resp);
+      match decode resp with
+      | Some v -> v
+      | None -> raise (Error { op; attempts = 1; elapsed = 0.; last = Garbled "undecodable response" }))
+  | Some inj ->
+      run_op t ~op (fun () ->
+          let resp = request_leg t inj ~op ~req handler in
+          let delivered = response_leg t inj ~op ~meter_resp resp in
+          match decode delivered with
+          | Some v -> v
+          | None -> fail (Garbled "undecodable response"))
+
+let post t ~op ~req handler =
+  if t.admin then raise (Error { op; attempts = 1; elapsed = 0.; last = Unavailable });
+  match t.injector with
+  | None ->
+      ignore (Channel.send t.chan Channel.Client_to_log req);
+      (try handler req
+       with Reject m -> raise (Error { op; attempts = 1; elapsed = 0.; last = Garbled m }))
+  | Some inj ->
+      run_op t ~op (fun () ->
+          let handler' bytes =
+            handler bytes;
+            ""
+          in
+          ignore (request_leg t inj ~op ~req handler');
+          (* the ack leg is subject to faults but never metered *)
+          let pol = t.policy in
+          let o = Fault.next inj in
+          if o.Fault.restarted then begin
+            do_restart t;
+            advance t pol.attempt_timeout;
+            fail Timeout
+          end;
+          if o.Fault.down then unavailable_leg t;
+          match o.Fault.action with
+          | Fault.Drop ->
+              bump_fault t ~op "ack dropped";
+              advance t pol.attempt_timeout;
+              fail Timeout
+          | Fault.Delay dt when dt >= pol.attempt_timeout ->
+              bump_fault t ~op "ack over-delayed";
+              advance t pol.attempt_timeout;
+              fail Timeout
+          | Fault.Delay dt -> advance t dt
+          | _ -> ())
+
+let invoke t ~op (thunk : unit -> 'a) : 'a =
+  if t.admin then raise (Error { op; attempts = 1; elapsed = 0.; last = Unavailable });
+  match t.injector with
+  | None -> thunk ()
+  | Some inj ->
+      run_op t ~op (fun () ->
+          let pol = t.policy in
+          (* request leg *)
+          let o = Fault.next inj in
+          if o.Fault.restarted then do_restart t;
+          if o.Fault.down then unavailable_leg t;
+          let run () = try thunk () with Reject m -> fail (Garbled m) in
+          let v =
+            match o.Fault.action with
+            | Fault.Drop ->
+                bump_fault t ~op "request dropped";
+                advance t pol.attempt_timeout;
+                fail Timeout
+            | Fault.Delay dt when dt >= pol.attempt_timeout ->
+                bump_fault t ~op "request over-delayed";
+                advance t pol.attempt_timeout;
+                fail Timeout
+            | Fault.Delay dt ->
+                advance t dt;
+                run ()
+            | Fault.Duplicate ->
+                bump_fault t ~op "request duplicated";
+                let v = run () in
+                ignore (run ());
+                (* the duplicate: callee-level dedup must absorb it *)
+                v
+            | Fault.Deliver | Fault.Reorder | Fault.Corrupt _ ->
+                (* nothing serialized to reorder or damage on this path *)
+                run ()
+          in
+          (* response leg *)
+          let o2 = Fault.next inj in
+          if o2.Fault.restarted then begin
+            do_restart t;
+            advance t pol.attempt_timeout;
+            fail Timeout
+          end;
+          if o2.Fault.down then unavailable_leg t;
+          (match o2.Fault.action with
+          | Fault.Drop ->
+              bump_fault t ~op "response dropped";
+              advance t pol.attempt_timeout;
+              fail Timeout
+          | Fault.Delay dt when dt >= pol.attempt_timeout ->
+              bump_fault t ~op "response over-delayed";
+              advance t pol.attempt_timeout;
+              fail Timeout
+          | Fault.Delay dt -> advance t dt
+          | _ -> ());
+          v)

@@ -1,0 +1,125 @@
+(** Faultable client↔log transport with a typed retry policy.
+
+    Every client↔log exchange in [lib/core] routes through one of three
+    shapes:
+
+    - {!call}: request bytes → response bytes through a handler, the
+      common case (wire-codable exchanges);
+    - {!post}: one-way request bytes (registration-style fire-and-ack);
+    - {!invoke}: an opaque typed thunk, for exchanges whose payloads are
+      not separately serialized (enrollment key-setup, the TOTP garbled
+      circuit umbrella, audit).
+
+    With no injector installed ({!set_injector} [None], the default) and
+    the peer administratively up, every operation is a pure passthrough:
+    exactly one {!Channel.send} per metered leg, no clock reads, no
+    caching, no stats — byte-for-byte the metering the protocol drivers
+    performed before this layer existed, at ~zero overhead.
+
+    With an injector installed, each attempt's request and response legs
+    draw a {!Fault.action}; drops and excess delays become {!Timeout}s,
+    crashes become {!Unavailable}, corruption surfaces as {!Garbled}, and
+    the policy retries with exponential backoff (+ DRBG jitter) on the
+    simulated {!Larch_util.Clock}.  A retried request is re-sent
+    byte-identical, and an idempotent replay cache on the log side answers
+    duplicates without re-executing the handler — so a retry never consumes
+    an extra presignature and never double-appends a record.  A peer
+    restart clears that cache and fires {!on_restart} hooks (the log drops
+    its volatile in-flight state).
+
+    Failures are typed end-to-end: after [max_attempts], {!call} raises
+    {!Error} carrying the operation label, attempt count, elapsed simulated
+    time, and last failure.  Handler-level request rejections raise
+    {!Reject} (retryable — the request was damaged in flight); every other
+    handler exception (e.g. [Protocol_error]) propagates immediately,
+    unretried, because it is an application outcome, not a transport one. *)
+
+type policy = {
+  max_attempts : int;  (** total tries, first included; ≥ 1 *)
+  attempt_timeout : float;  (** seconds the client waits for one exchange *)
+  base_backoff : float;  (** backoff before the 2nd attempt, seconds *)
+  backoff_factor : float;  (** exponential growth per further attempt *)
+  max_backoff : float;  (** backoff ceiling, seconds *)
+  jitter : float;  (** fraction of backoff added as DRBG jitter, e.g. 0.2 *)
+}
+
+val default_policy : policy
+(** 4 attempts, 1 s per-attempt timeout, 50 ms base backoff ×2 capped at
+    2 s, 20% jitter. *)
+
+type failure =
+  | Timeout  (** a leg was dropped or arrived after [attempt_timeout] *)
+  | Unavailable  (** the peer is crashed or administratively offline *)
+  | Garbled of string  (** the payload was corrupted in flight (either direction) *)
+
+type error = {
+  op : string;  (** operation label, e.g. ["fido2.auth_begin"] *)
+  attempts : int;
+  elapsed : float;  (** simulated seconds spent, including backoff *)
+  last : failure;
+}
+
+exception Error of error
+(** Raised once the retry budget is exhausted. *)
+
+exception Reject of string
+(** Raised by handlers that cannot decode their request bytes; the
+    transport treats it as in-flight damage ({!Garbled}) and retries. *)
+
+val failure_to_string : failure -> string
+val error_to_string : error -> string
+
+type stats = { attempts : int; retries : int; timeouts : int; faults : int; replays : int }
+
+type t
+
+val create : ?label:string -> ?policy:policy -> ?net:Netsim.t -> Channel.t -> t
+(** Wrap [chan].  [label] names the transport in metrics/events (default
+    the channel's purpose, ["log"]); [net] models per-leg wire time on the
+    simulated clock under faults (default {!Netsim.zero} — no time cost). *)
+
+val channel : t -> Channel.t
+val set_injector : t -> Fault.t option -> unit
+val injector : t -> Fault.t option
+
+val faulty : t -> bool
+(** An injector is installed — the transport is on its fault-handling
+    path. *)
+
+val set_admin_down : t -> bool -> unit
+(** Administratively mark the peer offline (multilog's availability knob);
+    every operation fails {!Unavailable} without touching the wire. *)
+
+val admin_down : t -> bool
+
+val on_restart : t -> (unit -> unit) -> unit
+(** Run [f] whenever the injector reports a peer restart (and once per
+    {!restart}).  The log service registers its volatile-state reset
+    here. *)
+
+val restart : t -> unit
+(** Explicitly restart the peer: clear the replay cache and fire
+    {!on_restart} hooks.  (Injector-driven restarts do this
+    automatically.) *)
+
+val stats : t -> stats
+val reset_stats : t -> unit
+
+val call :
+  t -> op:string -> req:string -> decode:(string -> 'a option) -> ?meter_resp:bool -> (string -> string) -> 'a
+(** One request/response exchange.  [handler] maps request bytes to
+    response bytes on the log side; [decode] types the response on the
+    client side ([None] ⇒ the response was damaged ⇒ retry).
+    [meter_resp] (default [true]) matches the pre-transport metering of
+    exchanges whose response was never charged to the channel. *)
+
+val post : t -> op:string -> req:string -> (string -> unit) -> unit
+(** One-way request (the ack is subject to faults but never metered,
+    matching the drivers' historical accounting). *)
+
+val invoke : t -> op:string -> (unit -> 'a) -> 'a
+(** An opaque exchange: under faults the thunk may time out before or
+    after executing, or run twice under duplication — callees must be
+    idempotent (the log-side dedup added for exactly this).  Corruption
+    degenerates to clean delivery (there are no bytes to damage); any
+    metering inside the thunk is the thunk's own. *)

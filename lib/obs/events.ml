@@ -30,6 +30,10 @@ type kind =
   | Backup
   | Recovery
   | Protocol_error
+  | Transport_retry
+  | Transport_timeout
+  | Transport_fault
+  | Failover
 
 type event = {
   seq : int;
@@ -60,6 +64,10 @@ let kind_to_string = function
   | Backup -> "backup"
   | Recovery -> "recovery"
   | Protocol_error -> "protocol_error"
+  | Transport_retry -> "transport.retry"
+  | Transport_timeout -> "transport.timeout"
+  | Transport_fault -> "transport.fault"
+  | Failover -> "failover"
 
 let capacity = 4096
 let mu = Mutex.create ()
@@ -72,17 +80,21 @@ let subscribe (f : event -> unit) =
   subscribers := f :: !subscribers;
   Mutex.unlock mu
 
+(* [clear] also rewinds the sequence counter so a cleared stream replays
+   identically — the fault-injection determinism tests compare rendered
+   event streams across two seeded runs. *)
 let clear () =
   Mutex.lock mu;
   Queue.clear ring;
   subscribers := [];
+  seq := 0;
   Mutex.unlock mu
 
 let emit ?(severity = Info) ?method_ ?client (kind : kind) (detail : string) : unit =
   if Runtime.events_enabled () then begin
     Mutex.lock mu;
     incr seq;
-    let e = { seq = !seq; time = Unix.gettimeofday (); severity; kind; method_; client; detail } in
+    let e = { seq = !seq; time = Runtime.now (); severity; kind; method_; client; detail } in
     Queue.push e ring;
     if Queue.length ring > capacity then ignore (Queue.pop ring);
     let subs = !subscribers in

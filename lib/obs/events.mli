@@ -24,6 +24,10 @@ type kind =
   | Backup
   | Recovery
   | Protocol_error
+  | Transport_retry  (** a client↔log exchange is being re-attempted *)
+  | Transport_timeout  (** an exchange attempt timed out (drop / excess delay) *)
+  | Transport_fault  (** an injected or detected transport fault (corruption, crash, restart) *)
+  | Failover  (** a multi-log deployment substituted a crashed log mid-flight *)
 
 type event = {
   seq : int;
@@ -44,7 +48,8 @@ val recent : unit -> event list
 (** Buffered events, oldest first. *)
 
 val clear : unit -> unit
-(** Drop buffered events and subscribers. *)
+(** Drop buffered events and subscribers, and rewind the sequence counter
+    so a cleared stream replays identically (fault-replay determinism). *)
 
 val subscribe : (event -> unit) -> unit
 (** Push every subsequent event to [f] (called outside the ring lock). *)

@@ -12,6 +12,18 @@
 let tracing = Atomic.make false
 let events = Atomic.make false
 
+(* Wall-clock source for event timestamps.  Defaults to the real clock;
+   deterministic harnesses (the fault-injection tests, `larch faults`)
+   install the simulated clock so two runs with the same seed produce
+   byte-identical event streams. *)
+let time_source : (unit -> float) Atomic.t = Atomic.make Unix.gettimeofday
+
+let now () = (Atomic.get time_source) ()
+
+let set_time_source = function
+  | Some f -> Atomic.set time_source f
+  | None -> Atomic.set time_source Unix.gettimeofday
+
 let tracing_enabled () = Atomic.get tracing
 let events_enabled () = Atomic.get events
 let set_tracing b = Atomic.set tracing b

@@ -8,3 +8,12 @@ val set_tracing : bool -> unit
 val set_events : bool -> unit
 val enable_all : unit -> unit
 val disable_all : unit -> unit
+
+val now : unit -> float
+(** The observability wall clock: real time by default, or whatever
+    {!set_time_source} installed (e.g. the simulated [Larch_util.Clock] in
+    deterministic fault-replay harnesses). *)
+
+val set_time_source : (unit -> float) option -> unit
+(** [set_time_source (Some f)] makes {!now} read [f]; [None] restores the
+    real clock. *)

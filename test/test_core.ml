@@ -413,7 +413,7 @@ let record_wire_roundtrip () =
 let multilog_flow () =
   Larch_util.Clock.set 1_700_000_000.;
   let rand = Larch_hash.Drbg.of_seed "multilog" in
-  let ml = Multilog.create ~n:3 ~threshold:2 ~rand_bytes:rand in
+  let ml = Multilog.create ~n:3 ~threshold:2 ~rand_bytes:rand () in
   let c = Multilog.enroll ml ~client_id:"alice" ~account_password:"pw" in
   let pw = Multilog.register ml c ~rp_name:"rp.com" in
   (* all online *)
