@@ -489,3 +489,63 @@ let groth16_note () =
      log per-client storage 9.2 MiB.  Compare the measured ZKBoo row in fig3-left:\n\
      fast proving / larger proofs vs slow proving / tiny proofs — the tradeoff the\n\
      paper discusses for raising log throughput."
+
+(* ---------- recovery: WAL replay vs snapshot-bounded restart ---------- *)
+
+(* Not a paper figure: the storage layer's own tentpole number.  A log
+   that recovers from the WAL alone replays every operation since boot;
+   checkpointing bounds that replay to the records since the last
+   snapshot.  This sweep measures both paths over the same state. *)
+
+module Disk = Larch_store.Disk
+module Store = Larch_store.Store
+
+let recovery_bench ~fast () =
+  header "recovery time: full WAL replay vs snapshot + empty tail";
+  Printf.printf "%8s  %10s  %10s  %12s  %12s  %8s\n" "records" "wal KiB" "snap KiB"
+    "replay ms" "snapshot ms" "speedup";
+  let sizes = if fast then [ 200; 800 ] else [ 250; 1_000; 4_000 ] in
+  List.iter
+    (fun n ->
+      let disk = Disk.create ~profile:Disk.clean_profile () in
+      let store = Store.open_ ~disk ~dir:"log" () in
+      let persist = Log_persist.of_store ~checkpoint_every:max_int store in
+      let clients = Hashtbl.create 4 in
+      let commit op =
+        let e = { Log_state.cid = "bench"; op } in
+        Log_state.apply clients e;
+        Log_persist.append persist e
+      in
+      commit (Log_state.Enroll { token = "pw" });
+      let k, client_pub = Password_protocol.log_gen ~rand_bytes:rand in
+      commit (Log_state.Enroll_pw { client_pub; k });
+      for i = 1 to n - 2 do
+        commit (Log_state.Pw_register { id = Printf.sprintf "rp%06d.example" i })
+      done;
+      Log_persist.sync persist clients;
+      let wal_bytes = Disk.size disk ~file:(Store.wal_file "log" 0) in
+      let recover_once img =
+        let d = Disk.restore img in
+        let (c, _), dt =
+          timed (fun () ->
+              let s = Store.open_ ~disk:d ~dir:"log" () in
+              let p = Log_persist.of_store s in
+              (Log_persist.recover p, s))
+        in
+        assert (Hashtbl.length c = 1);
+        dt
+      in
+      let best f = List.fold_left min (f ()) [ f (); f () ] in
+      let img_wal = Disk.dump disk in
+      let wal_ms = best (fun () -> recover_once img_wal) in
+      Store.checkpoint store (Log_codec.encode_clients clients);
+      let snap_bytes = Disk.size disk ~file:"log/snap.000001" in
+      let img_snap = Disk.dump disk in
+      let snap_ms = best (fun () -> recover_once img_snap) in
+      Printf.printf "%8d  %10.1f  %10.1f  %12.2f  %12.2f  %7.1fx\n%!" n
+        (kib wal_bytes) (kib snap_bytes) (ms wal_ms) (ms snap_ms)
+        (wal_ms /. snap_ms))
+    sizes;
+  print_endline
+    "(snapshot recovery is O(state); WAL replay is O(history) — the gap is why\n\
+     the store checkpoints every 128 records by default)"

@@ -6,12 +6,13 @@
      dune exec bench/main.exe -- -e fig3-left # one experiment
 
    Experiments: fig3-left fig3-center fig3-right fig4-left fig4-right fig5
-   table6 enroll ecdsa-compare ablate-schnorr ablate-pack groth16 micro *)
+   table6 enroll ecdsa-compare ablate-schnorr ablate-pack groth16 recovery
+   micro *)
 
 let all_ids =
   [
     "fig3-left"; "fig3-center"; "fig3-right"; "fig4-left"; "fig4-right"; "fig5"; "table6";
-    "enroll"; "ecdsa-compare"; "ablate-schnorr"; "ablate-pack"; "groth16"; "micro";
+    "enroll"; "ecdsa-compare"; "ablate-schnorr"; "ablate-pack"; "groth16"; "recovery"; "micro";
   ]
 
 let run_experiments ~fast ~micro_json ~micro_quota ~selected =
@@ -48,6 +49,7 @@ let run_experiments ~fast ~micro_json ~micro_quota ~selected =
   if want "ablate-schnorr" then Experiments.ablate_schnorr ();
   if want "ablate-pack" then Experiments.ablate_pack ();
   if want "groth16" then Experiments.groth16_note ();
+  if want "recovery" then Experiments.recovery_bench ~fast ();
   if want "micro" then Micro.run ?quota:micro_quota ?json:micro_json ()
 
 open Cmdliner

@@ -12,7 +12,15 @@
    sha-ctr ciphertexts under the client's archive key, password records are
    ElGamal ciphertexts under the client's archive public key, and the
    GK15/ZKBoo proofs convince the log they are well-formed without opening
-   them. *)
+   them.
+
+   Durability: the state types and every mutation of them live in
+   {!Log_state}; this module validates requests and then [commit]s logical
+   operations.  With a {!Larch_store.Store} attached, each committed op is
+   also appended to the write-ahead log and every public call ends with a
+   group-commit [sync] — the reply leaves the log only after its ops are
+   fsynced.  [restart] then models a genuine kill: the disk drops whatever
+   was never fsynced, and the client map is rebuilt purely from storage. *)
 
 module Point = Larch_ec.Point
 module Scalar = Larch_ec.P256.Scalar
@@ -25,7 +33,7 @@ module Events = Larch_obs.Events
    never reach the log (see the module header), so they can never appear in
    an event either — test/test_obs.ml checks this over full protocol runs. *)
 
-type policy = {
+type policy = Log_state.policy = {
   max_auths_per_window : int option;
   window_seconds : float;
   notify : (Types.auth_method -> float -> unit) option;
@@ -33,9 +41,9 @@ type policy = {
           phone on every authentication. *)
 }
 
-let default_policy = { max_auths_per_window = None; window_seconds = 60.; notify = None }
+let default_policy = Log_state.default_policy
 
-type fido2_state = {
+type fido2_state = Log_state.fido2_state = {
   cm : string;
   record_vk : Point.t; (* verifies the client's record-integrity signatures *)
   key : Tpe.log_key;
@@ -46,23 +54,20 @@ type fido2_state = {
   mutable client_commit : Larch_mpc.Spdz.open_commit option; (* client's opening commitment *)
 }
 
-type totp_state = {
+type totp_state = Log_state.totp_state = {
   cm_totp : string;
   mutable registrations : Totp_protocol.registration list;
   mutable last_auth : (string * Totp_protocol.outcome) option;
-      (* (enc_nonce, outcome) of the last 2PC: a retransmitted invocation
-         with the same nonce replays the outcome instead of re-running the
-         circuit and double-appending the record *)
 }
 
-type pw_state = {
+type pw_state = Log_state.pw_state = {
   client_pub : Point.t; (* X = g^x, the ElGamal archive public key *)
   k : Scalar.t; (* the log's per-client Diffie-Hellman secret *)
   k_pub : Point.t;
   mutable ids : string list; (* registration order defines the GK15 set *)
 }
 
-type client_state = {
+type client_state = Log_state.client_state = {
   account_token : string; (* hash of the user's log-account credential *)
   mutable fido2 : fido2_state option;
   mutable totp : totp_state option;
@@ -77,13 +82,39 @@ type client_state = {
 }
 
 type t = {
-  clients : (string, client_state) Hashtbl.t;
+  clients : Log_state.clients;
   rand : int -> string;
   objection_window : float; (* seconds before a staged batch activates *)
+  persist : Log_persist.t option; (* None: purely in-memory (tests, benches) *)
 }
 
-let create ?(objection_window = 0.) ~(rand_bytes : int -> string) () : t =
-  { clients = Hashtbl.create 16; rand = rand_bytes; objection_window }
+let create ?(objection_window = 0.) ?checkpoint_every ?store ~(rand_bytes : int -> string) () : t
+    =
+  let persist = Option.map (Log_persist.of_store ?checkpoint_every) store in
+  let clients =
+    match persist with Some p -> Log_persist.recover p | None -> Hashtbl.create 16
+  in
+  { clients; rand = rand_bytes; objection_window; persist }
+
+let persist (t : t) : Log_persist.t option = t.persist
+
+(* Semantic + structural storage verification (`larch fsck` online mode);
+   [None] when the log runs without a store. *)
+let fsck (t : t) : Log_persist.fsck option =
+  Option.map (fun p -> Log_persist.fsck ~live:t.clients p) t.persist
+
+(* Commit one durable operation: mutate the in-memory state through the
+   single [Log_state.apply] path, then append it to the WAL buffer. *)
+let commit (t : t) (e : Log_state.entry) : unit =
+  Log_state.apply t.clients e;
+  match t.persist with None -> () | Some p -> Log_persist.append p e
+
+(* Group-commit whatever the body appended, even when it raises: a
+   rejected proof must not leave its policy charge un-fsynced. *)
+let with_sync (t : t) (f : unit -> 'a) : 'a =
+  match t.persist with
+  | None -> f ()
+  | Some p -> Fun.protect ~finally:(fun () -> Log_persist.sync p t.clients) f
 
 let get_client (t : t) (cid : string) : client_state =
   match Hashtbl.find_opt t.clients cid with
@@ -105,52 +136,48 @@ let enroll (t : t) ~(client_id : string) ~(account_password : string) : unit =
       ()
   | Some _ -> Types.fail "client already enrolled"
   | None ->
-  Events.emit ~client:client_id Events.Enroll "account created";
-  Hashtbl.replace t.clients client_id
-    {
-      account_token = Larch_hash.Sha256.digest account_password;
-      fido2 = None;
-      totp = None;
-      pw = None;
-      records = [];
-      policy = default_policy;
-      recent_auths = [];
-      backup = None;
-      chain_head = Larch_hash.Sha256.digest "larch-chain-genesis";
-      chain_len = 0;
-      last_migrate = None;
-    }
+      Events.emit ~client:client_id Events.Enroll "account created";
+      with_sync t @@ fun () ->
+      commit t
+        { cid = client_id; op = Enroll { token = Larch_hash.Sha256.digest account_password } }
 
 let set_policy (t : t) ~(client_id : string) ~(token : string) (p : policy) : unit =
   let c = get_client t client_id in
   check_token c token;
-  c.policy <- p
+  (with_sync t @@ fun () ->
+   commit t
+     {
+       cid = client_id;
+       op = Set_policy { max_auths = p.max_auths_per_window; window = p.window_seconds };
+     });
+  (* the notification callback is a closure: runtime-only, never durable *)
+  c.policy <- { c.policy with notify = p.notify }
 
-let enforce_policy ?client_id (c : client_state) ~(method_ : Types.auth_method) ~(now : float) :
+(* Pure rate-limit check — committing the charge is the caller's job, so
+   that a single [Charge] op in the WAL captures exactly the window
+   mutation the live map saw. *)
+let check_policy ?client_id (c : client_state) ~(method_ : Types.auth_method) ~(now : float) :
     unit =
-  (match c.policy.max_auths_per_window with
+  match c.policy.max_auths_per_window with
   | None -> ()
   | Some limit ->
       let window_start = now -. c.policy.window_seconds in
       let recent = List.filter (fun ts -> ts >= window_start) c.recent_auths in
-      c.recent_auths <- recent;
       if List.length recent >= limit then begin
         Events.emit ~severity:Events.Warn ?client:client_id
           ~method_:(Types.auth_method_to_string method_) Events.Policy_denied
           (Printf.sprintf "rate limit: %d auths in %.0fs window" limit c.policy.window_seconds);
         Types.fail "policy: rate limit exceeded"
-      end);
-  c.recent_auths <- now :: c.recent_auths;
-  match c.policy.notify with None -> () | Some f -> f method_ now
+      end
 
-(* Every stored record extends a per-client hash chain; audits return the
-   head so a client that remembers the last head it saw can detect a log
-   that rolls back or rewrites history (§9 "Multiple devices" / fork
-   consistency). *)
-let append_record (c : client_state) (r : Record.t) : unit =
-  c.records <- r :: c.records;
-  c.chain_head <- Larch_hash.Sha256.digest_list [ "larch-chain"; c.chain_head; Record.encode r ];
-  c.chain_len <- c.chain_len + 1
+(* Check the policy and charge the window.  The charge is durable before
+   the protocol proceeds: an authentication attempt counts against the
+   rate limit even if its proof later fails. *)
+let enforce_policy (t : t) ~(client_id : string) (c : client_state)
+    ~(method_ : Types.auth_method) ~(now : float) : unit =
+  check_policy ~client_id c ~method_ ~now;
+  commit t { cid = client_id; op = Charge { method_; now } };
+  match c.policy.notify with None -> () | Some f -> f method_ now
 
 (* FIDO2 enrollment: archive-key commitment, record-integrity key, the
    log's signing-key share, and the first presignature batch. *)
@@ -164,18 +191,9 @@ let enroll_fido2 (t : t) ~(client_id : string) ~(cm : string) ~(record_vk : Poin
   | Some _ -> Types.fail "fido2 already enrolled"
   | None ->
       let key = Tpe.log_keygen ~rand_bytes:t.rand in
-      c.fido2 <-
-        Some
-          {
-            cm;
-            record_vk;
-            key;
-            batches = [ batch ];
-            pending = [];
-            signing = None;
-            signing_record = None;
-            client_commit = None;
-          };
+      (with_sync t @@ fun () ->
+       commit t
+         { cid = client_id; op = Enroll_fido2 { cm; record_vk; x = key.Tpe.x; batch } });
       Events.emit ~client:client_id ~method_:"fido2" Events.Enroll
         (Printf.sprintf "fido2 enrolled, %d presignatures" (Array.length batch.Tpe.entries));
       key.Tpe.x_pub
@@ -187,7 +205,7 @@ let enroll_totp (t : t) ~(client_id : string) ~(cm : string) : unit =
   | Some _ -> Types.fail "totp already enrolled"
   | None ->
       Events.emit ~client:client_id ~method_:"totp" Events.Enroll "totp enrolled";
-      c.totp <- Some { cm_totp = cm; registrations = []; last_auth = None }
+      with_sync t @@ fun () -> commit t { cid = client_id; op = Enroll_totp { cm } }
 
 let enroll_password (t : t) ~(client_id : string) ~(client_pub : Point.t) : Point.t =
   let c = get_client t client_id in
@@ -197,7 +215,8 @@ let enroll_password (t : t) ~(client_id : string) ~(client_pub : Point.t) : Poin
   | None ->
       Events.emit ~client:client_id ~method_:"password" Events.Enroll "password vault enrolled";
       let k, k_pub = Password_protocol.log_gen ~rand_bytes:t.rand in
-      c.pw <- Some { client_pub; k; k_pub; ids = [] };
+      (with_sync t @@ fun () ->
+       commit t { cid = client_id; op = Enroll_pw { client_pub; k } });
       k_pub
 
 (* Multi-log deployments (§6): the client, trusted at enrollment, deals
@@ -212,14 +231,13 @@ let enroll_password_share (t : t) ~(client_id : string) ~(client_pub : Point.t)
       s.k_pub (* retransmission *)
   | Some _ -> Types.fail "password already enrolled"
   | None ->
-      let k_pub = Point.mul_base k_share in
-      c.pw <- Some { client_pub; k = k_share; k_pub; ids = [] };
-      k_pub
+      (with_sync t @@ fun () ->
+       commit t { cid = client_id; op = Enroll_pw { client_pub; k = k_share } });
+      (Log_state.pw_state c).k_pub
 
 (* --- presignature inventory (§3.3) --- *)
 
-let fido2_state (c : client_state) : fido2_state =
-  match c.fido2 with Some f -> f | None -> Types.fail "fido2 not enrolled"
+let fido2_state = Log_state.fido2_state
 
 let presignatures_remaining (t : t) ~(client_id : string) : int =
   let f = fido2_state (get_client t client_id) in
@@ -233,14 +251,17 @@ let stage_presignatures (t : t) ~(client_id : string) ~(batch : Tpe.log_batch) ~
   (* a retransmitted staging request carries the very same batch value;
      staging it twice would double the inventory *)
   if not (List.exists (fun (b, _) -> b == batch) f.pending) then
-    f.pending <- f.pending @ [ (batch, now +. t.objection_window) ]
+    with_sync t @@ fun () ->
+    commit t
+      { cid = client_id; op = Stage_presigs { batch; activate_at = now +. t.objection_window } }
 
 let activate_pending (t : t) ~(client_id : string) ~(now : float) : int =
   let f = fido2_state (get_client t client_id) in
-  let ready, waiting = List.partition (fun (_, at) -> at <= now) f.pending in
-  f.pending <- waiting;
-  f.batches <- f.batches @ List.map fst ready;
-  List.length ready
+  let ready, _ = List.partition (fun (_, at) -> at <= now) f.pending in
+  let n = List.length ready in
+  if n > 0 then
+    (with_sync t @@ fun () -> commit t { cid = client_id; op = Activate_pending { now } });
+  n
 
 (* The enrolled user (authenticated with her log-account credential)
    disavows staged presignatures — e.g. after noticing, via audit, a batch
@@ -250,7 +271,7 @@ let object_to_pending (t : t) ~(client_id : string) ~(token : string) : int =
   check_token c token;
   let f = fido2_state c in
   let n = List.length f.pending in
-  f.pending <- [];
+  (with_sync t @@ fun () -> commit t { cid = client_id; op = Object_pending });
   Events.emit ~severity:Events.Warn ~client:client_id ~method_:"fido2" Events.Objection
     (Printf.sprintf "client disavowed %d staged presignature batch(es)" n);
   n
@@ -269,13 +290,14 @@ let pending_batches (t : t) ~(client_id : string) : (int * float) list =
 let fido2_auth_begin ?(domains = 1) (t : t) ~(client_id : string) ~(ip : string) ~(now : float)
     (req : Fido2_protocol.auth_request) : Fido2_protocol.auth_response1 =
   Trace.with_span "log.fido2.auth_begin" @@ fun () ->
+  with_sync t @@ fun () ->
   let proto_err detail =
     Events.emit ~severity:Events.Error ~client:client_id ~method_:"fido2" Events.Protocol_error
       detail
   in
   let c = get_client t client_id in
   let f = fido2_state c in
-  enforce_policy ~client_id c ~method_:Types.Fido2 ~now;
+  enforce_policy t ~client_id c ~method_:Types.Fido2 ~now;
   Events.emit ~client:client_id ~method_:"fido2" Events.Auth_begin "zkboo proof + record received";
   if f.signing <> None then Types.fail "signing already in progress";
   (* the §7 integrity optimization: ciphertext signed outside the proof *)
@@ -307,7 +329,11 @@ let fido2_auth_begin ?(domains = 1) (t : t) ~(client_id : string) ~(ip : string)
       req.Fido2_protocol.presig_index
   end;
   let idx = batch.Tpe.next in
-  batch.Tpe.next <- idx + 1;
+  commit t
+    {
+      cid = client_id;
+      op = Fido2_consume { index = idx; total = Log_state.total_consumed f + 1 };
+    };
   (* the record is stored *before* the log releases any signing material *)
   f.signing_record <-
     Some
@@ -340,18 +366,19 @@ let fido2_auth_commit (t : t) ~(client_id : string) ~(s1 : Scalar.t)
     ~(client_commit : Larch_mpc.Spdz.open_commit) :
     Larch_mpc.Spdz.open_commit * Larch_mpc.Spdz.open_reveal =
   Trace.with_span "log.fido2.auth_commit" @@ fun () ->
+  with_sync t @@ fun () ->
   let c = get_client t client_id in
   let f = fido2_state c in
   let st = match f.signing with Some s -> s | None -> Types.fail "no signing in progress" in
   f.client_commit <- Some client_commit;
   (match f.signing_record with
-  | Some r -> append_record c r
+  | Some r -> commit t { cid = client_id; op = Fido2_record { record = r } }
   | None -> Types.fail "no pending record");
   f.signing_record <- None;
   Events.emit ~client:client_id ~method_:"fido2" Events.Auth_commit
     "encrypted record appended to the audit chain";
-  let commit = Tpe.open_commit st ~other_s:s1 ~rand_bytes:t.rand in
-  (commit, Tpe.open_reveal st)
+  let commit_msg = Tpe.open_commit st ~other_s:s1 ~rand_bytes:t.rand in
+  (commit_msg, Tpe.open_reveal st)
 
 (* Round 3: the client's reveal; the log checks the MACs.  On failure the
    stored record remains (an attack trace) and the error is surfaced. *)
@@ -392,33 +419,35 @@ let fido2_auth_abort (t : t) ~(client_id : string) ~(consumed : int) : unit =
   f.signing <- None;
   f.signing_record <- None;
   f.client_commit <- None;
-  let rec burn batches need =
-    match batches with
-    | [] -> ()
-    | (b : Tpe.log_batch) :: rest ->
-        let take = min (Array.length b.Tpe.entries) need in
-        if b.Tpe.next < take then b.Tpe.next <- take;
-        burn rest (need - take)
-  in
-  burn f.batches (max 0 consumed)
+  if Log_state.total_consumed f < consumed then
+    with_sync t @@ fun () -> commit t { cid = client_id; op = Fido2_abort { consumed } }
 
-(* A log-process restart: durable state (records, enrollments, inventory
-   cursors) survives; volatile in-flight session state does not. *)
+(* A log-process restart.  With a store attached this is a genuine kill:
+   the disk keeps only what was fsynced (plus whatever its failure profile
+   lets survive of the rest), and the client map is rebuilt from the
+   snapshot + WAL alone — volatile in-flight session state is gone because
+   nothing ever persisted it.  Without a store, the in-memory map *is* the
+   durable state, so only the volatile session fields are dropped. *)
 let restart (t : t) : unit =
-  Hashtbl.iter
-    (fun _ (c : client_state) ->
-      match c.fido2 with
-      | Some f ->
-          f.signing <- None;
-          f.signing_record <- None;
-          f.client_commit <- None
-      | None -> ())
-    t.clients
+  match t.persist with
+  | Some p ->
+      let recovered = Log_persist.reopen p in
+      Hashtbl.reset t.clients;
+      Hashtbl.iter (fun cid c -> Hashtbl.replace t.clients cid c) recovered
+  | None ->
+      Hashtbl.iter
+        (fun _ (c : client_state) ->
+          match c.fido2 with
+          | Some f ->
+              f.signing <- None;
+              f.signing_record <- None;
+              f.client_commit <- None
+          | None -> ())
+        t.clients
 
 (* --- TOTP --- *)
 
-let totp_state (c : client_state) : totp_state =
-  match c.totp with Some s -> s | None -> Types.fail "totp not enrolled"
+let totp_state = Log_state.totp_state
 
 let totp_register (t : t) ~(client_id : string) (reg : Totp_protocol.registration) : unit =
   let c = get_client t client_id in
@@ -430,12 +459,17 @@ let totp_register (t : t) ~(client_id : string) (reg : Totp_protocol.registratio
       s.registrations
   then () (* byte-identical retransmission: already stored *)
   else begin
-  if List.exists (fun r -> r.Totp_protocol.id = reg.Totp_protocol.id) s.registrations then
-    Types.fail "duplicate totp registration id";
-  s.registrations <- s.registrations @ [ reg ];
-  (* the registration identifier is random and never logged *)
-  Events.emit ~client:client_id ~method_:"totp" Events.Register
-    (Printf.sprintf "totp share stored (%d registrations)" (List.length s.registrations))
+    if List.exists (fun r -> r.Totp_protocol.id = reg.Totp_protocol.id) s.registrations then
+      Types.fail "duplicate totp registration id";
+    (with_sync t @@ fun () ->
+     commit t
+       {
+         cid = client_id;
+         op = Totp_register { id = reg.Totp_protocol.id; klog = reg.Totp_protocol.klog };
+       });
+    (* the registration identifier is random and never logged *)
+    Events.emit ~client:client_id ~method_:"totp" Events.Register
+      (Printf.sprintf "totp share stored (%d registrations)" (List.length s.registrations))
   end
 
 let totp_unregister (t : t) ~(client_id : string) ~(token : string) ~(id : string) : bool =
@@ -443,9 +477,10 @@ let totp_unregister (t : t) ~(client_id : string) ~(token : string) ~(id : strin
   let c = get_client t client_id in
   check_token c token;
   let s = totp_state c in
-  let before = List.length s.registrations in
-  s.registrations <- List.filter (fun r -> r.Totp_protocol.id <> id) s.registrations;
-  List.length s.registrations < before
+  let removed = List.exists (fun r -> r.Totp_protocol.id = id) s.registrations in
+  if removed then
+    (with_sync t @@ fun () -> commit t { cid = client_id; op = Totp_unregister { id } });
+  removed
 
 let totp_registration_count (t : t) ~(client_id : string) : int =
   List.length (totp_state (get_client t client_id)).registrations
@@ -469,40 +504,56 @@ let totp_auth (t : t) ~(client_id : string) ~(ip : string) ~(now : float) ~(enc_
          charged *)
       outcome
   | _ ->
-  enforce_policy ~client_id c ~method_:Types.Totp ~now;
-  Events.emit ~client:client_id ~method_:"totp" Events.Auth_begin
-    (Printf.sprintf "2pc over %d registrations" (List.length s.registrations));
-  let regs = List.map (fun r -> (r.Totp_protocol.id, r.Totp_protocol.klog)) s.registrations in
-  (* the commitment baked into the circuit is the one the log recorded at
-     enrollment — a client cannot substitute a commitment to a different
-     archive key *)
-  let outcome = run ~cm:s.cm_totp ~registrations:regs ~rand_log:t.rand in
-  if not outcome.Totp_protocol.ok then begin
-    Events.emit ~severity:Events.Error ~client:client_id ~method_:"totp" Events.Protocol_error
-      "2pc validity bit is 0";
-    Types.fail "totp 2pc validity bit is 0"
-  end;
-  append_record c
-    {
-      Record.time = now;
-      ip;
-      method_ = Types.Totp;
-      (* the Yao execution already binds the ciphertext, so the 64B
-         integrity-signature slot is zero-filled but still accounted, as in
-         the paper's 88B TOTP record *)
-      payload =
-        Record.Symmetric
-          { nonce = enc_nonce; ct = outcome.Totp_protocol.ct; signature = String.make 64 '\000' };
-    };
-  Events.emit ~client:client_id ~method_:"totp" Events.Auth_finish
-    "code released, encrypted record stored";
-  s.last_auth <- Some (enc_nonce, outcome);
-  outcome
+      with_sync t @@ fun () ->
+      enforce_policy t ~client_id c ~method_:Types.Totp ~now;
+      Events.emit ~client:client_id ~method_:"totp" Events.Auth_begin
+        (Printf.sprintf "2pc over %d registrations" (List.length s.registrations));
+      let regs = List.map (fun r -> (r.Totp_protocol.id, r.Totp_protocol.klog)) s.registrations in
+      (* the commitment baked into the circuit is the one the log recorded at
+         enrollment — a client cannot substitute a commitment to a different
+         archive key *)
+      let outcome = run ~cm:s.cm_totp ~registrations:regs ~rand_log:t.rand in
+      if not outcome.Totp_protocol.ok then begin
+        Events.emit ~severity:Events.Error ~client:client_id ~method_:"totp" Events.Protocol_error
+          "2pc validity bit is 0";
+        Types.fail "totp 2pc validity bit is 0"
+      end;
+      let record =
+        {
+          Record.time = now;
+          ip;
+          method_ = Types.Totp;
+          (* the Yao execution already binds the ciphertext, so the 64B
+             integrity-signature slot is zero-filled but still accounted, as in
+             the paper's 88B TOTP record *)
+          payload =
+            Record.Symmetric
+              { nonce = enc_nonce; ct = outcome.Totp_protocol.ct; signature = String.make 64 '\000' };
+        }
+      in
+      commit t
+        {
+          cid = client_id;
+          op =
+            Totp_auth
+              {
+                record;
+                enc_nonce;
+                code = outcome.Totp_protocol.code;
+                hmac = outcome.Totp_protocol.hmac;
+                ct = outcome.Totp_protocol.ct;
+              };
+        };
+      Events.emit ~client:client_id ~method_:"totp" Events.Auth_finish
+        "code released, encrypted record stored";
+      (* keep the measured 2PC timings in the volatile dedup slot (replay
+         reconstructs the same outcome with zeroed timings) *)
+      s.last_auth <- Some (enc_nonce, outcome);
+      outcome
 
 (* --- passwords --- *)
 
-let pw_state (c : client_state) : pw_state =
-  match c.pw with Some s -> s | None -> Types.fail "password not enrolled"
+let pw_state = Log_state.pw_state
 
 let pw_register (t : t) ~(client_id : string) ~(id : string) : Point.t =
   let c = get_client t client_id in
@@ -513,7 +564,7 @@ let pw_register (t : t) ~(client_id : string) ~(id : string) : Point.t =
        answer Hash(id)^k is deterministic *)
     Password_protocol.log_register ~log_sk:s.k ~id
   else begin
-    s.ids <- s.ids @ [ id ];
+    (with_sync t @@ fun () -> commit t { cid = client_id; op = Pw_register { id } });
     (* the identifier is a random handle carrying no relying-party name *)
     Events.emit ~client:client_id ~method_:"password" Events.Register
       (Printf.sprintf "password registered (%d ids)" (List.length s.ids));
@@ -529,18 +580,20 @@ let pw_unregister (t : t) ~(client_id : string) ~(token : string) ~(id : string)
   let c = get_client t client_id in
   check_token c token;
   let s = pw_state c in
-  let before = List.length s.ids in
-  s.ids <- List.filter (fun i -> i <> id) s.ids;
-  List.length s.ids < before
+  let removed = List.mem id s.ids in
+  if removed then
+    (with_sync t @@ fun () -> commit t { cid = client_id; op = Pw_unregister { id } });
+  removed
 
 (* Verify the one-out-of-many proofs, store the ElGamal record, reply with
    c₂^k (and a DLEQ proof that the right k was used). *)
 let pw_auth (t : t) ~(client_id : string) ~(ip : string) ~(now : float)
     (req : Password_protocol.auth_request) : Point.t * Larch_sigma.Dleq.proof =
   Trace.with_span "log.pw.auth" @@ fun () ->
+  with_sync t @@ fun () ->
   let c = get_client t client_id in
   let s = pw_state c in
-  enforce_policy ~client_id c ~method_:Types.Password ~now;
+  enforce_policy t ~client_id c ~method_:Types.Password ~now;
   Events.emit ~client:client_id ~method_:"password" Events.Auth_begin
     (Printf.sprintf "one-out-of-many proof over %d ids" (List.length s.ids));
   match
@@ -551,12 +604,20 @@ let pw_auth (t : t) ~(client_id : string) ~(ip : string) ~(now : float)
         Events.Protocol_error "one-out-of-many proof rejected";
       Types.fail "one-out-of-many proof rejected"
   | Some y ->
-      append_record c
+      commit t
         {
-          Record.time = now;
-          ip;
-          method_ = Types.Password;
-          payload = Record.Elgamal req.Password_protocol.ct;
+          cid = client_id;
+          op =
+            Pw_auth
+              {
+                record =
+                  {
+                    Record.time = now;
+                    ip;
+                    method_ = Types.Password;
+                    payload = Record.Elgamal req.Password_protocol.ct;
+                  };
+              };
         };
       Events.emit ~client:client_id ~method_:"password" Events.Auth_finish
         "exponentiation released, elgamal record stored";
@@ -587,26 +648,17 @@ let audit_with_head (t : t) ~(client_id : string) ~(token : string) :
 let prune_records (t : t) ~(client_id : string) ~(token : string) ~(older_than : float) : int =
   let c = get_client t client_id in
   check_token c token;
-  let keep, drop = List.partition (fun r -> r.Record.time >= older_than) c.records in
-  c.records <- keep;
-  (* user-authorized truncation restarts the hash chain so future audits
-     verify against the pruned history *)
-  c.chain_head <- Larch_hash.Sha256.digest "larch-chain-genesis";
-  c.chain_len <- 0;
-  List.iter (fun r ->
-      c.chain_head <- Larch_hash.Sha256.digest_list [ "larch-chain"; c.chain_head; Record.encode r ];
-      c.chain_len <- c.chain_len + 1)
-    (List.rev keep);
-  List.length drop
+  let dropped = List.length (List.filter (fun r -> r.Record.time < older_than) c.records) in
+  if dropped > 0 then
+    (with_sync t @@ fun () -> commit t { cid = client_id; op = Prune { older_than } });
+  dropped
 
 (* Revocation: delete the log-side shares so a lost device's secrets are
    useless (§9 "Revocation and migration"). *)
 let revoke_all (t : t) ~(client_id : string) ~(token : string) : unit =
   let c = get_client t client_id in
   check_token c token;
-  c.fido2 <- None;
-  c.totp <- None;
-  c.pw <- None;
+  (with_sync t @@ fun () -> commit t { cid = client_id; op = Revoke });
   Events.emit ~severity:Events.Warn ~client:client_id Events.Revocation
     "all log-side shares deleted"
 
@@ -616,14 +668,11 @@ let revoke_all (t : t) ~(client_id : string) ~(token : string) : unit =
 let migrate_fido2 (t : t) ~(client_id : string) ~(token : string) ~(delta : Scalar.t) : unit =
   let c = get_client t client_id in
   check_token c token;
-  let f = fido2_state c in
+  ignore (fido2_state c);
   let delta_bytes = Scalar.to_bytes_be delta in
   match c.last_migrate with
   | Some d when Larch_util.Bytesx.ct_equal d delta_bytes -> () (* retransmission: δ already applied *)
-  | _ ->
-      let x' = Scalar.add f.key.Tpe.x delta in
-      c.fido2 <- Some { f with key = { Tpe.x = x'; x_pub = Point.mul_base x' } };
-      c.last_migrate <- Some delta_bytes
+  | _ -> with_sync t @@ fun () -> commit t { cid = client_id; op = Migrate { delta } }
 
 (* --- encrypted state backups (§9 "Account recovery") --- *)
 
@@ -632,7 +681,8 @@ let migrate_fido2 (t : t) ~(client_id : string) ~(token : string) ~(delta : Scal
 let store_backup (t : t) ~(client_id : string) (blob : string) : unit =
   Events.emit ~client:client_id Events.Backup
     (Printf.sprintf "opaque state blob stored (%d bytes)" (String.length blob));
-  (get_client t client_id).backup <- Some blob
+  ignore (get_client t client_id);
+  with_sync t @@ fun () -> commit t { cid = client_id; op = Store_backup { blob } }
 
 (* Fetching the backup is the one operation that must NOT require the
    account token through the normal channel: the user has lost her devices.

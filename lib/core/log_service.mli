@@ -7,7 +7,12 @@
     changes) require the user's log-account credential (§2.1).
 
     State types are exposed for the test suite, which exercises malicious
-    behaviour on both sides of every protocol. *)
+    behaviour on both sides of every protocol.  They live in {!Log_state}
+    (and are re-exported here), which also defines the logical operations
+    this module commits; with a {!Larch_store.Store} attached at [create],
+    every committed operation is appended to a write-ahead log and
+    group-committed before the call returns, and {!restart} becomes a
+    genuine kill-and-recover. *)
 
 module Point = Larch_ec.Point
 module Scalar = Larch_ec.P256.Scalar
@@ -16,7 +21,7 @@ module Tpe = Two_party_ecdsa
 (** Client-specific authentication policy (§9 "Enforcing client-specific
     policies"): optional rate limit per time window and an optional
     notification hook invoked on every authentication. *)
-type policy = {
+type policy = Log_state.policy = {
   max_auths_per_window : int option;
   window_seconds : float;
   notify : (Types.auth_method -> float -> unit) option;
@@ -28,7 +33,7 @@ val default_policy : policy
     client's record-integrity verification key, the log's long-term signing
     share, active and objection-staged presignature batches, and the
     in-flight signing session. *)
-type fido2_state = {
+type fido2_state = Log_state.fido2_state = {
   cm : string;
   record_vk : Point.t;
   key : Tpe.log_key;
@@ -39,21 +44,21 @@ type fido2_state = {
   mutable client_commit : Larch_mpc.Spdz.open_commit option;
 }
 
-type totp_state = {
+type totp_state = Log_state.totp_state = {
   cm_totp : string;
   mutable registrations : Totp_protocol.registration list;
   mutable last_auth : (string * Totp_protocol.outcome) option;
       (** (nonce, outcome) of the last 2PC: retransmission replay dedup *)
 }
 
-type pw_state = {
+type pw_state = Log_state.pw_state = {
   client_pub : Point.t; (** the client's ElGamal archive public key X *)
   k : Scalar.t; (** the log's per-client Diffie-Hellman secret *)
   k_pub : Point.t;
   mutable ids : string list; (** registration order = the GK15 statement set *)
 }
 
-type client_state = {
+type client_state = Log_state.client_state = {
   account_token : string;
   mutable fido2 : fido2_state option;
   mutable totp : totp_state option;
@@ -68,12 +73,31 @@ type client_state = {
 }
 
 type t = {
-  clients : (string, client_state) Hashtbl.t;
+  clients : Log_state.clients;
   rand : int -> string;
   objection_window : float; (** seconds before staged presignatures activate *)
+  persist : Log_persist.t option; (** [None]: purely in-memory (tests, benches) *)
 }
 
-val create : ?objection_window:float -> rand_bytes:(int -> string) -> unit -> t
+val create :
+  ?objection_window:float ->
+  ?checkpoint_every:int ->
+  ?store:Larch_store.Store.t ->
+  rand_bytes:(int -> string) ->
+  unit ->
+  t
+(** With [store], the client map is recovered from it (snapshot + WAL
+    replay) and every subsequent mutation is made durable before the call
+    that performed it returns.  [checkpoint_every] (default 128) bounds
+    how many WAL records accumulate before the full state is snapshotted
+    into a fresh generation. *)
+
+val persist : t -> Log_persist.t option
+
+val fsck : t -> Log_persist.fsck option
+(** Verify the attached store — structural checksums plus the semantic
+    invariants (hash-chain continuity, presignature cursor monotonicity,
+    live-vs-replayed state match).  [None] without a store. *)
 
 (** {1 Enrollment} *)
 
@@ -150,9 +174,12 @@ val fido2_auth_abort : t -> client_id:string -> consumed:int -> unit
     must not be reused. *)
 
 val restart : t -> unit
-(** Simulate a log-process restart: durable state (enrollments, records,
-    inventory cursors) survives, volatile in-flight session state is
-    dropped.  {!Larch_net.Transport.on_restart} hooks call this. *)
+(** A log-process restart.  With a store attached this is a genuine kill:
+    the in-memory disk drops whatever was never fsynced (per its failure
+    profile) and the client map is rebuilt from the snapshot + WAL alone.
+    Without one, durable state survives in memory and only volatile
+    in-flight session state is dropped.  {!Larch_net.Transport.on_restart}
+    hooks call this. *)
 
 (** {1 TOTP} *)
 
@@ -230,8 +257,9 @@ val storage : t -> client_id:string -> storage
 
 val get_client : t -> string -> client_state
 val check_token : client_state -> string -> unit
-(* [client_id], when given, names the client in any [Policy_denied] event. *)
-val enforce_policy :
+(* Pure rate-limit check; [client_id], when given, names the client in any
+   [Policy_denied] event.  Committing the [Charge] op is the caller's job. *)
+val check_policy :
   ?client_id:string -> client_state -> method_:Types.auth_method -> now:float -> unit
 val fido2_state : client_state -> fido2_state
 val totp_state : client_state -> totp_state

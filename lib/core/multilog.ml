@@ -37,9 +37,21 @@ type t = {
   rand : int -> string;
 }
 
-let create ?policy ?net ~(n : int) ~(threshold : int) ~(rand_bytes : int -> string) () : t =
+(* With [disk] given, each of the n logs owns an independent store on the
+   shared disk (directories log0/, log1/, …): a restart of log i recovers
+   its own snapshot + WAL without touching its peers. *)
+let create ?policy ?net ?disk ?checkpoint_every ~(n : int) ~(threshold : int)
+    ~(rand_bytes : int -> string) () : t =
   if threshold < 1 || threshold > n then invalid_arg "Multilog.create: bad threshold";
-  let logs = Array.init n (fun _ -> Log_service.create ~rand_bytes ()) in
+  let logs =
+    Array.init n (fun i ->
+        let store =
+          Option.map
+            (fun disk -> Larch_store.Store.open_ ~disk ~dir:(Printf.sprintf "log%d" i) ())
+            disk
+        in
+        Log_service.create ?store ?checkpoint_every ~rand_bytes ())
+  in
   let transports =
     Array.init n (fun i ->
         let label = Printf.sprintf "log%d" i in

@@ -26,11 +26,17 @@ type t = {
 val create :
   ?policy:Transport.policy ->
   ?net:Larch_net.Netsim.t ->
+  ?disk:Larch_store.Disk.t ->
+  ?checkpoint_every:int ->
   n:int ->
   threshold:int ->
   rand_bytes:(int -> string) ->
   unit ->
   t
+(** With [disk], each of the n logs opens an independent
+    {!Larch_store.Store} in its own directory ([log0/], [log1/], …) on the
+    shared disk, so a transport-injected restart of one log is a genuine
+    kill-and-recover that leaves its peers untouched. *)
 
 val n_logs : t -> int
 

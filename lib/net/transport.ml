@@ -72,7 +72,14 @@ let error_to_string (e : error) =
     (if e.attempts = 1 then "" else "s")
     e.elapsed (failure_to_string e.last)
 
-type stats = { attempts : int; retries : int; timeouts : int; faults : int; replays : int }
+type stats = {
+  attempts : int;
+  retries : int;
+  timeouts : int;
+  faults : int;
+  replays : int;
+  evictions : int;
+}
 
 type mstats = {
   mutable s_attempts : int;
@@ -80,6 +87,7 @@ type mstats = {
   mutable s_timeouts : int;
   mutable s_faults : int;
   mutable s_replays : int;
+  mutable s_evictions : int;
 }
 
 type counters = {
@@ -87,7 +95,14 @@ type counters = {
   c_timeouts : Obs.Metrics.counter;
   c_faults : Obs.Metrics.counter;
   c_replays : Obs.Metrics.counter;
+  c_evictions : Obs.Metrics.counter;
 }
+
+(* Replay-cache entry: [seq] is the entry's position in the recency order.
+   Each touch re-enqueues the key with a fresh sequence number; queue
+   entries whose number no longer matches are stale and skipped at
+   eviction time (lazy LRU — no linked list, amortized O(1)). *)
+type cache_entry = { resp : string; mutable seq : int }
 
 type t = {
   chan : Channel.t;
@@ -96,7 +111,10 @@ type t = {
   net : Netsim.t;
   mutable injector : Fault.t option;
   mutable admin : bool;
-  cache : (string, string) Hashtbl.t;  (* log-side idempotent replay cache *)
+  cache : (string, cache_entry) Hashtbl.t;  (* log-side idempotent replay cache *)
+  cache_order : (string * int) Queue.t;  (* (key, seq) in touch order *)
+  cache_cap : int;
+  mutable cache_seq : int;
   mutable restart_hooks : (unit -> unit) list;
   st : mstats;
   mutable last_req : (string * string) option;  (* (op, bytes) last delivered request *)
@@ -105,7 +123,11 @@ type t = {
   mutable live : counters option;
 }
 
-let create ?(label = "log") ?(policy = default_policy) ?(net = Netsim.zero) chan =
+let default_cache_cap = 256
+
+let create ?(label = "log") ?(policy = default_policy) ?(net = Netsim.zero)
+    ?(cache_cap = default_cache_cap) chan =
+  if cache_cap < 1 then invalid_arg "Transport.create: cache_cap must be positive";
   {
     chan;
     label;
@@ -114,8 +136,19 @@ let create ?(label = "log") ?(policy = default_policy) ?(net = Netsim.zero) chan
     injector = None;
     admin = false;
     cache = Hashtbl.create 32;
+    cache_order = Queue.create ();
+    cache_cap;
+    cache_seq = 0;
     restart_hooks = [];
-    st = { s_attempts = 0; s_retries = 0; s_timeouts = 0; s_faults = 0; s_replays = 0 };
+    st =
+      {
+        s_attempts = 0;
+        s_retries = 0;
+        s_timeouts = 0;
+        s_faults = 0;
+        s_replays = 0;
+        s_evictions = 0;
+      };
     last_req = None;
     last_resp = None;
     op_elapsed = 0.;
@@ -129,14 +162,23 @@ let faulty t = t.injector <> None
 let set_admin_down t b = t.admin <- b
 let admin_down t = t.admin
 let on_restart t f = t.restart_hooks <- t.restart_hooks @ [ f ]
-let stats t = { attempts = t.st.s_attempts; retries = t.st.s_retries; timeouts = t.st.s_timeouts; faults = t.st.s_faults; replays = t.st.s_replays }
+let stats t =
+  {
+    attempts = t.st.s_attempts;
+    retries = t.st.s_retries;
+    timeouts = t.st.s_timeouts;
+    faults = t.st.s_faults;
+    replays = t.st.s_replays;
+    evictions = t.st.s_evictions;
+  }
 
 let reset_stats t =
   t.st.s_attempts <- 0;
   t.st.s_retries <- 0;
   t.st.s_timeouts <- 0;
   t.st.s_faults <- 0;
-  t.st.s_replays <- 0
+  t.st.s_replays <- 0;
+  t.st.s_evictions <- 0
 
 let live_counters (t : t) : counters =
   match t.live with
@@ -150,6 +192,7 @@ let live_counters (t : t) : counters =
           c_timeouts = Obs.Metrics.counter m (n "timeouts");
           c_faults = Obs.Metrics.counter m (n "faults");
           c_replays = Obs.Metrics.counter m (n "replays");
+          c_evictions = Obs.Metrics.counter m (n "evictions");
         }
       in
       t.live <- Some c;
@@ -191,6 +234,7 @@ let bump_fault t ~op reason =
 
 let do_restart t =
   Hashtbl.reset t.cache;
+  Queue.clear t.cache_order;
   t.last_req <- None;
   t.last_resp <- None;
   t.st.s_faults <- t.st.s_faults + 1;
@@ -203,18 +247,45 @@ let restart = do_restart
 
 let cache_key op bytes = Larch_hash.Sha256.digest (op ^ "\x00" ^ bytes)
 
+let cache_touch t key (e : cache_entry) =
+  t.cache_seq <- t.cache_seq + 1;
+  e.seq <- t.cache_seq;
+  Queue.add (key, e.seq) t.cache_order
+
+(* Size-capped insert: evict least-recently-touched entries until there is
+   room, skipping queue entries that a later touch made stale. *)
+let cache_insert t key resp =
+  while Hashtbl.length t.cache >= t.cache_cap do
+    match Queue.take_opt t.cache_order with
+    | None -> Hashtbl.reset t.cache (* unreachable: every entry is enqueued *)
+    | Some (k, seq) -> (
+        match Hashtbl.find_opt t.cache k with
+        | Some e when e.seq = seq ->
+            Hashtbl.remove t.cache k;
+            t.st.s_evictions <- t.st.s_evictions + 1;
+            if Obs.Runtime.tracing_enabled () then Obs.Metrics.inc (live_counters t).c_evictions
+        | _ -> () (* stale order entry: the key was touched again or evicted *))
+  done;
+  let e = { resp; seq = 0 } in
+  Hashtbl.replace t.cache key e;
+  cache_touch t key e
+
+let cache_size t = Hashtbl.length t.cache
+let cache_mem t ~op ~req = Hashtbl.mem t.cache (cache_key op req)
+
 (* Log-side receipt of request bytes: answer retransmissions from the
    replay cache, execute the handler exactly once per distinct request. *)
 let exec t ~op bytes handler : string =
   t.last_req <- Some (op, bytes);
   let key = cache_key op bytes in
   match Hashtbl.find_opt t.cache key with
-  | Some resp ->
+  | Some e ->
       bump_replays t;
-      resp
+      cache_touch t key e;
+      e.resp
   | None ->
       let resp = handler bytes in
-      Hashtbl.replace t.cache key resp;
+      cache_insert t key resp;
       resp
 
 let unavailable_leg t =

@@ -69,14 +69,28 @@ exception Reject of string
 val failure_to_string : failure -> string
 val error_to_string : error -> string
 
-type stats = { attempts : int; retries : int; timeouts : int; faults : int; replays : int }
+type stats = {
+  attempts : int;
+  retries : int;
+  timeouts : int;
+  faults : int;
+  replays : int;
+  evictions : int;  (** replay-cache entries dropped by the LRU size cap *)
+}
 
 type t
 
-val create : ?label:string -> ?policy:policy -> ?net:Netsim.t -> Channel.t -> t
+val default_cache_cap : int
+(** Default replay-cache capacity (256 entries). *)
+
+val create :
+  ?label:string -> ?policy:policy -> ?net:Netsim.t -> ?cache_cap:int -> Channel.t -> t
 (** Wrap [chan].  [label] names the transport in metrics/events (default
     the channel's purpose, ["log"]); [net] models per-leg wire time on the
-    simulated clock under faults (default {!Netsim.zero} — no time cost). *)
+    simulated clock under faults (default {!Netsim.zero} — no time cost).
+    [cache_cap] bounds the replay cache (LRU eviction); it must comfortably
+    exceed the number of distinct in-flight requests within a retry window,
+    and the default does. *)
 
 val channel : t -> Channel.t
 val set_injector : t -> Fault.t option -> unit
@@ -104,6 +118,12 @@ val restart : t -> unit
 
 val stats : t -> stats
 val reset_stats : t -> unit
+
+val cache_size : t -> int
+(** Current number of replay-cache entries (≤ [cache_cap]). *)
+
+val cache_mem : t -> op:string -> req:string -> bool
+(** Whether a response for this exact request is still cached. *)
 
 val call :
   t -> op:string -> req:string -> decode:(string -> 'a option) -> ?meter_resp:bool -> (string -> string) -> 'a

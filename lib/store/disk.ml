@@ -1,0 +1,211 @@
+(* Deterministic in-memory "disk" with an explicit durability line.
+
+   This is the storage analogue of {!Larch_net.Fault}: a seeded, injectable
+   substrate that the crash-consistency machinery above it ([Wal],
+   [Snapshot], [Store]) is tested against.  Each file tracks two lengths —
+   its full contents and the prefix that has been [fsync]ed.  A [crash]
+   re-derives every file from its durability line using the failure model
+   below; everything the layer above was told is durable (returned from an
+   fsync) survives byte-for-byte, everything else is fair game.
+
+   Failure model applied to the un-fsynced suffix of each file at crash:
+
+   - lost entirely (the default, and the only outcome when unseeded);
+   - fully retained (the kernel wrote it out even though nobody asked);
+   - torn: an arbitrary prefix of the suffix survives — including
+     mid-record prefixes, which is how torn WAL frames arise;
+   - bit rot: one bit of the *retained un-fsynced* region flips.
+
+   Rot never touches fsynced bytes: recovery's contract ("acknowledged
+   data survives") would otherwise be unsatisfiable.  Deliberate damage to
+   durable bytes — the thing `larch fsck` exists to detect — is injected
+   explicitly with [corrupt].
+
+   [rename] is atomic and durable (the snapshot writer fsyncs the source
+   first, so this models the classic write-tmp/fsync/rename sequence).
+   All randomness comes from an HMAC-DRBG keyed on the seed, so a crash
+   schedule replays byte-for-byte. *)
+
+type file = { mutable contents : string; mutable synced : int }
+
+type profile = {
+  p_retain : float; (* unsynced suffix fully survives *)
+  p_torn : float; (* a strict prefix of it survives *)
+  p_rot : float; (* one bit of the surviving unsynced bytes flips *)
+}
+
+(* The remaining probability mass (1 - p_retain - p_torn) loses the
+   un-fsynced suffix outright. *)
+let default_profile = { p_retain = 0.25; p_torn = 0.40; p_rot = 0.25 }
+let clean_profile = { p_retain = 0.; p_torn = 0.; p_rot = 0. }
+
+type stats = {
+  appends : int;
+  fsyncs : int;
+  bytes_written : int;
+  crashes : int;
+  torn : int; (* crash outcomes that kept a partial unsynced tail *)
+  rotted : int; (* crash outcomes that flipped a bit *)
+}
+
+type t = {
+  files : (string, file) Hashtbl.t;
+  drbg : Larch_hash.Drbg.t option;
+  profile : profile;
+  mutable s_appends : int;
+  mutable s_fsyncs : int;
+  mutable s_bytes : int;
+  mutable s_crashes : int;
+  mutable s_torn : int;
+  mutable s_rotted : int;
+}
+
+let create ?seed ?(profile = default_profile) () : t =
+  {
+    files = Hashtbl.create 8;
+    drbg = Option.map (fun s -> Larch_hash.Drbg.create ~entropy:("larch-disk-" ^ s)) seed;
+    profile;
+    s_appends = 0;
+    s_fsyncs = 0;
+    s_bytes = 0;
+    s_crashes = 0;
+    s_torn = 0;
+    s_rotted = 0;
+  }
+
+let stats (t : t) : stats =
+  {
+    appends = t.s_appends;
+    fsyncs = t.s_fsyncs;
+    bytes_written = t.s_bytes;
+    crashes = t.s_crashes;
+    torn = t.s_torn;
+    rotted = t.s_rotted;
+  }
+
+(* Uniform float in [0,1) from 48 DRBG bits; 0 when unseeded (so every
+   crash outcome takes the first branch deterministically). *)
+let u01 (t : t) : float =
+  match t.drbg with
+  | None -> 0.
+  | Some drbg ->
+      let b = Larch_hash.Drbg.generate drbg 6 in
+      let v = ref 0 in
+      String.iter (fun c -> v := (!v lsl 8) lor Char.code c) b;
+      float_of_int !v /. 281474976710656. (* 2^48 *)
+
+let get (t : t) (name : string) : file =
+  match Hashtbl.find_opt t.files name with
+  | Some f -> f
+  | None ->
+      let f = { contents = ""; synced = 0 } in
+      Hashtbl.replace t.files name f;
+      f
+
+let exists (t : t) ~(file : string) : bool = Hashtbl.mem t.files file
+let read (t : t) ~(file : string) : string option = Option.map (fun f -> f.contents) (Hashtbl.find_opt t.files file)
+let size (t : t) ~(file : string) : int = match read t ~file with Some s -> String.length s | None -> 0
+let synced_size (t : t) ~(file : string) : int = match Hashtbl.find_opt t.files file with Some f -> f.synced | None -> 0
+let files (t : t) : string list = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.files [])
+
+let append (t : t) ~(file : string) (data : string) : unit =
+  let f = get t file in
+  f.contents <- f.contents ^ data;
+  t.s_appends <- t.s_appends + 1;
+  t.s_bytes <- t.s_bytes + String.length data
+
+(* Truncate-and-rewrite; the fresh contents start un-fsynced. *)
+let write (t : t) ~(file : string) (data : string) : unit =
+  let f = get t file in
+  f.contents <- data;
+  f.synced <- 0;
+  t.s_appends <- t.s_appends + 1;
+  t.s_bytes <- t.s_bytes + String.length data
+
+let fsync (t : t) ~(file : string) : unit =
+  let f = get t file in
+  f.synced <- String.length f.contents;
+  t.s_fsyncs <- t.s_fsyncs + 1
+
+(* Atomic durable rename (write-tmp/fsync/rename discipline upstream). *)
+let rename (t : t) ~(src : string) ~(dst : string) : unit =
+  match Hashtbl.find_opt t.files src with
+  | None -> invalid_arg ("Disk.rename: no such file " ^ src)
+  | Some f ->
+      Hashtbl.remove t.files src;
+      Hashtbl.replace t.files dst { contents = f.contents; synced = String.length f.contents }
+
+let delete (t : t) ~(file : string) : unit = Hashtbl.remove t.files file
+
+let truncate (t : t) ~(file : string) (n : int) : unit =
+  let f = get t file in
+  let n = max 0 (min n (String.length f.contents)) in
+  f.contents <- String.sub f.contents 0 n;
+  f.synced <- min f.synced n
+
+(* Explicit bit rot at a byte position — damages durable bytes too; this
+   is the deliberate-corruption entry point for fsck tests. *)
+let corrupt (t : t) ~(file : string) ~(pos : int) : unit =
+  let f = get t file in
+  if String.length f.contents > 0 then begin
+    let pos = max 0 (min pos (String.length f.contents - 1)) in
+    let b = Bytes.of_string f.contents in
+    Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x40));
+    f.contents <- Bytes.to_string b
+  end
+
+let flip_bit_in (t : t) (s : string) (lo : int) : string =
+  let span = String.length s - lo in
+  if span <= 0 then s
+  else begin
+    let pos = lo + (int_of_float (u01 t *. float_of_int span) mod span) in
+    let b = Bytes.of_string s in
+    Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x10));
+    Bytes.to_string b
+  end
+
+(* Kill the process: every file falls back to its durability line plus a
+   profile-drawn fate for the un-fsynced suffix. *)
+let crash (t : t) : unit =
+  t.s_crashes <- t.s_crashes + 1;
+  let names = files t in
+  List.iter
+    (fun name ->
+      let f = get t name in
+      let total = String.length f.contents and synced = f.synced in
+      if total > synced then begin
+        let r = u01 t in
+        let keep =
+          if r < t.profile.p_retain then total
+          else if r < t.profile.p_retain +. t.profile.p_torn then begin
+            let k = synced + int_of_float (u01 t *. float_of_int (total - synced)) in
+            if k > synced && k < total then t.s_torn <- t.s_torn + 1;
+            k
+          end
+          else synced
+        in
+        let kept = String.sub f.contents 0 keep in
+        let kept =
+          if keep > synced && t.profile.p_rot > 0. && u01 t < t.profile.p_rot then begin
+            t.s_rotted <- t.s_rotted + 1;
+            flip_bit_in t kept synced
+          end
+          else kept
+        in
+        f.contents <- kept;
+        f.synced <- min synced (String.length kept)
+      end)
+    names
+
+(* Deep copy of the current byte state (the DRBG is not cloned; the copy
+   behaves like an unseeded disk).  The crash-point sweep snapshots a disk
+   once and restores it per kill point. *)
+type image = (string * (string * int)) list
+
+let dump (t : t) : image =
+  List.map (fun name -> let f = get t name in (name, (f.contents, f.synced))) (files t)
+
+let restore (img : image) : t =
+  let t = create ~profile:clean_profile () in
+  List.iter (fun (name, (contents, synced)) -> Hashtbl.replace t.files name { contents; synced }) img;
+  t

@@ -1,0 +1,77 @@
+(* Checkpoint snapshots: one file per generation, written atomically.
+
+   Layout: "LSN1" magic ‖ u32 generation ‖ u32 CRC-32(payload) ‖
+   u32 length ‖ payload.  The writer streams to [dir]/snap.tmp, fsyncs,
+   then renames to [dir]/snap.<gen> — on this disk model (as on POSIX with
+   the tmp file fsynced) the rename is atomic, so a snapshot either exists
+   completely or not at all; a crash mid-write leaves only a tmp file that
+   the next writer overwrites.
+
+   Readers pick the highest generation whose checksum verifies, falling
+   back across damaged snapshots — [Store] keeps one older generation (and
+   its WAL) around precisely so that a rotted current snapshot degrades to
+   a longer replay instead of data loss. *)
+
+module Bytesx = Larch_util.Bytesx
+
+let magic = "LSN1"
+let tmp_file (dir : string) : string = dir ^ "/snap.tmp"
+let file_of_gen (dir : string) (gen : int) : string = Printf.sprintf "%s/snap.%06d" dir gen
+
+let gen_of_file (dir : string) (name : string) : int option =
+  let prefix = dir ^ "/snap." in
+  let pl = String.length prefix in
+  if String.length name > pl && String.sub name 0 pl = prefix then
+    int_of_string_opt (String.sub name pl (String.length name - pl))
+  else None
+
+let encode ~(gen : int) (payload : string) : string =
+  magic ^ Bytesx.be32 gen
+  ^ Bytesx.be32 (Checksum.crc32 payload)
+  ^ Bytesx.be32 (String.length payload)
+  ^ payload
+
+let decode (blob : string) : (int * string) option =
+  if String.length blob < 16 || String.sub blob 0 4 <> magic then None
+  else begin
+    let gen = Wal.read_be32 blob 4 in
+    let crc = Wal.read_be32 blob 8 in
+    let len = Wal.read_be32 blob 12 in
+    if len < 0 || 16 + len <> String.length blob then None
+    else
+      let payload = String.sub blob 16 len in
+      if Checksum.crc32 payload <> crc then None else Some (gen, payload)
+  end
+
+let write (disk : Disk.t) ~(dir : string) ~(gen : int) (payload : string) : unit =
+  let tmp = tmp_file dir in
+  Disk.write disk ~file:tmp (encode ~gen payload);
+  Disk.fsync disk ~file:tmp;
+  Disk.rename disk ~src:tmp ~dst:(file_of_gen dir gen)
+
+(* All snapshot generations present on disk, ascending, valid or not. *)
+let gens (disk : Disk.t) ~(dir : string) : int list =
+  List.sort compare (List.filter_map (gen_of_file dir) (Disk.files disk))
+
+let load (disk : Disk.t) ~(dir : string) ~(gen : int) : string option =
+  match Disk.read disk ~file:(file_of_gen dir gen) with
+  | None -> None
+  | Some blob -> (
+      match decode blob with
+      | Some (g, payload) when g = gen -> Some payload
+      | _ -> None)
+
+(* Highest valid generation, plus how many newer-but-damaged snapshots
+   were skipped on the way down. *)
+let latest_valid (disk : Disk.t) ~(dir : string) : (int * string) option * int =
+  let rec go skipped = function
+    | [] -> (None, skipped)
+    | g :: rest -> (
+        match load disk ~dir ~gen:g with
+        | Some payload -> (Some (g, payload), skipped)
+        | None -> go (skipped + 1) rest)
+  in
+  go 0 (List.rev (gens disk ~dir))
+
+let delete (disk : Disk.t) ~(dir : string) ~(gen : int) : unit =
+  Disk.delete disk ~file:(file_of_gen dir gen)

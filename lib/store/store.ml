@@ -1,0 +1,162 @@
+(* The crash-consistent storage engine: snapshots + a per-generation WAL.
+
+   Directory layout (one [dir] per log-service instance, so a multi-log
+   deployment gives each log an independent store on a shared disk):
+
+     dir/snap.<g>   snapshot of the full state at generation g
+     dir/wal.<g>    every record appended since snapshot g
+
+   Invariant: state(g+1) = state(g) + replay(wal.<g>), so recovery picks
+   the newest valid snapshot g* and replays wal.<g*>, wal.<g*+1>, … in
+   order.  Replaying *all* newer WALs (not just wal.<g*>) is what makes a
+   rotted snapshot harmless: fall back one generation and the records
+   baked into the damaged snapshot are re-derived from the retained WAL.
+
+   Checkpoint ordering (each step durable before the next):
+     1. create the fresh, empty wal.<g+1>;
+     2. write snap.<g+1> atomically (tmp + fsync + rename);
+     3. drop generations ≤ g−1 (one old generation is retained).
+   A crash between any two steps leaves a recoverable store: before (2)
+   the new WAL is an ignored empty file; before (3) there is just extra
+   history. *)
+
+module Obs = Larch_obs
+
+let wal_file (dir : string) (gen : int) : string = Printf.sprintf "%s/wal.%06d" dir gen
+
+let wal_gen_of_file (dir : string) (name : string) : int option =
+  let prefix = dir ^ "/wal." in
+  let pl = String.length prefix in
+  if String.length name > pl && String.sub name 0 pl = prefix then
+    int_of_string_opt (String.sub name pl (String.length name - pl))
+  else None
+
+type recovery = {
+  gen : int; (* generation recovered from *)
+  snapshot : string option; (* payload of the recovered snapshot *)
+  tail : string list; (* WAL records to replay on top, in order *)
+  torn : bool; (* a torn WAL tail was truncated *)
+  snapshots_skipped : int; (* damaged newer snapshots we fell back across *)
+}
+
+type t = {
+  disk : Disk.t;
+  dir : string;
+  mutable gen : int;
+  mutable wal : Wal.t;
+  mutable last_recovery : recovery;
+}
+
+let wal_gens (disk : Disk.t) ~(dir : string) : int list =
+  List.sort compare (List.filter_map (wal_gen_of_file dir) (Disk.files disk))
+
+let open_ ?(disk : Disk.t option) ~(dir : string) () : t =
+  let disk = match disk with Some d -> d | None -> Disk.create () in
+  let tracing = Obs.Runtime.tracing_enabled () in
+  let t0 = if tracing then Unix.gettimeofday () else 0. in
+  let snap, skipped = Snapshot.latest_valid disk ~dir in
+  let base_gen, payload =
+    match snap with Some (g, p) -> (g, Some p) | None -> (0, None)
+  in
+  (* Every WAL at or after the recovered snapshot replays, oldest first;
+     only the newest one is opened for appending (and tail-repaired). *)
+  let replay_gens = List.filter (fun g -> g >= base_gen) (wal_gens disk ~dir) in
+  let head_gen = List.fold_left max base_gen replay_gens in
+  let older = List.filter (fun g -> g < head_gen) replay_gens in
+  let older_tail =
+    List.concat_map (fun g -> let entries, _, _ = Wal.scan disk ~file:(wal_file dir g) in entries) older
+  in
+  let wal, head_tail, torn = Wal.open_ disk ~file:(wal_file dir head_gen) in
+  let recovery =
+    { gen = base_gen; snapshot = payload; tail = older_tail @ head_tail; torn; snapshots_skipped = skipped }
+  in
+  if tracing then begin
+    let m = Obs.Metrics.default in
+    Obs.Metrics.inc (Obs.Metrics.counter m "store.recoveries");
+    Obs.Metrics.add (Obs.Metrics.counter m "store.recovered.wal_records") (List.length recovery.tail);
+    if torn then Obs.Metrics.inc (Obs.Metrics.counter m "store.recovered.torn_tails");
+    Obs.Metrics.add (Obs.Metrics.counter m "store.recovered.snapshots_skipped") skipped;
+    Obs.Metrics.observe
+      (Obs.Metrics.histogram m "store.recover_ms")
+      ((Unix.gettimeofday () -. t0) *. 1000.)
+  end;
+  Obs.Events.emit Obs.Events.Recovery
+    (Printf.sprintf "store %s recovered: gen=%d wal_records=%d%s%s" dir head_gen
+       (List.length recovery.tail)
+       (if torn then " torn-tail-repaired" else "")
+       (if skipped > 0 then Printf.sprintf " snapshots-skipped=%d" skipped else ""));
+  { disk; dir; gen = head_gen; wal; last_recovery = recovery }
+
+let recovered (t : t) : recovery = t.last_recovery
+let disk (t : t) : Disk.t = t.disk
+let dir (t : t) : string = t.dir
+let generation (t : t) : int = t.gen
+
+let append (t : t) (payload : string) : unit = Wal.append t.wal payload
+let flush (t : t) : unit = Wal.flush t.wal
+let append_sync (t : t) (payload : string) : unit = Wal.append_sync t.wal payload
+let wal_records (t : t) : int = Wal.records t.wal
+let wal_commits (t : t) : int = Wal.commits t.wal
+
+let checkpoint (t : t) (payload : string) : unit =
+  flush t;
+  let gen' = t.gen + 1 in
+  (* 1. fresh WAL first: a crash before the snapshot rename recovers from
+     the old generation and ignores the empty new WAL *)
+  Disk.write t.disk ~file:(wal_file t.dir gen') "";
+  Disk.fsync t.disk ~file:(wal_file t.dir gen');
+  (* 2. atomic snapshot *)
+  Snapshot.write t.disk ~dir:t.dir ~gen:gen' payload;
+  (* 3. retention: keep generation gen' and gen'−1, drop the rest *)
+  List.iter
+    (fun g -> if g < gen' - 1 then Snapshot.delete t.disk ~dir:t.dir ~gen:g)
+    (Snapshot.gens t.disk ~dir:t.dir);
+  List.iter
+    (fun g -> if g < gen' - 1 then Disk.delete t.disk ~file:(wal_file t.dir g))
+    (wal_gens t.disk ~dir:t.dir);
+  let wal, entries, _ = Wal.open_ t.disk ~file:(wal_file t.dir gen') in
+  assert (entries = []);
+  t.wal <- wal;
+  t.gen <- gen';
+  if Obs.Runtime.tracing_enabled () then begin
+    let m = Obs.Metrics.default in
+    Obs.Metrics.inc (Obs.Metrics.counter m "store.snapshots.written");
+    Obs.Metrics.add (Obs.Metrics.counter m "store.snapshots.bytes") (String.length payload)
+  end
+
+(* --- structural verification (the storage half of `larch fsck`) --- *)
+
+type verify_report = {
+  snapshots_ok : int list; (* generations with valid checksums *)
+  snapshots_bad : int list;
+  wal_ok : (int * int) list; (* (generation, valid records) *)
+  wal_torn : (int * int) list; (* (generation, byte offset of damage) *)
+}
+
+let verify_disk (disk : Disk.t) ~(dir : string) : verify_report =
+  let snaps_ok = ref [] and snaps_bad = ref [] in
+  List.iter
+    (fun g ->
+      match Snapshot.load disk ~dir ~gen:g with
+      | Some _ -> snaps_ok := g :: !snaps_ok
+      | None -> snaps_bad := g :: !snaps_bad)
+    (Snapshot.gens disk ~dir);
+  let wal_ok = ref [] and wal_torn = ref [] in
+  List.iter
+    (fun g ->
+      let entries, valid_len, torn = Wal.scan disk ~file:(wal_file dir g) in
+      if torn then wal_torn := (g, valid_len) :: !wal_torn
+      else wal_ok := (g, List.length entries) :: !wal_ok)
+    (wal_gens disk ~dir);
+  {
+    snapshots_ok = List.rev !snaps_ok;
+    snapshots_bad = List.rev !snaps_bad;
+    wal_ok = List.rev !wal_ok;
+    wal_torn = List.rev !wal_torn;
+  }
+
+let verify (t : t) : verify_report =
+  flush t;
+  verify_disk t.disk ~dir:t.dir
+
+let verify_clean (r : verify_report) : bool = r.snapshots_bad = [] && r.wal_torn = []

@@ -1,0 +1,135 @@
+(* Append-only write-ahead log with group commit.
+
+   Frame layout (all integers big-endian):
+
+     [u32 payload length][u32 CRC-32 of payload][payload]
+
+   Appends are buffered; [flush] writes every pending frame with a single
+   disk append followed by one fsync — the group commit.  A record is
+   *acknowledged* (guaranteed to survive any crash) only once the flush
+   that covered it returns, which is exactly the contract the log service
+   exposes to its clients: reply only after flush.
+
+   Recovery scans frames front to back and stops at the first frame whose
+   length field runs past the file or whose CRC disagrees — a torn tail
+   from a crash mid-append.  [open_] repairs the file by truncating it at
+   the last valid frame boundary, so the next append extends a clean log.
+
+   Metrics (under [Larch_obs.Metrics.default], recorded only while tracing
+   is enabled): commit count/latency/bytes and group sizes, plus recovery
+   scan results. *)
+
+module Obs = Larch_obs
+module Bytesx = Larch_util.Bytesx
+
+let frame_overhead = 8
+
+type t = {
+  disk : Disk.t;
+  file : string;
+  pending : Buffer.t;
+  mutable pending_records : int;
+  mutable records : int; (* durable records since open *)
+  mutable commits : int;
+}
+
+let read_be32 (s : string) (pos : int) : int =
+  (Char.code s.[pos] lsl 24) lor (Char.code s.[pos + 1] lsl 16)
+  lor (Char.code s.[pos + 2] lsl 8)
+  lor Char.code s.[pos + 3]
+
+let frame (payload : string) : string =
+  Bytesx.be32 (String.length payload) ^ Bytesx.be32 (Checksum.crc32 payload) ^ payload
+
+(* Scan a WAL image: valid payloads in order, the byte offset of the last
+   valid frame boundary, and whether a torn/invalid tail follows it. *)
+let scan_bytes (bytes : string) : string list * int * bool =
+  let n = String.length bytes in
+  let entries = ref [] in
+  let pos = ref 0 in
+  let torn = ref false in
+  (try
+     while !pos < n do
+       if !pos + frame_overhead > n then begin
+         torn := true;
+         raise Exit
+       end;
+       let len = read_be32 bytes !pos in
+       let crc = read_be32 bytes (!pos + 4) in
+       if len < 0 || !pos + frame_overhead + len > n then begin
+         torn := true;
+         raise Exit
+       end;
+       let payload = String.sub bytes (!pos + frame_overhead) len in
+       if Checksum.crc32 payload <> crc then begin
+         torn := true;
+         raise Exit
+       end;
+       entries := payload :: !entries;
+       pos := !pos + frame_overhead + len
+     done
+   with Exit -> ());
+  (List.rev !entries, !pos, !torn)
+
+let scan (disk : Disk.t) ~(file : string) : string list * int * bool =
+  scan_bytes (Option.value (Disk.read disk ~file) ~default:"")
+
+(* Open for appending: recover the valid prefix and truncate any torn
+   tail so the write head sits on a frame boundary. *)
+let open_ (disk : Disk.t) ~(file : string) : t * string list * bool =
+  let entries, valid_len, torn = scan disk ~file in
+  if torn then begin
+    Disk.truncate disk ~file valid_len;
+    Disk.fsync disk ~file
+  end
+  else if not (Disk.exists disk ~file) then Disk.write disk ~file "";
+  ( {
+      disk;
+      file;
+      pending = Buffer.create 256;
+      pending_records = 0;
+      records = List.length entries;
+      commits = 0;
+    },
+    entries,
+    torn )
+
+let append (t : t) (payload : string) : unit =
+  Buffer.add_string t.pending (frame payload);
+  t.pending_records <- t.pending_records + 1
+
+let pending_records (t : t) : int = t.pending_records
+
+(* Group commit: one append + one fsync for every buffered record. *)
+let flush (t : t) : unit =
+  if t.pending_records > 0 then begin
+    let tracing = Obs.Runtime.tracing_enabled () in
+    let t0 = if tracing then Unix.gettimeofday () else 0. in
+    let bytes = Buffer.contents t.pending in
+    Disk.append t.disk ~file:t.file bytes;
+    Disk.fsync t.disk ~file:t.file;
+    t.records <- t.records + t.pending_records;
+    t.commits <- t.commits + 1;
+    if tracing then begin
+      let m = Obs.Metrics.default in
+      Obs.Metrics.add (Obs.Metrics.counter m "store.wal.commits") 1;
+      Obs.Metrics.add (Obs.Metrics.counter m "store.wal.records") t.pending_records;
+      Obs.Metrics.add (Obs.Metrics.counter m "store.wal.bytes") (String.length bytes);
+      Obs.Metrics.observe
+        (Obs.Metrics.histogram m "store.wal.group_size")
+        (float_of_int t.pending_records);
+      Obs.Metrics.observe
+        (Obs.Metrics.histogram m "store.wal.commit_ms")
+        ((Unix.gettimeofday () -. t0) *. 1000.)
+    end;
+    Buffer.clear t.pending;
+    t.pending_records <- 0
+  end
+
+let append_sync (t : t) (payload : string) : unit =
+  append t payload;
+  flush t
+
+let records (t : t) : int = t.records
+let commits (t : t) : int = t.commits
+let file (t : t) : string = t.file
