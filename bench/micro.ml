@@ -37,14 +37,19 @@ let tests () =
     Test.make ~name:"ecdsa/verify" (Staged.stage (fun () -> Larch_ec.Ecdsa.verify ~pk "m" sg));
   ]
 
+(* {"estimates": {name: ns_per_op}, "metrics": <registry snapshot>} — the
+   counters ride along so BENCH_*.json files capture what the run actually
+   did (ops, bytes, span histograms), not just how fast. *)
 let dump_json ~file rows =
   let oc = open_out file in
-  output_string oc "{\n";
+  output_string oc "{\n  \"estimates\": {\n";
   List.iteri
     (fun i (name, ns) ->
-      Printf.fprintf oc "  %S: %.1f%s\n" name ns (if i = List.length rows - 1 then "" else ","))
+      Printf.fprintf oc "    %S: %.1f%s\n" name ns (if i = List.length rows - 1 then "" else ","))
     rows;
-  output_string oc "}\n";
+  output_string oc "  },\n  \"metrics\": ";
+  output_string oc (Larch_obs.Export.json Larch_obs.Metrics.default);
+  output_string oc "\n}\n";
   close_out oc
 
 let run ?(quota = 0.5) ?json () =

@@ -492,6 +492,24 @@ let recover_run seed auths =
     1
   end
 
+(* --- the capacity report and the metric exporters ---------------------- *)
+
+let report_run seed auths =
+  let r1 = Report.run ~auths ~seed () in
+  print_string r1.Report.text;
+  let r2 = Report.run ~auths ~seed () in
+  Printf.printf "digest run 1: %s\n" r1.Report.digest;
+  Printf.printf "digest run 2: %s\n" r2.Report.digest;
+  if r1.Report.digest = r2.Report.digest then begin
+    print_endline "deterministic: run 2 reproduced run 1 byte for byte";
+    Printf.printf "reproduce with: larch report --seed %s -n %d\n" seed auths;
+    0
+  end
+  else begin
+    print_endline "NOT deterministic: reports differ";
+    1
+  end
+
 let sizes () =
   print_endline "byte-level protocol constants:";
   Printf.printf "  log presignature            %d B\n" Two_party_ecdsa.log_presig_bytes;
@@ -548,6 +566,21 @@ let run_scenario scenario n =
 let demo_cmd =
   Cmd.v (Cmd.info "demo" ~doc:"Run a narrated end-to-end scenario")
     Term.(const run_scenario $ scenario_arg $ n_arg)
+
+let metrics_run scenario n format =
+  Obs.Runtime.enable_all ();
+  Obs.Trace.reset ();
+  Obs.Events.clear ();
+  Obs.Metrics.reset Obs.Metrics.default;
+  let rc = run_scenario scenario n in
+  print_newline ();
+  (match format with
+  | `Prom ->
+      print_endline "-- prometheus exposition --------------------------------";
+      print_string (Obs.Export.prometheus Obs.Metrics.default)
+  | `Json -> print_endline (Obs.Export.json Obs.Metrics.default));
+  Obs.Runtime.disable_all ();
+  rc
 
 (* Run a demo with tracing, metrics, and the event stream enabled, then
    print all three views (and optionally a Chrome trace_event file). *)
@@ -625,6 +658,39 @@ let recover_cmd =
              (and mid-frame), recover, fsck, and digest the replayed state")
     Term.(const recover_run $ store_seed_arg $ store_auths_arg)
 
+let report_cmd =
+  let seed =
+    Arg.(value & opt string "42" & info [ "seed" ] ~docv:"SEED"
+      ~doc:"Workload seed; the same seed reproduces the same report byte for byte.")
+  in
+  let auths =
+    Arg.(value & opt int 4 & info [ "n" ] ~doc:"Authentications per method in the calm phase.")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Run the seeded mixed enroll/auth/audit capacity workload twice and print the \
+             reproducible report: per-protocol p50/p99/p99.9 latency, presignature \
+             depletion, storm-segment failure totals, WAL growth vs checkpoint cadence")
+    Term.(const report_run $ seed $ auths)
+
+let metrics_cmd =
+  let scenario =
+    Arg.(value & pos 0 (enum [
+      ("fido2", `Fido2); ("totp", `Totp); ("password", `Password);
+      ("multilog", `Multilog); ("compromise", `Compromise); ("recovery", `Recovery) ]) `Fido2
+      & info [] ~docv:"SCENARIO")
+  in
+  let format =
+    Arg.(value & opt (enum [ ("prom", `Prom); ("json", `Json) ]) `Prom
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:"Exposition format: Prometheus text ($(b,prom)) or canonical JSON ($(b,json)).")
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:"Run a demo with instrumentation on, then print the metrics registry in \
+             Prometheus or canonical JSON exposition (no relying-party identifiers, ever)")
+    Term.(const metrics_run $ scenario $ n_arg $ format)
+
 let sizes_cmd = Cmd.v (Cmd.info "sizes" ~doc:"Print protocol byte constants") Term.(const sizes $ const ())
 let circuits_cmd = Cmd.v (Cmd.info "circuits" ~doc:"Print statement-circuit statistics") Term.(const circuits $ const ())
 
@@ -633,4 +699,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "larch" ~doc)
-          [ demo_cmd; trace_cmd; faults_cmd; fsck_cmd; recover_cmd; sizes_cmd; circuits_cmd ]))
+          [ demo_cmd; trace_cmd; faults_cmd; fsck_cmd; recover_cmd; report_cmd; metrics_cmd;
+            sizes_cmd; circuits_cmd ]))

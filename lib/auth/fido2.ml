@@ -58,6 +58,14 @@ let verify ~(pk : Larch_ec.Point.t) ~(rp_name : string) ~(challenge : string) (a
       challenge_digest = Larch_hash.Sha256.digest challenge;
     }
   in
-  expected = a.payload
-  && a.payload.flags land flags_user_present <> 0
-  && Larch_ec.Ecdsa.verify_digest ~pk (signing_digest a.payload) a.signature
+  let ok =
+    expected = a.payload
+    && a.payload.flags land flags_user_present <> 0
+    && Larch_ec.Ecdsa.verify_digest ~pk (signing_digest a.payload) a.signature
+  in
+  (* counter name carries the method only, never the rp_name (§2.3) *)
+  let m = Larch_obs.Metrics.default in
+  Larch_obs.Metrics.inc
+    (Larch_obs.Metrics.counter m
+       (if ok then "auth.fido2.verify_ok" else "auth.fido2.verify_fail"));
+  ok

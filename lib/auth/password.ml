@@ -33,4 +33,11 @@ let create ?(iterations = default_iterations) ~(rand_bytes : int -> string) (pas
   { salt; hash = pbkdf2 ~password ~salt ~iterations ~len:32; iterations }
 
 let check (v : verifier) (password : string) : bool =
-  Bytesx.ct_equal v.hash (pbkdf2 ~password ~salt:v.salt ~iterations:v.iterations ~len:32)
+  let ok =
+    Bytesx.ct_equal v.hash (pbkdf2 ~password ~salt:v.salt ~iterations:v.iterations ~len:32)
+  in
+  let m = Larch_obs.Metrics.default in
+  Larch_obs.Metrics.inc
+    (Larch_obs.Metrics.counter m
+       (if ok then "auth.password.verify_ok" else "auth.password.verify_fail"));
+  ok

@@ -38,6 +38,13 @@ let code_to_string (c : int) : string = Printf.sprintf "%0*d" digits c
 (* Relying-party verification with a +/- 1 step window (common practice). *)
 let verify ?(algo = SHA1) ~(key : string) ~(time : float) (code : int) : bool =
   let c = counter_of_time time in
-  List.exists
-    (fun dc -> hotp ~algo ~key (Int64.add c dc) = code)
-    [ 0L; -1L; 1L ]
+  let ok =
+    List.exists
+      (fun dc -> hotp ~algo ~key (Int64.add c dc) = code)
+      [ 0L; -1L; 1L ]
+  in
+  let m = Larch_obs.Metrics.default in
+  Larch_obs.Metrics.inc
+    (Larch_obs.Metrics.counter m
+       (if ok then "auth.totp.verify_ok" else "auth.totp.verify_fail"));
+  ok

@@ -27,6 +27,15 @@ module Scalar = Larch_ec.P256.Scalar
 module Tpe = Two_party_ecdsa
 module Trace = Larch_obs.Trace
 module Events = Larch_obs.Events
+module Metrics = Larch_obs.Metrics
+
+(* Pool-depth / burn-forward / record-volume instrumentation (capacity
+   report inputs).  Guarded like every other metric: zero work while
+   tracing is off. *)
+let obs_on () = Larch_obs.Runtime.tracing_enabled ()
+let m_inc name = Metrics.inc (Metrics.counter Metrics.default name)
+let m_add name n = Metrics.add (Metrics.counter Metrics.default name) n
+let m_gauge name v = Metrics.set_gauge (Metrics.gauge Metrics.default name) v
 
 (* Observability note: every [Events.emit] below carries at most the client
    id, the auth method, and protocol-step detail.  Relying-party identities
@@ -250,17 +259,21 @@ let stage_presignatures (t : t) ~(client_id : string) ~(batch : Tpe.log_batch) ~
   let f = fido2_state (get_client t client_id) in
   (* a retransmitted staging request carries the very same batch value;
      staging it twice would double the inventory *)
-  if not (List.exists (fun (b, _) -> b == batch) f.pending) then
+  if not (List.exists (fun (b, _) -> b == batch) f.pending) then begin
+    m_add "log.fido2.presigs_staged" (Array.length batch.Tpe.entries);
     with_sync t @@ fun () ->
     commit t
       { cid = client_id; op = Stage_presigs { batch; activate_at = now +. t.objection_window } }
+  end
 
 let activate_pending (t : t) ~(client_id : string) ~(now : float) : int =
   let f = fido2_state (get_client t client_id) in
   let ready, _ = List.partition (fun (_, at) -> at <= now) f.pending in
   let n = List.length ready in
-  if n > 0 then
-    (with_sync t @@ fun () -> commit t { cid = client_id; op = Activate_pending { now } });
+  if n > 0 then begin
+    m_add "log.fido2.batches_activated" n;
+    with_sync t @@ fun () -> commit t { cid = client_id; op = Activate_pending { now } }
+  end;
   n
 
 (* The enrolled user (authenticated with her log-account credential)
@@ -334,6 +347,11 @@ let fido2_auth_begin ?(domains = 1) (t : t) ~(client_id : string) ~(ip : string)
       cid = client_id;
       op = Fido2_consume { index = idx; total = Log_state.total_consumed f + 1 };
     };
+  if obs_on () then begin
+    m_inc "log.fido2.presigs_consumed";
+    m_gauge "log.fido2.presigs_remaining"
+      (float_of_int (List.fold_left (fun acc b -> acc + Tpe.log_batch_remaining b) 0 f.batches))
+  end;
   (* the record is stored *before* the log releases any signing material *)
   f.signing_record <-
     Some
@@ -372,7 +390,9 @@ let fido2_auth_commit (t : t) ~(client_id : string) ~(s1 : Scalar.t)
   let st = match f.signing with Some s -> s | None -> Types.fail "no signing in progress" in
   f.client_commit <- Some client_commit;
   (match f.signing_record with
-  | Some r -> commit t { cid = client_id; op = Fido2_record { record = r } }
+  | Some r ->
+      commit t { cid = client_id; op = Fido2_record { record = r } };
+      m_inc "log.records.stored"
   | None -> Types.fail "no pending record");
   f.signing_record <- None;
   Events.emit ~client:client_id ~method_:"fido2" Events.Auth_commit
@@ -419,8 +439,10 @@ let fido2_auth_abort (t : t) ~(client_id : string) ~(consumed : int) : unit =
   f.signing <- None;
   f.signing_record <- None;
   f.client_commit <- None;
-  if Log_state.total_consumed f < consumed then
+  if Log_state.total_consumed f < consumed then begin
+    m_add "log.fido2.presigs_burned" (consumed - Log_state.total_consumed f);
     with_sync t @@ fun () -> commit t { cid = client_id; op = Fido2_abort { consumed } }
+  end
 
 (* A log-process restart.  With a store attached this is a genuine kill:
    the disk keeps only what was fsynced (plus whatever its failure profile
@@ -544,6 +566,7 @@ let totp_auth (t : t) ~(client_id : string) ~(ip : string) ~(now : float) ~(enc_
                 ct = outcome.Totp_protocol.ct;
               };
         };
+      m_inc "log.records.stored";
       Events.emit ~client:client_id ~method_:"totp" Events.Auth_finish
         "code released, encrypted record stored";
       (* keep the measured 2PC timings in the volatile dedup slot (replay
@@ -619,6 +642,7 @@ let pw_auth (t : t) ~(client_id : string) ~(ip : string) ~(now : float)
                   };
               };
         };
+      m_inc "log.records.stored";
       Events.emit ~client:client_id ~method_:"password" Events.Auth_finish
         "exponentiation released, elgamal record stored";
       let proof =

@@ -216,6 +216,8 @@ let authenticate (t : t) (c : client) ~(rp_name : string) ~(now : float) : strin
         | y -> shares := (i + 1, y) :: !shares
         | exception Transport.Error _ ->
             failed := i :: !failed;
+            Larch_obs.Metrics.inc
+              (Larch_obs.Metrics.counter Larch_obs.Metrics.default "multilog.failovers");
             Events.emit ~severity:Events.Warn ~method_:"password" ~client:c.client_id
               Events.Failover
               (Printf.sprintf "log%d unreachable, failing over (%d/%d shares)" i

@@ -1,0 +1,16 @@
+(** The deterministic capacity report (ROADMAP item 4).
+
+    [run ~seed ()] drives a seeded mixed enroll/auth/audit workload over
+    the store-backed, fault-injectable world — simulated clock, one
+    HMAC-DRBG, seeded disk and transport faults — and renders per-protocol
+    latency (p50/p99/p99.9), the presignature depletion curve, storm-
+    segment failure/retry totals, and the WAL growth vs checkpoint cadence
+    sweep.  The same seed reproduces the same bytes; [digest] is the hex
+    sha256 of [text]. *)
+
+type result = { text : string; digest : string }
+
+val run : ?auths:int -> seed:string -> unit -> result
+(** [auths] is the per-method auth count of the calm phase (default 6);
+    the storm segment runs [auths/2] rounds and the cadence sweep
+    [4*auths] password auths per cadence. *)

@@ -241,6 +241,7 @@ let do_restart t =
   if Obs.Runtime.tracing_enabled () then Obs.Metrics.inc (live_counters t).c_faults;
   Obs.Events.emit ~severity:Warn Obs.Events.Transport_fault
     (Printf.sprintf "%s peer restarted (volatile state lost)" t.label);
+  Obs.Flight.incident ~detail:t.label Obs.Flight.default "transport.restart";
   List.iter (fun f -> f ()) t.restart_hooks
 
 let restart = do_restart
@@ -494,7 +495,7 @@ let post t ~op ~req handler =
               advance t pol.attempt_timeout;
               fail Timeout
           | Fault.Delay dt -> advance t dt
-          | _ -> ())
+          | _ -> wire_time t 0)
 
 let invoke t ~op (thunk : unit -> 'a) : 'a =
   if t.admin then raise (Error { op; attempts = 1; elapsed = 0.; last = Unavailable });
@@ -507,6 +508,9 @@ let invoke t ~op (thunk : unit -> 'a) : 'a =
           let o = Fault.next inj in
           if o.Fault.restarted then do_restart t;
           if o.Fault.down then unavailable_leg t;
+          (* no serialized payload on this path, but the exchange still
+             crosses the link: charge propagation delay per leg *)
+          wire_time t 0;
           let run () = try thunk () with Reject m -> fail (Garbled m) in
           let v =
             match o.Fault.action with
@@ -539,6 +543,7 @@ let invoke t ~op (thunk : unit -> 'a) : 'a =
             fail Timeout
           end;
           if o2.Fault.down then unavailable_leg t;
+          wire_time t 0;
           (match o2.Fault.action with
           | Fault.Drop ->
               bump_fault t ~op "response dropped";

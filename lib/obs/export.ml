@@ -1,0 +1,142 @@
+(* Registry exporters: Prometheus text exposition and canonical JSON.
+
+   Both render from a {!Metrics.snapshot}, so the output is deterministic:
+   metric names sorted, histogram buckets in increasing bound order, floats
+   printed through one shared formatter.  Determinism is what lets the
+   capacity report digest its own metrics section and what keeps the
+   privacy test greppable.
+
+   Privacy (paper §2.3): these exporters are on the outside of the privacy
+   boundary — everything they print is a metric name (static, layer.op
+   style) or a number.  No label values, no free-form strings, so a
+   relying-party identifier cannot leak through them unless someone names
+   a metric after an RP; the privacy test greps both formats to catch
+   exactly that. *)
+
+(* One float formatter for both exporters.  Integers print without a
+   fractional part ("12"), everything else as shortest round-trippable
+   decimal-ish "%.9g" ("0.0225", "1.00000007e+09").  Both are valid
+   Prometheus and JSON number syntax. *)
+let fstr (v : float) : string =
+  if Float.is_nan v then "0"
+  else if v = infinity || v = neg_infinity then "0"
+  else if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+(* --- Prometheus text exposition --- *)
+
+(* "net.fido2.bytes_up" -> "larch_net_fido2_bytes_up". *)
+let prom_name (name : string) : string =
+  let b = Buffer.create (String.length name + 6) in
+  Buffer.add_string b "larch_";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char b c
+      | _ -> Buffer.add_char b '_')
+    name;
+  Buffer.contents b
+
+let prometheus (t : Metrics.t) : string =
+  let s = Metrics.snapshot t in
+  let buf = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun l -> Buffer.add_string buf l) fmt in
+  List.iter
+    (fun (name, v) ->
+      let p = prom_name name in
+      line "# TYPE %s counter\n%s %d\n" p p v)
+    s.Metrics.s_counters;
+  List.iter
+    (fun (name, v) ->
+      let p = prom_name name in
+      line "# TYPE %s gauge\n%s %s\n" p p (fstr v))
+    s.Metrics.s_gauges;
+  List.iter
+    (fun (name, h) ->
+      let p = prom_name name in
+      line "# TYPE %s histogram\n" p;
+      (* Prometheus buckets are cumulative and keyed by upper bound. *)
+      let cum = ref 0 in
+      List.iter
+        (fun (hi, n) ->
+          cum := !cum + n;
+          line "%s_bucket{le=\"%s\"} %d\n" p (fstr hi) !cum)
+        h.Metrics.hs_buckets;
+      line "%s_bucket{le=\"+Inf\"} %d\n" p h.Metrics.hs_count;
+      line "%s_sum %s\n" p (fstr h.Metrics.hs_sum);
+      line "%s_count %d\n" p h.Metrics.hs_count)
+    s.Metrics.s_histograms;
+  Buffer.contents buf
+
+(* --- canonical JSON --- *)
+
+let json_escape (s : string) : string =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_obj (buf : Buffer.t) (fields : (string * (unit -> unit)) list) : unit =
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (k, emit) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (json_escape k);
+      Buffer.add_string buf "\":";
+      emit ())
+    fields;
+  Buffer.add_char buf '}'
+
+let json_of_snapshot (s : Metrics.snapshot) : string =
+  let buf = Buffer.create 4096 in
+  let str v = Buffer.add_string buf v in
+  let hist (h : Metrics.hist_snapshot) () =
+    json_obj buf
+      [
+        ("count", fun () -> str (string_of_int h.Metrics.hs_count));
+        ("sum", fun () -> str (fstr h.Metrics.hs_sum));
+        ("min", fun () -> str (fstr h.Metrics.hs_min));
+        ("max", fun () -> str (fstr h.Metrics.hs_max));
+        ("mean", fun () -> str (fstr h.Metrics.hs_mean));
+        ("p50", fun () -> str (fstr h.Metrics.hs_p50));
+        ("p90", fun () -> str (fstr h.Metrics.hs_p90));
+        ("p99", fun () -> str (fstr h.Metrics.hs_p99));
+        ("p999", fun () -> str (fstr h.Metrics.hs_p999));
+        ( "buckets",
+          fun () ->
+            str "[";
+            List.iteri
+              (fun i (hi, n) ->
+                if i > 0 then str ",";
+                str (Printf.sprintf "[%s,%d]" (fstr hi) n))
+              h.Metrics.hs_buckets;
+            str "]" );
+      ]
+  in
+  json_obj buf
+    [
+      ( "counters",
+        fun () ->
+          json_obj buf
+            (List.map (fun (n, v) -> (n, fun () -> str (string_of_int v))) s.Metrics.s_counters)
+      );
+      ( "gauges",
+        fun () ->
+          json_obj buf (List.map (fun (n, v) -> (n, fun () -> str (fstr v))) s.Metrics.s_gauges)
+      );
+      ( "histograms",
+        fun () -> json_obj buf (List.map (fun (n, h) -> (n, hist h)) s.Metrics.s_histograms) );
+    ];
+  Buffer.contents buf
+
+let json (t : Metrics.t) : string = json_of_snapshot (Metrics.snapshot t)

@@ -1,0 +1,28 @@
+(** Registry exporters.
+
+    Both formats render from a {!Metrics.snapshot} and are deterministic:
+    names sorted, buckets in increasing bound order, one shared float
+    formatter.  Neither carries label values or free-form strings, so the
+    paper §2.3 privacy invariant (no relying-party identifiers) reduces to
+    "metric names are static" — enforced by the privacy test grepping the
+    rendered output. *)
+
+val prometheus : Metrics.t -> string
+(** Prometheus text exposition: [larch_]-prefixed sanitized names;
+    counters, gauges, and histograms with cumulative [le] buckets plus
+    [_sum]/[_count]. *)
+
+val json : Metrics.t -> string
+(** Canonical JSON: [{"counters":{...},"gauges":{...},"histograms":{...}}]
+    with keys in sorted order. *)
+
+val json_of_snapshot : Metrics.snapshot -> string
+(** {!json} over an already-taken snapshot (the flight recorder renders
+    ring entries through this). *)
+
+val prom_name : string -> string
+(** Exposed for tests: the Prometheus name sanitizer. *)
+
+val fstr : float -> string
+(** The shared deterministic float formatter (used by the flight recorder
+    and the capacity report so every number renders identically). *)

@@ -1,0 +1,125 @@
+(* Flight recorder: last-N-seconds telemetry that survives to the crash
+   report.
+
+   A fixed-size ring of timestamped registry snapshots (plus the tail of
+   the event stream at each snapshot), filled by periodic [record] calls
+   from whatever harness is driving the world.  When something dies —
+   [Disk.crash], a transport crash-restart — the owner calls [incident],
+   which renders the ring plus the current registry state into one text
+   dump, remembers it, and hands it to the optional sink.  Every
+   fault-injection failure then comes with the telemetry that led up to
+   it, instead of a bare assertion message.
+
+   Timestamps come from [Runtime.now], so harnesses that install the
+   simulated clock get byte-identical dumps across seeded runs.  Events
+   are rendered through [Events.to_string], which never prints the
+   wall-clock time and (by the §2.3 privacy rule) never carries a
+   relying-party identifier — the privacy test greps dumps end-to-end. *)
+
+type entry = { at : float; snap : Metrics.snapshot; tail : string list }
+
+type t = {
+  mu : Mutex.t;
+  capacity : int;
+  ring : entry option array;
+  mutable next : int; (* next insertion slot *)
+  mutable filled : int;
+  registry : Metrics.t;
+  mutable sink : (string -> unit) option;
+  mutable last : string option;
+  mutable incidents : int;
+}
+
+let create ?(capacity = 32) ?(registry = Metrics.default) () : t =
+  let capacity = max 1 capacity in
+  {
+    mu = Mutex.create ();
+    capacity;
+    ring = Array.make capacity None;
+    next = 0;
+    filled = 0;
+    registry;
+    sink = None;
+    last = None;
+    incidents = 0;
+  }
+
+let default : t = create ()
+
+let with_lock t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+(* Newest [n] buffered events, oldest of them first. *)
+let event_tail (n : int) : string list =
+  let evs = Events.recent () in
+  let drop = List.length evs - n in
+  let evs = if drop > 0 then List.filteri (fun i _ -> i >= drop) evs else evs in
+  List.map Events.to_string evs
+
+let record (t : t) : unit =
+  let e = { at = Runtime.now (); snap = Metrics.snapshot t.registry; tail = event_tail 8 } in
+  with_lock t (fun () ->
+      t.ring.(t.next) <- Some e;
+      t.next <- (t.next + 1) mod t.capacity;
+      if t.filled < t.capacity then t.filled <- t.filled + 1)
+
+(* Ring entries oldest-first. *)
+let entries (t : t) : entry list =
+  let acc = ref [] in
+  for k = 1 to t.filled do
+    let idx = (t.next - k + (2 * t.capacity)) mod t.capacity in
+    match t.ring.(idx) with Some e -> acc := e :: !acc | None -> ()
+  done;
+  !acc
+
+let set_sink (t : t) (sink : (string -> unit) option) : unit =
+  with_lock t (fun () -> t.sink <- sink)
+
+let render_entry (buf : Buffer.t) (i : int) (e : entry) : unit =
+  Buffer.add_string buf (Printf.sprintf "--- ring[%d] t=%s ---\n" i (Export.fstr e.at));
+  Buffer.add_string buf (Export.json_of_snapshot e.snap);
+  Buffer.add_char buf '\n';
+  List.iter (fun ev -> Buffer.add_string buf ("  " ^ ev ^ "\n")) e.tail
+
+let incident ?(detail = "") (t : t) (reason : string) : unit =
+  let now = Runtime.now () in
+  let current = Metrics.snapshot t.registry in
+  let recent = event_tail 32 in
+  let dump, sink =
+    with_lock t (fun () ->
+        t.incidents <- t.incidents + 1;
+        let buf = Buffer.create 4096 in
+        Buffer.add_string buf "=== larch flight recorder ===\n";
+        Buffer.add_string buf (Printf.sprintf "incident: %s\n" reason);
+        if detail <> "" then Buffer.add_string buf (Printf.sprintf "detail: %s\n" detail);
+        Buffer.add_string buf (Printf.sprintf "incident_seq: %d\n" t.incidents);
+        Buffer.add_string buf (Printf.sprintf "at: %s\n" (Export.fstr now));
+        let es = entries t in
+        Buffer.add_string buf (Printf.sprintf "ring_entries: %d\n" (List.length es));
+        List.iteri (fun i e -> render_entry buf i e) es;
+        Buffer.add_string buf "--- current ---\n";
+        Buffer.add_string buf (Export.json_of_snapshot current);
+        Buffer.add_char buf '\n';
+        if recent <> [] then begin
+          Buffer.add_string buf "recent events:\n";
+          List.iter (fun ev -> Buffer.add_string buf ("  " ^ ev ^ "\n")) recent
+        end;
+        Buffer.add_string buf "=== end flight dump ===\n";
+        let dump = Buffer.contents buf in
+        t.last <- Some dump;
+        (dump, t.sink))
+  in
+  (* Sink runs outside the lock: it may log, write a file, or re-enter. *)
+  match sink with Some f -> f dump | None -> ()
+
+let last_dump (t : t) : string option = with_lock t (fun () -> t.last)
+let incident_count (t : t) : int = with_lock t (fun () -> t.incidents)
+
+let clear (t : t) : unit =
+  with_lock t (fun () ->
+      Array.fill t.ring 0 t.capacity None;
+      t.next <- 0;
+      t.filled <- 0;
+      t.last <- None;
+      t.incidents <- 0)

@@ -1,0 +1,38 @@
+(** Flight recorder: a fixed-size ring of timestamped registry snapshots
+    plus recent event-stream tails, dumped as one text report when a
+    component crashes ([Disk.crash], transport crash-restart).
+
+    Timestamps come from [Runtime.now], so a harness driving the
+    simulated clock gets byte-identical dumps across seeded runs.  Dumps
+    contain metric names, numbers, and [Events.to_string] lines only — no
+    relying-party identifiers (paper §2.3; grep-enforced by the privacy
+    test). *)
+
+type t
+
+val create : ?capacity:int -> ?registry:Metrics.t -> unit -> t
+(** Ring of [capacity] snapshots (default 32) over [registry] (default
+    {!Metrics.default}). *)
+
+val default : t
+(** The recorder the built-in crash hooks dump. *)
+
+val record : t -> unit
+(** Push one timestamped snapshot + the newest few events into the ring,
+    evicting the oldest entry when full.  Call at period boundaries from
+    the driving harness. *)
+
+val incident : ?detail:string -> t -> string -> unit
+(** [incident t reason] renders the ring plus the current registry state
+    into a dump, stores it (see {!last_dump}), and passes it to the sink
+    if one is installed. *)
+
+val set_sink : t -> (string -> unit) option -> unit
+(** Where finished dumps go (e.g. stderr, a file).  Default: nowhere —
+    the dump is only retained in memory. *)
+
+val last_dump : t -> string option
+val incident_count : t -> int
+
+val clear : t -> unit
+(** Empty the ring and forget dumps (tests). *)

@@ -1,0 +1,56 @@
+(** High-resolution mergeable histogram (HDR-style log-linear buckets).
+
+    Each power-of-two octave is split into 64 linear sub-buckets, so any
+    quantile estimate is within ≈1% of the true sample value (versus the
+    factor-of-2 resolution of the old log₂ histograms).  Covered range
+    [2^-32, 2^32); out-of-range, zero, negative and NaN observations clamp
+    into the edge buckets, and the exact observed min/max are tracked so
+    estimates never leave the observed range.
+
+    Plain data + arithmetic: no locks, no clock, no allocation on
+    [observe] beyond the argument float.  Thread-safety and the
+    tracing-enabled gate live in {!Metrics}. *)
+
+type t
+
+val n_buckets : int
+val create : unit -> t
+val reset : t -> unit
+
+val observe : t -> float -> unit
+val count : t -> int
+val sum : t -> float
+val mean : t -> float
+
+val min_value : t -> float
+(** [infinity] while empty. *)
+
+val max_value : t -> float
+(** [neg_infinity] while empty. *)
+
+val percentile : t -> float -> float
+(** [percentile t q] for q in [0,1]: the bucket midpoint of the
+    rank-⌈q·n⌉ sample, clamped to the observed [min, max]; within ≈1% of
+    the true quantile.  0 when empty. *)
+
+val index_of : float -> int
+(** Bucket index of a value (exposed for tests). *)
+
+val bucket_lo : int -> float
+val bucket_hi : int -> float
+val bucket_mid : int -> float
+
+val copy : t -> t
+
+val merge_into : into:t -> t -> unit
+(** Add [src]'s buckets into [into].  Lossless on counts: merging equals
+    having observed both streams into one histogram.  Commutative and
+    associative on counts (the float [sum] only up to rounding). *)
+
+val merge : t -> t -> t
+(** Pure merge into a fresh histogram. *)
+
+val iter_nonzero : t -> (lo:float -> hi:float -> count:int -> unit) -> unit
+(** Non-empty buckets in increasing value order. *)
+
+val nonzero_buckets : t -> (float * float * int) list

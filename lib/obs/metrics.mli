@@ -1,10 +1,11 @@
-(** Metrics registry: named counters, gauges, and log₂-bucketed latency
-    histograms with percentile summaries.
+(** Metrics registry: named counters, gauges, and high-resolution latency
+    histograms (HDR-style log-linear buckets, quantiles within ≈1% — see
+    {!Histo}).
 
     Naming convention: [layer.component.op], lowercase, dot-separated
     (e.g. ["net.fido2.bytes_up"], ["span.zkboo.prove"]).
 
-    All mutating entry points except {!force_add} are no-ops while
+    All mutating entry points except the [force_*] family are no-ops while
     [Runtime.tracing] is disabled, and the disabled path allocates
     nothing. *)
 
@@ -37,20 +38,65 @@ val force_add : counter -> int -> unit
 val set_gauge : gauge -> float -> unit
 val gauge_value : gauge -> float
 
+val force_set_gauge : gauge -> float -> unit
+(** {!set_gauge} minus the runtime toggle (deterministic harnesses). *)
+
 val observe : histogram -> float -> unit
 (** Record one observation (by convention: milliseconds for latency). *)
+
+val force_observe : histogram -> float -> unit
+(** {!observe} minus the runtime toggle (deterministic harnesses). *)
 
 val histogram_count : histogram -> int
 val histogram_sum : histogram -> float
 val histogram_mean : histogram -> float
 
+val histogram_min : histogram -> float
+(** [infinity] while empty. *)
+
+val histogram_max : histogram -> float
+(** [neg_infinity] while empty. *)
+
 val percentile : histogram -> float -> float
-(** [percentile h 0.99] estimates the q-quantile at the geometric midpoint
-    of the winning log₂ bucket, clamped to the observed min/max; the
-    resolution is one bucket (a factor of 2). *)
+(** [percentile h 0.99] estimates the q-quantile at the midpoint of the
+    winning log-linear sub-bucket, clamped to the observed min/max; the
+    resolution is one sub-bucket (≈1%). *)
 
 val reset : t -> unit
 (** Zero every registered metric (metrics stay registered). *)
+
+(** {2 Snapshots} *)
+
+type hist_snapshot = {
+  hs_count : int;
+  hs_sum : float;
+  hs_min : float;
+  hs_max : float;
+  hs_mean : float;
+  hs_p50 : float;
+  hs_p90 : float;
+  hs_p99 : float;
+  hs_p999 : float;
+  hs_buckets : (float * int) list;
+      (** (bucket upper bound, count) for non-empty buckets, increasing. *)
+}
+
+type snapshot = {
+  s_counters : (string * int) list;
+  s_gauges : (string * float) list;
+  s_histograms : (string * hist_snapshot) list;
+}
+(** All three lists sorted by metric name: a deterministic value the
+    flight recorder and the exporters consume. *)
+
+val snapshot : t -> snapshot
+
+val merge : into:t -> t -> unit
+(** Fold [src] into [into]: counters and gauges add, histograms
+    bucket-merge losslessly (see {!Histo.merge_into}).  Metrics missing
+    from [into] are registered.  Bypasses the runtime toggle — merging is
+    an explicit aggregation step, the primitive for folding per-domain
+    registries of a sharded log into one capacity view. *)
 
 val report : t -> string
 (** Render counters, gauges, and histogram summary rows (count, mean,

@@ -39,6 +39,22 @@ let finished : span list ref = ref [] (* newest first *)
 
 let stack_key : span list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
 
+(* Trace-viewer row override.  OCaml domain ids are recycled slot indices:
+   two Parallel sections spawn "domain 1" twice and their spans interleave
+   into one chrome://tracing row.  [with_tid] pins spans opened in its
+   scope to a caller-chosen stable row instead (Parallel uses lane
+   1000 + worker index). *)
+let tid_key : int option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
+
+let current_tid () =
+  match !(Domain.DLS.get tid_key) with Some t -> t | None -> (Domain.self () :> int)
+
+let with_tid (tid : int) (f : unit -> 'a) : 'a =
+  let slot = Domain.DLS.get tid_key in
+  let saved = !slot in
+  slot := Some tid;
+  Fun.protect ~finally:(fun () -> slot := saved) f
+
 let reset () =
   Mutex.lock finished_mu;
   finished := [];
@@ -63,7 +79,7 @@ let with_span (name : string) (f : unit -> 'a) : 'a =
         id = Atomic.fetch_and_add next_id 1;
         parent;
         name;
-        domain = (Domain.self () :> int);
+        domain = current_tid ();
         start_ns = Int64.sub (now_ns ()) (Atomic.get epoch);
         dur_ns = 0L;
         attrs = [];
@@ -266,11 +282,27 @@ let attr_to_json = function
   | Str s -> Printf.sprintf "\"%s\"" (json_escape s)
 
 (* Complete-event ("ph":"X") records; ts/dur in microseconds, tid = the
-   OCaml domain id, so domain utilization is visible on the timeline. *)
+   span's row (the OCaml domain id, or the stable lane installed with
+   [with_tid]), so domain utilization is visible on the timeline.  A
+   "thread_name" metadata event labels each row. *)
 let to_chrome_json () : string =
+  let all = spans () in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\"traceEvents\":[";
   let first = ref true in
+  let tids =
+    List.sort_uniq compare (List.map (fun sp -> sp.domain) all)
+  in
+  List.iter
+    (fun tid ->
+      if not !first then Buffer.add_char buf ',';
+      first := false;
+      let label = if tid >= 1000 then Printf.sprintf "worker lane %d" (tid - 1000) else Printf.sprintf "domain %d" tid in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+           tid label))
+    tids;
   List.iter
     (fun sp ->
       if not !first then Buffer.add_char buf ',';
@@ -293,7 +325,7 @@ let to_chrome_json () : string =
                   attrs));
           Buffer.add_char buf '}');
       Buffer.add_char buf '}')
-    (spans ());
+    all;
   Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}";
   Buffer.contents buf
 

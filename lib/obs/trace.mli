@@ -16,7 +16,7 @@ type span = {
   id : int;
   parent : int;  (** -1 = root *)
   name : string;
-  domain : int;  (** OCaml domain the span ran on *)
+  domain : int;  (** trace row: the OCaml domain id, or the {!with_tid} lane *)
   start_ns : int64;  (** monotonic, relative to the trace epoch *)
   mutable dur_ns : int64;
   mutable attrs : (string * attr) list;  (** newest first *)
@@ -47,6 +47,16 @@ val with_parent : int option -> (unit -> 'a) -> 'a
     local span is open — used to stitch worker-domain spans under the
     spawning domain's span. *)
 
+val with_tid : int -> (unit -> 'a) -> 'a
+(** Pin spans opened in the thunk (on this domain) to trace row [tid].
+    OCaml domain ids are recycled slot indices, so successive parallel
+    sections would otherwise interleave distinct workers into one
+    chrome://tracing row; [Larch_util.Parallel] pins worker [w] to lane
+    [1000 + w]. *)
+
+val current_tid : unit -> int
+(** The row spans opened right now would land on. *)
+
 val timed : string -> (unit -> 'a) -> 'a * float
 (** Measure the thunk on the monotonic clock (seconds), recording a span
     when tracing is enabled.  The shared timing substrate for CLI demos
@@ -68,6 +78,7 @@ val report : unit -> string
 
 val to_chrome_json : unit -> string
 (** Chrome trace_event JSON (complete "X" events; ts/dur in µs, tid = the
-    OCaml domain id), loadable in chrome://tracing or Perfetto. *)
+    span's row, each labelled by a "thread_name" metadata event), loadable
+    in chrome://tracing or Perfetto. *)
 
 val write_chrome_json : string -> unit

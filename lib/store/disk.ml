@@ -195,7 +195,10 @@ let crash (t : t) : unit =
         f.contents <- kept;
         f.synced <- min synced (String.length kept)
       end)
-    names
+    names;
+  (* Every simulated power cut ships with its last-N-seconds telemetry. *)
+  Larch_obs.Flight.incident ~detail:(Printf.sprintf "crash #%d" t.s_crashes)
+    Larch_obs.Flight.default "disk.crash"
 
 (* Deep copy of the current byte state (the DRBG is not cloned; the copy
    behaves like an unseeded disk).  The crash-point sweep snapshots a disk

@@ -121,7 +121,10 @@ let checkpoint (t : t) (payload : string) : unit =
   if Obs.Runtime.tracing_enabled () then begin
     let m = Obs.Metrics.default in
     Obs.Metrics.inc (Obs.Metrics.counter m "store.snapshots.written");
-    Obs.Metrics.add (Obs.Metrics.counter m "store.snapshots.bytes") (String.length payload)
+    Obs.Metrics.add (Obs.Metrics.counter m "store.snapshots.bytes") (String.length payload);
+    Obs.Metrics.set_gauge (Obs.Metrics.gauge m "store.generation") (float_of_int gen');
+    (* the fresh WAL starts empty: checkpointing is what resets the curve *)
+    Obs.Metrics.set_gauge (Obs.Metrics.gauge m "store.wal.live_bytes") 0.
   end
 
 (* --- structural verification (the storage half of `larch fsck`) --- *)

@@ -115,6 +115,10 @@ let flush (t : t) : unit =
       Obs.Metrics.add (Obs.Metrics.counter m "store.wal.commits") 1;
       Obs.Metrics.add (Obs.Metrics.counter m "store.wal.records") t.pending_records;
       Obs.Metrics.add (Obs.Metrics.counter m "store.wal.bytes") (String.length bytes);
+      Obs.Metrics.inc (Obs.Metrics.counter m "store.wal.fsyncs");
+      Obs.Metrics.set_gauge
+        (Obs.Metrics.gauge m "store.wal.live_bytes")
+        (float_of_int (Disk.size t.disk ~file:t.file));
       Obs.Metrics.observe
         (Obs.Metrics.histogram m "store.wal.group_size")
         (float_of_int t.pending_records);

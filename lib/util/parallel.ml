@@ -42,13 +42,16 @@ let map ~(domains : int) (f : 'a -> 'b) (xs : 'a array) : 'b array =
     let worker w () =
       if not traced then ignore (body ())
       else
-        Obs.Trace.with_parent parent (fun () ->
-            let t0 = Obs.Trace.now_ns () in
-            Obs.Trace.with_span "parallel.worker" (fun () ->
-                Obs.Trace.add_int "worker" w;
-                let tasks = body () in
-                Obs.Trace.add_int "tasks" tasks);
-            busy_ns.(w) <- Int64.sub (Obs.Trace.now_ns ()) t0)
+        (* lane 1000+w: a stable trace row per worker slot — domain ids are
+           recycled across parallel sections and would interleave rows *)
+        Obs.Trace.with_tid (1000 + w) (fun () ->
+            Obs.Trace.with_parent parent (fun () ->
+                let t0 = Obs.Trace.now_ns () in
+                Obs.Trace.with_span "parallel.worker" (fun () ->
+                    Obs.Trace.add_int "worker" w;
+                    let tasks = body () in
+                    Obs.Trace.add_int "tasks" tasks);
+                busy_ns.(w) <- Int64.sub (Obs.Trace.now_ns ()) t0))
     in
     let t_start = if traced then Obs.Trace.now_ns () else 0L in
     let spawned = Array.init (domains - 1) (fun w -> Domain.spawn (worker (w + 1))) in

@@ -230,15 +230,20 @@ let prove ?(reps = default_reps) ?(domains = 1) ?(lane_width = lanes) ~(circuit 
   let n_in = circuit.n_inputs and n_and = circuit.n_and in
   let n_out = Circuit.n_outputs circuit in
   let witness_bytes = bits_to_bytes witness in
-  let seeds = Array.init reps (fun _ -> Array.init 3 (fun _ -> rand_bytes seed_len)) in
-  (* input shares: parties 0,1 from seeds; party 2 explicit *)
-  let shares =
-    Array.map
-      (fun s ->
-        let x0 = input_share_of_seed s.(0) n_in and x1 = input_share_of_seed s.(1) n_in in
-        let x2 = Bytesx.xor (Bytesx.xor witness_bytes x0) x1 in
-        [| x0; x1; x2 |])
-      seeds
+  (* phase 1/4: per-repetition seeds and input shares *)
+  let seeds, shares =
+    Trace.with_span "zkboo.prove.shares" @@ fun () ->
+    let seeds = Array.init reps (fun _ -> Array.init 3 (fun _ -> rand_bytes seed_len)) in
+    (* input shares: parties 0,1 from seeds; party 2 explicit *)
+    let shares =
+      Array.map
+        (fun s ->
+          let x0 = input_share_of_seed s.(0) n_in and x1 = input_share_of_seed s.(1) n_in in
+          let x2 = Bytesx.xor (Bytesx.xor witness_bytes x0) x1 in
+          [| x0; x1; x2 |])
+        seeds
+    in
+    (seeds, shares)
   in
   (* Process repetitions in packed batches.  Batch size shrinks below the
      full lane width when more domains are available than batches, so the
@@ -280,14 +285,24 @@ let prove ?(reps = default_reps) ?(domains = 1) ?(lane_width = lanes) ~(circuit 
         in
         { z; y; c })
   in
-  let artifacts = Larch_util.Parallel.map ~domains run_batch batches in
-  let per_rep = Array.concat (Array.to_list artifacts) in
+  (* phase 2/4: evaluate + commit every repetition (the parallel part) *)
+  let per_rep =
+    Trace.with_span "zkboo.prove.commit" @@ fun () ->
+    let artifacts = Larch_util.Parallel.map ~domains run_batch batches in
+    Array.concat (Array.to_list artifacts)
+  in
   let commits = Array.map (fun a -> a.c) per_rep in
   let out_shares = Array.map (fun a -> a.y) per_rep in
-  (* sanity: shares of the output must XOR to the circuit's real output *)
-  let public_output = bits_to_bytes (Circuit.eval circuit witness) in
-  let challenges = derive_challenges ~statement_tag ~public_output ~commits ~out_shares reps in
+  (* phase 3/4: Fiat–Shamir challenge derivation *)
+  let challenges =
+    Trace.with_span "zkboo.prove.challenge" @@ fun () ->
+    (* sanity: shares of the output must XOR to the circuit's real output *)
+    let public_output = bits_to_bytes (Circuit.eval circuit witness) in
+    derive_challenges ~statement_tag ~public_output ~commits ~out_shares reps
+  in
+  (* phase 4/4: assemble the opened views *)
   let responses =
+    Trace.with_span "zkboo.prove.respond" @@ fun () ->
     Array.init reps (fun i ->
         let e = challenges.(i) in
         let e1 = (e + 1) mod 3 in

@@ -354,6 +354,260 @@ let chrome_json_valid () =
   Alcotest.(check bool) "has complete events" true
     (contains json "\"ph\":\"X\"")
 
+(* --- high-resolution histograms: merge properties (qcheck) --- *)
+
+module Histo = Larch_obs.Histo
+
+let build (xs : float list) : Histo.t =
+  let h = Histo.create () in
+  List.iter (Histo.observe h) xs;
+  h
+
+(* Samples spread across ~24 octaves, all inside the covered range. *)
+let gen_sample =
+  QCheck.Gen.(
+    map2
+      (fun e m -> float_of_int m *. (2. ** float_of_int e))
+      (int_range (-6) 18) (int_range 1 1023))
+
+let gen_stream = QCheck.Gen.(list_size (int_range 1 200) gen_sample)
+
+let arb_two_streams =
+  QCheck.make
+    ~print:QCheck.Print.(pair (list float) (list float))
+    QCheck.Gen.(pair gen_stream gen_stream)
+
+let arb_three_streams =
+  QCheck.make
+    ~print:QCheck.Print.(triple (list float) (list float) (list float))
+    QCheck.Gen.(triple gen_stream gen_stream gen_stream)
+
+(* Quantiles of merge(a,b) track the exact quantiles of the concatenated
+   stream to within one sub-bucket: the rank-⌈q·n⌉ sample of the merged
+   histogram lands in exactly the bucket of the true rank-⌈q·n⌉ value, so
+   the midpoint estimate is off by at most one bucket width (~1.6%
+   relative; we allow 2%). *)
+let merge_quantile_bound =
+  QCheck.Test.make ~name:"merge(a,b) quantiles within error bound of a@b" ~count:200
+    arb_two_streams
+    (fun (xs, ys) ->
+      let m = Histo.merge (build xs) (build ys) in
+      let sorted = Array.of_list (List.sort compare (xs @ ys)) in
+      let n = Array.length sorted in
+      List.iter
+        (fun q ->
+          let rank = max 1 (min n (int_of_float (ceil (q *. float_of_int n)))) in
+          let exact = sorted.(rank - 1) in
+          let est = Histo.percentile m q in
+          let rel = Float.abs (est -. exact) /. exact in
+          if rel > 0.02 then
+            QCheck.Test.fail_reportf "p%g: est %.17g vs exact %.17g (rel err %.4f, n=%d)"
+              (q *. 100.) est exact rel n)
+        [ 0.5; 0.9; 0.99; 1.0 ];
+      true)
+
+(* Merge is lossless on bucket counts: merging equals observing the
+   concatenated stream, and the bucket arrays commute and associate
+   exactly (the float sum only up to rounding, so we compare counts). *)
+let merge_lossless_commutative_associative =
+  QCheck.Test.make ~name:"merge lossless on counts, commutative, associative" ~count:200
+    arb_three_streams
+    (fun (xs, ys, zs) ->
+      let ha = build xs and hb = build ys and hc = build zs in
+      let buckets h = Histo.nonzero_buckets h in
+      let concat = build (xs @ ys) in
+      let ab = Histo.merge ha hb in
+      if buckets ab <> buckets concat then
+        QCheck.Test.fail_reportf "merge(a,b) buckets differ from concatenated stream";
+      if Histo.count ab <> List.length xs + List.length ys then
+        QCheck.Test.fail_reportf "merge(a,b) count not additive";
+      if buckets ab <> buckets (Histo.merge hb ha) then
+        QCheck.Test.fail_reportf "merge not commutative on buckets";
+      let abc = Histo.merge (Histo.merge ha hb) hc in
+      let a_bc = Histo.merge ha (Histo.merge hb hc) in
+      if buckets abc <> buckets a_bc then
+        QCheck.Test.fail_reportf "merge not associative on buckets";
+      true)
+
+(* Registry-level merge: counters and gauges add, histograms bucket-merge,
+   metrics missing from [into] get registered. *)
+let registry_merge () =
+  with_obs @@ fun () ->
+  let a = Metrics.create () and b = Metrics.create () in
+  Metrics.add (Metrics.counter a "ops") 3;
+  Metrics.add (Metrics.counter b "ops") 4;
+  Metrics.inc (Metrics.counter b "only_b");
+  Metrics.set_gauge (Metrics.gauge a "depth") 2.0;
+  Metrics.set_gauge (Metrics.gauge b "depth") 5.0;
+  Metrics.observe (Metrics.histogram a "lat") 1.0;
+  Metrics.observe (Metrics.histogram b "lat") 100.0;
+  Metrics.merge ~into:a b;
+  Alcotest.(check int) "counters add" 7 (Metrics.counter_value (Metrics.counter a "ops"));
+  Alcotest.(check int) "missing counter registered" 1
+    (Metrics.counter_value (Metrics.counter a "only_b"));
+  Alcotest.(check (float 0.0)) "gauges add" 7.0 (Metrics.gauge_value (Metrics.gauge a "depth"));
+  let h = Metrics.histogram a "lat" in
+  Alcotest.(check int) "histogram counts merge" 2 (Metrics.histogram_count h);
+  Alcotest.(check (float 0.0)) "merged min" 1.0 (Metrics.histogram_min h);
+  Alcotest.(check (float 0.0)) "merged max" 100.0 (Metrics.histogram_max h);
+  (* source registry is untouched *)
+  Alcotest.(check int) "source unchanged" 4 (Metrics.counter_value (Metrics.counter b "ops"))
+
+(* --- flight recorder: ring eviction, incident dumps, sink --- *)
+
+let flight_ring_and_incident () =
+  with_obs @@ fun () ->
+  let reg = Metrics.create () in
+  let f = Larch_obs.Flight.create ~capacity:2 ~registry:reg () in
+  let c = Metrics.counter reg "flight.ticks" in
+  Metrics.inc c;
+  Larch_obs.Flight.record f;
+  Metrics.inc c;
+  Larch_obs.Flight.record f;
+  Metrics.inc c;
+  Larch_obs.Flight.record f;
+  let seen = ref None in
+  Larch_obs.Flight.set_sink f (Some (fun d -> seen := Some d));
+  Larch_obs.Flight.incident ~detail:"unit" f "test.reason";
+  Alcotest.(check int) "one incident" 1 (Larch_obs.Flight.incident_count f);
+  let d = Option.get (Larch_obs.Flight.last_dump f) in
+  Alcotest.(check bool) "sink got the dump" true (!seen = Some d);
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "dump has %S" needle) true (contains d needle))
+    [
+      "=== larch flight recorder ===";
+      "incident: test.reason";
+      "detail: unit";
+      "ring_entries: 2";
+      "--- current ---";
+      "=== end flight dump ===";
+    ];
+  (* capacity 2: the oldest snapshot (ticks=1) was evicted, 2 and 3 remain *)
+  Alcotest.(check bool) "evicted oldest snapshot" false (contains d "\"flight.ticks\":1}");
+  Alcotest.(check bool) "kept second snapshot" true (contains d "\"flight.ticks\":2}");
+  Alcotest.(check bool) "kept newest snapshot" true (contains d "\"flight.ticks\":3}");
+  Larch_obs.Flight.clear f;
+  Alcotest.(check bool) "clear forgets dumps" true (Larch_obs.Flight.last_dump f = None);
+  Alcotest.(check int) "clear resets incidents" 0 (Larch_obs.Flight.incident_count f)
+
+(* --- exporters: format sanity + the §2.3 privacy invariant --- *)
+
+(* Drive all three protocols against RP names from [forbidden], then
+   grep-proof every export surface: Prometheus text, canonical JSON, and
+   a flight-recorder dump taken over the same registry and event stream. *)
+let exporter_privacy () =
+  with_obs @@ fun () ->
+  Larch_util.Clock.set 1_700_000_000.;
+  Larch_obs.Flight.clear Larch_obs.Flight.default;
+  let rand = Larch_hash.Drbg.of_seed "test-obs-export-privacy" in
+  let log = Log_service.create ~rand_bytes:rand () in
+  let client =
+    Client.create ~client_id:"alice" ~account_password:"hunter2 but longer" ~log
+      ~rand_bytes:rand ()
+  in
+  Client.enroll ~presignature_count:4 client;
+  let rp = Relying_party.create ~name:"github.com" ~rand_bytes:rand () in
+  let pk = Client.register_fido2 client ~rp_name:"github.com" in
+  Relying_party.fido2_register rp ~username:"alice" ~pk;
+  let challenge = Relying_party.fido2_challenge rp ~username:"alice" in
+  let assertion = Client.authenticate_fido2 client ~rp_name:"github.com" ~challenge in
+  Alcotest.(check bool) "fido2 accepted" true
+    (Relying_party.fido2_login rp ~username:"alice" assertion);
+  let trp = Relying_party.create ~name:"target.example" ~rand_bytes:rand () in
+  let tkey = Relying_party.totp_register trp ~username:"alice" in
+  Client.register_totp client ~rp_name:"target.example" ~totp_key:tkey;
+  let code = Client.authenticate_totp client ~rp_name:"target.example" ~time:1_700_000_000. in
+  Alcotest.(check bool) "totp accepted" true
+    (Relying_party.totp_login trp ~username:"alice" ~time:1_700_000_000. code);
+  ignore (Client.register_password client ~rp_name:"decoy01.example");
+  ignore (Client.authenticate_password client ~rp_name:"decoy01.example");
+  ignore (Client.audit client);
+  Larch_obs.Flight.record Larch_obs.Flight.default;
+  Larch_obs.Flight.incident ~detail:"privacy sweep" Larch_obs.Flight.default "test.incident";
+  let prom = Larch_obs.Export.prometheus Metrics.default in
+  let js = Larch_obs.Export.json Metrics.default in
+  let dump = Option.get (Larch_obs.Flight.last_dump Larch_obs.Flight.default) in
+  (* the surfaces actually carry the new deep metrics... *)
+  Alcotest.(check bool) "prom has TYPE lines" true (contains prom "# TYPE");
+  Alcotest.(check bool) "prom carries auth counters" true
+    (contains prom "larch_auth_fido2_verify_ok");
+  Alcotest.(check bool) "prom carries presig gauge" true
+    (contains prom "larch_log_fido2_presigs_remaining");
+  Alcotest.(check bool) "json carries record counter" true
+    (contains js "\"log.records.stored\":");
+  (match validate_json js with
+  | () -> ()
+  | exception Bad_json m -> Alcotest.failf "exporter json invalid (%s)" m);
+  (* ...and none of them leaks a relying-party identifier *)
+  List.iter
+    (fun (label, surface) ->
+      List.iter
+        (fun bad ->
+          if contains surface bad then
+            Alcotest.failf "%s leaks relying-party identifier %S" label bad)
+        forbidden)
+    [ ("prometheus", prom); ("json", js); ("flight dump", dump) ]
+
+(* --- trace lanes: parallel workers pin tid >= 1000 --- *)
+
+let parallel_tid_lanes () =
+  with_obs @@ fun () ->
+  let busy x =
+    let acc = ref x in
+    for _ = 1 to 500_000 do
+      acc := (!acc * 7) land 0xFFFFFF
+    done;
+    ignore (Sys.opaque_identity !acc)
+  in
+  ignore
+    (Larch_util.Parallel.map ~domains:3
+       (fun x ->
+         Trace.with_span "lane.work" (fun () ->
+             busy x;
+             x))
+       (Array.init 8 Fun.id));
+  let spans = Trace.spans () in
+  let workers = List.filter (fun s -> s.Trace.name = "parallel.worker") spans in
+  Alcotest.(check bool) "workers recorded" true (workers <> []);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "worker pinned to a lane >= 1000" true (s.Trace.domain >= 1000))
+    workers;
+  let works = List.filter (fun s -> s.Trace.name = "lane.work") spans in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "task span inherits the worker lane" true (s.Trace.domain >= 1000))
+    works;
+  (* outside the parallel section the override is gone *)
+  Trace.with_span "after" (fun () -> ());
+  let after = List.find (fun s -> s.Trace.name = "after") (Trace.spans ()) in
+  Alcotest.(check bool) "caller back on its real domain id" true (after.Trace.domain < 1000);
+  let json = Trace.to_chrome_json () in
+  (match validate_json json with
+  | () -> ()
+  | exception Bad_json m -> Alcotest.failf "chrome json with lanes invalid (%s): %s" m json);
+  Alcotest.(check bool) "lanes are named" true (contains json "worker lane ");
+  Alcotest.(check bool) "thread_name metadata present" true (contains json "\"thread_name\"")
+
+(* --- capacity report: byte-for-byte determinism --- *)
+
+let report_determinism () =
+  let r1 = Report.run ~auths:1 ~seed:"test-obs-report" () in
+  let r2 = Report.run ~auths:1 ~seed:"test-obs-report" () in
+  Alcotest.(check string) "same seed, same text" r1.Report.text r2.Report.text;
+  Alcotest.(check string) "same seed, same digest" r1.Report.digest r2.Report.digest;
+  Alcotest.(check int) "digest is hex sha256" 64 (String.length r1.Report.digest);
+  let r3 = Report.run ~auths:1 ~seed:"test-obs-other" () in
+  Alcotest.(check bool) "different seed, different digest" true
+    (r3.Report.digest <> r1.Report.digest);
+  (* the report names every section the issue promises *)
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "report has %S" needle) true
+        (contains r1.Report.text needle))
+    [ "fido2"; "totp"; "password"; "p50"; "p99"; "presig"; "wal" ]
+
 (* --- runner --- *)
 
 let () =
@@ -369,7 +623,21 @@ let () =
         [
           Alcotest.test_case "histogram percentiles" `Quick histogram_percentiles;
           Alcotest.test_case "counters and gauges" `Quick counters_and_gauges;
+          Alcotest.test_case "registry merge" `Quick registry_merge;
         ] );
+      ( "histo-property",
+        [
+          QCheck_alcotest.to_alcotest merge_quantile_bound;
+          QCheck_alcotest.to_alcotest merge_lossless_commutative_associative;
+        ] );
+      ( "flight",
+        [ Alcotest.test_case "ring eviction, incident dump, sink" `Quick flight_ring_and_incident ] );
+      ( "export",
+        [ Alcotest.test_case "privacy across prom/json/flight dumps" `Slow exporter_privacy ] );
+      ( "lanes",
+        [ Alcotest.test_case "parallel workers pin trace lanes" `Quick parallel_tid_lanes ] );
+      ( "report",
+        [ Alcotest.test_case "capacity report is byte-deterministic" `Slow report_determinism ] );
       ( "runtime",
         [ Alcotest.test_case "disabled mode allocates nothing" `Quick disabled_is_noop ] );
       ( "channel",
