@@ -7,12 +7,13 @@
 
    Experiments: fig3-left fig3-center fig3-right fig4-left fig4-right fig5
    table6 enroll ecdsa-compare ablate-schnorr ablate-pack groth16 recovery
-   micro *)
+   micro zkboo *)
 
 let all_ids =
   [
     "fig3-left"; "fig3-center"; "fig3-right"; "fig4-left"; "fig4-right"; "fig5"; "table6";
     "enroll"; "ecdsa-compare"; "ablate-schnorr"; "ablate-pack"; "groth16"; "recovery"; "micro";
+    "zkboo";
   ]
 
 let run_experiments ~fast ~micro_json ~micro_quota ~selected =
@@ -50,7 +51,10 @@ let run_experiments ~fast ~micro_json ~micro_quota ~selected =
   if want "ablate-pack" then Experiments.ablate_pack ();
   if want "groth16" then Experiments.groth16_note ();
   if want "recovery" then Experiments.recovery_bench ~fast ();
-  if want "micro" then Micro.run ?quota:micro_quota ?json:micro_json ()
+  if want "micro" then Micro.run ?quota:micro_quota ?json:micro_json ();
+  (* zkboo is opt-in only: ~6 multi-ms rows would dominate a default run *)
+  if selected <> [] && want "zkboo" then
+    Micro.run_zkboo ?quota:micro_quota ?json:micro_json ()
 
 open Cmdliner
 

@@ -3,7 +3,12 @@
 
    [run ?quota ?json ()] optionally dumps every estimate to [json] as a flat
    {name: ns_per_op} object so perf trajectories (BENCH_*.json) can be
-   regenerated mechanically instead of transcribed by hand. *)
+   regenerated mechanically instead of transcribed by hand.
+
+   [run_zkboo ?quota ?json ()] benchmarks the ZKBoo prover end to end and
+   per phase (shares / commit / challenge / respond) on the one-compression
+   SHA-256 statement, and emits the BENCH_pr7.json before/after schema
+   directly when [json] is given. *)
 
 open Bechamel
 open Toolkit
@@ -37,6 +42,47 @@ let tests () =
     Test.make ~name:"ecdsa/verify" (Staged.stage (fun () -> Larch_ec.Ecdsa.verify ~pk "m" sg));
   ]
 
+(* --- ZKBoo prove/verify, end to end and split by phase ---
+
+   The statement is one SHA-256 compression (the hot primitive of the
+   FIDO2 circuit) at the paper's 137 repetitions, single-domain so the
+   rows measure the packed evaluator itself.  Phase rows reuse one fixed
+   (prepared, committed, challenges) pipeline state, so e.g.
+   zkboo/prove-commit times exactly the evaluate+commit pass. *)
+
+module Zkboo = Larch_zkboo.Zkboo
+
+let zkboo_tests () =
+  let b = Larch_circuit.Builder.create () in
+  let msg = Larch_circuit.Builder.inputs b 256 in
+  let out = Larch_circuit.Sha256_circuit.hash_fixed b ~msg in
+  let circuit = Larch_circuit.Builder.finalize b ~outputs:out in
+  let rand = Larch_hash.Drbg.of_seed "micro-zkboo" in
+  let witness = Array.init 256 (fun _ -> Char.code (rand 1).[0] land 1 = 1) in
+  let public_output = Larch_circuit.Circuit.eval circuit witness in
+  let reps = Zkboo.default_reps in
+  let tag = "micro" in
+  let prand = Larch_hash.Drbg.of_seed "micro-zkboo-prove" in
+  let prep = Zkboo.Phases.shares ~reps ~circuit ~witness ~rand_bytes:prand in
+  let comm = Zkboo.Phases.commit ~circuit prep in
+  let challenges = Zkboo.Phases.challenge ~circuit ~statement_tag:tag prep comm in
+  let proof = Zkboo.Phases.respond prep comm challenges in
+  [
+    Test.make ~name:"zkboo/prove"
+      (Staged.stage (fun () ->
+           Zkboo.prove ~reps ~circuit ~witness ~statement_tag:tag ~rand_bytes:prand ()));
+    Test.make ~name:"zkboo/prove-shares"
+      (Staged.stage (fun () -> Zkboo.Phases.shares ~reps ~circuit ~witness ~rand_bytes:prand));
+    Test.make ~name:"zkboo/prove-commit"
+      (Staged.stage (fun () -> Zkboo.Phases.commit ~circuit prep));
+    Test.make ~name:"zkboo/prove-challenge"
+      (Staged.stage (fun () -> Zkboo.Phases.challenge ~circuit ~statement_tag:tag prep comm));
+    Test.make ~name:"zkboo/prove-respond"
+      (Staged.stage (fun () -> Zkboo.Phases.respond prep comm challenges));
+    Test.make ~name:"zkboo/verify"
+      (Staged.stage (fun () -> Zkboo.verify ~circuit ~public_output ~statement_tag:tag proof));
+  ]
+
 (* {"estimates": {name: ns_per_op}, "metrics": <registry snapshot>} — the
    counters ride along so BENCH_*.json files capture what the run actually
    did (ops, bytes, span histograms), not just how fast. *)
@@ -52,23 +98,90 @@ let dump_json ~file rows =
   output_string oc "\n}\n";
   close_out oc
 
-let run ?(quota = 0.5) ?json () =
-  Printf.printf "\n=== microbenchmarks (bechamel, ns/op) ===\n%!";
+let estimate ~quota tests =
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) () in
-  let grouped = Test.make_grouped ~name:"micro" ~fmt:"%s %s" (tests ()) in
+  let grouped = Test.make_grouped ~name:"micro" ~fmt:"%s %s" tests in
   let raw = Benchmark.all cfg [ Instance.monotonic_clock ] grouped in
   let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = Hashtbl.fold (fun name v acc -> (name, v) :: acc) results [] in
-  let estimates =
-    List.filter_map
-      (fun (name, v) ->
-        match Analyze.OLS.estimates v with Some [ est ] -> Some (name, est) | _ -> None)
-      (List.sort compare rows)
+  let strip name =
+    (* drop the bechamel group prefix: "micro sha256/64B" -> "sha256/64B" *)
+    match String.index_opt name ' ' with
+    | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+    | None -> name
   in
+  List.filter_map
+    (fun (name, v) ->
+      match Analyze.OLS.estimates v with Some [ est ] -> Some (strip name, est) | _ -> None)
+    (List.sort compare rows)
+
+let run ?(quota = 0.5) ?json () =
+  Printf.printf "\n=== microbenchmarks (bechamel, ns/op) ===\n%!";
+  let estimates = estimate ~quota (tests ()) in
   List.iter (fun (name, est) -> Printf.printf "%-28s %12.1f ns/op\n" name est) estimates;
   match json with
   | None -> ()
   | Some file ->
       dump_json ~file estimates;
       Printf.printf "micro estimates written to %s\n" file
+
+(* Pre-PR7 single-core baselines for the ZKBoo rows, measured at commit
+   6532da6 (per-phase numbers from the prover's trace spans, since the
+   phases only became separately callable in PR7; respond was below the
+   span timer's resolution). *)
+let zkboo_baseline_ns =
+  [
+    ("zkboo/prove", 207305765.0);
+    ("zkboo/prove-shares", 7670000.0);
+    ("zkboo/prove-commit", 192030000.0);
+    ("zkboo/prove-challenge", 2340000.0);
+    ("zkboo/prove-respond", 5000.0);
+    ("zkboo/verify", 110949183.0);
+  ]
+
+let dump_pr7_json ~file rows =
+  let oc = open_out file in
+  output_string oc "{\n";
+  output_string oc
+    "  \"pr\": \"ZKBoo raw-speed pass: flattened circuit plans, allocation-free tapes, \
+     transposed packing, reusable hash contexts, balanced domain batches\",\n";
+  Printf.fprintf oc "  \"units\": \"ns/op (bechamel OLS estimate, 2 s quota per benchmark)\",\n";
+  Printf.fprintf oc "  \"command\": \"dune exec bench/main.exe -- -e zkboo --json FILE\",\n";
+  output_string oc
+    "  \"note\": \"statement = one SHA-256 compression (22696 AND gates), 137 reps, 1 domain; \
+     baseline = commit 6532da6, per-phase baselines from trace spans; proof bytes are \
+     bit-identical before/after (fixed-seed KAT)\",\n";
+  output_string oc "  \"benchmarks\": {\n";
+  List.iteri
+    (fun i (name, after, base) ->
+      Printf.fprintf oc
+        "    %S: {\n      \"baseline_ns\": %.1f,\n      \"after_ns\": %.1f,\n      \
+         \"speedup\": %.2f\n    }%s\n"
+        name base after (base /. after)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "  }\n}\n";
+  close_out oc
+
+let run_zkboo ?(quota = 2.0) ?json () =
+  Printf.printf "\n=== zkboo microbenchmarks (bechamel, ns/op, vs pre-PR7 baseline) ===\n%!";
+  let estimates = estimate ~quota (zkboo_tests ()) in
+  let rows =
+    List.map
+      (fun (name, after) ->
+        match List.assoc_opt name zkboo_baseline_ns with
+        | Some base -> (name, after, base)
+        | None -> (name, after, after))
+      estimates
+  in
+  List.iter
+    (fun (name, after, base) ->
+      Printf.printf "%-24s %14.1f ns/op   baseline %14.1f   speedup %5.2fx\n" name after base
+        (base /. after))
+    rows;
+  match json with
+  | None -> ()
+  | Some file ->
+      dump_pr7_json ~file rows;
+      Printf.printf "zkboo BENCH rows written to %s\n" file

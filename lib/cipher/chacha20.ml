@@ -8,67 +8,113 @@ let mask32 = 0xffffffff
 
 let rotl x n = ((x lsl n) lor (x lsr (32 - n))) land mask32
 
-let quarter_round (st : int array) a b c d =
-  st.(a) <- (st.(a) + st.(b)) land mask32;
-  st.(d) <- rotl (st.(d) lxor st.(a)) 16;
-  st.(c) <- (st.(c) + st.(d)) land mask32;
-  st.(b) <- rotl (st.(b) lxor st.(c)) 12;
-  st.(a) <- (st.(a) + st.(b)) land mask32;
-  st.(d) <- rotl (st.(d) lxor st.(a)) 8;
-  st.(c) <- (st.(c) + st.(d)) land mask32;
-  st.(b) <- rotl (st.(b) lxor st.(c)) 7
-
 let le32 (s : string) (off : int) : int =
   Char.code s.[off]
   lor (Char.code s.[off + 1] lsl 8)
   lor (Char.code s.[off + 2] lsl 16)
   lor (Char.code s.[off + 3] lsl 24)
 
+(* Consecutive keystream blocks written straight into [buf] at [pos].
+
+   This is the allocation-free hot path behind the PRG (ZKBoo random
+   tapes pull ~24k blocks per proof): the key schedule is parsed once,
+   the 20 rounds run over 16 let-bound ints (registers, no state array,
+   no bounds checks), and words are stored with unsafe byte writes. *)
+let blocks_into ~(key : string) ~(nonce : string) ~(counter : int) (buf : Bytes.t) ~(pos : int)
+    ~(nblocks : int) : unit =
+  if String.length key <> 32 then invalid_arg "Chacha20.blocks_into: key must be 32 bytes";
+  if String.length nonce <> 12 then invalid_arg "Chacha20.blocks_into: nonce must be 12 bytes";
+  if pos < 0 || nblocks < 0 || pos + (64 * nblocks) > Bytes.length buf then
+    invalid_arg "Chacha20.blocks_into: out of bounds";
+  let k0 = le32 key 0 and k1 = le32 key 4 and k2 = le32 key 8 and k3 = le32 key 12 in
+  let k4 = le32 key 16 and k5 = le32 key 20 and k6 = le32 key 24 and k7 = le32 key 28 in
+  let n0 = le32 nonce 0 and n1 = le32 nonce 4 and n2 = le32 nonce 8 in
+  for blk = 0 to nblocks - 1 do
+    let ctr = (counter + blk) land mask32 in
+    let rec rounds n x0 x1 x2 x3 x4 x5 x6 x7 x8 x9 x10 x11 x12 x13 x14 x15 =
+      if n = 0 then begin
+        let off = pos + (64 * blk) in
+        let store i v0 =
+          let v = v0 land mask32 in
+          Bytes.unsafe_set buf (off + i) (Char.unsafe_chr (v land 0xff));
+          Bytes.unsafe_set buf (off + i + 1) (Char.unsafe_chr ((v lsr 8) land 0xff));
+          Bytes.unsafe_set buf (off + i + 2) (Char.unsafe_chr ((v lsr 16) land 0xff));
+          Bytes.unsafe_set buf (off + i + 3) (Char.unsafe_chr ((v lsr 24) land 0xff))
+        in
+        store 0 (x0 + 0x61707865);
+        store 4 (x1 + 0x3320646e);
+        store 8 (x2 + 0x79622d32);
+        store 12 (x3 + 0x6b206574);
+        store 16 (x4 + k0);
+        store 20 (x5 + k1);
+        store 24 (x6 + k2);
+        store 28 (x7 + k3);
+        store 32 (x8 + k4);
+        store 36 (x9 + k5);
+        store 40 (x10 + k6);
+        store 44 (x11 + k7);
+        store 48 (x12 + ctr);
+        store 52 (x13 + n0);
+        store 56 (x14 + n1);
+        store 60 (x15 + n2)
+      end
+      else begin
+        (* column quarter-rounds *)
+        let x0 = (x0 + x4) land mask32 in let x12 = rotl (x12 lxor x0) 16 in
+        let x8 = (x8 + x12) land mask32 in let x4 = rotl (x4 lxor x8) 12 in
+        let x0 = (x0 + x4) land mask32 in let x12 = rotl (x12 lxor x0) 8 in
+        let x8 = (x8 + x12) land mask32 in let x4 = rotl (x4 lxor x8) 7 in
+        let x1 = (x1 + x5) land mask32 in let x13 = rotl (x13 lxor x1) 16 in
+        let x9 = (x9 + x13) land mask32 in let x5 = rotl (x5 lxor x9) 12 in
+        let x1 = (x1 + x5) land mask32 in let x13 = rotl (x13 lxor x1) 8 in
+        let x9 = (x9 + x13) land mask32 in let x5 = rotl (x5 lxor x9) 7 in
+        let x2 = (x2 + x6) land mask32 in let x14 = rotl (x14 lxor x2) 16 in
+        let x10 = (x10 + x14) land mask32 in let x6 = rotl (x6 lxor x10) 12 in
+        let x2 = (x2 + x6) land mask32 in let x14 = rotl (x14 lxor x2) 8 in
+        let x10 = (x10 + x14) land mask32 in let x6 = rotl (x6 lxor x10) 7 in
+        let x3 = (x3 + x7) land mask32 in let x15 = rotl (x15 lxor x3) 16 in
+        let x11 = (x11 + x15) land mask32 in let x7 = rotl (x7 lxor x11) 12 in
+        let x3 = (x3 + x7) land mask32 in let x15 = rotl (x15 lxor x3) 8 in
+        let x11 = (x11 + x15) land mask32 in let x7 = rotl (x7 lxor x11) 7 in
+        (* diagonal quarter-rounds *)
+        let x0 = (x0 + x5) land mask32 in let x15 = rotl (x15 lxor x0) 16 in
+        let x10 = (x10 + x15) land mask32 in let x5 = rotl (x5 lxor x10) 12 in
+        let x0 = (x0 + x5) land mask32 in let x15 = rotl (x15 lxor x0) 8 in
+        let x10 = (x10 + x15) land mask32 in let x5 = rotl (x5 lxor x10) 7 in
+        let x1 = (x1 + x6) land mask32 in let x12 = rotl (x12 lxor x1) 16 in
+        let x11 = (x11 + x12) land mask32 in let x6 = rotl (x6 lxor x11) 12 in
+        let x1 = (x1 + x6) land mask32 in let x12 = rotl (x12 lxor x1) 8 in
+        let x11 = (x11 + x12) land mask32 in let x6 = rotl (x6 lxor x11) 7 in
+        let x2 = (x2 + x7) land mask32 in let x13 = rotl (x13 lxor x2) 16 in
+        let x8 = (x8 + x13) land mask32 in let x7 = rotl (x7 lxor x8) 12 in
+        let x2 = (x2 + x7) land mask32 in let x13 = rotl (x13 lxor x2) 8 in
+        let x8 = (x8 + x13) land mask32 in let x7 = rotl (x7 lxor x8) 7 in
+        let x3 = (x3 + x4) land mask32 in let x14 = rotl (x14 lxor x3) 16 in
+        let x9 = (x9 + x14) land mask32 in let x4 = rotl (x4 lxor x9) 12 in
+        let x3 = (x3 + x4) land mask32 in let x14 = rotl (x14 lxor x3) 8 in
+        let x9 = (x9 + x14) land mask32 in let x4 = rotl (x4 lxor x9) 7 in
+        rounds (n - 1) x0 x1 x2 x3 x4 x5 x6 x7 x8 x9 x10 x11 x12 x13 x14 x15
+      end
+    in
+    rounds 10 0x61707865 0x3320646e 0x79622d32 0x6b206574 k0 k1 k2 k3 k4 k5 k6 k7 ctr n0 n1 n2
+  done
+
 (* One 64-byte keystream block.  [key] is 32 bytes, [nonce] 12 bytes. *)
 let block ~(key : string) ~(nonce : string) ~(counter : int) : string =
-  if String.length key <> 32 then invalid_arg "Chacha20.block: key must be 32 bytes";
-  if String.length nonce <> 12 then invalid_arg "Chacha20.block: nonce must be 12 bytes";
-  let st = Array.make 16 0 in
-  st.(0) <- 0x61707865;
-  st.(1) <- 0x3320646e;
-  st.(2) <- 0x79622d32;
-  st.(3) <- 0x6b206574;
-  for i = 0 to 7 do
-    st.(4 + i) <- le32 key (4 * i)
-  done;
-  st.(12) <- counter land mask32;
-  for i = 0 to 2 do
-    st.(13 + i) <- le32 nonce (4 * i)
-  done;
-  let working = Array.copy st in
-  for _ = 1 to 10 do
-    quarter_round working 0 4 8 12;
-    quarter_round working 1 5 9 13;
-    quarter_round working 2 6 10 14;
-    quarter_round working 3 7 11 15;
-    quarter_round working 0 5 10 15;
-    quarter_round working 1 6 11 12;
-    quarter_round working 2 7 8 13;
-    quarter_round working 3 4 9 14
-  done;
   let out = Bytes.create 64 in
-  for i = 0 to 15 do
-    let v = (working.(i) + st.(i)) land mask32 in
-    Bytes.set_uint8 out (4 * i) (v land 0xff);
-    Bytes.set_uint8 out ((4 * i) + 1) ((v lsr 8) land 0xff);
-    Bytes.set_uint8 out ((4 * i) + 2) ((v lsr 16) land 0xff);
-    Bytes.set_uint8 out ((4 * i) + 3) ((v lsr 24) land 0xff)
-  done;
+  blocks_into ~key ~nonce ~counter out ~pos:0 ~nblocks:1;
   Bytes.unsafe_to_string out
 
 let keystream ~key ~nonce ~(counter : int) (len : int) : string =
-  let buf = Buffer.create len in
-  let ctr = ref counter in
-  while Buffer.length buf < len do
-    Buffer.add_string buf (block ~key ~nonce ~counter:!ctr);
-    incr ctr
-  done;
-  String.sub (Buffer.contents buf) 0 len
+  let out = Bytes.create len in
+  let full = len / 64 in
+  blocks_into ~key ~nonce ~counter out ~pos:0 ~nblocks:full;
+  let rem = len - (64 * full) in
+  if rem > 0 then begin
+    let last = block ~key ~nonce ~counter:(counter + full) in
+    Bytes.blit_string last 0 out (64 * full) rem
+  end;
+  Bytes.unsafe_to_string out
 
 let encrypt ~key ~nonce ?(counter = 1) (plaintext : string) : string =
   Larch_util.Bytesx.xor plaintext (keystream ~key ~nonce ~counter (String.length plaintext))

@@ -4,6 +4,12 @@
 val block : key:string -> nonce:string -> counter:int -> string
 (** One 64-byte keystream block; 32-byte key, 12-byte nonce. *)
 
+val blocks_into :
+  key:string -> nonce:string -> counter:int -> Bytes.t -> pos:int -> nblocks:int -> unit
+(** [nblocks] consecutive keystream blocks written into the buffer at
+    [pos] — the allocation-free path behind {!Larch_cipher.Prg} tape
+    expansion.  @raise Invalid_argument on bad key/nonce/range. *)
+
 val keystream : key:string -> nonce:string -> counter:int -> int -> string
 val encrypt : key:string -> nonce:string -> ?counter:int -> string -> string
 val decrypt : key:string -> nonce:string -> ?counter:int -> string -> string

@@ -6,5 +6,10 @@ type t
 
 val create : string -> t
 val next_bytes : t -> int -> string
+
+val fill : t -> Bytes.t -> pos:int -> len:int -> unit
+(** Write the next [len] stream bytes into the buffer at [pos] without
+    intermediate allocation; identical stream to {!next_bytes}. *)
+
 val next_bit : t -> int
 val rand_bytes_of : t -> int -> string

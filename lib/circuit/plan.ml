@@ -1,0 +1,148 @@
+(* Flattened circuit execution plan.
+
+   [Circuit.t] stores gates as an array of variant blocks; evaluating it
+   means chasing a heap pointer and dispatching on the constructor for
+   every gate — ~3 words of scattered heap per gate, half a million gates
+   per ZKBoo batch.  A plan compiles the gate graph once into a
+   struct-of-arrays form the hot evaluators stream through:
+
+     op     one byte per gate (opcode),
+     arg_a  first operand wire (or the constant's value),
+     arg_b  second operand wire,
+     and_k  dense AND index (position on the random tape), -1 otherwise.
+
+   All wire references are re-validated at compile time, so evaluators
+   built on a plan may use unchecked array access.  Plans are immutable
+   and safe to share across domains; [cached] memoizes compilation per
+   circuit (physical equality), which makes "compile once, prove many"
+   automatic for the static statement circuits. *)
+
+type t = {
+  circuit : Circuit.t;
+  n_inputs : int;
+  n_gates : int;
+  n_wires : int;
+  n_and : int;
+  n_outputs : int;
+  op : Bytes.t;
+  arg_a : int array;
+  arg_b : int array;
+  and_k : int array;
+  outputs : int array;
+}
+
+let op_xor = 0
+let op_and = 1
+let op_not = 2
+let op_const = 3
+
+let of_circuit (c : Circuit.t) : t =
+  let n_gates = Circuit.n_gates c in
+  let n_wires = Circuit.n_wires c in
+  let op = Bytes.make n_gates '\000' in
+  let arg_a = Array.make n_gates 0 in
+  let arg_b = Array.make n_gates 0 in
+  let check i w =
+    if w < 0 || w >= c.n_inputs + i then invalid_arg "Plan.of_circuit: bad wire reference"
+  in
+  Array.iteri
+    (fun i g ->
+      match g with
+      | Circuit.Xor (a, b) ->
+          check i a; check i b;
+          Bytes.unsafe_set op i (Char.chr op_xor);
+          arg_a.(i) <- a;
+          arg_b.(i) <- b
+      | Circuit.And (a, b) ->
+          check i a; check i b;
+          if c.and_index.(i) < 0 || c.and_index.(i) >= c.n_and then
+            invalid_arg "Plan.of_circuit: bad AND index";
+          Bytes.unsafe_set op i (Char.chr op_and);
+          arg_a.(i) <- a;
+          arg_b.(i) <- b
+      | Circuit.Not a ->
+          check i a;
+          Bytes.unsafe_set op i (Char.chr op_not);
+          arg_a.(i) <- a
+      | Circuit.Const v ->
+          Bytes.unsafe_set op i (Char.chr op_const);
+          arg_a.(i) <- (if v then 1 else 0))
+    c.gates;
+  Array.iter
+    (fun w -> if w < 0 || w >= n_wires then invalid_arg "Plan.of_circuit: bad output wire")
+    c.outputs;
+  {
+    circuit = c;
+    n_inputs = c.n_inputs;
+    n_gates;
+    n_wires;
+    n_and = c.n_and;
+    n_outputs = Circuit.n_outputs c;
+    op;
+    arg_a;
+    arg_b;
+    and_k = c.and_index;
+    outputs = c.outputs;
+  }
+
+(* --- memoized compilation ---
+
+   Keyed on physical equality: the statement circuits are built once
+   (lazily) and shared, so pointer identity is the natural cache key.  A
+   short bounded list is plenty — a process touches a handful of distinct
+   circuits — and the mutex only guards the (rare) lookup, never any
+   evaluation. *)
+
+let cache_cap = 8
+let cache : (Circuit.t * t) list ref = ref []
+let cache_lock = Mutex.create ()
+
+let cached (c : Circuit.t) : t =
+  Mutex.lock cache_lock;
+  let hit = List.find_opt (fun (c', _) -> c' == c) !cache in
+  match hit with
+  | Some (_, p) ->
+      Mutex.unlock cache_lock;
+      p
+  | None ->
+      (* compile outside the lock: compilation is pure, and a duplicate
+         compile on a race is cheaper than holding the lock across it *)
+      Mutex.unlock cache_lock;
+      let p = of_circuit c in
+      Mutex.lock cache_lock;
+      let keep = List.filteri (fun i _ -> i < cache_cap - 1) !cache in
+      cache := (c, p) :: keep;
+      Mutex.unlock cache_lock;
+      p
+
+(* --- cleartext evaluation over the flat arrays ---
+
+   Wire values are 0/1 ints in a preallocated scratch; this is the fast
+   counterpart of [Circuit.eval] (differentially tested against it) used
+   to recompute the public output during Fiat–Shamir. *)
+
+let eval_into (p : t) ~(scratch : int array) (inputs : bool array) : bool array =
+  if Array.length inputs <> p.n_inputs then invalid_arg "Plan.eval: wrong input count";
+  if Array.length scratch < p.n_wires then invalid_arg "Plan.eval: scratch too small";
+  let w = scratch in
+  for i = 0 to p.n_inputs - 1 do
+    Array.unsafe_set w i (if Array.unsafe_get inputs i then 1 else 0)
+  done;
+  let op = p.op and aa = p.arg_a and bb = p.arg_b in
+  let ni = p.n_inputs in
+  for i = 0 to p.n_gates - 1 do
+    let code = Char.code (Bytes.unsafe_get op i) in
+    let v =
+      if code = op_xor then
+        Array.unsafe_get w (Array.unsafe_get aa i) lxor Array.unsafe_get w (Array.unsafe_get bb i)
+      else if code = op_and then
+        Array.unsafe_get w (Array.unsafe_get aa i) land Array.unsafe_get w (Array.unsafe_get bb i)
+      else if code = op_not then 1 - Array.unsafe_get w (Array.unsafe_get aa i)
+      else Array.unsafe_get aa i
+    in
+    Array.unsafe_set w (ni + i) v
+  done;
+  Array.map (fun o -> Array.unsafe_get w o = 1) p.outputs
+
+let eval (p : t) (inputs : bool array) : bool array =
+  eval_into p ~scratch:(Array.make p.n_wires 0) inputs

@@ -1,0 +1,41 @@
+(** Flattened circuit execution plan: the gate graph compiled once into
+    struct-of-arrays form (opcode byte + operand-index arrays + dense AND
+    indices) so hot evaluators stream through int arrays instead of
+    dispatching on [Circuit.gate] blocks.
+
+    Wire references are re-validated at compile time — evaluators built on
+    a plan may use unchecked array access.  Plans are immutable and safe
+    to share across domains. *)
+
+type t = private {
+  circuit : Circuit.t;
+  n_inputs : int;
+  n_gates : int;
+  n_wires : int;
+  n_and : int;
+  n_outputs : int;
+  op : Bytes.t;  (** one opcode byte per gate: {!op_xor} … {!op_const} *)
+  arg_a : int array;  (** first operand wire; for Const, the value 0/1 *)
+  arg_b : int array;  (** second operand wire (And/Xor) *)
+  and_k : int array;  (** gate → dense AND index (tape position), or -1 *)
+  outputs : int array;
+}
+
+val op_xor : int
+val op_and : int
+val op_not : int
+val op_const : int
+
+val of_circuit : Circuit.t -> t
+(** Compile. @raise Invalid_argument on malformed wire references. *)
+
+val cached : Circuit.t -> t
+(** Memoized {!of_circuit}, keyed on physical equality of the circuit —
+    the static statement circuits compile once per process. *)
+
+val eval : t -> bool array -> bool array
+(** Cleartext evaluation over the flat arrays; agrees bit-for-bit with
+    [Circuit.eval] (differentially tested). *)
+
+val eval_into : t -> scratch:int array -> bool array -> bool array
+(** [eval] with a caller-provided wire scratch (≥ [n_wires] ints). *)

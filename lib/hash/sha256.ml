@@ -34,31 +34,48 @@ type ctx = {
   buf : Bytes.t; (* partial block *)
   mutable buf_len : int;
   mutable total : int; (* total bytes fed *)
+  w : int array; (* message-schedule scratch, reused across blocks *)
 }
 
-let init () = { h = Array.copy initial_state; buf = Bytes.create block_size; buf_len = 0; total = 0 }
+let init () =
+  {
+    h = Array.copy initial_state;
+    buf = Bytes.create block_size;
+    buf_len = 0;
+    total = 0;
+    w = Array.make 64 0;
+  }
 
-let compress (h : int array) (block : string) (off : int) : unit =
-  let w = Array.make 64 0 in
+let reset (ctx : ctx) : unit =
+  Array.blit initial_state 0 ctx.h 0 8;
+  ctx.buf_len <- 0;
+  ctx.total <- 0
+
+(* One compression round over [w] as schedule scratch.  Indices are
+   structurally in range (0..63 / fixed offsets), so array and string
+   accesses are unchecked — this loop runs once per 64 bytes of every
+   commitment in a ZKBoo proof (~24k blocks per FIDO2 prove). *)
+let compress_with (w : int array) (h : int array) (block : string) (off : int) : unit =
   for t = 0 to 15 do
     let i = off + (4 * t) in
-    w.(t) <-
-      (Char.code block.[i] lsl 24)
-      lor (Char.code block.[i + 1] lsl 16)
-      lor (Char.code block.[i + 2] lsl 8)
-      lor Char.code block.[i + 3]
+    Array.unsafe_set w t
+      ((Char.code (String.unsafe_get block i) lsl 24)
+      lor (Char.code (String.unsafe_get block (i + 1)) lsl 16)
+      lor (Char.code (String.unsafe_get block (i + 2)) lsl 8)
+      lor Char.code (String.unsafe_get block (i + 3)))
   done;
   for t = 16 to 63 do
-    let s0 = rotr w.(t - 15) 7 lxor rotr w.(t - 15) 18 lxor (w.(t - 15) lsr 3) in
-    let s1 = rotr w.(t - 2) 17 lxor rotr w.(t - 2) 19 lxor (w.(t - 2) lsr 10) in
-    w.(t) <- (w.(t - 16) + s0 + w.(t - 7) + s1) land mask32
+    let w15 = Array.unsafe_get w (t - 15) and w2 = Array.unsafe_get w (t - 2) in
+    let s0 = rotr w15 7 lxor rotr w15 18 lxor (w15 lsr 3) in
+    let s1 = rotr w2 17 lxor rotr w2 19 lxor (w2 lsr 10) in
+    Array.unsafe_set w t ((Array.unsafe_get w (t - 16) + s0 + Array.unsafe_get w (t - 7) + s1) land mask32)
   done;
   let a = ref h.(0) and b = ref h.(1) and c = ref h.(2) and d = ref h.(3) in
   let e = ref h.(4) and f = ref h.(5) and g = ref h.(6) and hh = ref h.(7) in
   for t = 0 to 63 do
     let s1 = rotr !e 6 lxor rotr !e 11 lxor rotr !e 25 in
     let ch = (!e land !f) lxor (lnot !e land !g) land mask32 in
-    let t1 = (!hh + s1 + ch + k.(t) + w.(t)) land mask32 in
+    let t1 = (!hh + s1 + ch + Array.unsafe_get k t + Array.unsafe_get w t) land mask32 in
     let s0 = rotr !a 2 lxor rotr !a 13 lxor rotr !a 22 in
     let maj = (!a land !b) lxor (!a land !c) lxor (!b land !c) in
     let t2 = (s0 + maj) land mask32 in
@@ -80,28 +97,40 @@ let compress (h : int array) (block : string) (off : int) : unit =
   h.(6) <- (h.(6) + !g) land mask32;
   h.(7) <- (h.(7) + !hh) land mask32
 
-let feed (ctx : ctx) (s : string) : unit =
-  ctx.total <- ctx.total + String.length s;
-  let pos = ref 0 and n = String.length s in
+let compress (h : int array) (block : string) (off : int) : unit =
+  compress_with (Array.make 64 0) h block off
+
+let feed_sub (ctx : ctx) (s : string) ~(pos : int) ~(len : int) : unit =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Sha256.feed_sub: out of bounds";
+  ctx.total <- ctx.total + len;
+  let p = ref pos and fin = pos + len in
   (* Fill a partial block first. *)
   if ctx.buf_len > 0 then begin
-    let take = min (block_size - ctx.buf_len) n in
-    Bytes.blit_string s 0 ctx.buf ctx.buf_len take;
+    let take = min (block_size - ctx.buf_len) len in
+    Bytes.blit_string s !p ctx.buf ctx.buf_len take;
     ctx.buf_len <- ctx.buf_len + take;
-    pos := take;
+    p := !p + take;
     if ctx.buf_len = block_size then begin
-      compress ctx.h (Bytes.unsafe_to_string ctx.buf) 0;
+      compress_with ctx.w ctx.h (Bytes.unsafe_to_string ctx.buf) 0;
       ctx.buf_len <- 0
     end
   end;
-  while n - !pos >= block_size do
-    compress ctx.h s !pos;
-    pos := !pos + block_size
+  while fin - !p >= block_size do
+    compress_with ctx.w ctx.h s !p;
+    p := !p + block_size
   done;
-  if !pos < n then begin
-    Bytes.blit_string s !pos ctx.buf 0 (n - !pos);
-    ctx.buf_len <- n - !pos
+  if !p < fin then begin
+    Bytes.blit_string s !p ctx.buf 0 (fin - !p);
+    ctx.buf_len <- fin - !p
   end
+
+let feed (ctx : ctx) (s : string) : unit = feed_sub ctx s ~pos:0 ~len:(String.length s)
+
+(* Safe despite [unsafe_to_string]: the bytes are consumed (compressed or
+   copied into [ctx.buf]) before the call returns. *)
+let feed_bytes (ctx : ctx) (b : Bytes.t) ~(pos : int) ~(len : int) : unit =
+  feed_sub ctx (Bytes.unsafe_to_string b) ~pos ~len
 
 let finish (ctx : ctx) : string =
   let total_bits = Int64.of_int (8 * ctx.total) in

@@ -16,6 +16,19 @@ val init : unit -> ctx
 val feed : ctx -> string -> unit
 val finish : ctx -> string
 
+val reset : ctx -> unit
+(** Return the context to the freshly-initialized state, keeping its
+    scratch buffers — one context can stream many digests (ZKBoo hashes
+    411 view commitments per proof through a single context). *)
+
+val feed_sub : ctx -> string -> pos:int -> len:int -> unit
+(** Feed a substring without copying it out first. *)
+
+val feed_bytes : ctx -> Bytes.t -> pos:int -> len:int -> unit
+(** Feed from a (reusable) byte buffer without copies; the bytes are
+    consumed before the call returns, so the buffer may be overwritten
+    afterwards. *)
+
 (**/**)
 
 val k : int array

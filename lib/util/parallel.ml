@@ -10,9 +10,14 @@
    into the caller's current span (so spans opened inside [f] nest
    correctly across domains), and per-domain busy time aggregates into
    [Larch_obs.Metrics.default] — the histogram "parallel.worker_busy_ms"
-   and the gauge "parallel.utilization" (busy ÷ domains×wall of the last
-   parallel section).  All of it compiles to a single atomic load when
-   tracing is disabled. *)
+   and the gauge "parallel.utilization".  Busy time is the sum of the
+   actual task spans (time inside [f]), not worker lifetime, and the
+   utilization divisor is the *requested* domain budget × wall — so a
+   section whose tail chunk occupies one worker while the rest sit idle
+   reads as the fraction of the budget it really used, instead of the
+   former over-report that divided by however many workers happened to be
+   clamped on and billed their span bookkeeping as busy.  All of it
+   compiles to a single atomic load when tracing is disabled. *)
 
 module Obs = Larch_obs
 
@@ -22,17 +27,23 @@ let map ~(domains : int) (f : 'a -> 'b) (xs : 'a array) : 'b array =
   let n = Array.length xs in
   if domains <= 1 || n <= 1 then Array.map f xs
   else begin
-    let domains = min domains n in
+    let budget = domains in
+    let workers = min domains n in
     let results = Array.make n None in
     let next = Atomic.make 0 in
     let traced = Obs.Runtime.tracing_enabled () in
     let parent = if traced then Obs.Trace.current () else None in
-    let busy_ns = Array.make domains 0L in
-    let body () =
+    let busy_ns = Array.make workers 0L in
+    let body w =
       let rec loop count =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
-          results.(i) <- Some (f xs.(i));
+          if traced then begin
+            let t0 = Obs.Trace.now_ns () in
+            results.(i) <- Some (f xs.(i));
+            busy_ns.(w) <- Int64.add busy_ns.(w) (Int64.sub (Obs.Trace.now_ns ()) t0)
+          end
+          else results.(i) <- Some (f xs.(i));
           loop (count + 1)
         end
         else count
@@ -40,21 +51,19 @@ let map ~(domains : int) (f : 'a -> 'b) (xs : 'a array) : 'b array =
       loop 0
     in
     let worker w () =
-      if not traced then ignore (body ())
+      if not traced then ignore (body w)
       else
         (* lane 1000+w: a stable trace row per worker slot — domain ids are
            recycled across parallel sections and would interleave rows *)
         Obs.Trace.with_tid (1000 + w) (fun () ->
             Obs.Trace.with_parent parent (fun () ->
-                let t0 = Obs.Trace.now_ns () in
                 Obs.Trace.with_span "parallel.worker" (fun () ->
                     Obs.Trace.add_int "worker" w;
-                    let tasks = body () in
-                    Obs.Trace.add_int "tasks" tasks);
-                busy_ns.(w) <- Int64.sub (Obs.Trace.now_ns ()) t0))
+                    let tasks = body w in
+                    Obs.Trace.add_int "tasks" tasks)))
     in
     let t_start = if traced then Obs.Trace.now_ns () else 0L in
-    let spawned = Array.init (domains - 1) (fun w -> Domain.spawn (worker (w + 1))) in
+    let spawned = Array.init (workers - 1) (fun w -> Domain.spawn (worker (w + 1))) in
     worker 0 ();
     Array.iter Domain.join spawned;
     if traced then begin
@@ -70,7 +79,7 @@ let map ~(domains : int) (f : 'a -> 'b) (xs : 'a array) : 'b array =
       if wall > 0. then
         Obs.Metrics.set_gauge
           (Obs.Metrics.gauge m "parallel.utilization")
-          (!busy /. (wall *. float_of_int domains))
+          (!busy /. (wall *. float_of_int budget))
     end;
     Array.map
       (function Some r -> r | None -> failwith "Parallel.map: missing result")

@@ -13,15 +13,39 @@
    e+1.  Soundness error is (2/3)^t, so t = 137 repetitions give < 2^-80
    (the paper's setting).
 
-   Performance: repetitions are evaluated 62 at a time, bit-packed into
-   native ints — the OCaml analogue of the paper's "SIMD instructions with
-   a bitwidth of 32" — and batches run on multiple domains for the client
-   core count sweep of Figure 3 (left). *)
+   Performance: repetitions are evaluated in word-packed batches — lane l
+   of a native int is repetition l, the OCaml analogue of the paper's
+   "SIMD instructions with a bitwidth of 32".  The hot path is built for
+   raw speed:
+
+   - the circuit is compiled once into a flat [Larch_circuit.Plan]
+     (opcode byte + operand-index arrays), so the packed evaluators
+     stream through int arrays with unchecked access instead of
+     dispatching on gate variants;
+   - per-circuit scratch (wire/tape/AND-output words, tape staging, a
+     SHA-256 context) lives in a pool and is reused across batches and
+     proofs — the per-batch loop allocates only what ends up in the
+     proof;
+   - random tapes are expanded with [Prg.fill] straight into a flat
+     staging buffer and transposed into lane words blockwise (and back
+     out), keeping both passes cache-resident instead of striding a
+     multi-hundred-KB word array once per repetition;
+   - view commitments and Fiat–Shamir hashing stream through reusable
+     SHA-256 contexts ([Sha256.reset]/[feed_sub]) in one per-batch pass;
+   - the t repetitions are split into batches balanced across domains
+     (near-equal lane counts, batch count a multiple of the domain
+     budget) so no domain is left holding a 13-lane tail at ~20% load —
+     the knob behind the client core-count sweep of Figure 3 (left).
+
+   None of this changes a single proof byte: derivations, hash inputs and
+   serialization are untouched, which the fixed-seed proof-digest KAT
+   (test/test_zkboo_kat.ml, @zkboo ⊂ @smoke) pins down. *)
 
 module Bytesx = Larch_util.Bytesx
 module Circuit = Larch_circuit.Circuit
+module Plan = Larch_circuit.Plan
 module Trace = Larch_obs.Trace
-open Circuit
+module Sha256 = Larch_hash.Sha256
 
 let default_reps = 137
 let lanes = 62 (* repetitions packed per native int *)
@@ -51,13 +75,22 @@ let input_share_of_seed (seed : string) (n_in : int) : string =
 let tape_of_seed (seed : string) (n_and : int) : string =
   Larch_cipher.Prg.next_bytes (Larch_cipher.Prg.create (seed ^ "zkboo-tape")) (bytes_for_bits n_and)
 
-let commit ~(seed : string) ~(x_explicit : string option) ~(z : string) : string =
-  Larch_hash.Sha256.digest_list
-    [ "zkboo-commit"; seed; (match x_explicit with Some x -> x | None -> ""); z ]
+(* Commitment to one party's view, streamed through a reusable context;
+   byte-compatible with SHA256("zkboo-commit" ‖ seed ‖ x? ‖ z). *)
+let commit_with (ctx : Sha256.ctx) ~(seed : string) ~(x_explicit : string option) ~(z : string) :
+    string =
+  Sha256.reset ctx;
+  Sha256.feed ctx "zkboo-commit";
+  Sha256.feed ctx seed;
+  (match x_explicit with Some x -> Sha256.feed ctx x | None -> ());
+  Sha256.feed ctx z;
+  Sha256.finish ctx
 
 (* --- bit packing: lane l of word i = bit i of repetition l --- *)
 
-(* OR bit i of [s] into lane [lane] of words.(i), for i < n_bits. *)
+(* OR bit i of [s] into lane [lane] of words.(i), for i < n_bits.  Used
+   for the short input shares; the long tapes go through the transposed
+   [pack_flat] below. *)
 let pack_into (words : int array) ~(lane : int) (s : string) (n_bits : int) : unit =
   let lane_bit = 1 lsl lane in
   let full_bytes = n_bits / 8 in
@@ -79,118 +112,283 @@ let pack_into (words : int array) ~(lane : int) (s : string) (n_bits : int) : un
     if Bytesx.get_bit s i = 1 then words.(i) <- words.(i) lor lane_bit
   done
 
-let unpack_lane (words : int array) ~(lane : int) (n_bits : int) : string =
-  let out = Bytes.make (bytes_for_bits n_bits) '\000' in
-  for i = 0 to n_bits - 1 do
-    if (words.(i) lsr lane) land 1 = 1 then Bytesx.set_bit out i 1
+(* Transpose [count] rows of a flat staging buffer (row l at l·stride,
+   [n_bits] bits each, LSB-first per byte) into lane words: words.(i) bit
+   l = bit i of row l.  Processes one 8-word block per input byte column,
+   so the word block stays in registers while the 62 row streams advance
+   byte-by-byte — the cache-resident direction of the transpose.  Fully
+   overwrites words.(0..n_bits-1); lanes ≥ count read as 0. *)
+let pack_flat (words : int array) (flat : Bytes.t) ~(stride : int) ~(count : int) ~(n_bits : int) :
+    unit =
+  let full = n_bits / 8 in
+  for b = 0 to full - 1 do
+    let base = 8 * b in
+    let r0 = ref 0 and r1 = ref 0 and r2 = ref 0 and r3 = ref 0 in
+    let r4 = ref 0 and r5 = ref 0 and r6 = ref 0 and r7 = ref 0 in
+    for l = 0 to count - 1 do
+      let v = Char.code (Bytes.unsafe_get flat ((l * stride) + b)) in
+      r0 := !r0 lor ((v land 1) lsl l);
+      r1 := !r1 lor (((v lsr 1) land 1) lsl l);
+      r2 := !r2 lor (((v lsr 2) land 1) lsl l);
+      r3 := !r3 lor (((v lsr 3) land 1) lsl l);
+      r4 := !r4 lor (((v lsr 4) land 1) lsl l);
+      r5 := !r5 lor (((v lsr 5) land 1) lsl l);
+      r6 := !r6 lor (((v lsr 6) land 1) lsl l);
+      r7 := !r7 lor (((v lsr 7) land 1) lsl l)
+    done;
+    Array.unsafe_set words base !r0;
+    Array.unsafe_set words (base + 1) !r1;
+    Array.unsafe_set words (base + 2) !r2;
+    Array.unsafe_set words (base + 3) !r3;
+    Array.unsafe_set words (base + 4) !r4;
+    Array.unsafe_set words (base + 5) !r5;
+    Array.unsafe_set words (base + 6) !r6;
+    Array.unsafe_set words (base + 7) !r7
   done;
-  Bytes.unsafe_to_string out
+  for i = 8 * full to n_bits - 1 do
+    let b = i / 8 and sh = i land 7 in
+    let r = ref 0 in
+    for l = 0 to count - 1 do
+      r := !r lor (((Char.code (Bytes.unsafe_get flat ((l * stride) + b)) lsr sh) land 1) lsl l)
+    done;
+    Array.unsafe_set words i !r
+  done
 
-(* --- three-party packed evaluation (prover side) --- *)
+(* The inverse transpose: lane words out to [count] per-repetition byte
+   strings, blockwise (8 words held in registers per output byte column). *)
+let unpack_all (words : int array) ~(count : int) ~(n_bits : int) : string array =
+  let len = bytes_for_bits n_bits in
+  let outs = Array.init count (fun _ -> Bytes.create len) in
+  let full = n_bits / 8 in
+  for b = 0 to full - 1 do
+    let base = 8 * b in
+    let w0 = Array.unsafe_get words base
+    and w1 = Array.unsafe_get words (base + 1)
+    and w2 = Array.unsafe_get words (base + 2)
+    and w3 = Array.unsafe_get words (base + 3)
+    and w4 = Array.unsafe_get words (base + 4)
+    and w5 = Array.unsafe_get words (base + 5)
+    and w6 = Array.unsafe_get words (base + 6)
+    and w7 = Array.unsafe_get words (base + 7) in
+    for l = 0 to count - 1 do
+      let v =
+        ((w0 lsr l) land 1)
+        lor (((w1 lsr l) land 1) lsl 1)
+        lor (((w2 lsr l) land 1) lsl 2)
+        lor (((w3 lsr l) land 1) lsl 3)
+        lor (((w4 lsr l) land 1) lsl 4)
+        lor (((w5 lsr l) land 1) lsl 5)
+        lor (((w6 lsr l) land 1) lsl 6)
+        lor (((w7 lsr l) land 1) lsl 7)
+      in
+      Bytes.unsafe_set (Array.unsafe_get outs l) b (Char.unsafe_chr v)
+    done
+  done;
+  if 8 * full < n_bits then begin
+    for l = 0 to count - 1 do
+      let v = ref 0 in
+      for i = 8 * full to n_bits - 1 do
+        v := !v lor (((Array.unsafe_get words i lsr l) land 1) lsl (i land 7))
+      done;
+      Bytes.unsafe_set (Array.unsafe_get outs l) full (Char.unsafe_chr !v)
+    done
+  end;
+  Array.map Bytes.unsafe_to_string outs
 
-type eval3_result = {
-  zs : int array array; (* party -> n_and words *)
-  ys : int array array; (* party -> n_out words *)
+(* --- per-circuit runtime: compiled plan + pooled scratch --- *)
+
+type scratch = {
+  w : int array array; (* 3 × n_wires wire words *)
+  tw : int array array; (* 3 × n_and tape words (verify: tape_a/tape_b/zb) *)
+  zw : int array array; (* 3 × n_and AND-output words *)
+  inw : int array array; (* 3 × n_inputs input words *)
+  tape_flat : Bytes.t; (* lanes × tape_len staging, one party at a time *)
+  ctx : Sha256.ctx; (* commitment hashing *)
 }
 
-let eval3 (c : Circuit.t) ~(mask : int) ~(inputs : int array array) ~(tapes : int array array) :
-    eval3_result =
-  let nw = Circuit.n_wires c in
-  let w0 = Array.make nw 0 and w1 = Array.make nw 0 and w2 = Array.make nw 0 in
-  Array.blit inputs.(0) 0 w0 0 c.n_inputs;
-  Array.blit inputs.(1) 0 w1 0 c.n_inputs;
-  Array.blit inputs.(2) 0 w2 0 c.n_inputs;
-  let z0 = Array.make c.n_and 0 and z1 = Array.make c.n_and 0 and z2 = Array.make c.n_and 0 in
-  let t0 = tapes.(0) and t1 = tapes.(1) and t2 = tapes.(2) in
-  Array.iteri
-    (fun i g ->
-      let o = c.n_inputs + i in
-      match g with
-      | Xor (a, b) ->
-          w0.(o) <- w0.(a) lxor w0.(b);
-          w1.(o) <- w1.(a) lxor w1.(b);
-          w2.(o) <- w2.(a) lxor w2.(b)
-      | Not a ->
-          w0.(o) <- w0.(a) lxor mask;
-          w1.(o) <- w1.(a);
-          w2.(o) <- w2.(a)
-      | Const v ->
-          w0.(o) <- (if v then mask else 0);
-          w1.(o) <- 0;
-          w2.(o) <- 0
-      | And (a, b) ->
-          let k = c.and_index.(i) in
-          let x0 = w0.(a) and y0 = w0.(b) in
-          let x1 = w1.(a) and y1 = w1.(b) in
-          let x2 = w2.(a) and y2 = w2.(b) in
-          let r0 = t0.(k) and r1 = t1.(k) and r2 = t2.(k) in
-          let v0 = (x0 land y0) lxor (x1 land y0) lxor (x0 land y1) lxor r0 lxor r1 in
-          let v1 = (x1 land y1) lxor (x2 land y1) lxor (x1 land y2) lxor r1 lxor r2 in
-          let v2 = (x2 land y2) lxor (x0 land y2) lxor (x2 land y0) lxor r2 lxor r0 in
-          w0.(o) <- v0;
-          w1.(o) <- v1;
-          w2.(o) <- v2;
-          z0.(k) <- v0;
-          z1.(k) <- v1;
-          z2.(k) <- v2)
-    c.gates;
-  let gather w = Array.map (fun o -> w.(o)) c.outputs in
-  { zs = [| z0; z1; z2 |]; ys = [| gather w0; gather w1; gather w2 |] }
+type rt = {
+  plan : Plan.t;
+  tape_len : int;
+  lock : Mutex.t;
+  mutable pool : scratch list;
+}
+
+let new_scratch (rt : rt) : scratch =
+  let p = rt.plan in
+  {
+    w = Array.init 3 (fun _ -> Array.make (max 1 p.Plan.n_wires) 0);
+    tw = Array.init 3 (fun _ -> Array.make (max 1 p.Plan.n_and) 0);
+    zw = Array.init 3 (fun _ -> Array.make (max 1 p.Plan.n_and) 0);
+    inw = Array.init 3 (fun _ -> Array.make (max 1 p.Plan.n_inputs) 0);
+    tape_flat = Bytes.create (lanes * rt.tape_len);
+    ctx = Sha256.init ();
+  }
+
+let with_scratch (rt : rt) (f : scratch -> 'a) : 'a =
+  Mutex.lock rt.lock;
+  let s =
+    match rt.pool with
+    | s :: rest ->
+        rt.pool <- rest;
+        Mutex.unlock rt.lock;
+        s
+    | [] ->
+        Mutex.unlock rt.lock;
+        new_scratch rt
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.lock rt.lock;
+      rt.pool <- s :: rt.pool;
+      Mutex.unlock rt.lock)
+    (fun () -> f s)
+
+(* One runtime per circuit, keyed on physical equality like [Plan.cached]
+   (the statement circuits are built once and shared). *)
+let rt_cache : (Circuit.t * rt) list ref = ref []
+let rt_cache_lock = Mutex.create ()
+let rt_cache_cap = 8
+
+let rt_of (c : Circuit.t) : rt =
+  Mutex.lock rt_cache_lock;
+  match List.find_opt (fun (c', _) -> c' == c) !rt_cache with
+  | Some (_, rt) ->
+      Mutex.unlock rt_cache_lock;
+      rt
+  | None ->
+      Mutex.unlock rt_cache_lock;
+      let plan = Plan.cached c in
+      let rt =
+        { plan; tape_len = bytes_for_bits plan.Plan.n_and; lock = Mutex.create (); pool = [] }
+      in
+      Mutex.lock rt_cache_lock;
+      let keep = List.filteri (fun i _ -> i < rt_cache_cap - 1) !rt_cache in
+      rt_cache := (c, rt) :: keep;
+      Mutex.unlock rt_cache_lock;
+      rt
+
+(* --- three-party packed evaluation (prover side) over the flat plan ---
+
+   Wire/tape/AND-output words come from scratch; input shares must already
+   be packed in [s.inw].  Index safety: every operand index was validated
+   by [Plan.of_circuit]. *)
+
+let eval3 (p : Plan.t) (s : scratch) ~(mask : int) : unit =
+  let ni = p.Plan.n_inputs in
+  let w0 = s.w.(0) and w1 = s.w.(1) and w2 = s.w.(2) in
+  Array.blit s.inw.(0) 0 w0 0 ni;
+  Array.blit s.inw.(1) 0 w1 0 ni;
+  Array.blit s.inw.(2) 0 w2 0 ni;
+  let z0 = s.zw.(0) and z1 = s.zw.(1) and z2 = s.zw.(2) in
+  let t0 = s.tw.(0) and t1 = s.tw.(1) and t2 = s.tw.(2) in
+  let op = p.Plan.op and aa = p.Plan.arg_a and bb = p.Plan.arg_b and kk = p.Plan.and_k in
+  for i = 0 to p.Plan.n_gates - 1 do
+    let o = ni + i in
+    let code = Char.code (Bytes.unsafe_get op i) in
+    if code = 0 (* Xor *) then begin
+      let a = Array.unsafe_get aa i and b = Array.unsafe_get bb i in
+      Array.unsafe_set w0 o (Array.unsafe_get w0 a lxor Array.unsafe_get w0 b);
+      Array.unsafe_set w1 o (Array.unsafe_get w1 a lxor Array.unsafe_get w1 b);
+      Array.unsafe_set w2 o (Array.unsafe_get w2 a lxor Array.unsafe_get w2 b)
+    end
+    else if code = 1 (* And *) then begin
+      let a = Array.unsafe_get aa i and b = Array.unsafe_get bb i in
+      let k = Array.unsafe_get kk i in
+      let x0 = Array.unsafe_get w0 a and y0 = Array.unsafe_get w0 b in
+      let x1 = Array.unsafe_get w1 a and y1 = Array.unsafe_get w1 b in
+      let x2 = Array.unsafe_get w2 a and y2 = Array.unsafe_get w2 b in
+      let r0 = Array.unsafe_get t0 k and r1 = Array.unsafe_get t1 k and r2 = Array.unsafe_get t2 k in
+      let v0 = x0 land y0 lxor (x1 land y0) lxor (x0 land y1) lxor r0 lxor r1 in
+      let v1 = x1 land y1 lxor (x2 land y1) lxor (x1 land y2) lxor r1 lxor r2 in
+      let v2 = x2 land y2 lxor (x0 land y2) lxor (x2 land y0) lxor r2 lxor r0 in
+      Array.unsafe_set w0 o v0;
+      Array.unsafe_set w1 o v1;
+      Array.unsafe_set w2 o v2;
+      Array.unsafe_set z0 k v0;
+      Array.unsafe_set z1 k v1;
+      Array.unsafe_set z2 k v2
+    end
+    else if code = 2 (* Not *) then begin
+      let a = Array.unsafe_get aa i in
+      Array.unsafe_set w0 o (Array.unsafe_get w0 a lxor mask);
+      Array.unsafe_set w1 o (Array.unsafe_get w1 a);
+      Array.unsafe_set w2 o (Array.unsafe_get w2 a)
+    end
+    else begin
+      (* Const: only party 0 carries public constants *)
+      Array.unsafe_set w0 o (if Array.unsafe_get aa i = 1 then mask else 0);
+      Array.unsafe_set w1 o 0;
+      Array.unsafe_set w2 o 0
+    end
+  done
 
 (* --- two-party packed re-evaluation (verifier side) ---
 
-   Lane A simulates absolute party [pa] = e; lane B simulates party
-   [pa+1 mod 3], whose AND-gate outputs [zb] are taken from the proof. *)
+   Lane A simulates absolute party [pa] = e in [s.w.(0)] with tape
+   [s.tw.(0)]; lane B simulates party [pa+1 mod 3] in [s.w.(1)] with tape
+   [s.tw.(1)], its AND-gate outputs supplied in [s.tw.(2)].  Party A's
+   recomputed AND outputs land in [s.zw.(0)]. *)
 
-type eval2_result = { za : int array; ya : int array; yb : int array }
-
-let eval2 (c : Circuit.t) ~(mask : int) ~(pa : int) ~(input_a : int array) ~(input_b : int array)
-    ~(tape_a : int array) ~(tape_b : int array) ~(zb : int array) : eval2_result =
+let eval2 (p : Plan.t) (s : scratch) ~(mask : int) ~(pa : int) : unit =
   let pb = (pa + 1) mod 3 in
-  let nw = Circuit.n_wires c in
-  let wa = Array.make nw 0 and wb = Array.make nw 0 in
-  Array.blit input_a 0 wa 0 c.n_inputs;
-  Array.blit input_b 0 wb 0 c.n_inputs;
-  let za = Array.make c.n_and 0 in
-  Array.iteri
-    (fun i g ->
-      let o = c.n_inputs + i in
-      match g with
-      | Xor (a, b) ->
-          wa.(o) <- wa.(a) lxor wa.(b);
-          wb.(o) <- wb.(a) lxor wb.(b)
-      | Not a ->
-          wa.(o) <- (if pa = 0 then wa.(a) lxor mask else wa.(a));
-          wb.(o) <- (if pb = 0 then wb.(a) lxor mask else wb.(a))
-      | Const v ->
-          let bitval = if v then mask else 0 in
-          wa.(o) <- (if pa = 0 then bitval else 0);
-          wb.(o) <- (if pb = 0 then bitval else 0)
-      | And (a, b) ->
-          let k = c.and_index.(i) in
-          let v =
-            (wa.(a) land wa.(b)) lxor (wb.(a) land wa.(b)) lxor (wa.(a) land wb.(b))
-            lxor tape_a.(k) lxor tape_b.(k)
-          in
-          wa.(o) <- v;
-          za.(k) <- v;
-          wb.(o) <- zb.(k))
-    c.gates;
-  let gather w = Array.map (fun o -> w.(o)) c.outputs in
-  { za; ya = gather wa; yb = gather wb }
+  let ni = p.Plan.n_inputs in
+  let wa = s.w.(0) and wb = s.w.(1) in
+  Array.blit s.inw.(0) 0 wa 0 ni;
+  Array.blit s.inw.(1) 0 wb 0 ni;
+  let za = s.zw.(0) in
+  let ta = s.tw.(0) and tb = s.tw.(1) and zb = s.tw.(2) in
+  let not_a = if pa = 0 then mask else 0 and not_b = if pb = 0 then mask else 0 in
+  let op = p.Plan.op and aa = p.Plan.arg_a and bb = p.Plan.arg_b and kk = p.Plan.and_k in
+  for i = 0 to p.Plan.n_gates - 1 do
+    let o = ni + i in
+    let code = Char.code (Bytes.unsafe_get op i) in
+    if code = 0 (* Xor *) then begin
+      let a = Array.unsafe_get aa i and b = Array.unsafe_get bb i in
+      Array.unsafe_set wa o (Array.unsafe_get wa a lxor Array.unsafe_get wa b);
+      Array.unsafe_set wb o (Array.unsafe_get wb a lxor Array.unsafe_get wb b)
+    end
+    else if code = 1 (* And *) then begin
+      let a = Array.unsafe_get aa i and b = Array.unsafe_get bb i in
+      let k = Array.unsafe_get kk i in
+      let xa = Array.unsafe_get wa a and ya = Array.unsafe_get wa b in
+      let v =
+        xa land ya
+        lxor (Array.unsafe_get wb a land ya)
+        lxor (xa land Array.unsafe_get wb b)
+        lxor Array.unsafe_get ta k lxor Array.unsafe_get tb k
+      in
+      Array.unsafe_set wa o v;
+      Array.unsafe_set za k v;
+      Array.unsafe_set wb o (Array.unsafe_get zb k)
+    end
+    else if code = 2 (* Not *) then begin
+      let a = Array.unsafe_get aa i in
+      Array.unsafe_set wa o (Array.unsafe_get wa a lxor not_a);
+      Array.unsafe_set wb o (Array.unsafe_get wb a lxor not_b)
+    end
+    else begin
+      let v = Array.unsafe_get aa i in
+      Array.unsafe_set wa o (if v = 1 then not_a else 0);
+      Array.unsafe_set wb o (if v = 1 then not_b else 0)
+    end
+  done
+
+(* Gather output wires of wire-word array [w] into per-party out words. *)
+let gather_outputs (p : Plan.t) (w : int array) : int array =
+  Array.map (fun o -> Array.unsafe_get w o) p.Plan.outputs
 
 (* --- Fiat–Shamir --- *)
 
 let derive_challenges ~(statement_tag : string) ~(public_output : string)
     ~(commits : string array array) ~(out_shares : string array array) (n_reps : int) : int array
     =
-  let ctx = Larch_hash.Sha256.init () in
-  Larch_hash.Sha256.feed ctx "zkboo-fs";
-  Larch_hash.Sha256.feed ctx statement_tag;
-  Larch_hash.Sha256.feed ctx public_output;
-  Array.iter (fun cs -> Array.iter (Larch_hash.Sha256.feed ctx) cs) commits;
-  Array.iter (fun ys -> Array.iter (Larch_hash.Sha256.feed ctx) ys) out_shares;
-  let h = Larch_hash.Sha256.finish ctx in
+  let ctx = Sha256.init () in
+  Sha256.feed ctx "zkboo-fs";
+  Sha256.feed ctx statement_tag;
+  Sha256.feed ctx public_output;
+  Array.iter (fun cs -> Array.iter (Sha256.feed ctx) cs) commits;
+  Array.iter (fun ys -> Array.iter (Sha256.feed ctx) ys) out_shares;
+  let h = Sha256.finish ctx in
   let drbg = Larch_hash.Drbg.create ~entropy:h in
   let out = Array.make n_reps 0 in
   let i = ref 0 in
@@ -211,9 +409,150 @@ let derive_challenges ~(statement_tag : string) ~(public_output : string)
 let bits_to_bytes (bits : bool array) : string =
   Bytesx.string_of_bits (Array.map (fun b -> if b then 1 else 0) bits)
 
-(* --- prover --- *)
+(* --- repetition batching ---
+
+   Cost per batch has a word-parallel part (one plan sweep, independent
+   of how many lanes are occupied) and a per-lane part (tapes, transpose,
+   commitments).  The batch count is therefore kept minimal —
+   ⌈reps/lanes⌉ — then rounded up to a multiple of the domain budget so
+   every domain sweeps equally often, and lanes are spread evenly (sizes
+   differ by at most one).  137 reps on 2 domains becomes 35/34/34/34
+   instead of 62/62/13 with one domain stuck sweeping a 13-lane tail. *)
+
+let balanced_batches ~(reps : int) ~(domains : int) ~(lanes : int) : (int * int) array =
+  let min_batches = (reps + lanes - 1) / lanes in
+  let n_batches =
+    if domains <= 1 then min_batches
+    else min reps (domains * ((min_batches + domains - 1) / domains))
+  in
+  let base = reps / n_batches and extra = reps mod n_batches in
+  let batches = Array.make n_batches (0, 0) in
+  let start = ref 0 in
+  for i = 0 to n_batches - 1 do
+    let count = base + if i < extra then 1 else 0 in
+    batches.(i) <- (!start, count);
+    start := !start + count
+  done;
+  batches
+
+(* --- prover, in four phases (shares / commit / challenge / respond) --- *)
 
 type rep_artifact = { z : string array; y : string array; c : string array }
+
+type prepared = {
+  p_reps : int;
+  seeds : string array array; (* n_reps × 3 *)
+  shares : string array array; (* n_reps × 3 input-share bytes *)
+  p_witness : bool array;
+}
+
+type committed = {
+  per_rep : rep_artifact array;
+  c_commits : string array array;
+  c_out_shares : string array array;
+}
+
+let shares_phase ~(reps : int) ~(circuit : Circuit.t) ~(witness : bool array)
+    ~(rand_bytes : int -> string) : prepared =
+  if Array.length witness <> circuit.Circuit.n_inputs then
+    invalid_arg "Zkboo.prove: witness size mismatch";
+  let n_in = circuit.Circuit.n_inputs in
+  let witness_bytes = bits_to_bytes witness in
+  let seeds = Array.init reps (fun _ -> Array.init 3 (fun _ -> rand_bytes seed_len)) in
+  (* input shares: parties 0,1 from seeds; party 2 explicit *)
+  let shares =
+    Array.map
+      (fun s ->
+        let x0 = input_share_of_seed s.(0) n_in and x1 = input_share_of_seed s.(1) n_in in
+        let x2 = Bytesx.xor (Bytesx.xor witness_bytes x0) x1 in
+        [| x0; x1; x2 |])
+      seeds
+  in
+  { p_reps = reps; seeds; shares; p_witness = witness }
+
+let commit_phase ~(domains : int) ~(lane_width : int) ~(circuit : Circuit.t) (prep : prepared) :
+    committed =
+  let rt = rt_of circuit in
+  let p = rt.plan in
+  let n_in = p.Plan.n_inputs and n_and = p.Plan.n_and and n_out = p.Plan.n_outputs in
+  let lanes = max 1 (min lanes lane_width) in
+  let batches = balanced_batches ~reps:prep.p_reps ~domains ~lanes in
+  let run_batch (start, count) : rep_artifact array =
+    Trace.with_span "zkboo.prove.batch" @@ fun () ->
+    Trace.add_int "reps" count;
+    with_scratch rt @@ fun s ->
+    let mask = if count >= 62 then max_int else (1 lsl count) - 1 in
+    (* input shares: short strings, packed lane-at-a-time *)
+    for j = 0 to 2 do
+      Array.fill s.inw.(j) 0 n_in 0
+    done;
+    for l = 0 to count - 1 do
+      let rep = start + l in
+      for j = 0 to 2 do
+        pack_into s.inw.(j) ~lane:l prep.shares.(rep).(j) n_in
+      done
+    done;
+    (* random tapes: PRG-filled into flat staging, transposed blockwise *)
+    for j = 0 to 2 do
+      for l = 0 to count - 1 do
+        let prg = Larch_cipher.Prg.create (prep.seeds.(start + l).(j) ^ "zkboo-tape") in
+        Larch_cipher.Prg.fill prg s.tape_flat ~pos:(l * rt.tape_len) ~len:rt.tape_len
+      done;
+      pack_flat s.tw.(j) s.tape_flat ~stride:rt.tape_len ~count ~n_bits:n_and
+    done;
+    eval3 p s ~mask;
+    let zs = Array.init 3 (fun j -> unpack_all s.zw.(j) ~count ~n_bits:n_and) in
+    let ys =
+      Array.init 3 (fun j -> unpack_all (gather_outputs p s.w.(j)) ~count ~n_bits:n_out)
+    in
+    Array.init count (fun l ->
+        let rep = start + l in
+        let z = Array.init 3 (fun j -> zs.(j).(l)) in
+        let y = Array.init 3 (fun j -> ys.(j).(l)) in
+        let c =
+          Array.init 3 (fun j ->
+              commit_with s.ctx ~seed:prep.seeds.(rep).(j)
+                ~x_explicit:(if j = 2 then Some prep.shares.(rep).(2) else None)
+                ~z:z.(j))
+        in
+        { z; y; c })
+  in
+  let artifacts = Larch_util.Parallel.map ~domains run_batch batches in
+  let per_rep = Array.concat (Array.to_list artifacts) in
+  {
+    per_rep;
+    c_commits = Array.map (fun a -> a.c) per_rep;
+    c_out_shares = Array.map (fun a -> a.y) per_rep;
+  }
+
+let challenge_phase ~(circuit : Circuit.t) ~(statement_tag : string) (prep : prepared)
+    (comm : committed) : int array =
+  let rt = rt_of circuit in
+  (* sanity: shares of the output must XOR to the circuit's real output *)
+  let public_output =
+    bits_to_bytes (with_scratch rt (fun s -> Plan.eval_into rt.plan ~scratch:s.w.(0) prep.p_witness))
+  in
+  derive_challenges ~statement_tag ~public_output ~commits:comm.c_commits
+    ~out_shares:comm.c_out_shares prep.p_reps
+
+let respond_phase (prep : prepared) (comm : committed) (challenges : int array) : proof =
+  let responses =
+    Array.init prep.p_reps (fun i ->
+        let e = challenges.(i) in
+        let e1 = (e + 1) mod 3 in
+        {
+          seed_e = prep.seeds.(i).(e);
+          seed_e1 = prep.seeds.(i).(e1);
+          x2 = (if e = 2 || e1 = 2 then Some prep.shares.(i).(2) else None);
+          z_e1 = comm.per_rep.(i).z.(e1);
+        })
+  in
+  {
+    n_reps = prep.p_reps;
+    commits = comm.c_commits;
+    out_shares = comm.c_out_shares;
+    responses;
+  }
 
 (* [lane_width] controls how many repetitions share each packed word —
    the default uses all 62 usable bits of a native int; [~lane_width:1]
@@ -224,96 +563,24 @@ let prove ?(reps = default_reps) ?(domains = 1) ?(lane_width = lanes) ~(circuit 
   Trace.with_span "zkboo.prove" @@ fun () ->
   Trace.add_int "reps" reps;
   Trace.add_int "domains" domains;
-  Trace.add_int "n_and" circuit.n_and;
-  let lanes = max 1 (min lanes lane_width) in
-  if Array.length witness <> circuit.n_inputs then invalid_arg "Zkboo.prove: witness size mismatch";
-  let n_in = circuit.n_inputs and n_and = circuit.n_and in
-  let n_out = Circuit.n_outputs circuit in
-  let witness_bytes = bits_to_bytes witness in
+  Trace.add_int "n_and" circuit.Circuit.n_and;
   (* phase 1/4: per-repetition seeds and input shares *)
-  let seeds, shares =
+  let prep =
     Trace.with_span "zkboo.prove.shares" @@ fun () ->
-    let seeds = Array.init reps (fun _ -> Array.init 3 (fun _ -> rand_bytes seed_len)) in
-    (* input shares: parties 0,1 from seeds; party 2 explicit *)
-    let shares =
-      Array.map
-        (fun s ->
-          let x0 = input_share_of_seed s.(0) n_in and x1 = input_share_of_seed s.(1) n_in in
-          let x2 = Bytesx.xor (Bytesx.xor witness_bytes x0) x1 in
-          [| x0; x1; x2 |])
-        seeds
-    in
-    (seeds, shares)
-  in
-  (* Process repetitions in packed batches.  Batch size shrinks below the
-     full lane width when more domains are available than batches, so the
-     cores sweep of Figure 3 (left) has work to distribute. *)
-  let batch_size = min lanes (max 1 ((reps + domains - 1) / domains)) in
-  let batches =
-    let rec go start acc =
-      if start >= reps then List.rev acc
-      else go (start + batch_size) ((start, min batch_size (reps - start)) :: acc)
-    in
-    Array.of_list (go 0 [])
-  in
-  let run_batch (start, count) : rep_artifact array =
-    Trace.with_span "zkboo.prove.batch" @@ fun () ->
-    Trace.add_int "reps" count;
-    let mask = if count >= 62 then max_int else (1 lsl count) - 1 in
-    let inputs = Array.init 3 (fun _ -> Array.make n_in 0) in
-    let tapes = Array.init 3 (fun _ -> Array.make n_and 0) in
-    let tape_strs = Array.make_matrix count 3 "" in
-    for l = 0 to count - 1 do
-      let rep = start + l in
-      for j = 0 to 2 do
-        pack_into inputs.(j) ~lane:l shares.(rep).(j) n_in;
-        let tape = tape_of_seed seeds.(rep).(j) n_and in
-        tape_strs.(l).(j) <- tape;
-        pack_into tapes.(j) ~lane:l tape n_and
-      done
-    done;
-    let res = eval3 circuit ~mask ~inputs ~tapes in
-    Array.init count (fun l ->
-        let rep = start + l in
-        let z = Array.init 3 (fun j -> unpack_lane res.zs.(j) ~lane:l n_and) in
-        let y = Array.init 3 (fun j -> unpack_lane res.ys.(j) ~lane:l n_out) in
-        let c =
-          Array.init 3 (fun j ->
-              commit ~seed:seeds.(rep).(j)
-                ~x_explicit:(if j = 2 then Some shares.(rep).(2) else None)
-                ~z:z.(j))
-        in
-        { z; y; c })
+    shares_phase ~reps ~circuit ~witness ~rand_bytes
   in
   (* phase 2/4: evaluate + commit every repetition (the parallel part) *)
-  let per_rep =
+  let comm =
     Trace.with_span "zkboo.prove.commit" @@ fun () ->
-    let artifacts = Larch_util.Parallel.map ~domains run_batch batches in
-    Array.concat (Array.to_list artifacts)
+    commit_phase ~domains ~lane_width ~circuit prep
   in
-  let commits = Array.map (fun a -> a.c) per_rep in
-  let out_shares = Array.map (fun a -> a.y) per_rep in
   (* phase 3/4: Fiat–Shamir challenge derivation *)
   let challenges =
     Trace.with_span "zkboo.prove.challenge" @@ fun () ->
-    (* sanity: shares of the output must XOR to the circuit's real output *)
-    let public_output = bits_to_bytes (Circuit.eval circuit witness) in
-    derive_challenges ~statement_tag ~public_output ~commits ~out_shares reps
+    challenge_phase ~circuit ~statement_tag prep comm
   in
   (* phase 4/4: assemble the opened views *)
-  let responses =
-    Trace.with_span "zkboo.prove.respond" @@ fun () ->
-    Array.init reps (fun i ->
-        let e = challenges.(i) in
-        let e1 = (e + 1) mod 3 in
-        {
-          seed_e = seeds.(i).(e);
-          seed_e1 = seeds.(i).(e1);
-          x2 = (if e = 2 || e1 = 2 then Some shares.(i).(2) else None);
-          z_e1 = per_rep.(i).z.(e1);
-        })
-  in
-  { n_reps = reps; commits; out_shares; responses }
+  Trace.with_span "zkboo.prove.respond" @@ fun () -> respond_phase prep comm challenges
 
 (* --- verifier --- *)
 
@@ -322,8 +589,9 @@ let verify ?(domains = 1) ~(circuit : Circuit.t) ~(public_output : bool array)
   Trace.with_span "zkboo.verify" @@ fun () ->
   Trace.add_int "reps" proof.n_reps;
   Trace.add_int "domains" domains;
-  let n_in = circuit.n_inputs and n_and = circuit.n_and in
-  let n_out = Circuit.n_outputs circuit in
+  let rt = rt_of circuit in
+  let p = rt.plan in
+  let n_in = p.Plan.n_inputs and n_and = p.Plan.n_and and n_out = p.Plan.n_outputs in
   let out_bytes = bits_to_bytes public_output in
   if Array.length public_output <> n_out then false
   else if
@@ -370,13 +638,13 @@ let verify ?(domains = 1) ~(circuit : Circuit.t) ~(public_output : bool array)
         Trace.add_int "reps" count;
         if count = 0 then true
         else begin
+          with_scratch rt @@ fun s ->
           let e = challenges.(rep_ids.(0)) in
           let e1 = (e + 1) mod 3 in
           let mask = if count >= 62 then max_int else (1 lsl count) - 1 in
-          let input_a = Array.make n_in 0 and input_b = Array.make n_in 0 in
-          let tape_a = Array.make n_and 0 and tape_b = Array.make n_and 0 in
-          let zb = Array.make n_and 0 in
           let share_a = Array.make count "" and share_b = Array.make count "" in
+          Array.fill s.inw.(0) 0 n_in 0;
+          Array.fill s.inw.(1) 0 n_in 0;
           let ok = ref true in
           for l = 0 to count - 1 do
             let i = rep_ids.(l) in
@@ -385,7 +653,9 @@ let verify ?(domains = 1) ~(circuit : Circuit.t) ~(public_output : bool array)
               if party = 2 then begin
                 match r.x2 with
                 | Some x when String.length x = bytes_for_bits n_in -> x
-                | _ -> ok := false; String.make (bytes_for_bits n_in) '\000'
+                | _ ->
+                    ok := false;
+                    String.make (bytes_for_bits n_in) '\000'
               end
               else input_share_of_seed seed n_in
             in
@@ -394,37 +664,49 @@ let verify ?(domains = 1) ~(circuit : Circuit.t) ~(public_output : bool array)
             share_b.(l) <- sb;
             if String.length r.z_e1 <> bytes_for_bits n_and then ok := false
             else begin
-              pack_into input_a ~lane:l sa n_in;
-              pack_into input_b ~lane:l sb n_in;
-              pack_into tape_a ~lane:l (tape_of_seed r.seed_e n_and) n_and;
-              pack_into tape_b ~lane:l (tape_of_seed r.seed_e1 n_and) n_and;
-              pack_into zb ~lane:l r.z_e1 n_and
+              pack_into s.inw.(0) ~lane:l sa n_in;
+              pack_into s.inw.(1) ~lane:l sb n_in;
+              (* opened z bits: staged flat, transposed with the tapes *)
+              Bytes.blit_string r.z_e1 0 s.tape_flat (l * rt.tape_len) rt.tape_len
             end
           done;
           !ok
           && begin
-               let res = eval2 circuit ~mask ~pa:e ~input_a ~input_b ~tape_a ~tape_b ~zb in
+               pack_flat s.tw.(2) s.tape_flat ~stride:rt.tape_len ~count ~n_bits:n_and;
+               for l = 0 to count - 1 do
+                 let r = proof.responses.(rep_ids.(l)) in
+                 let prg = Larch_cipher.Prg.create (r.seed_e ^ "zkboo-tape") in
+                 Larch_cipher.Prg.fill prg s.tape_flat ~pos:(l * rt.tape_len) ~len:rt.tape_len
+               done;
+               pack_flat s.tw.(0) s.tape_flat ~stride:rt.tape_len ~count ~n_bits:n_and;
+               for l = 0 to count - 1 do
+                 let r = proof.responses.(rep_ids.(l)) in
+                 let prg = Larch_cipher.Prg.create (r.seed_e1 ^ "zkboo-tape") in
+                 Larch_cipher.Prg.fill prg s.tape_flat ~pos:(l * rt.tape_len) ~len:rt.tape_len
+               done;
+               pack_flat s.tw.(1) s.tape_flat ~stride:rt.tape_len ~count ~n_bits:n_and;
+               eval2 p s ~mask ~pa:e;
+               let zas = unpack_all s.zw.(0) ~count ~n_bits:n_and in
+               let yas = unpack_all (gather_outputs p s.w.(0)) ~count ~n_bits:n_out in
+               let ybs = unpack_all (gather_outputs p s.w.(1)) ~count ~n_bits:n_out in
                Array.for_all
                  (fun l ->
                    let i = rep_ids.(l) in
                    let r = proof.responses.(i) in
-                   let za = unpack_lane res.za ~lane:l n_and in
-                   let ya = unpack_lane res.ya ~lane:l n_out in
-                   let yb = unpack_lane res.yb ~lane:l n_out in
                    let ca =
-                     commit ~seed:r.seed_e
+                     commit_with s.ctx ~seed:r.seed_e
                        ~x_explicit:(if e = 2 then Some share_a.(l) else None)
-                       ~z:za
+                       ~z:zas.(l)
                    in
                    let cb =
-                     commit ~seed:r.seed_e1
+                     commit_with s.ctx ~seed:r.seed_e1
                        ~x_explicit:(if e1 = 2 then Some share_b.(l) else None)
                        ~z:r.z_e1
                    in
                    Bytesx.ct_equal ca proof.commits.(i).(e)
                    && Bytesx.ct_equal cb proof.commits.(i).(e1)
-                   && Bytesx.ct_equal ya proof.out_shares.(i).(e)
-                   && Bytesx.ct_equal yb proof.out_shares.(i).(e1))
+                   && Bytesx.ct_equal yas.(l) proof.out_shares.(i).(e)
+                   && Bytesx.ct_equal ybs.(l) proof.out_shares.(i).(e1))
                  (Array.init count (fun l -> l))
              end
         end
@@ -499,3 +781,18 @@ let of_bytes (s : string) : proof option =
   with Malformed -> None
 
 let size_bytes (p : proof) : int = String.length (to_bytes p)
+
+(* --- per-phase entry points for the micro benchmarks --- *)
+
+module Phases = struct
+  type nonrec prepared = prepared
+  type nonrec committed = committed
+
+  let shares = shares_phase
+
+  let commit ?(domains = 1) ?(lane_width = lanes) ~circuit prep =
+    commit_phase ~domains ~lane_width ~circuit prep
+
+  let challenge = challenge_phase
+  let respond = respond_phase
+end

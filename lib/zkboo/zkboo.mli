@@ -66,3 +66,22 @@ val size_bytes : proof -> int
 val bytes_for_bits : int -> int
 val input_share_of_seed : string -> int -> string
 val tape_of_seed : string -> int -> string
+
+(** The prover split into its four phases, in proving order — exposed so
+    the micro benchmarks can time each phase in isolation.  [prove] is
+    exactly shares → commit → challenge → respond. *)
+module Phases : sig
+  type prepared
+  type committed
+
+  val shares :
+    reps:int ->
+    circuit:Circuit.t ->
+    witness:bool array ->
+    rand_bytes:(int -> string) ->
+    prepared
+
+  val commit : ?domains:int -> ?lane_width:int -> circuit:Circuit.t -> prepared -> committed
+  val challenge : circuit:Circuit.t -> statement_tag:string -> prepared -> committed -> int array
+  val respond : prepared -> committed -> int array -> proof
+end

@@ -133,6 +133,57 @@ let totp_circuit_matches () =
   let out_badk = Circuit.eval circuit (Array.append client_badk log_bits) in
   Alcotest.(check bool) "wrong archive key rejected" false out_badk.(0)
 
+(* Differential property: the flattened [Plan] evaluator must agree
+   bit-for-bit with the gate-walking [Circuit.eval] oracle on random
+   circuits — the packed ZKBoo evaluators trust the plan's validated
+   indices, so this is the test that keeps their unchecked accesses
+   honest. *)
+let plan_differential_props =
+  let gen =
+    QCheck.Gen.(
+      let* n_in = int_range 1 16 in
+      let* n_gates = int_range 0 60 in
+      let* seed = string_size ~gen:char (return 16) in
+      return (n_in, n_gates, seed))
+  in
+  let arb =
+    QCheck.make ~print:(fun (a, b, _) -> Printf.sprintf "in=%d gates=%d" a b) gen
+  in
+  [
+    QCheck.Test.make ~name:"flattened plan = gate-walking eval" ~count:200 arb
+      (fun (n_in, n_gates, seed) ->
+        let prg = Larch_hash.Drbg.of_seed ("plan" ^ seed) in
+        let byte () = Char.code (prg 1).[0] in
+        let b = Builder.create () in
+        let inputs = Builder.inputs b n_in in
+        let wires = ref (Array.to_list inputs) in
+        let pick () = List.nth !wires (byte () mod List.length !wires) in
+        for _ = 1 to n_gates do
+          let w =
+            match byte () mod 4 with
+            | 0 -> Builder.band b (pick ()) (pick ())
+            | 1 -> Builder.bxor b (pick ()) (pick ())
+            | 2 -> Builder.bnot b (pick ())
+            | _ -> Builder.const b (byte () land 1 = 1)
+          in
+          wires := w :: !wires
+        done;
+        let outputs = Array.init (1 + (byte () mod 6)) (fun _ -> pick ()) in
+        let circuit = Builder.finalize b ~outputs in
+        let witness = Array.init n_in (fun _ -> byte () land 1 = 1) in
+        Plan.eval (Plan.of_circuit circuit) witness = Circuit.eval circuit witness);
+  ]
+
+let plan_statement_circuit () =
+  let circuit = Lazy.force Larch_statements.fido2_circuit in
+  let plan = Plan.cached circuit in
+  Alcotest.(check bool) "cached memoizes" true (Plan.cached circuit == plan);
+  Alcotest.(check int) "AND count" circuit.Circuit.n_and plan.Plan.n_and;
+  Alcotest.(check int) "gate count" (Circuit.n_gates circuit) plan.Plan.n_gates;
+  let witness = Array.init circuit.Circuit.n_inputs (fun i -> i mod 3 = 0) in
+  Alcotest.(check bool) "fido2 plan eval matches oracle" true
+    (Plan.eval plan witness = Circuit.eval circuit witness)
+
 let () =
   Alcotest.run "circuit"
     [
@@ -141,6 +192,9 @@ let () =
           Alcotest.test_case "gate semantics" `Quick builder_basics;
           Alcotest.test_case "32-bit adder" `Quick word_adder;
         ] );
+      ( "plan",
+        Alcotest.test_case "fido2 statement plan" `Quick plan_statement_circuit
+        :: List.map QCheck_alcotest.to_alcotest plan_differential_props );
       ( "sha-circuits",
         [
           Alcotest.test_case "sha256 vs software" `Quick sha256_circuit_matches_software;

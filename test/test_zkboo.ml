@@ -208,6 +208,46 @@ let zkboo_random_circuit_props =
         good && not bad);
   ]
 
+(* Repetition counts straddling the 62-lane word boundary: a lone lane,
+   one bit under/at/over a full word, exactly two words, and the paper's
+   137 (two words + a 13-lane tail) — each proved sequentially and with
+   the balanced multi-domain batching. *)
+let rep_edge_roundtrips () =
+  let circuit = medium_circuit () in
+  let witness = Array.init 128 (fun i -> Char.code (rand 1).[0] land 1 = 1 || i mod 5 = 0) in
+  let public_output = Circuit.eval circuit witness in
+  List.iter
+    (fun reps ->
+      List.iter
+        (fun domains ->
+          let proof =
+            Zkboo.prove ~reps ~domains ~circuit ~witness ~statement_tag:"edge" ~rand_bytes:rand
+              ()
+          in
+          Alcotest.(check int) "rep count" reps proof.Zkboo.n_reps;
+          Alcotest.(check bool)
+            (Printf.sprintf "reps=%d domains=%d verifies" reps domains)
+            true
+            (Zkboo.verify ~circuit ~public_output ~statement_tag:"edge" proof))
+        [ 1; 3 ])
+    [ 1; 61; 62; 63; 124; 137 ]
+
+(* Batching is an execution detail: the same randomness must yield
+   byte-identical proofs whatever the domain count. *)
+let domains_do_not_change_bytes () =
+  let circuit = medium_circuit () in
+  let witness = Array.init 128 (fun i -> i mod 3 = 1) in
+  let prove domains =
+    let prg = Larch_hash.Drbg.of_seed "zkboo-domain-bytes" in
+    Zkboo.to_bytes
+      (Zkboo.prove ~reps:137 ~domains ~circuit ~witness ~statement_tag:"db" ~rand_bytes:prg ())
+  in
+  let base = prove 1 in
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) (Printf.sprintf "domains=%d byte-identical" d) true (prove d = base))
+    [ 2; 3; 4 ]
+
 let lane_width_equivalence () =
   (* unpacked and packed proving produce proofs the verifier accepts *)
   let circuit = toy_circuit () in
@@ -234,6 +274,8 @@ let () =
           Alcotest.test_case "proofs randomized" `Quick proofs_are_randomized;
           Alcotest.test_case "fido2 statement" `Slow fido2_statement_proof;
           Alcotest.test_case "lane-width equivalence" `Quick lane_width_equivalence;
+          Alcotest.test_case "rep-count edges" `Quick rep_edge_roundtrips;
+          Alcotest.test_case "domain-count byte invariance" `Quick domains_do_not_change_bytes;
         ] );
       ("zkboo-props", List.map QCheck_alcotest.to_alcotest zkboo_random_circuit_props);
     ]

@@ -1,0 +1,90 @@
+(* Fixed-seed ZKBoo proof-digest known-answer tests.
+
+   Every byte of a proof is a deterministic function of the circuit, the
+   witness, and the prover's randomness stream — so a fixed DRBG seed
+   pins the SHA-256 of the serialized proof.  These digests were recorded
+   from the pre-PR7 prover (commit 6532da6): the raw-speed rewrite
+   (flattened plans, transposed packing, balanced batches) must not move
+   a single bit, or `larch report` / `larch faults` digests silently stop
+   being reproducible across builds.
+
+   If a digest here ever changes on purpose (e.g. a deliberate format
+   bump), re-record it and say so loudly in the commit message. *)
+
+module Circuit = Larch_circuit.Circuit
+module Builder = Larch_circuit.Builder
+module Statements = Larch_circuit.Larch_statements
+module Zkboo = Larch_zkboo.Zkboo
+
+let proof_digest proof = Larch_util.Hex.encode (Larch_hash.Sha256.digest (Zkboo.to_bytes proof))
+
+(* out = ((a AND b) XOR NOT c, … XOR 1): one AND, one NOT, one constant *)
+let toy_circuit () =
+  let b = Builder.create () in
+  let a = Builder.input b and bb = Builder.input b and c = Builder.input b in
+  let t = Builder.band b a bb in
+  let nc = Builder.bnot b c in
+  let o1 = Builder.bxor b t nc in
+  let o2 = Builder.bxor b o1 (Builder.const b true) in
+  Builder.finalize b ~outputs:[| o1; o2 |]
+
+(* one SHA-256 compression over a 256-bit message: 22696 AND gates *)
+let sha_block_circuit () =
+  let b = Builder.create () in
+  let msg = Builder.inputs b 256 in
+  let out = Larch_circuit.Sha256_circuit.hash_fixed b ~msg in
+  Builder.finalize b ~outputs:out
+
+(* Witness bits and proof randomness both come from DRBGs seeded off the
+   case name; one byte is drawn per witness bit, before proving starts. *)
+let kat ~name ~reps circuit expected () =
+  let rand = Larch_hash.Drbg.of_seed ("zkboo-kat-" ^ name) in
+  let witness =
+    Array.init circuit.Circuit.n_inputs (fun _ -> Char.code (rand 1).[0] land 1 = 1)
+  in
+  let proof =
+    Zkboo.prove ~reps ~circuit ~witness ~statement_tag:("kat-" ^ name) ~rand_bytes:rand ()
+  in
+  Alcotest.(check string) (name ^ " proof digest") expected (proof_digest proof);
+  Alcotest.(check bool) (name ^ " verifies") true
+    (Zkboo.verify ~circuit
+       ~public_output:(Circuit.eval circuit witness)
+       ~statement_tag:("kat-" ^ name) proof)
+
+(* The full FIDO2 statement at the paper's 137 repetitions — the proof
+   whose bytes feed the fig3-left and communication rows. *)
+let fido2_kat () =
+  let circuit = Lazy.force Statements.fido2_circuit in
+  let rand = Larch_hash.Drbg.of_seed "prof" in
+  let k = rand 32 in
+  let r = rand 16 in
+  let id = rand 32 in
+  let chal = rand 32 in
+  let nonce = rand 12 in
+  let witness = Statements.fido2_witness_bits { Statements.k; r; id; chal; nonce } in
+  let prand = Larch_hash.Drbg.of_seed "zkboo-kat" in
+  let proof = Zkboo.prove ~circuit ~witness ~statement_tag:"kat" ~rand_bytes:prand () in
+  Alcotest.(check string) "fido2 proof digest"
+    "ce731fc9a91a8306903173d357b322647a2377ff25dd3f4aff029217b254885d" (proof_digest proof);
+  Alcotest.(check bool) "fido2 verifies" true
+    (Zkboo.verify ~circuit
+       ~public_output:(Circuit.eval circuit witness)
+       ~statement_tag:"kat" proof)
+
+let () =
+  Alcotest.run "zkboo-kat"
+    [
+      ( "kat",
+        [
+          Alcotest.test_case "toy reps=40" `Quick
+            (kat ~name:"toy" ~reps:40 (toy_circuit ())
+               "5d3aaf56641ae7d48348d5edfc7ee0eab33c4c87a8cd5d68185f582fd1c19f71");
+          Alcotest.test_case "sha-block reps=137" `Quick
+            (kat ~name:"sha-block" ~reps:137 (sha_block_circuit ())
+               "1e7f028172fac4aab588f4fe64f94841060d541f8ba7d778ef238a742c2a352f");
+          Alcotest.test_case "sha-block reps=63" `Quick
+            (kat ~name:"sha-block-63" ~reps:63 (sha_block_circuit ())
+               "9467e480cee47f7746b2433ee295f24542ee3b158cf2dad8a7109249f6ba46ab");
+          Alcotest.test_case "fido2 reps=137" `Quick fido2_kat;
+        ] );
+    ]
