@@ -42,6 +42,77 @@ let tests () =
     Test.make ~name:"ecdsa/verify" (Staged.stage (fun () -> Larch_ec.Ecdsa.verify ~pk "m" sg));
   ]
 
+(* --- the Merkle transparency layer ---
+
+   Tree maintenance and proof verification at two history depths, plus
+   the client-side audit cost before (hash-chain scan over the whole
+   history, linear) and after (consistency + inclusion for one new
+   record, logarithmic) the transparency layer.  The audit rows use real
+   [Record] encodings so the leaf sizes match production. *)
+
+module Merkle = Larch_merkle.Merkle
+
+let mk_record i : Larch_core.Record.t =
+  {
+    Larch_core.Record.time = 1_700_000_000. +. float_of_int i;
+    ip = "192.0.2.7";
+    method_ = Larch_core.Types.Password;
+    payload =
+      Larch_core.Record.Symmetric
+        { nonce = rand 12; ct = rand 32; signature = rand 64 };
+  }
+
+let merkle_tests () =
+  let leaves n = List.init n (fun i -> Larch_core.Record.encode (mk_record i)) in
+  let l1e3 = leaves 1_000 and l1e5 = leaves 100_000 in
+  let t1e3 = Merkle.Tree.of_leaves l1e3 and t1e5 = Merkle.Tree.of_leaves l1e5 in
+  let incl tree n =
+    let root = Merkle.Tree.root tree in
+    let index = n / 2 in
+    let leaf = List.nth (if n = 1_000 then l1e3 else l1e5) index in
+    let proof = Merkle.Tree.inclusion tree ~index in
+    fun () -> Merkle.verify_inclusion ~root ~size:n ~index ~leaf ~proof
+  in
+  let cons tree n =
+    let old_size = (n / 2) + 1 in
+    let old_root = Merkle.Tree.root_at tree old_size in
+    let proof = Merkle.Tree.consistency tree ~old_size ~new_size:n in
+    fun () ->
+      Merkle.verify_consistency ~old_root ~old_size ~new_root:(Merkle.Tree.root tree) ~new_size:n
+        ~proof
+  in
+  (* the audit delta: n records verified yesterday, one new record today *)
+  let audit_delta tree n =
+    let old_size = n - 1 in
+    let old_root = Merkle.Tree.root_at tree old_size in
+    let root = Merkle.Tree.root tree in
+    let leaf = List.nth (if n = 1_000 then l1e3 else l1e5) old_size in
+    let cproof = Merkle.Tree.consistency tree ~old_size ~new_size:n in
+    let iproof = Merkle.Tree.inclusion tree ~index:old_size in
+    fun () ->
+      Merkle.verify_consistency ~old_root ~old_size ~new_root:root ~new_size:n ~proof:cproof
+      && Merkle.verify_inclusion ~root ~size:n ~index:old_size ~leaf ~proof:iproof
+  in
+  let r1e3 = List.init 1_000 mk_record and r1e5 = List.init 100_000 mk_record in
+  [
+    Test.make ~name:"merkle/append-1e3"
+      (Staged.stage (fun () -> Merkle.Tree.of_leaves l1e3));
+    Test.make ~name:"merkle/append-1e5"
+      (Staged.stage (fun () -> Merkle.Tree.of_leaves l1e5));
+    Test.make ~name:"merkle/inclusion-verify-1e3" (Staged.stage (incl t1e3 1_000));
+    Test.make ~name:"merkle/inclusion-verify-1e5" (Staged.stage (incl t1e5 100_000));
+    Test.make ~name:"merkle/consistency-verify-1e3" (Staged.stage (cons t1e3 1_000));
+    Test.make ~name:"merkle/consistency-verify-1e5" (Staged.stage (cons t1e5 100_000));
+    (* before: the legacy audit re-hashes the whole history *)
+    Test.make ~name:"audit/chain-scan-1e3"
+      (Staged.stage (fun () -> Larch_core.Log_state.chain_over r1e3));
+    Test.make ~name:"audit/chain-scan-1e5"
+      (Staged.stage (fun () -> Larch_core.Log_state.chain_over r1e5));
+    (* after: consistency old→new plus inclusion of the one new record *)
+    Test.make ~name:"audit/merkle-delta-1e3" (Staged.stage (audit_delta t1e3 1_000));
+    Test.make ~name:"audit/merkle-delta-1e5" (Staged.stage (audit_delta t1e5 100_000));
+  ]
+
 (* --- ZKBoo prove/verify, end to end and split by phase ---
 
    The statement is one SHA-256 compression (the hot primitive of the
@@ -118,7 +189,7 @@ let estimate ~quota tests =
 
 let run ?(quota = 0.5) ?json () =
   Printf.printf "\n=== microbenchmarks (bechamel, ns/op) ===\n%!";
-  let estimates = estimate ~quota (tests ()) in
+  let estimates = estimate ~quota (tests () @ merkle_tests ()) in
   List.iter (fun (name, est) -> Printf.printf "%-28s %12.1f ns/op\n" name est) estimates;
   match json with
   | None -> ()

@@ -16,6 +16,11 @@ module Tpe = Two_party_ecdsa
 module Statements = Larch_circuit.Larch_statements
 module Bytesx = Larch_util.Bytesx
 module Trace = Larch_obs.Trace
+module Metrics = Larch_obs.Metrics
+module Merkle = Larch_merkle.Merkle
+
+let obs_on () = Larch_obs.Runtime.tracing_enabled ()
+let m_inc name = Metrics.inc (Metrics.counter Metrics.default name)
 
 type fido2_cred = { y : Scalar.t; pk : Point.t; mutable counter : int }
 type totp_cred = { tid : string; kclient : string; algo : Larch_auth.Totp.algo }
@@ -62,6 +67,9 @@ type t = {
   mutable totp : totp_side option;
   mutable pw : pw_side option;
   mutable last_chain : (string * int) option; (* last verified audit head *)
+  sth_pub : Point.t; (* the log's tree-head verification key, pinned at create *)
+  mutable last_sth : Merkle.Sth.t option; (* last tree head verified by an audit *)
+  mutable audited : Record.t list; (* records covered by [last_sth], oldest first *)
   mutable dirty : bool; (* a transport failure may have left the log mid-session *)
 }
 
@@ -86,6 +94,9 @@ let create ?policy ?net ~(client_id : string) ~(account_password : string)
     totp = None;
     pw = None;
     last_chain = None;
+    sth_pub = Log_service.sth_pub log;
+    last_sth = None;
+    audited = [];
     dirty = false;
   }
 
@@ -283,6 +294,33 @@ let register_password ?legacy (t : t) ~(rp_name : string) : string =
 
 exception Log_misbehaved of string
 
+(* Check the attestation riding an authentication ack: the tree head is
+   genuinely signed by the log, the attested record is the one this very
+   authentication produced ([payload_check] binds the ciphertext the
+   client just sent), the inclusion proof places it under the head, and
+   the head never shrinks below the last audited view.  A log that logs
+   something other than what it acks — or acks without logging — fails
+   here, at authentication time, not at the next audit. *)
+let check_attestation (t : t) ~(payload_check : Record.t -> bool)
+    (att : Log_service.attestation) : unit =
+  let fail msg = raise (Log_misbehaved ("auth attestation rejected: " ^ msg)) in
+  let sth = att.Log_service.sth in
+  if not (Merkle.Sth.verify ~pk:t.sth_pub ~client_id:t.client_id sth) then
+    fail "tree-head signature invalid";
+  (match Record.decode_opt att.Log_service.record with
+  | None -> fail "attested record undecodable"
+  | Some r -> if not (payload_check r) then fail "attested record is not this authentication");
+  if
+    not
+      (Merkle.verify_inclusion ~root:sth.Merkle.Sth.root ~size:sth.Merkle.Sth.size
+         ~index:att.Log_service.index ~leaf:att.Log_service.record ~proof:att.Log_service.proof)
+  then fail "inclusion proof invalid";
+  (match t.last_sth with
+  | Some old when sth.Merkle.Sth.size < old.Merkle.Sth.size ->
+      fail "tree head regressed below the last audited size"
+  | _ -> ());
+  if obs_on () then m_inc "client.attestations.verified"
+
 (* FIDO2: build the statement, prove it, and run Π_Sign with the log.
 
    Transport discipline: each of the three rounds is one [Transport.call],
@@ -362,24 +400,34 @@ let fido2_session (t : t) ~(rp_name : string) ~(challenge : string) :
   let s0 = Scalar.of_bytes_be resp1.Fido2_protocol.s0 in
   let s1 = Tpe.round2 st ~own:m1 ~other:resp1.Fido2_protocol.hm_msg in
   let commit_c = Tpe.open_commit st ~other_s:s0 ~rand_bytes:t.rand in
-  let commit_l, reveal_l =
+  (* the response is commitment (32B) ‖ reveal (80B) ‖ attestation *)
+  let commit_l, reveal_l, att =
     Transport.call t.transport ~op:"fido2.auth_commit"
       ~req:(Scalar.to_bytes_be s1 ^ commit_c.Larch_mpc.Spdz.commitment)
       ~decode:(fun s ->
-        if String.length s < 32 then None
+        if String.length s < 112 then None
         else
-          match Tpe.decode_reveal (String.sub s 32 (String.length s - 32)) with
-          | Some reveal -> Some ({ Larch_mpc.Spdz.commitment = String.sub s 0 32 }, reveal)
-          | None -> None)
+          match
+            ( Tpe.decode_reveal (String.sub s 32 80),
+              Log_service.decode_attestation (String.sub s 112 (String.length s - 112)) )
+          with
+          | Some reveal, Ok att ->
+              Some ({ Larch_mpc.Spdz.commitment = String.sub s 0 32 }, reveal, att)
+          | _ -> None)
       (fun bytes ->
         if String.length bytes <> 64 then raise (Transport.Reject "bad commit message length");
         let s1' = Scalar.of_bytes_be (String.sub bytes 0 32) in
         let commit = { Larch_mpc.Spdz.commitment = String.sub bytes 32 32 } in
-        let cl, rl =
+        let cl, rl, att =
           Log_service.fido2_auth_commit t.log ~client_id:t.client_id ~s1:s1' ~client_commit:commit
         in
-        cl.Larch_mpc.Spdz.commitment ^ Tpe.encode_reveal rl)
+        cl.Larch_mpc.Spdz.commitment ^ Tpe.encode_reveal rl ^ Log_service.encode_attestation att)
   in
+  check_attestation t att ~payload_check:(fun r ->
+      match r.Record.payload with
+      | Record.Symmetric { nonce; ct = rct; _ } ->
+          Bytesx.ct_equal nonce ct_nonce && Bytesx.ct_equal rct ct
+      | _ -> false);
   if not (Tpe.open_check st ~other_commit:commit_l ~other_reveal:reveal_l) then
     raise (Log_misbehaved "signing MAC check failed");
   let reveal_c = Tpe.open_reveal st in
@@ -433,7 +481,7 @@ let authenticate_totp_detailed (t : t) ~(rp_name : string) ~(time : float) :
      dedups the 2PC on it, so a retried invocation replays the finished
      outcome instead of re-running the circuit or double-logging *)
   let enc_nonce = t.rand 12 in
-  let outcome =
+  let outcome, att =
     Transport.invoke t.transport ~op:"totp.auth" (fun () ->
         Log_service.totp_auth t.log ~client_id:t.client_id ~ip:t.ip ~now:(now ()) ~enc_nonce
           ~run:(fun ~cm ~registrations ~rand_log ->
@@ -445,6 +493,11 @@ let authenticate_totp_detailed (t : t) ~(rp_name : string) ~(time : float) :
               ~registrations ~rand_client:t.rand ~rand_log ~offline:t.totp_offline
               ~online:t.totp_online))
   in
+  check_attestation t att ~payload_check:(fun r ->
+      match r.Record.payload with
+      | Record.Symmetric { nonce; ct; _ } ->
+          Bytesx.ct_equal nonce enc_nonce && Bytesx.ct_equal ct outcome.Totp_protocol.ct
+      | _ -> false);
   outcome
 
 let authenticate_totp (t : t) ~(rp_name : string) ~(time : float) : int =
@@ -466,31 +519,42 @@ let authenticate_password (t : t) ~(rp_name : string) : string =
     | None -> Types.fail "identifier missing from registration list"
   in
   let r, req = Password_protocol.client_auth ~idx ~x:s.x ~ids:s.pw_ids ~rand_bytes:t.rand in
-  let y, dleq =
+  (* the response is y (65B point) ‖ DLEQ proof (98B) ‖ attestation *)
+  let y, dleq, att =
     try
       Transport.call t.transport ~op:"pw.auth"
         ~req:(Password_protocol.encode_auth_request req)
         ~decode:(fun bytes ->
-          if String.length bytes < 65 then None
+          if String.length bytes < 163 then None
           else
             match
               ( Point.decode (String.sub bytes 0 65),
-                Larch_sigma.Dleq.decode (String.sub bytes 65 (String.length bytes - 65)) )
+                Larch_sigma.Dleq.decode (String.sub bytes 65 98),
+                Log_service.decode_attestation (String.sub bytes 163 (String.length bytes - 163))
+              )
             with
-            | Some y, Some d -> Some (y, d)
+            | Some y, Some d, Ok att -> Some (y, d, att)
             | _ -> None)
         (fun bytes ->
           match Password_protocol.decode_auth_request bytes with
           | Some r ->
-              let y, dleq =
+              let y, dleq, att =
                 Log_service.pw_auth t.log ~client_id:t.client_id ~ip:t.ip ~now:(now ()) r
               in
-              Point.encode y ^ Larch_sigma.Dleq.encode dleq
+              Point.encode y ^ Larch_sigma.Dleq.encode dleq ^ Log_service.encode_attestation att
           | None -> raise (Transport.Reject "undecodable auth request"))
     with Transport.Error _ as e ->
       mark_dirty t;
       raise e
   in
+  check_attestation t att ~payload_check:(fun rec_ ->
+      match rec_.Record.payload with
+      | Record.Elgamal ct ->
+          Bytesx.ct_equal (Point.encode ct.Larch_ec.Elgamal.c1)
+            (Point.encode req.Password_protocol.ct.Larch_ec.Elgamal.c1)
+          && Bytesx.ct_equal (Point.encode ct.Larch_ec.Elgamal.c2)
+               (Point.encode req.Password_protocol.ct.Larch_ec.Elgamal.c2)
+      | _ -> false);
   (* check the log exponentiated with its registered key *)
   if
     not
@@ -545,37 +609,103 @@ let audit (t : t) : audit_entry list =
     (Transport.invoke t.transport ~op:"audit" (fun () ->
          Log_service.audit t.log ~client_id:t.client_id ~token:t.account_password))
 
-(* Verified audit: recompute the per-client record hash chain, check it
-   against the head the log reports, and check consistency with the last
-   audit this client performed — detecting a log that rolls back or
-   rewrites history (§9). *)
-let audit_verified (t : t) : (audit_entry list, string) result =
-  let records, head, len =
-    Transport.invoke t.transport ~op:"audit.head" (fun () ->
-        Log_service.audit_with_head t.log ~client_id:t.client_id ~token:t.account_password)
-  in
-  let chain_over rs =
-    List.fold_left
-      (fun h r -> Larch_hash.Sha256.digest_list [ "larch-chain"; h; Record.encode r ])
-      (Larch_hash.Sha256.digest "larch-chain-genesis")
-      rs
-  in
-  if List.length records <> len then Error "log reported inconsistent record count"
-  else if not (Bytesx.ct_equal (chain_over records) head) then
+let chain_over (rs : Record.t list) : string =
+  List.fold_left
+    (fun h r -> Larch_hash.Sha256.digest_list [ "larch-chain"; h; Record.encode r ])
+    (Larch_hash.Sha256.digest "larch-chain-genesis")
+    rs
+
+(* Legacy full-download verification: recompute the whole record hash
+   chain, check the reported head, and check prefix consistency against
+   the last audit.  O(n) hashing — the Merkle fast path below avoids it. *)
+let audit_verified_scan (t : t) (resp : Log_service.audit_response) :
+    (audit_entry list, string) result =
+  let records = resp.Log_service.records in
+  if resp.Log_service.since <> 0 then Error "log refused to serve the full history"
+  else if List.length records <> resp.Log_service.chain_len then
+    Error "log reported inconsistent record count"
+  else if not (Bytesx.ct_equal (chain_over records) resp.Log_service.chain_head) then
     Error "record list does not match the log's chain head"
   else begin
     let prefix_ok =
       match t.last_chain with
       | None -> true
       | Some (old_head, old_len) ->
-          old_len <= len
+          old_len <= List.length records
           && Bytesx.ct_equal (chain_over (List.filteri (fun i _ -> i < old_len) records)) old_head
     in
     if not prefix_ok then Error "log rolled back or rewrote previously audited records"
-    else begin
-      t.last_chain <- Some (head, len);
-      Ok (audit_of_records t records)
-    end
+    else Ok (audit_of_records t records)
+  end
+
+(* Verified audit, Merkle fast path: download only the delta since the
+   last verified tree size, check the signed head, the consistency proof
+   old-head → new-head, and one inclusion proof per new record — O(log n)
+   hashing per audit instead of rehashing the whole history.
+
+   Any mismatch falls back to the full-download chain scan, whose result
+   is reported as an anomaly either way: if the scan pinpoints the lie
+   (rollback, head mismatch) that error surfaces; if the chain looks
+   clean while the tree does not, the log is presenting two views of the
+   same history and we say so.  The verified state ([last_sth],
+   [audited], [last_chain]) only ever advances on the fast path. *)
+let audit_verified (t : t) : (audit_entry list, string) result =
+  Trace.with_span "client.audit.verified" @@ fun () ->
+  let since = List.length t.audited in
+  let resp =
+    Transport.invoke t.transport ~op:"audit.head" (fun () ->
+        Log_service.audit_with_head ~since t.log ~client_id:t.client_id
+          ~token:t.account_password)
+  in
+  let sth = resp.Log_service.sth in
+  let delta = resp.Log_service.records in
+  let fast_ok =
+    resp.Log_service.since = since
+    && Merkle.Sth.verify ~pk:t.sth_pub ~client_id:t.client_id sth
+    && sth.Merkle.Sth.size = since + List.length delta
+    && resp.Log_service.chain_len = sth.Merkle.Sth.size
+    && (match t.last_sth with
+       | None -> since = 0
+       | Some old ->
+           since = old.Merkle.Sth.size
+           && (since = 0 || since = sth.Merkle.Sth.size
+              || Merkle.verify_consistency ~old_root:old.Merkle.Sth.root ~old_size:since
+                   ~new_root:sth.Merkle.Sth.root ~new_size:sth.Merkle.Sth.size
+                   ~proof:resp.Log_service.consistency))
+    && (match t.last_sth with
+       | Some old when since = sth.Merkle.Sth.size ->
+           (* nothing new: the head must be the one we already verified *)
+           Bytesx.ct_equal old.Merkle.Sth.root sth.Merkle.Sth.root
+       | _ -> true)
+    && List.length resp.Log_service.proofs = List.length delta
+    && List.for_all2
+         (fun (i, r) proof ->
+           Merkle.verify_inclusion ~root:sth.Merkle.Sth.root ~size:sth.Merkle.Sth.size ~index:i
+             ~leaf:(Record.encode r) ~proof)
+         (List.mapi (fun i r -> (since + i, r)) delta)
+         resp.Log_service.proofs
+  in
+  if fast_ok then begin
+    t.audited <- t.audited @ delta;
+    t.last_sth <- Some sth;
+    t.last_chain <- Some (resp.Log_service.chain_head, resp.Log_service.chain_len);
+    Ok (audit_of_records t t.audited)
+  end
+  else begin
+    (* the log could not extend our verified view: refetch everything and
+       let the chain scan name the anomaly *)
+    if obs_on () then m_inc "client.audit.fallbacks";
+    let full =
+      if resp.Log_service.since = 0 then resp
+      else
+        Transport.invoke t.transport ~op:"audit.head" (fun () ->
+            Log_service.audit_with_head ~since:0 t.log ~client_id:t.client_id
+              ~token:t.account_password)
+    in
+    match audit_verified_scan t full with
+    | Error _ as e -> e
+    | Ok _ ->
+        Error "log's merkle tree is inconsistent with its record chain (equivocation suspected)"
   end
 
 (* Compare the log against locally expected activity: entries the client

@@ -17,6 +17,7 @@ module Transport = Larch_net.Transport
 module Tpe = Two_party_ecdsa
 module Statements = Larch_circuit.Larch_statements
 module Bytesx = Larch_util.Bytesx
+module Merkle = Larch_merkle.Merkle
 
 (** Per-relying-party FIDO2 credential: the client's signing-key share [y],
     the aggregated public key [pk] = X·g^y registered at the relying party,
@@ -81,6 +82,13 @@ type t = {
   mutable pw : pw_side option;
   mutable last_chain : (string * int) option;
       (** head/length of the last verified audit chain *)
+  sth_pub : Point.t;
+      (** the log's tree-head verification key, pinned at {!create} *)
+  mutable last_sth : Merkle.Sth.t option;
+      (** last signed tree head verified by {!audit_verified} *)
+  mutable audited : Record.t list;
+      (** records covered by [last_sth], oldest first — the delta base for
+          the next incremental audit *)
   mutable dirty : bool;
       (** a faulty exchange may have left the log's volatile session state
           out of step; the next operation resynchronizes first *)
@@ -149,7 +157,8 @@ val register_password : ?legacy:string -> t -> rp_name:string -> string
 
 exception Log_misbehaved of string
 (** Raised when the log service fails its own proof obligations (MAC check,
-    DLEQ proof, commitment opening). *)
+    DLEQ proof, commitment opening, or the per-authentication inclusion
+    attestation). *)
 
 val authenticate_fido2 : t -> rp_name:string -> challenge:string -> Larch_auth.Fido2.assertion
 (** Full split-secret FIDO2 authentication: proves the encrypted log record
@@ -182,10 +191,13 @@ val audit : t -> audit_entry list
 (** Download and decrypt the complete authentication history. *)
 
 val audit_verified : t -> (audit_entry list, string) result
-(** Like {!audit}, but also recompute the log's record hash chain, check
-    the reported head, and check prefix consistency against this client's
-    previous audit — detecting a log that rolls back or rewrites history
-    (§9 fork-consistency discussion). *)
+(** Like {!audit}, but verified.  Fast path: download only the records
+    since the last verified tree size and check the signed tree head, a
+    consistency proof old-head → new-head, and one inclusion proof per
+    new record — O(log n) hashing per audit.  On any mismatch, fall back
+    to the full download and the legacy hash-chain scan, and report the
+    anomaly (rollback, rewrite, or a tree/chain equivocation) as
+    [Error].  The verified state only advances on the fast path. *)
 
 val detect_anomalies : t -> expected:(Types.auth_method * string) list -> audit_entry list
 (** Entries in the log that the client did not initiate, given the activity

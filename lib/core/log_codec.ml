@@ -337,6 +337,9 @@ let read_client r : client_state =
     chain_head;
     chain_len;
     last_migrate;
+    (* the Merkle tree is derived state: rebuilt from the decoded records
+       (oldest first) so snapshot bytes stay canonical and comparable *)
+    tree = Larch_merkle.Merkle.Tree.of_leaves (List.rev_map Record.encode records);
   }
 
 let encode_clients (clients : clients) : string =

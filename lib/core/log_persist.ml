@@ -105,6 +105,18 @@ let check_client (cid : string) (c : Log_state.client_state) (issues : string li
   let head = Log_state.chain_over (List.rev c.Log_state.records) in
   if head <> c.Log_state.chain_head then
     issues := Printf.sprintf "client %s: record hash chain does not verify" cid :: !issues;
+  (* the derived Merkle tree must agree with the records it summarizes *)
+  let module Merkle = Larch_merkle.Merkle in
+  let expect =
+    Merkle.Tree.of_leaves (List.rev_map Record.encode c.Log_state.records)
+  in
+  if Merkle.Tree.size c.Log_state.tree <> record_count then
+    issues :=
+      Printf.sprintf "client %s: merkle tree has %d leaves but %d records stored" cid
+        (Merkle.Tree.size c.Log_state.tree) record_count
+      :: !issues
+  else if not (String.equal (Merkle.Tree.root c.Log_state.tree) (Merkle.Tree.root expect)) then
+    issues := Printf.sprintf "client %s: merkle tree root does not verify" cid :: !issues;
   match c.Log_state.fido2 with
   | None -> ()
   | Some f ->
@@ -208,6 +220,26 @@ let fsck ?(live : Log_state.clients option) (t : t) : fsck =
     | None -> ()
     | Some live ->
         if Log_codec.encode_clients live <> Log_codec.encode_clients replayed then
-          issues := "live state and replayed state differ (replay-match failed)" :: !issues
+          issues := "live state and replayed state differ (replay-match failed)" :: !issues;
+        (* the tree is derived state outside the snapshot encoding, so the
+           replay-match above cannot see it: compare the live signed-head
+           inputs against the tree a fresh recovery would rebuild *)
+        let module Merkle = Larch_merkle.Merkle in
+        Hashtbl.iter
+          (fun cid (lc : Log_state.client_state) ->
+            match Hashtbl.find_opt replayed cid with
+            | None -> ()
+            | Some rc ->
+                if
+                  Merkle.Tree.size lc.Log_state.tree <> Merkle.Tree.size rc.Log_state.tree
+                  || not
+                       (String.equal
+                          (Merkle.Tree.root lc.Log_state.tree)
+                          (Merkle.Tree.root rc.Log_state.tree))
+                then
+                  issues :=
+                    Printf.sprintf "client %s: live merkle root differs from replayed tree" cid
+                    :: !issues)
+          live
   end;
   { structural; wal_ops = List.length decoded; clients = Hashtbl.length replayed; issues = List.rev !issues }

@@ -28,6 +28,8 @@ module Tpe = Two_party_ecdsa
 module Trace = Larch_obs.Trace
 module Events = Larch_obs.Events
 module Metrics = Larch_obs.Metrics
+module Merkle = Larch_merkle.Merkle
+module Wire = Larch_net.Wire
 
 (* Pool-depth / burn-forward / record-volume instrumentation (capacity
    report inputs).  Guarded like every other metric: zero work while
@@ -88,6 +90,7 @@ type client_state = Log_state.client_state = {
   mutable chain_head : string; (* hash chain over records: rollback detection (§9) *)
   mutable chain_len : int;
   mutable last_migrate : string option; (* δ of the last key migration, for retry dedup *)
+  mutable tree : Merkle.Tree.t; (* Merkle tree over the records: O(log n) audits *)
 }
 
 type t = {
@@ -95,15 +98,23 @@ type t = {
   rand : int -> string;
   objection_window : float; (* seconds before a staged batch activates *)
   persist : Log_persist.t option; (* None: purely in-memory (tests, benches) *)
+  sth_sk : Scalar.t;
+      (* the STH signing key lives outside the durable client state, as in
+         an HSM: it survives [restart] (which only rebuilds the client
+         map) and never appears in snapshots or WAL frames *)
+  sth_pk : Point.t;
 }
 
 let create ?(objection_window = 0.) ?checkpoint_every ?store ~(rand_bytes : int -> string) () : t
     =
+  let sth_sk, sth_pk = Larch_ec.Ecdsa.keygen ~rand_bytes in
   let persist = Option.map (Log_persist.of_store ?checkpoint_every) store in
   let clients =
     match persist with Some p -> Log_persist.recover p | None -> Hashtbl.create 16
   in
-  { clients; rand = rand_bytes; objection_window; persist }
+  { clients; rand = rand_bytes; objection_window; persist; sth_sk; sth_pk }
+
+let sth_pub (t : t) : Point.t = t.sth_pk
 
 let persist (t : t) : Log_persist.t option = t.persist
 
@@ -133,6 +144,64 @@ let get_client (t : t) (cid : string) : client_state =
 let check_token (c : client_state) (token : string) : unit =
   if not (Larch_util.Bytesx.ct_equal c.account_token (Larch_hash.Sha256.digest token)) then
     Types.fail "log-account authentication failed"
+
+(* --- the transparency layer: signed tree heads and per-auth proofs --- *)
+
+(* The signed head of one client's record tree, as of right now.  Signing
+   is RFC 6979 deterministic, so seeded worlds stay byte-reproducible. *)
+let latest_sth (t : t) ~(client_id : string) (c : client_state) : Merkle.Sth.t =
+  Merkle.Sth.sign ~sk:t.sth_sk ~client_id ~size:(Merkle.Tree.size c.tree)
+    ~root:(Merkle.Tree.root c.tree) ~time:(Larch_util.Clock.now ())
+
+(* Every authentication ack carries proof that its record landed in the
+   tree: the leaf index, the record exactly as stored, the inclusion path,
+   and the signed head it verifies against. *)
+type attestation = {
+  index : int;
+  record : string; (* canonical record encoding = the tree leaf *)
+  proof : string list;
+  sth : Merkle.Sth.t;
+}
+
+let attest (t : t) ~(client_id : string) (c : client_state) ~(index : int) : attestation =
+  let sth = latest_sth t ~client_id c in
+  let proof = Merkle.Tree.inclusion_at c.tree ~index ~size:sth.Merkle.Sth.size in
+  let total = List.length c.records in
+  (* records is newest-first; leaf [index] is the (total-1-index)th element *)
+  let record = Record.encode (List.nth c.records (total - 1 - index)) in
+  if obs_on () then begin
+    m_inc "log.merkle.sths_signed";
+    Metrics.observe
+      (Metrics.histogram Metrics.default "log.merkle.proof.bytes")
+      (float_of_int (Merkle.hash_len * List.length proof))
+  end;
+  { index; record; proof; sth }
+
+(* The inclusion path is padded to a fixed depth on the wire: a proof's
+   length is ⌈log₂ size⌉, so an unpadded ack would leak nothing new to
+   the log (it knows the record count) but would vary auth-to-auth and
+   break the uniform traffic profile the password protocol promises. *)
+let attestation_pad_depth = 32
+
+let put_attestation (w : Wire.writer) (a : attestation) : unit =
+  Wire.u32 w a.index;
+  Wire.bytes w a.record;
+  Merkle.put_proof w a.proof;
+  let pad = max 0 (attestation_pad_depth - List.length a.proof) in
+  Wire.bytes w (String.make (Merkle.hash_len * pad) '\000');
+  Merkle.Sth.put w a.sth
+
+let read_attestation (r : Wire.reader) : attestation =
+  let index = Wire.read_u32 r in
+  if index < 0 then raise (Wire.Malformed "bad attestation index");
+  let record = Wire.read_bytes r in
+  let proof = Merkle.read_proof r in
+  let (_padding : string) = Wire.read_bytes r in
+  let sth = Merkle.Sth.read r in
+  { index; record; proof; sth }
+
+let encode_attestation (a : attestation) : string = Wire.encode (fun w -> put_attestation w a)
+let decode_attestation (s : string) : (attestation, string) result = Wire.decode s read_attestation
 
 (* --- enrollment --- *)
 
@@ -379,10 +448,11 @@ let fido2_auth_begin ?(domains = 1) (t : t) ~(client_id : string) ~(ip : string)
   { Fido2_protocol.hm_msg = own; s0 = Scalar.to_bytes_be s0 }
 
 (* Round 2: receive the client's s-share and opening commitment; commit the
-   record and return the log's commitment and reveal. *)
+   record and return the log's commitment, reveal, and an inclusion
+   attestation for the freshly appended record. *)
 let fido2_auth_commit (t : t) ~(client_id : string) ~(s1 : Scalar.t)
     ~(client_commit : Larch_mpc.Spdz.open_commit) :
-    Larch_mpc.Spdz.open_commit * Larch_mpc.Spdz.open_reveal =
+    Larch_mpc.Spdz.open_commit * Larch_mpc.Spdz.open_reveal * attestation =
   Trace.with_span "log.fido2.auth_commit" @@ fun () ->
   with_sync t @@ fun () ->
   let c = get_client t client_id in
@@ -397,8 +467,9 @@ let fido2_auth_commit (t : t) ~(client_id : string) ~(s1 : Scalar.t)
   f.signing_record <- None;
   Events.emit ~client:client_id ~method_:"fido2" Events.Auth_commit
     "encrypted record appended to the audit chain";
+  let att = attest t ~client_id c ~index:(Merkle.Tree.size c.tree - 1) in
   let commit_msg = Tpe.open_commit st ~other_s:s1 ~rand_bytes:t.rand in
-  (commit_msg, Tpe.open_reveal st)
+  (commit_msg, Tpe.open_reveal st, att)
 
 (* Round 3: the client's reveal; the log checks the MACs.  On failure the
    stored record remains (an attack trace) and the error is surfaced. *)
@@ -507,15 +578,31 @@ let totp_unregister (t : t) ~(client_id : string) ~(token : string) ~(id : strin
 let totp_registration_count (t : t) ~(client_id : string) : int =
   List.length (totp_state (get_client t client_id)).registrations
 
+(* Leaf index of the TOTP record carrying [enc_nonce], for re-attesting a
+   replayed 2PC outcome.  [c.records] is newest-first, so position [p]
+   from the head is leaf [len - 1 - p]. *)
+let record_index_of_nonce (c : client_state) ~(enc_nonce : string) : int =
+  let len = List.length c.records in
+  let rec scan pos = function
+    | [] -> Types.fail "replayed totp outcome has no stored record"
+    | (r : Record.t) :: rest -> (
+        match r.Record.payload with
+        | Record.Symmetric { nonce; _ } when Larch_util.Bytesx.ct_equal nonce enc_nonce ->
+            len - 1 - pos
+        | _ -> scan (pos + 1) rest)
+  in
+  scan 0 c.records
+
 (* Execute the joint 2PC.  The closure receives the log's private inputs
    and runs the Yao protocol; the log stores the record iff the circuit's
-   validity bit is set. *)
+   validity bit is set.  The ack pairs the outcome with an inclusion
+   attestation for the stored record. *)
 let totp_auth (t : t) ~(client_id : string) ~(ip : string) ~(now : float) ~(enc_nonce : string)
     ~(run :
        cm:string ->
        registrations:(string * string) list ->
        rand_log:(int -> string) ->
-       Totp_protocol.outcome) : Totp_protocol.outcome =
+       Totp_protocol.outcome) : Totp_protocol.outcome * attestation =
   Trace.with_span "log.totp.auth" @@ fun () ->
   let c = get_client t client_id in
   let s = totp_state c in
@@ -523,8 +610,9 @@ let totp_auth (t : t) ~(client_id : string) ~(ip : string) ~(now : float) ~(enc_
   | Some (n, outcome) when Larch_util.Bytesx.ct_equal n enc_nonce ->
       (* retransmitted invocation of a 2PC that already completed: replay
          the outcome; the record is already stored and the policy already
-         charged *)
-      outcome
+         charged, but the attestation is re-issued against the current
+         tree (the original's head may have grown since) *)
+      (outcome, attest t ~client_id c ~index:(record_index_of_nonce c ~enc_nonce))
   | _ ->
       with_sync t @@ fun () ->
       enforce_policy t ~client_id c ~method_:Types.Totp ~now;
@@ -572,7 +660,7 @@ let totp_auth (t : t) ~(client_id : string) ~(ip : string) ~(now : float) ~(enc_
       (* keep the measured 2PC timings in the volatile dedup slot (replay
          reconstructs the same outcome with zeroed timings) *)
       s.last_auth <- Some (enc_nonce, outcome);
-      outcome
+      (outcome, attest t ~client_id c ~index:(Merkle.Tree.size c.tree - 1))
 
 (* --- passwords --- *)
 
@@ -609,9 +697,10 @@ let pw_unregister (t : t) ~(client_id : string) ~(token : string) ~(id : string)
   removed
 
 (* Verify the one-out-of-many proofs, store the ElGamal record, reply with
-   c₂^k (and a DLEQ proof that the right k was used). *)
+   c₂^k (and a DLEQ proof that the right k was used), plus an inclusion
+   attestation for the stored record. *)
 let pw_auth (t : t) ~(client_id : string) ~(ip : string) ~(now : float)
-    (req : Password_protocol.auth_request) : Point.t * Larch_sigma.Dleq.proof =
+    (req : Password_protocol.auth_request) : Point.t * Larch_sigma.Dleq.proof * attestation =
   Trace.with_span "log.pw.auth" @@ fun () ->
   with_sync t @@ fun () ->
   let c = get_client t client_id in
@@ -649,7 +738,8 @@ let pw_auth (t : t) ~(client_id : string) ~(ip : string) ~(now : float)
         Larch_sigma.Dleq.prove ~base1:Point.g ~base2:req.Password_protocol.ct.Larch_ec.Elgamal.c2
           ~secret:s.k ~tag:"larch-pw-log" ~rand_bytes:t.rand
       in
-      (y, proof)
+      let att = attest t ~client_id c ~index:(Merkle.Tree.size c.tree - 1) in
+      (y, proof, att)
 
 (* --- auditing, revocation, migration --- *)
 
@@ -661,12 +751,108 @@ let audit (t : t) ~(client_id : string) ~(token : string) : Record.t list =
     (Printf.sprintf "served %d encrypted records" (List.length c.records));
   List.rev c.records
 
-(* Audit with the hash-chain head, for rollback detection. *)
-let audit_with_head (t : t) ~(client_id : string) ~(token : string) :
-    Record.t list * string * int =
+(* Everything an auditing client needs to extend its verified view:
+   the record delta since the tree size it last verified, the hash-chain
+   head (legacy rollback detection), a fresh STH, a consistency proof
+   from [since] to the new head, and one inclusion proof per delta
+   record. *)
+type audit_response = {
+  records : Record.t list; (* the delta, oldest first *)
+  since : int; (* tree size the delta starts at (clamped) *)
+  chain_head : string;
+  chain_len : int;
+  sth : Merkle.Sth.t;
+  consistency : string list; (* proof from [since] to [sth.size] *)
+  proofs : string list list; (* inclusion proof per delta record *)
+}
+
+let put_audit_response (w : Wire.writer) (a : audit_response) : unit =
+  Wire.u32 w (List.length a.records);
+  List.iter (fun r -> Wire.bytes w (Record.encode r)) a.records;
+  Wire.u32 w a.since;
+  Wire.fixed w a.chain_head;
+  Wire.u32 w a.chain_len;
+  Merkle.Sth.put w a.sth;
+  Merkle.put_proof w a.consistency;
+  Wire.u32 w (List.length a.proofs);
+  List.iter (fun p -> Merkle.put_proof w p) a.proofs
+
+let max_audit_records = 1 lsl 20
+
+let read_audit_response (r : Wire.reader) : audit_response =
+  let n = Wire.read_u32 r in
+  if n < 0 || n > max_audit_records then raise (Wire.Malformed "bad audit record count");
+  let records =
+    List.init n (fun _ ->
+        match Record.decode_opt (Wire.read_bytes r) with
+        | Some rec_ -> rec_
+        | None -> raise (Wire.Malformed "bad audit record"))
+  in
+  let since = Wire.read_u32 r in
+  if since < 0 then raise (Wire.Malformed "bad audit since");
+  let chain_head = Wire.read_fixed r 32 in
+  let chain_len = Wire.read_u32 r in
+  if chain_len < 0 then raise (Wire.Malformed "bad audit chain length");
+  let sth = Merkle.Sth.read r in
+  let consistency = Merkle.read_proof r in
+  let np = Wire.read_u32 r in
+  if np < 0 || np > max_audit_records then raise (Wire.Malformed "bad audit proof count");
+  let proofs = List.init np (fun _ -> Merkle.read_proof r) in
+  { records; since; chain_head; chain_len; sth; consistency; proofs }
+
+let encode_audit_response (a : audit_response) : string =
+  Wire.encode (fun w -> put_audit_response w a)
+
+let decode_audit_response (s : string) : (audit_response, string) result =
+  Wire.decode s read_audit_response
+
+(* Audit with proofs.  [since] is the tree size the client last verified;
+   a [since] the log cannot serve (after a prune, or from a different
+   fork) is clamped to 0 and the full history returned — the client
+   notices via the [since] echo and its own consistency check. *)
+let audit_with_head ?(since = 0) (t : t) ~(client_id : string) ~(token : string) :
+    audit_response =
+  Trace.with_span "log.audit.head" @@ fun () ->
   let c = get_client t client_id in
   check_token c token;
-  (List.rev c.records, c.chain_head, c.chain_len)
+  let size = Merkle.Tree.size c.tree in
+  let total = List.length c.records in
+  let since = if since < 0 || since > size || since > total then 0 else since in
+  let oldest_first = List.rev c.records in
+  let records = List.filteri (fun i _ -> i >= since) oldest_first in
+  let sth = latest_sth t ~client_id c in
+  let consistency =
+    if since > 0 && since < size then Merkle.Tree.consistency c.tree ~old_size:since ~new_size:size
+    else []
+  in
+  let proofs =
+    List.mapi
+      (fun i _ ->
+        let idx = since + i in
+        if idx < size then Merkle.Tree.inclusion_at c.tree ~index:idx ~size else [])
+      records
+  in
+  Events.emit ~client:client_id Events.Audit
+    (Printf.sprintf "served %d-record delta from size %d with proofs" (List.length records) since);
+  { records; since; chain_head = c.chain_head; chain_len = c.chain_len; sth; consistency; proofs }
+
+(* The signed head alone — what a multilog cross-check or a gossiping
+   verifier fetches. *)
+let tree_head (t : t) ~(client_id : string) ~(token : string) : Merkle.Sth.t =
+  let c = get_client t client_id in
+  check_token c token;
+  latest_sth t ~client_id c
+
+(* Consistency proof from an old head a verifier remembers to the current
+   tree; the verifier supplies the size, the log proves append-only. *)
+let consistency_proof (t : t) ~(client_id : string) ~(token : string) ~(old_size : int) :
+    string list =
+  let c = get_client t client_id in
+  check_token c token;
+  let size = Merkle.Tree.size c.tree in
+  if old_size < 0 || old_size > size then
+    Types.fail "no consistency proof from size %d (tree has %d leaves)" old_size size;
+  Merkle.Tree.consistency c.tree ~old_size ~new_size:size
 
 (* §9 limitation mitigation: drop or re-encrypt old records. *)
 let prune_records (t : t) ~(client_id : string) ~(token : string) ~(older_than : float) : int =

@@ -17,6 +17,7 @@
 module Point = Larch_ec.Point
 module Scalar = Larch_ec.P256.Scalar
 module Tpe = Two_party_ecdsa
+module Merkle = Larch_merkle.Merkle
 
 (** Client-specific authentication policy (§9 "Enforcing client-specific
     policies"): optional rate limit per time window and an optional
@@ -70,6 +71,9 @@ type client_state = Log_state.client_state = {
   mutable chain_head : string; (** hash chain over records (rollback detection) *)
   mutable chain_len : int;
   mutable last_migrate : string option; (** δ of the last key migration (retry dedup) *)
+  mutable tree : Merkle.Tree.t;
+      (** Merkle tree over the same records (oldest first).  Derived state:
+          never serialized, rebuilt from the records on recovery. *)
 }
 
 type t = {
@@ -77,6 +81,10 @@ type t = {
   rand : int -> string;
   objection_window : float; (** seconds before staged presignatures activate *)
   persist : Log_persist.t option; (** [None]: purely in-memory (tests, benches) *)
+  sth_sk : Scalar.t;
+      (** the log's tree-head signing key — held like an HSM key: drawn at
+          [create], survives {!restart}, never serialized *)
+  sth_pk : Point.t;
 }
 
 val create :
@@ -93,6 +101,30 @@ val create :
     into a fresh generation. *)
 
 val persist : t -> Log_persist.t option
+
+val sth_pub : t -> Point.t
+(** The tree-head verification key clients pin at enrollment. *)
+
+(** {1 The transparency layer (§9 fork consistency)} *)
+
+(** Proof that an authentication's record landed in the client's record
+    tree: the leaf index, the record exactly as stored, the inclusion
+    path, and the signed tree head it verifies against.  Every auth ack
+    carries one. *)
+type attestation = {
+  index : int;
+  record : string; (** canonical record encoding = the tree leaf *)
+  proof : string list;
+  sth : Merkle.Sth.t;
+}
+
+val put_attestation : Larch_net.Wire.writer -> attestation -> unit
+
+val read_attestation : Larch_net.Wire.reader -> attestation
+(** @raise Larch_net.Wire.Malformed on hostile input *)
+
+val encode_attestation : attestation -> string
+val decode_attestation : string -> (attestation, string) result
 
 val fsck : t -> Log_persist.fsck option
 (** Verify the attached store — structural checksums plus the semantic
@@ -158,8 +190,9 @@ val fido2_auth_commit :
   client_id:string ->
   s1:Scalar.t ->
   client_commit:Larch_mpc.Spdz.open_commit ->
-  Larch_mpc.Spdz.open_commit * Larch_mpc.Spdz.open_reveal
-(** Round 2: persist the record, exchange MAC-check commitments. *)
+  Larch_mpc.Spdz.open_commit * Larch_mpc.Spdz.open_reveal * attestation
+(** Round 2: persist the record, exchange MAC-check commitments; the
+    attestation proves the record is in the client's tree. *)
 
 val fido2_auth_finish :
   t -> client_id:string -> client_reveal:Larch_mpc.Spdz.open_reveal -> bool
@@ -198,10 +231,11 @@ val totp_auth :
     registrations:(string * string) list ->
     rand_log:(int -> string) ->
     Totp_protocol.outcome) ->
-  Totp_protocol.outcome
+  Totp_protocol.outcome * attestation
 (** Execute the joint 2PC: the [run] closure receives the log's private
     inputs (its stored commitment and key shares) and returns the Yao
     outcome; the record is stored iff the circuit's validity bit is set.
+    The attestation proves the stored record is in the client's tree.
     @raise Types.Protocol_error if the validity bit is 0 *)
 
 (** {1 Passwords} *)
@@ -221,19 +255,49 @@ val pw_auth :
   ip:string ->
   now:float ->
   Password_protocol.auth_request ->
-  Point.t * Larch_sigma.Dleq.proof
+  Point.t * Larch_sigma.Dleq.proof * attestation
 (** Verify both one-out-of-many proofs, store the ElGamal record, reply
-    with c₂^k plus a DLEQ proof of correct exponentiation.
+    with c₂^k plus a DLEQ proof of correct exponentiation and an
+    inclusion attestation for the stored record.
     @raise Types.Protocol_error if either proof fails *)
 
 (** {1 Auditing, revocation, migration} *)
 
 val audit : t -> client_id:string -> token:string -> Record.t list
 
-val audit_with_head : t -> client_id:string -> token:string -> Record.t list * string * int
-(** Audit plus the per-client hash-chain head and length; a client that
-    remembers the last head it verified can detect history rollback or
-    rewriting (§9 fork-consistency discussion). *)
+(** Everything an auditing client needs to extend its verified view. *)
+type audit_response = {
+  records : Record.t list; (** the delta, oldest first *)
+  since : int; (** tree size the delta starts at (clamped; echoes the request) *)
+  chain_head : string;
+  chain_len : int;
+  sth : Merkle.Sth.t;
+  consistency : string list; (** proof from [since] to [sth.size] *)
+  proofs : string list list; (** inclusion proof per delta record *)
+}
+
+val put_audit_response : Larch_net.Wire.writer -> audit_response -> unit
+
+val read_audit_response : Larch_net.Wire.reader -> audit_response
+(** @raise Larch_net.Wire.Malformed on hostile input *)
+
+val encode_audit_response : audit_response -> string
+val decode_audit_response : string -> (audit_response, string) result
+
+val audit_with_head : ?since:int -> t -> client_id:string -> token:string -> audit_response
+(** Audit from tree size [since] (default 0): the record delta, the
+    hash-chain head (legacy rollback detection), a fresh STH, a
+    consistency proof [since] → head, and an inclusion proof per
+    record.  A [since] the log cannot serve (after a prune, or from a
+    different fork) is clamped to 0 and the full history returned. *)
+
+val tree_head : t -> client_id:string -> token:string -> Merkle.Sth.t
+(** The signed head alone — what a multilog cross-check fetches. *)
+
+val consistency_proof : t -> client_id:string -> token:string -> old_size:int -> string list
+(** Prove the current tree extends the [old_size] prefix a verifier
+    remembers.
+    @raise Types.Protocol_error if [old_size] exceeds the tree *)
 
 val prune_records : t -> client_id:string -> token:string -> older_than:float -> int
 val revoke_all : t -> client_id:string -> token:string -> unit

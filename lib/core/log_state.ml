@@ -20,6 +20,7 @@
 module Point = Larch_ec.Point
 module Scalar = Larch_ec.P256.Scalar
 module Tpe = Two_party_ecdsa
+module Merkle = Larch_merkle.Merkle
 
 type policy = {
   max_auths_per_window : int option;
@@ -70,6 +71,10 @@ type client_state = {
   mutable chain_head : string; (* hash chain over records: rollback detection (§9) *)
   mutable chain_len : int;
   mutable last_migrate : string option; (* δ of the last key migration, for retry dedup *)
+  mutable tree : Merkle.Tree.t;
+      (* Merkle tree over the same records, oldest first: O(log n) audits.
+         Derived state — never serialized, rebuilt from the records on
+         recovery — so snapshots stay byte-identical across versions. *)
 }
 
 type clients = (string, client_state) Hashtbl.t
@@ -89,22 +94,35 @@ let create_client ~(token : string) : client_state =
     chain_head = chain_genesis ();
     chain_len = 0;
     last_migrate = None;
+    tree = Merkle.Tree.create ();
   }
 
-(* Every stored record extends a per-client hash chain; audits return the
-   head so a client that remembers the last head it saw can detect a log
-   that rolls back or rewrites history (§9 "Multiple devices" / fork
-   consistency). *)
+(* Every stored record extends a per-client hash chain and the Merkle
+   tree; audits return the head so a client that remembers the last head
+   it saw can detect a log that rolls back or rewrites history (§9
+   "Multiple devices" / fork consistency). *)
 let append_record (c : client_state) (r : Record.t) : unit =
+  let enc = Record.encode r in
   c.records <- r :: c.records;
-  c.chain_head <- Larch_hash.Sha256.digest_list [ "larch-chain"; c.chain_head; Record.encode r ];
-  c.chain_len <- c.chain_len + 1
+  c.chain_head <- Larch_hash.Sha256.digest_list [ "larch-chain"; c.chain_head; enc ];
+  c.chain_len <- c.chain_len + 1;
+  Merkle.Tree.append c.tree enc
 
 (* Chain over a full record list, oldest first. *)
 let chain_over (records_oldest_first : Record.t list) : string =
   List.fold_left
     (fun h r -> Larch_hash.Sha256.digest_list [ "larch-chain"; h; Record.encode r ])
     (chain_genesis ()) records_oldest_first
+
+(* Recompute every record-derived field — chain head/length and the
+   Merkle tree — from [c.records].  Recovery and pruning both rebuild
+   through here, so the derived state can never drift from the records
+   it summarizes. *)
+let rebuild_derived (c : client_state) : unit =
+  let oldest_first = List.rev c.records in
+  c.chain_head <- chain_over oldest_first;
+  c.chain_len <- List.length oldest_first;
+  c.tree <- Merkle.Tree.of_leaves (List.map Record.encode oldest_first)
 
 let fido2_state (c : client_state) : fido2_state =
   match c.fido2 with Some f -> f | None -> Types.fail "fido2 not enrolled"
@@ -241,10 +259,9 @@ let apply (clients : clients) ({ cid; op } : entry) : unit =
       let c = get clients cid in
       let keep = List.filter (fun (r : Record.t) -> r.Record.time >= older_than) c.records in
       c.records <- keep;
-      (* user-authorized truncation restarts the hash chain so future
-         audits verify against the pruned history *)
-      c.chain_head <- chain_over (List.rev keep);
-      c.chain_len <- List.length keep
+      (* user-authorized truncation restarts the hash chain and the tree
+         so future audits verify against the pruned history *)
+      rebuild_derived c
   | Revoke ->
       let c = get clients cid in
       c.fido2 <- None;

@@ -28,6 +28,7 @@ module Shamir = Larch_mpc.Shamir
 module Channel = Larch_net.Channel
 module Transport = Larch_net.Transport
 module Events = Larch_obs.Events
+module Merkle = Larch_merkle.Merkle
 
 type t = {
   logs : Log_service.t array;
@@ -208,7 +209,7 @@ let authenticate (t : t) (c : client) ~(rp_name : string) ~(now : float) : strin
     | i :: rest ->
         (match
            Transport.invoke t.transports.(i) ~op:"pw.auth" (fun () ->
-               let y, _dleq =
+               let y, _dleq, _att =
                  Log_service.pw_auth t.logs.(i) ~client_id:c.client_id ~ip:"multilog" ~now req
                in
                y)
@@ -272,3 +273,76 @@ let audit (t : t) (c : client) : audit_result =
             records)
     t.logs;
   { entries = List.rev !entries; complete = !reached >= n_logs t - t.threshold + 1 }
+
+(* --- split-view detection across replicas --- *)
+
+(* Every participating log stores the same records in the same order, so
+   their Merkle trees must agree: for any two reachable logs, the smaller
+   tree must be a consistent prefix of the larger (equal sizes: equal
+   roots).  A log that shows this client a forked history fails the
+   consistency check against every honest replica, so with ≥3 reachable
+   logs the culprit is the one in multiple bad pairs. *)
+type split_view = {
+  heads : (int * Merkle.Sth.t) list; (* reachable logs and their verified heads *)
+  checked_pairs : int;
+  bad_pairs : (int * int) list; (* pairs whose trees are not prefix-consistent *)
+  suspects : int list; (* logs implicated by ≥2 bad pairs or a bad signature *)
+}
+
+let check_split_view (t : t) (c : client) : split_view =
+  let heads = ref [] in
+  let sig_bad = ref [] in
+  Array.iteri
+    (fun i log ->
+      match
+        Transport.invoke t.transports.(i) ~op:"tree_head" (fun () ->
+            Log_service.tree_head log ~client_id:c.client_id ~token:c.account_password)
+      with
+      | exception Transport.Error _ -> ()
+      | sth ->
+          if Merkle.Sth.verify ~pk:(Log_service.sth_pub log) ~client_id:c.client_id sth then
+            heads := (i, sth) :: !heads
+          else sig_bad := i :: !sig_bad)
+    t.logs;
+  let heads = List.rev !heads in
+  let checked = ref 0 in
+  let bad = ref [] in
+  List.iteri
+    (fun a (i, (si : Merkle.Sth.t)) ->
+      List.iteri
+        (fun b (j, (sj : Merkle.Sth.t)) ->
+          if b > a then begin
+            incr checked;
+            (* ask the log with the larger tree to prove it extends the
+               smaller one *)
+            let (lo, slo), (hi, shi) =
+              if si.Merkle.Sth.size <= sj.Merkle.Sth.size then ((i, si), (j, sj))
+              else ((j, sj), (i, si))
+            in
+            let consistent =
+              match
+                Transport.invoke t.transports.(hi) ~op:"consistency" (fun () ->
+                    Log_service.consistency_proof t.logs.(hi) ~client_id:c.client_id
+                      ~token:c.account_password ~old_size:slo.Merkle.Sth.size)
+              with
+              | exception (Transport.Error _ | Types.Protocol_error _) -> false
+              | proof ->
+                  Merkle.verify_consistency ~old_root:slo.Merkle.Sth.root
+                    ~old_size:slo.Merkle.Sth.size ~new_root:shi.Merkle.Sth.root
+                    ~new_size:shi.Merkle.Sth.size ~proof
+            in
+            if not consistent then begin
+              bad := (lo, hi) :: !bad;
+              Events.emit ~severity:Events.Warn ~client:c.client_id Events.Audit
+                (Printf.sprintf "split view: log%d and log%d present inconsistent trees" lo hi)
+            end
+          end)
+        heads)
+    heads;
+  let bad_pairs = List.rev !bad in
+  let implicated i = List.length (List.filter (fun (a, b) -> a = i || b = i) bad_pairs) in
+  let suspects =
+    List.sort_uniq compare
+      (!sig_bad @ List.filter_map (fun (i, _) -> if implicated i >= 2 then Some i else None) heads)
+  in
+  { heads; checked_pairs = !checked; bad_pairs; suspects }

@@ -92,3 +92,22 @@ type audit_result = {
 val audit : t -> client -> audit_result
 (** Union of reachable logs' records, deduplicated by ciphertext;
     unreachable logs are skipped and counted against [complete]. *)
+
+(** Cross-replica tree-head comparison.  Honest replicas hold identical
+    record sequences, so every pair of reachable logs must be
+    prefix-consistent.  [suspects] lists logs implicated by at least two
+    bad pairs (with ≥3 reachable replicas this localizes a single forked
+    log) or by an invalid head signature. *)
+type split_view = {
+  heads : (int * Larch_merkle.Merkle.Sth.t) list;
+      (** reachable logs and their signature-verified heads *)
+  checked_pairs : int;
+  bad_pairs : (int * int) list;
+      (** pairs whose trees are not prefix-consistent *)
+  suspects : int list;
+}
+
+val check_split_view : t -> client -> split_view
+(** Fetch every reachable log's signed head, then pairwise ask the log
+    with the larger tree to prove it extends the smaller; emits a
+    [Warn]-severity event per inconsistent pair. *)

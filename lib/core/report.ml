@@ -204,8 +204,14 @@ let run ?(auths = 6) ~(seed : string) () : result =
        ds.Disk.rotted);
   Buffer.add_string buf
     (Printf.sprintf "  flight recorder: %d incident dump(s)\n" incidents);
-  let _, head, len = Log_service.audit_with_head log ~client_id:"report-user" ~token:"pw" in
-  Buffer.add_string buf (Printf.sprintf "  audit chain len=%d head=%s\n" len (hex head));
+  let audit_resp = Log_service.audit_with_head log ~client_id:"report-user" ~token:"pw" in
+  Buffer.add_string buf
+    (Printf.sprintf "  audit chain len=%d head=%s\n" audit_resp.Log_service.chain_len
+       (hex audit_resp.Log_service.chain_head));
+  Buffer.add_string buf
+    (Printf.sprintf "  merkle head size=%d root=%s\n"
+       audit_resp.Log_service.sth.Larch_merkle.Merkle.Sth.size
+       (hex audit_resp.Log_service.sth.Larch_merkle.Merkle.Sth.root));
   Buffer.add_string buf
     (Printf.sprintf "  events emitted=%d\n" (List.length (Obs.Events.recent ())));
 

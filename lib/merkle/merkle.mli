@@ -1,0 +1,87 @@
+(** RFC 6962-style append-only Merkle tree with cached subtree hashes,
+    inclusion/consistency proofs, and ECDSA-signed tree heads.
+
+    The log service grows one tree per client over the canonical record
+    encodings; clients verify proofs with the pure {!verify_inclusion} /
+    {!verify_consistency} (RFC 9162 algorithms) without ever holding a
+    tree.  Domain separation: leaf = H(0x00 ‖ data), interior node =
+    H(0x01 ‖ left ‖ right). *)
+
+val hash_len : int
+
+val leaf_hash : string -> string
+val node_hash : string -> string -> string
+
+val empty_root : string
+(** Root of the empty tree: H(""). *)
+
+module Tree : sig
+  type t
+
+  val create : unit -> t
+
+  val of_leaves : string list -> t
+  (** Build by appending in order; [leaves] are raw encodings, hashed
+      internally. *)
+
+  val append : t -> string -> unit
+  (** Append one leaf (raw encoding); amortized O(1) hashing. *)
+
+  val size : t -> int
+
+  val root : t -> string
+  (** RFC 6962 MTH over all leaves; {!empty_root} when empty. *)
+
+  val root_at : t -> int -> string
+  (** Root of the tree restricted to its first [m] leaves, [m <= size]. *)
+
+  val inclusion : t -> index:int -> string list
+  (** Audit path for leaf [index] at the current size. *)
+
+  val inclusion_at : t -> index:int -> size:int -> string list
+  (** Audit path for leaf [index] against the tree of the first [size]
+      leaves. *)
+
+  val consistency : t -> old_size:int -> new_size:int -> string list
+  (** Consistency proof from the tree of the first [old_size] leaves to
+      the first [new_size]; empty when [old_size] is [0] or equals
+      [new_size]. *)
+end
+
+val verify_inclusion :
+  root:string -> size:int -> index:int -> leaf:string -> proof:string list -> bool
+(** Pure RFC 9162 inclusion check: [leaf] (raw encoding) sits at [index]
+    in the tree of [size] leaves whose head is [root]. *)
+
+val verify_consistency :
+  old_root:string -> old_size:int -> new_root:string -> new_size:int -> proof:string list -> bool
+(** Pure RFC 9162 consistency check: the [old_size] tree is a prefix of
+    the [new_size] tree. *)
+
+(** Signed tree heads: (size, root, time) bound to a client id under the
+    log's P-256 STH key.  RFC 6979 deterministic signing keeps seeded
+    worlds byte-reproducible. *)
+module Sth : sig
+  type t = { size : int; root : string; time : float; signature : string }
+
+  val sign :
+    sk:Larch_ec.P256.Scalar.t -> client_id:string -> size:int -> root:string -> time:float -> t
+
+  val verify : pk:Larch_ec.Point.t -> client_id:string -> t -> bool
+
+  val put : Larch_net.Wire.writer -> t -> unit
+  val read : Larch_net.Wire.reader -> t
+  val encode : t -> string
+  val decode : string -> (t, string) result
+end
+
+(** {1 Proof codec} *)
+
+val put_proof : Larch_net.Wire.writer -> string list -> unit
+
+val read_proof : Larch_net.Wire.reader -> string list
+(** Bounded against absurd lengths.
+    @raise Larch_net.Wire.Malformed on a hostile count *)
+
+val encode_proof : string list -> string
+val decode_proof : string -> (string list, string) result

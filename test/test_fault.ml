@@ -370,8 +370,10 @@ let transcript ~run_tag ~auths : string =
   Buffer.add_string buf
     (Printf.sprintf "wire up=%d down=%d msgs=%d rts=%d\n" snap.Channel.up snap.Channel.down
        snap.Channel.msgs snap.Channel.rts);
-  let _, head, len = Log_service.audit_with_head log ~client_id:"alice" ~token:"pw" in
-  Buffer.add_string buf (Printf.sprintf "chain len=%d head=%s\n" len (Larch_util.Hex.encode head));
+  let resp = Log_service.audit_with_head log ~client_id:"alice" ~token:"pw" in
+  Buffer.add_string buf
+    (Printf.sprintf "chain len=%d head=%s\n" resp.Log_service.chain_len
+       (Larch_util.Hex.encode resp.Log_service.chain_head));
   let st = Transport.stats client.Client.transport in
   Buffer.add_string buf
     (Printf.sprintf "stats a=%d r=%d t=%d f=%d p=%d\n" st.Transport.attempts st.Transport.retries

@@ -296,9 +296,15 @@ let pruned_chain_stays_consistent () =
   ignore (Client.authenticate_password c ~rp_name:"a.com");
   Larch_util.Clock.advance 100.;
   ignore (Client.authenticate_password c ~rp_name:"a.com");
-  (* user-authorized pruning restarts the chain; the client resets its view *)
+  (match Client.audit_verified c with
+  | Ok entries -> Alcotest.(check int) "pre-prune audit sees both" 2 (List.length entries)
+  | Error e -> Alcotest.fail e);
+  (* user-authorized pruning restarts the chain and the tree; the client
+     resets its whole verified view (chain head, tree head, record cache) *)
   ignore (Log_service.prune_records log ~client_id:"prune2" ~token:"pw" ~older_than:9_050.);
   c.Client.last_chain <- None;
+  c.Client.last_sth <- None;
+  c.Client.audited <- [];
   match Client.audit_verified c with
   | Ok entries -> Alcotest.(check int) "pruned history verifies" 1 (List.length entries)
   | Error e -> Alcotest.fail e

@@ -217,20 +217,29 @@ let service_restart_is_genuine_kill () =
      acknowledged op was group-committed there is nothing to lose *)
   let log, client, _disk, rand = store_world ~profile:Disk.default_profile () in
   let rp, _ = drive ~auths:1 log client rand in
-  let records, head, len = Log_service.audit_with_head log ~client_id:"alice" ~token:"pw" in
+  let a = Log_service.audit_with_head log ~client_id:"alice" ~token:"pw" in
   Log_service.restart log;
-  let records', head', len' = Log_service.audit_with_head log ~client_id:"alice" ~token:"pw" in
-  Alcotest.(check int) "chain length survives the kill" len len';
-  Alcotest.(check bool) "chain head survives the kill" true (head = head');
-  Alcotest.(check int) "records survive the kill" (List.length records) (List.length records');
+  let a' = Log_service.audit_with_head log ~client_id:"alice" ~token:"pw" in
+  Alcotest.(check int) "chain length survives the kill" a.Log_service.chain_len
+    a'.Log_service.chain_len;
+  Alcotest.(check bool) "chain head survives the kill" true
+    (a.Log_service.chain_head = a'.Log_service.chain_head);
+  Alcotest.(check int) "records survive the kill"
+    (List.length a.Log_service.records)
+    (List.length a'.Log_service.records);
+  Alcotest.(check bool) "merkle root survives the kill" true
+    (a.Log_service.sth.Larch_merkle.Merkle.Sth.root
+    = a'.Log_service.sth.Larch_merkle.Merkle.Sth.root);
   (* the recovered log keeps serving: one more authentication per method *)
   Clock.advance 30.;
   let challenge = Relying_party.fido2_challenge rp ~username:"alice" in
   ignore (Client.authenticate_fido2 client ~rp_name:"rp.example" ~challenge);
   Clock.advance 30.;
   ignore (Client.authenticate_password client ~rp_name:"rp.example");
-  let _, _, len'' = Log_service.audit_with_head log ~client_id:"alice" ~token:"pw" in
-  Alcotest.(check int) "post-recovery auths append to the chain" (len + 2) len'';
+  let a'' = Log_service.audit_with_head log ~client_id:"alice" ~token:"pw" in
+  Alcotest.(check int) "post-recovery auths append to the chain"
+    (a.Log_service.chain_len + 2)
+    a''.Log_service.chain_len;
   match Log_service.fsck log with
   | Some fr -> Alcotest.(check (list string)) "fsck clean after kill + reuse" [] fr.Log_persist.issues
   | None -> Alcotest.fail "store-backed log must offer fsck"

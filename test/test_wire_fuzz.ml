@@ -121,6 +121,10 @@ let protocol_decoders : (string * (string -> bool)) list =
     ("compressed point", fun s -> Point.decode_compressed s |> ignore; true);
     ("elgamal", fun s -> Larch_ec.Elgamal.decode s |> ignore; true);
     ("dleq", fun s -> Larch_sigma.Dleq.decode s |> ignore; true);
+    ("merkle sth", fun s -> Larch_merkle.Merkle.Sth.decode s |> ignore; true);
+    ("merkle proof", fun s -> Larch_merkle.Merkle.decode_proof s |> ignore; true);
+    ("attestation", fun s -> Log_service.decode_attestation s |> ignore; true);
+    ("audit response", fun s -> Log_service.decode_audit_response s |> ignore; true);
   ]
 
 let decoder_total_tests =
@@ -208,6 +212,78 @@ let record_roundtrip =
       | Ok r' -> Record.encode r' = Record.encode r
       | Error _ -> false)
 
+(* --- transparency-layer codecs --- *)
+
+module Merkle = Larch_merkle.Merkle
+
+let sth_key = lazy (Larch_ec.Ecdsa.keygen ~rand_bytes:rand)
+
+let mk_sth ~size : Merkle.Sth.t =
+  let sk, _ = Lazy.force sth_key in
+  Merkle.Sth.sign ~sk ~client_id:"fuzz-client" ~size ~root:(rand 32) ~time:1234.5
+
+let mk_record () : Record.t =
+  {
+    Record.time = 42.;
+    ip = "10.0.0.1";
+    method_ = Types.Password;
+    payload =
+      Record.Elgamal
+        {
+          Larch_ec.Elgamal.c1 = Point.mul_base (canonical_scalar ());
+          c2 = Point.mul_base (canonical_scalar ());
+        };
+  }
+
+let merkle_sth_roundtrip =
+  QCheck.Test.make ~name:"merkle sth roundtrip" ~count:50 QCheck.(int_bound 1_000_000)
+    (fun size ->
+      let sth = mk_sth ~size in
+      match Merkle.Sth.decode (Merkle.Sth.encode sth) with
+      | Ok s' -> Merkle.Sth.encode s' = Merkle.Sth.encode sth
+      | Error _ -> false)
+
+let merkle_proof_roundtrip =
+  QCheck.Test.make ~name:"merkle proof roundtrip" ~count:100 QCheck.(int_bound 40) (fun n ->
+      let proof = List.init n (fun _ -> rand 32) in
+      Merkle.decode_proof (Merkle.encode_proof proof) = Ok proof)
+
+let attestation_roundtrip =
+  QCheck.Test.make ~name:"attestation roundtrip" ~count:50
+    QCheck.(pair (int_bound 1000) (int_bound 20))
+    (fun (index, depth) ->
+      let a =
+        {
+          Log_service.index;
+          record = Record.encode (mk_record ());
+          proof = List.init depth (fun _ -> rand 32);
+          sth = mk_sth ~size:(index + 1);
+        }
+      in
+      match Log_service.decode_attestation (Log_service.encode_attestation a) with
+      | Ok a' -> Log_service.encode_attestation a' = Log_service.encode_attestation a
+      | Error _ -> false)
+
+let audit_response_roundtrip =
+  QCheck.Test.make ~name:"audit response roundtrip" ~count:30
+    QCheck.(pair (int_bound 5) (int_bound 5))
+    (fun (nrecs, since) ->
+      let records = List.init nrecs (fun _ -> mk_record ()) in
+      let a =
+        {
+          Log_service.records;
+          since;
+          chain_head = rand 32;
+          chain_len = since + nrecs;
+          sth = mk_sth ~size:(since + nrecs);
+          consistency = List.init 3 (fun _ -> rand 32);
+          proofs = List.map (fun _ -> List.init 4 (fun _ -> rand 32)) records;
+        }
+      in
+      match Log_service.decode_audit_response (Log_service.encode_audit_response a) with
+      | Ok a' -> Log_service.encode_audit_response a' = Log_service.encode_audit_response a
+      | Error _ -> false)
+
 (* --- mutation fuzz of live protocol messages --- *)
 
 (* one valid fido2 auth request (the largest message in the system),
@@ -252,6 +328,63 @@ let fido2_mutation () =
     | exception e -> Alcotest.failf "decoder raised %s on truncation" (Printexc.to_string e)
   done
 
+(* a valid attestation + audit response, then random single-byte damage:
+   the decoders must stay total (corrupt proofs are for the *verifier* to
+   reject, the codec just must not crash) *)
+let attestation_mutation () =
+  let a =
+    {
+      Log_service.index = 7;
+      record = Record.encode (mk_record ());
+      proof = List.init 6 (fun _ -> rand 32);
+      sth = mk_sth ~size:8;
+    }
+  in
+  let bytes = Log_service.encode_attestation a in
+  let n = String.length bytes in
+  for _ = 1 to 300 do
+    let pos = Char.code (rand 3).[0] * 256 * 256 mod n in
+    let bit = Char.code (rand 1).[0] land 7 in
+    let b = Bytes.of_string bytes in
+    Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl bit)));
+    match Log_service.decode_attestation (Bytes.to_string b) with
+    | Ok _ | Error _ -> ()
+    | exception e ->
+        Alcotest.failf "attestation decoder raised %s on flipped bit %d of byte %d"
+          (Printexc.to_string e) bit pos
+  done;
+  for cut = 0 to n - 1 do
+    match Log_service.decode_attestation (String.sub bytes 0 cut) with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "attestation truncation to %d bytes accepted" cut
+    | exception e -> Alcotest.failf "decoder raised %s on truncation" (Printexc.to_string e)
+  done
+
+let audit_response_mutation () =
+  let records = List.init 3 (fun _ -> mk_record ()) in
+  let a =
+    {
+      Log_service.records;
+      since = 2;
+      chain_head = rand 32;
+      chain_len = 5;
+      sth = mk_sth ~size:5;
+      consistency = List.init 3 (fun _ -> rand 32);
+      proofs = List.map (fun _ -> List.init 3 (fun _ -> rand 32)) records;
+    }
+  in
+  let bytes = Log_service.encode_audit_response a in
+  let n = String.length bytes in
+  for _ = 1 to 300 do
+    let pos = Char.code (rand 3).[0] * 256 * 256 mod n in
+    let b = Bytes.of_string bytes in
+    Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x40));
+    match Log_service.decode_audit_response (Bytes.to_string b) with
+    | Ok _ | Error _ -> ()
+    | exception e ->
+        Alcotest.failf "audit response decoder raised %s on byte %d" (Printexc.to_string e) pos
+  done
+
 let password_mutation () =
   let x, _x_pub = Password_protocol.client_gen ~rand_bytes:rand in
   let ids = [ rand Password_protocol.id_len; rand Password_protocol.id_len ] in
@@ -286,6 +419,8 @@ let () =
           Alcotest.test_case "wrong-size fixed codecs" `Quick wrong_size_fixed_codecs;
           Alcotest.test_case "fido2 mutation fuzz" `Quick fido2_mutation;
           Alcotest.test_case "password mutation fuzz" `Quick password_mutation;
+          Alcotest.test_case "attestation mutation fuzz" `Quick attestation_mutation;
+          Alcotest.test_case "audit response mutation fuzz" `Quick audit_response_mutation;
         ] );
       qsuite "decoder-totality" decoder_total_tests;
       qsuite "protocol-roundtrips"
@@ -295,5 +430,9 @@ let () =
           halfmul_roundtrip;
           reveal_roundtrip;
           record_roundtrip;
+          merkle_sth_roundtrip;
+          merkle_proof_roundtrip;
+          attestation_roundtrip;
+          audit_response_roundtrip;
         ];
     ]
