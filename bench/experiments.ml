@@ -549,3 +549,83 @@ let recovery_bench ~fast () =
   print_endline
     "(snapshot recovery is O(state); WAL replay is O(history) — the gap is why\n\
      the store checkpoints every 128 records by default)"
+
+(* ---------- swarm: concurrent session throughput on the runtime ---------- *)
+
+(* Not a paper figure: the fiber runtime's tentpole number.  N
+   concurrent password sessions (the cheapest protocol — the point is
+   scheduler + admission-loop overhead, not ZKBoo) each run a full
+   enroll → register → authenticate against one log behind the
+   Log_async admission loop, over the paper's 20 ms RTT link.  Reported:
+   wall-clock sessions/sec, simulated (virtual) elapsed time, and how
+   many requests the admission loop absorbed in multi-request batches. *)
+
+module Runtime = Larch_runtime.Runtime
+
+let swarm_bench ~fast ?json () =
+  header "swarm: concurrent password sessions on the fiber runtime";
+  Printf.printf "%8s  %9s  %12s  %11s  %9s  %13s\n" "fibers" "wall s" "sessions/s"
+    "virtual s" "batches" "batched reqs";
+  let counts = if fast then [ 1; 16; 64 ] else [ 1; 16; 256; 1024 ] in
+  let base = 1_700_000_000. in
+  let rows =
+    List.map
+      (fun n ->
+        Larch_util.Clock.set base;
+        let drbg = Larch_hash.Drbg.create ~entropy:(Printf.sprintf "swarm-bench-%d" n) in
+        let rnd k = Larch_hash.Drbg.generate drbg k in
+        let log = Log_service.create ~rand_bytes:rnd () in
+        let la = Log_async.create log in
+        let (), wall =
+          timed (fun () ->
+              Runtime.run ~seed:"bench" (fun () ->
+                  Log_async.start la;
+                  let fibers =
+                    List.init n (fun i ->
+                        Runtime.spawn (fun () ->
+                            let cid = Printf.sprintf "c%04d" i in
+                            let client =
+                              Client.create ~net ~client_id:cid ~account_password:"pw"
+                                ~log ~rand_bytes:rnd ()
+                            in
+                            Log_async.attach la ~client_id:cid client.Client.transport;
+                            Client.enroll ~presignature_count:1 client;
+                            ignore (Client.register_password client ~rp_name:"rp");
+                            ignore (Client.authenticate_password client ~rp_name:"rp")))
+                  in
+                  List.iter Runtime.await fibers;
+                  Log_async.stop la))
+        in
+        let virtual_s = Larch_util.Clock.now () -. base in
+        Larch_util.Clock.use_real_time ();
+        let rate = float_of_int n /. wall in
+        Printf.printf "%8d  %9.2f  %12.1f  %11.2f  %9d  %13d\n%!" n wall rate virtual_s
+          (Log_async.batches la) (Log_async.batched_requests la);
+        (n, wall, rate, virtual_s, Log_async.batches la, Log_async.batched_requests la))
+      counts
+  in
+  print_endline
+    "(virtual seconds stay near-constant while fibers scale: sessions overlap on the\n\
+     simulated link, and same-tick arrivals drain as one admission batch)";
+  match json with
+  | None -> ()
+  | Some file ->
+      let oc = open_out file in
+      output_string oc "{\n  \"pr\": \"effects-based fiber runtime: concurrent sessions over the simulated link\",\n";
+      output_string oc "  \"units\": \"wall-clock seconds / sessions per second\",\n";
+      output_string oc "  \"command\": \"dune exec bench/main.exe -- -e swarm --json FILE\",\n";
+      output_string oc
+        "  \"note\": \"password-only sessions (scheduler + admission overhead, not ZKBoo); \
+         full enroll+register+auth per fiber; one shared log behind the Log_async \
+         admission loop; 20 ms RTT simulated link\",\n";
+      output_string oc "  \"benchmarks\": {\n";
+      List.iteri
+        (fun i (n, wall, rate, virtual_s, batches, batched) ->
+          Printf.fprintf oc
+            "    \"swarm/%d-fibers\": {\n      \"wall_s\": %.3f,\n      \"sessions_per_s\": %.1f,\n      \"virtual_s\": %.3f,\n      \"admission_batches\": %d,\n      \"batched_requests\": %d\n    }%s\n"
+            n wall rate virtual_s batches batched
+            (if i = List.length rows - 1 then "" else ","))
+        rows;
+      output_string oc "  }\n}\n";
+      close_out oc;
+      Printf.printf "swarm rows written to %s\n%!" file

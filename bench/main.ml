@@ -7,13 +7,13 @@
 
    Experiments: fig3-left fig3-center fig3-right fig4-left fig4-right fig5
    table6 enroll ecdsa-compare ablate-schnorr ablate-pack groth16 recovery
-   micro zkboo *)
+   micro zkboo swarm *)
 
 let all_ids =
   [
     "fig3-left"; "fig3-center"; "fig3-right"; "fig4-left"; "fig4-right"; "fig5"; "table6";
     "enroll"; "ecdsa-compare"; "ablate-schnorr"; "ablate-pack"; "groth16"; "recovery"; "micro";
-    "zkboo";
+    "zkboo"; "swarm";
   ]
 
 let run_experiments ~fast ~micro_json ~micro_quota ~selected =
@@ -52,9 +52,11 @@ let run_experiments ~fast ~micro_json ~micro_quota ~selected =
   if want "groth16" then Experiments.groth16_note ();
   if want "recovery" then Experiments.recovery_bench ~fast ();
   if want "micro" then Micro.run ?quota:micro_quota ?json:micro_json ();
-  (* zkboo is opt-in only: ~6 multi-ms rows would dominate a default run *)
+  (* zkboo and swarm are opt-in only: multi-second sweeps would dominate
+     a default run *)
   if selected <> [] && want "zkboo" then
-    Micro.run_zkboo ?quota:micro_quota ?json:micro_json ()
+    Micro.run_zkboo ?quota:micro_quota ?json:micro_json ();
+  if selected <> [] && want "swarm" then Experiments.swarm_bench ~fast ?json:micro_json ()
 
 open Cmdliner
 

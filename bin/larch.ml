@@ -291,6 +291,183 @@ let faults seed auths =
     1
   end
 
+(* --- swarm: concurrent fiber sessions over the faulty link ------------- *)
+
+module Runtime = Larch_runtime.Runtime
+
+(* One seeded world: [sessions] clients, each a fiber driving a full
+   enroll → register → authenticate → audit session for its protocol
+   (10% FIDO2, 20% TOTP, 70% password) over the 20 ms RTT link with a
+   per-client seeded fault injector, all against one store-backed log
+   behind the Log_async admission loop.  The transcript records every
+   session's outcome in completion order — a pure function of the
+   scheduler seed — plus aggregate transport/disk/admission/fsck
+   state; the caller digests it. *)
+let swarm_run ~(seed : string) ~(sessions : int) ~(faulty : bool) : string * string =
+  Larch_util.Clock.set 1_700_000_000.;
+  Obs.Runtime.set_time_source (Some Larch_util.Clock.now);
+  let drbg = Larch_hash.Drbg.create ~entropy:("larch-swarm-" ^ seed) in
+  let rand n = Larch_hash.Drbg.generate drbg n in
+  let disk = Larch_store.Disk.create ~seed () in
+  let store = Larch_store.Store.open_ ~disk ~dir:"log" () in
+  let log =
+    Log_service.create ~checkpoint_every:64 ~objection_window:0.05 ~store ~rand_bytes:rand ()
+  in
+  let la = Log_async.create log in
+  let transcript = Buffer.create 4096 in
+  let ok = ref 0 and failed = ref 0 in
+  let attempts = ref 0 and retries = ref 0 and tfaults = ref 0 and replays = ref 0 in
+  (* storms, but rare crashes: a shared-log restart hits every in-flight
+     session, so the stormy default would drown the swarm in collateral
+     aborts instead of exercising interleaving *)
+  let profile = { Larch_net.Fault.stormy with Larch_net.Fault.p_crash = 0.004 } in
+  let t0 = Larch_util.Clock.now () in
+  Runtime.run ~seed:("swarm-sched-" ^ seed) (fun () ->
+      Log_async.start la;
+      let session i () =
+        let cid = Printf.sprintf "swarm-%03d" i in
+        let proto, proto_name =
+          match i mod 10 with
+          | 0 -> (`Fido2, "fido2")
+          | 1 | 2 -> (`Totp, "totp")
+          | _ -> (`Password, "password")
+        in
+        let client =
+          Client.create ~net:Larch_net.Netsim.paper_default ~client_id:cid
+            ~account_password:("pw-" ^ cid) ~log ~rand_bytes:rand ()
+        in
+        Log_async.attach la ~client_id:cid client.Client.transport;
+        let outcome =
+          match
+            (* clean enrollment; faults start with authentication *)
+            Client.enroll ~presignature_count:(if proto = `Fido2 then 3 else 1) client;
+            let rp = Relying_party.create ~name:("rp-" ^ cid) ~rand_bytes:rand () in
+            if faulty then
+              Client.Transport.set_injector client.Client.transport
+                (Some (Larch_net.Fault.seeded ~seed:(seed ^ "/" ^ cid) profile));
+            (match proto with
+            | `Fido2 ->
+                let pk = Client.register_fido2 client ~rp_name:("rp-" ^ cid) in
+                Relying_party.fido2_register rp ~username:cid ~pk;
+                let challenge = Relying_party.fido2_challenge rp ~username:cid in
+                let assertion =
+                  Client.authenticate_fido2 client ~rp_name:("rp-" ^ cid) ~challenge
+                in
+                if not (Relying_party.fido2_login rp ~username:cid assertion) then
+                  failwith "relying party rejected";
+                (* staged top-up: the admission loop's idle pass activates
+                   it once the objection window lapses *)
+                Client.top_up_presignatures client ~count:2
+            | `Totp ->
+                let totp_key = Relying_party.totp_register rp ~username:cid in
+                Client.register_totp client ~rp_name:("rp-" ^ cid) ~totp_key;
+                ignore
+                  (Client.authenticate_totp client ~rp_name:("rp-" ^ cid)
+                     ~time:(Larch_util.Clock.now ()))
+            | `Password ->
+                let site_pw = Client.register_password client ~rp_name:("rp-" ^ cid) in
+                Relying_party.password_set rp ~username:cid ~password:site_pw;
+                let pw = Client.authenticate_password client ~rp_name:("rp-" ^ cid) in
+                if not (Relying_party.password_login rp ~username:cid ~password:pw) then
+                  failwith "relying party rejected")
+          with
+          | () -> incr ok; "ok"
+          | exception Client.Transport.Error e ->
+              incr failed;
+              Printf.sprintf "transport-error %s attempts=%d"
+                (Client.Transport.failure_to_string e.Client.Transport.last)
+                e.Client.Transport.attempts
+          | exception Types.Protocol_error m ->
+              incr failed;
+              "protocol-error " ^ m
+          | exception Client.Log_misbehaved m ->
+              incr failed;
+              "log-misbehaved " ^ m
+          | exception Failure m ->
+              incr failed;
+              "failed " ^ m
+        in
+        (* calm the link again; a verified audit closes the session *)
+        Client.Transport.set_injector client.Client.transport None;
+        let audit =
+          match Client.resync client; Client.audit_verified client with
+          | Ok entries -> Printf.sprintf "audit ok (%d records)" (List.length entries)
+          | Error m -> "audit FAILED " ^ m
+          | exception _ -> "audit error"
+        in
+        let st = Client.Transport.stats client.Client.transport in
+        attempts := !attempts + st.Client.Transport.attempts;
+        retries := !retries + st.Client.Transport.retries;
+        tfaults := !tfaults + st.Client.Transport.faults;
+        replays := !replays + st.Client.Transport.replays;
+        Buffer.add_string transcript
+          (Printf.sprintf "%s %-8s %s; %s; retries=%d\n" cid proto_name outcome audit
+             st.Client.Transport.retries)
+      in
+      let fibers =
+        List.init sessions (fun i ->
+            Runtime.spawn ~name:(Printf.sprintf "session-%03d" i) (session i))
+      in
+      List.iter
+        (fun p ->
+          match Runtime.await p with
+          | () -> ()
+          | exception _ -> incr failed)
+        fibers;
+      Log_async.stop la);
+  let elapsed = Larch_util.Clock.now () -. t0 in
+  let ds = Larch_store.Disk.stats disk in
+  let fr = Option.get (Log_service.fsck log) in
+  Buffer.add_string transcript
+    (Printf.sprintf "disk appends=%d fsyncs=%d bytes=%d crashes=%d\n"
+       ds.Larch_store.Disk.appends ds.Larch_store.Disk.fsyncs
+       ds.Larch_store.Disk.bytes_written ds.Larch_store.Disk.crashes);
+  Buffer.add_string transcript
+    (Printf.sprintf "fsck %s: wal_ops=%d clients=%d%s\n"
+       (if Log_persist.fsck_clean fr then "clean" else "DIRTY")
+       fr.Log_persist.wal_ops fr.Log_persist.clients
+       (match fr.Log_persist.issues with [] -> "" | l -> " " ^ String.concat "; " l));
+  Buffer.add_string transcript
+    (Printf.sprintf "admission batches=%d batched_reqs=%d virtual_elapsed=%.3fs\n"
+       (Log_async.batches la) (Log_async.batched_requests la) elapsed);
+  let summary =
+    Printf.sprintf
+      "%d ok / %d failed; transport: %d attempts, %d retries, %d faults, %d replays; \
+       admission: %d batches (%d reqs batched); %d disk kills, fsck %s; %.1fs virtual"
+      !ok !failed !attempts !retries !tfaults !replays (Log_async.batches la)
+      (Log_async.batched_requests la) ds.Larch_store.Disk.crashes
+      (if Log_persist.fsck_clean fr then "clean" else "DIRTY")
+      elapsed
+  in
+  Obs.Runtime.set_time_source None;
+  Larch_util.Clock.use_real_time ();
+  (hex (Larch_hash.Sha256.digest (Buffer.contents transcript)), summary)
+
+let swarm seed sessions clean =
+  let faulty = not clean in
+  Printf.printf "swarm: %d concurrent sessions (seed=%s, %s link, 20ms RTT)\n" sessions seed
+    (if faulty then "faulty" else "clean");
+  let swarm_run ~seed ~sessions ~faulty =
+    try swarm_run ~seed ~sessions ~faulty
+    with Runtime.Deadlock stuck ->
+      Printf.eprintf "swarm: deadlock; stuck fibers:\n";
+      List.iter (fun s -> Printf.eprintf "  %s\n" s) stuck;
+      exit 2
+  in
+  let d1, s1 = swarm_run ~seed ~sessions ~faulty in
+  Printf.printf "  run 1: %s\n         transcript digest %s\n" s1 (String.sub d1 0 16);
+  let d2, s2 = swarm_run ~seed ~sessions ~faulty in
+  Printf.printf "  run 2: %s\n         transcript digest %s\n" s2 (String.sub d2 0 16);
+  if d1 = d2 then begin
+    print_endline "  deterministic: run 2 replayed the interleaving byte for byte";
+    Printf.printf "  reproduce with: larch swarm --seed %s -n %d\n" seed sessions;
+    0
+  end
+  else begin
+    print_endline "  NOT deterministic: transcripts differ";
+    1
+  end
+
 (* --- storage: fsck and the crash-point recovery sweep ------------------ *)
 
 module Disk = Larch_store.Disk
@@ -750,6 +927,25 @@ let faults_cmd =
     (Cmd.info "faults" ~doc:"Run a seeded faulty-transport world twice and compare transcripts")
     Term.(const faults $ seed $ auths)
 
+let swarm_cmd =
+  let seed =
+    Arg.(value & opt string "42" & info [ "seed" ] ~docv:"SEED"
+      ~doc:"Scheduler seed; the same seed replays the same interleaving, faults, and \
+            transcript byte for byte.")
+  in
+  let sessions =
+    Arg.(value & opt int 16 & info [ "n" ] ~doc:"Concurrent sessions (fibers).")
+  in
+  let clean =
+    Arg.(value & flag & info [ "clean" ]
+      ~doc:"Disable per-session fault injectors (keep the 20ms RTT link).")
+  in
+  Cmd.v
+    (Cmd.info "swarm"
+       ~doc:"Run N concurrent mixed-protocol session fibers over the simulated link \
+             against one admission-loop log — twice, digest-compared")
+    Term.(const swarm $ seed $ sessions $ clean)
+
 let store_seed_arg =
   Arg.(value & opt string "42" & info [ "seed" ] ~docv:"SEED"
     ~doc:"Workload seed; the same seed replays the same WAL and the same sweep.")
@@ -828,5 +1024,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "larch" ~doc)
-          [ demo_cmd; trace_cmd; faults_cmd; fsck_cmd; recover_cmd; audit_cmd; report_cmd;
-            metrics_cmd; sizes_cmd; circuits_cmd ]))
+          [ demo_cmd; trace_cmd; faults_cmd; swarm_cmd; fsck_cmd; recover_cmd; audit_cmd;
+            report_cmd; metrics_cmd; sizes_cmd; circuits_cmd ]))

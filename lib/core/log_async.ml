@@ -1,0 +1,160 @@
+(* Admission loop: one mailbox in front of the log service, drained a
+   batch per simulated tick by a dedicated fiber.  See log_async.mli. *)
+
+module Runtime = Larch_runtime.Runtime
+module Mailbox = Larch_runtime.Runtime.Mailbox
+module Transport = Larch_net.Transport
+module Metrics = Larch_obs.Metrics
+
+type item = {
+  client_id : string;
+  op : string;
+  req : string option;
+  closure : unit -> unit;
+  done_mb : unit Mailbox.t; (* signalled once the closure ran *)
+}
+
+type t = {
+  log : Log_service.t;
+  inbox : item Mailbox.t;
+  mutable fiber : unit Runtime.promise option;
+  mutable n_batches : int;
+  mutable n_batched : int;
+}
+
+let create log =
+  {
+    log;
+    inbox = Mailbox.create ~name:"log.admission" ();
+    fiber = None;
+    n_batches = 0;
+    n_batched = 0;
+  }
+
+let batches t = t.n_batches
+let batched_requests t = t.n_batched
+
+let obs_on () = Larch_obs.Runtime.tracing_enabled ()
+let m_default = Metrics.default
+
+(* Batch-verify every fido2.auth_begin record signature in the batch
+   with one Pippenger pass; deposit skip tokens for the valid ones.
+   Anything undecodable or unknown is left for the individual path. *)
+let preverify_fido2 t (batch : item list) =
+  let candidates =
+    List.filter_map
+      (fun it ->
+        if it.op <> "fido2.auth_begin" then None
+        else
+          match it.req with
+          | None -> None
+          | Some bytes -> (
+              match Fido2_protocol.decode_auth_request bytes with
+              | None -> None
+              | Some req -> (
+                  match
+                    ( Log_service.record_verify_key t.log ~client_id:it.client_id,
+                      Larch_ec.Ecdsa.decode req.Fido2_protocol.record_sig )
+                  with
+                  | Some vk, Some sg -> Some (it.client_id, req, vk, sg)
+                  | _ -> None)))
+      batch
+  in
+  (* a singleton batch would do the same work as the individual check —
+     only combine when there is something to amortize *)
+  if List.length candidates >= 2 then begin
+    let triples =
+      List.map
+        (fun (_, req, vk, sg) ->
+          (vk, req.Fido2_protocol.ct_nonce ^ req.Fido2_protocol.ct, sg))
+        candidates
+    in
+    let ok = Larch_ec.Ecdsa.verify_batch triples in
+    List.iteri
+      (fun i (client_id, req, _, _) ->
+        if ok.(i) then
+          Log_service.preverify_record_sig t.log ~client_id
+            ~ct_nonce:req.Fido2_protocol.ct_nonce ~ct:req.Fido2_protocol.ct
+            ~record_sig:req.Fido2_protocol.record_sig)
+      candidates;
+    if obs_on () then
+      Metrics.add
+        (Metrics.counter m_default "log.admission.sigs_batch_verified")
+        (List.length candidates)
+  end
+
+(* Idle work: activate any staged presignature batches whose objection
+   window has passed — the refill happens between request bursts instead
+   of on a session's critical path.  Client order is sorted for seed
+   independence from hash-table internals. *)
+let idle_refill t =
+  let ids = ref [] in
+  Hashtbl.iter (fun cid _ -> ids := cid :: !ids) t.log.Log_service.clients;
+  let now = Larch_util.Clock.now () in
+  List.iter
+    (fun cid ->
+      (* clients mid-enrollment have an account but no fido2 share yet *)
+      match Log_service.record_verify_key t.log ~client_id:cid with
+      | None -> ()
+      | Some _ ->
+          let n = Log_service.activate_pending t.log ~client_id:cid ~now in
+          if n > 0 && obs_on () then
+            Metrics.add (Metrics.counter m_default "log.admission.idle_refills") n)
+    (List.sort compare !ids)
+
+let rec admission_loop t =
+  let batch = Mailbox.recv_batch t.inbox in
+  t.n_batches <- t.n_batches + 1;
+  let n = List.length batch in
+  if n > 1 then t.n_batched <- t.n_batched + n;
+  if obs_on () then
+    Metrics.observe
+      (Metrics.histogram m_default "log.admission.batch_size")
+      (float_of_int n);
+  preverify_fido2 t batch;
+  List.iter
+    (fun it ->
+      it.closure ();
+      Mailbox.send it.done_mb ())
+    batch;
+  if Mailbox.length t.inbox = 0 then idle_refill t;
+  admission_loop t
+
+let start t =
+  match t.fiber with
+  | Some _ -> ()
+  | None ->
+      t.fiber <-
+        Some (Runtime.spawn ~name:"log.admission" (fun () -> admission_loop t))
+
+let stop t =
+  match t.fiber with
+  | None -> ()
+  | Some p ->
+      (* drain stragglers before honoring the cancel, so no submitting
+         fiber is left waiting on its done-signal *)
+      while Mailbox.length t.inbox > 0 do
+        Runtime.yield ()
+      done;
+      Runtime.cancel p;
+      (match Runtime.await p with
+      | () -> ()
+      | exception Runtime.Cancelled -> ());
+      t.fiber <- None
+
+let attach t ~client_id transport =
+  Transport.set_executor transport
+    (Some
+       (fun ~op ~req closure ->
+         match t.fiber with
+         | None ->
+             (* no admission fiber running: execute directly *)
+             closure ()
+         | Some _ when Runtime.self_name () = Some "log.admission" ->
+             (* the loop itself re-entering (a handler that performs a
+                nested exchange): run inline, never self-enqueue *)
+             closure ()
+         | Some _ ->
+             let done_mb = Mailbox.create ~name:("done." ^ op) () in
+             Mailbox.send t.inbox { client_id; op; req; closure; done_mb };
+             Mailbox.recv done_mb))

@@ -1,0 +1,46 @@
+(** Fiber-based admission loop for the log service.
+
+    Under {!Larch_runtime.Runtime}, each client session is a fiber and
+    its transport hands log-side execution to an installed executor
+    ({!Larch_net.Transport.set_executor}).  This module is that
+    executor: requests from any number of concurrent sessions land in
+    one mailbox, and a dedicated admission fiber drains {e everything
+    that arrived in the same simulated instant} as one batch per tick.
+
+    Batching is what makes the concurrency pay:
+    - all [fido2.auth_begin] record signatures in a batch are verified
+      together by one random-weight Pippenger multi-exponentiation
+      ({!Larch_ec.Ecdsa.verify_batch}); winners deposit one-shot skip
+      tokens ({!Log_service.preverify_record_sig}) so the per-request
+      handler does not repeat the check — failures simply fall back to
+      the individual path, the accept set never changes;
+    - when the inbox goes idle, the loop activates matured staged
+      presignature batches ({!Log_service.activate_pending}) — the
+      paper's "refill during idle time" amortization.
+
+    Requests within a batch execute sequentially (the log is one
+    service); their order is the seeded mailbox-drain order, so the
+    whole construction stays byte-for-byte replayable. *)
+
+type t
+
+val create : Log_service.t -> t
+
+val attach : t -> client_id:string -> Larch_net.Transport.t -> unit
+(** Install this admission loop as the transport's executor and bind
+    the transport's requests to [client_id] (the loop needs the id to
+    look up the record-verification key for batch checking). *)
+
+val start : t -> unit
+(** Spawn the admission fiber (idempotent).  Must run under
+    {!Larch_runtime.Runtime.run}. *)
+
+val stop : t -> unit
+(** Cancel the admission fiber.  Any still-queued requests complete
+    first (they are drained before cancellation is honored). *)
+
+val batches : t -> int
+(** Batches drained so far. *)
+
+val batched_requests : t -> int
+(** Requests that arrived batched with at least one companion. *)

@@ -103,6 +103,11 @@ type t = {
          an HSM: it survives [restart] (which only rebuilds the client
          map) and never appears in snapshots or WAL frames *)
   sth_pk : Point.t;
+  preverified : (string, unit) Hashtbl.t;
+      (* one-shot tokens from the admission loop's batch signature
+         verification: volatile (like a session cache), keyed by a hash
+         of (client, ciphertext, signature) so a token can only skip the
+         exact individual check that the batch already performed *)
 }
 
 let create ?(objection_window = 0.) ?checkpoint_every ?store ~(rand_bytes : int -> string) () : t
@@ -112,7 +117,15 @@ let create ?(objection_window = 0.) ?checkpoint_every ?store ~(rand_bytes : int 
   let clients =
     match persist with Some p -> Log_persist.recover p | None -> Hashtbl.create 16
   in
-  { clients; rand = rand_bytes; objection_window; persist; sth_sk; sth_pk }
+  {
+    clients;
+    rand = rand_bytes;
+    objection_window;
+    persist;
+    sth_sk;
+    sth_pk;
+    preverified = Hashtbl.create 16;
+  }
 
 let sth_pub (t : t) : Point.t = t.sth_pk
 
@@ -128,6 +141,23 @@ let fsck (t : t) : Log_persist.fsck option =
 let commit (t : t) (e : Log_state.entry) : unit =
   Log_state.apply t.clients e;
   match t.persist with None -> () | Some p -> Log_persist.append p e
+
+(* --- admission-batch signature pre-verification ------------------------ *)
+
+let preverify_key ~client_id ~ct_nonce ~ct ~record_sig =
+  Larch_hash.Sha256.digest_list
+    [ "record-sig-preverified"; client_id; ct_nonce; ct; record_sig ]
+
+let record_verify_key (t : t) ~(client_id : string) : Point.t option =
+  match Hashtbl.find_opt t.clients client_id with
+  | Some c -> Option.map (fun f -> f.Log_state.record_vk) c.Log_state.fido2
+  | None -> None
+
+let preverify_record_sig (t : t) ~(client_id : string) ~(ct_nonce : string)
+    ~(ct : string) ~(record_sig : string) : unit =
+  Hashtbl.replace t.preverified
+    (preverify_key ~client_id ~ct_nonce ~ct ~record_sig)
+    ()
 
 (* Group-commit whatever the body appended, even when it raises: a
    rejected proof must not leave its policy charge un-fsynced. *)
@@ -385,7 +415,17 @@ let fido2_auth_begin ?(domains = 1) (t : t) ~(client_id : string) ~(ip : string)
   (* the §7 integrity optimization: ciphertext signed outside the proof *)
   (match Larch_ec.Ecdsa.decode req.Fido2_protocol.record_sig with
   | Some sg ->
-      if not (Larch_ec.Ecdsa.verify ~pk:f.record_vk (req.Fido2_protocol.ct_nonce ^ req.Fido2_protocol.ct) sg)
+      (* one-shot skip token if the admission loop already verified this
+         exact signature inside a batched Pippenger pass *)
+      let pk = preverify_key ~client_id ~ct_nonce:req.Fido2_protocol.ct_nonce
+          ~ct:req.Fido2_protocol.ct ~record_sig:req.Fido2_protocol.record_sig
+      in
+      if Hashtbl.mem t.preverified pk then begin
+        Hashtbl.remove t.preverified pk;
+        if obs_on () then m_inc "log.fido2.record_sig_batched"
+      end
+      else if
+        not (Larch_ec.Ecdsa.verify ~pk:f.record_vk (req.Fido2_protocol.ct_nonce ^ req.Fido2_protocol.ct) sg)
       then begin
         proto_err "record signature invalid";
         Types.fail "record signature invalid"
@@ -522,6 +562,7 @@ let fido2_auth_abort (t : t) ~(client_id : string) ~(consumed : int) : unit =
    nothing ever persisted it.  Without a store, the in-memory map *is* the
    durable state, so only the volatile session fields are dropped. *)
 let restart (t : t) : unit =
+  Hashtbl.reset t.preverified;
   match t.persist with
   | Some p ->
       let recovered = Log_persist.reopen p in

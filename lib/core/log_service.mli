@@ -85,6 +85,9 @@ type t = {
       (** the log's tree-head signing key — held like an HSM key: drawn at
           [create], survives {!restart}, never serialized *)
   sth_pk : Point.t;
+  preverified : (string, unit) Hashtbl.t;
+      (** one-shot skip tokens from the admission loop's batched signature
+          verification (see {!preverify_record_sig}); volatile *)
 }
 
 val create :
@@ -205,6 +208,20 @@ val fido2_auth_abort : t -> client_id:string -> consumed:int -> unit
     burned {e forward} to [consumed] (the client's own total) — never
     backward, since a presignature whose round-1 message may have leaked
     must not be reused. *)
+
+val record_verify_key : t -> client_id:string -> Larch_ec.Point.t option
+(** The client's record-integrity verification key (once FIDO2-enrolled):
+    what the admission loop's batch signature verification checks
+    against. *)
+
+val preverify_record_sig :
+  t -> client_id:string -> ct_nonce:string -> ct:string -> record_sig:string -> unit
+(** Deposit a one-shot skip token: the admission loop verified this exact
+    record signature inside a batched Pippenger pass, so the matching
+    {!fido2_auth_begin} may skip its individual check.  Tokens are keyed
+    by a hash of (client, ciphertext, signature), are consumed on use,
+    and do not survive {!restart} — an unverified signature can never
+    ride a stale token. *)
 
 val restart : t -> unit
 (** A log-process restart.  With a store attached this is a genuine kill:

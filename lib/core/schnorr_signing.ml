@@ -26,6 +26,76 @@ let verify ~(pk : Point.t) ~(digest : string) (sg : signature) : bool =
   let c = challenge ~r_point:sg.r_point ~digest in
   Point.equal (Point.mul_base sg.s) (Point.add sg.r_point (Point.mul c pk))
 
+(* Batch verification: Schnorr signatures carry the full nonce point, so
+   — unlike ECDSA — the textbook random-linear-combination check applies
+   directly.  With per-item weights aᵢ from a DRBG keyed on the batch:
+       (Σᵢ aᵢ·sᵢ) · G  −  Σᵢ aᵢ · Rᵢ  −  Σᵢ (aᵢ·cᵢ) · pkᵢ  =  O,
+   one Pippenger multi-exponentiation for the whole batch.  On failure
+   each signature is re-checked individually, so the accept set is
+   exactly {!verify}'s. *)
+let verify_batch (items : (Point.t * string * signature) list) : bool array =
+  let items = Array.of_list items in
+  let n = Array.length items in
+  let results = Array.make n false in
+  let fallback () =
+    Array.iteri
+      (fun i (pk, digest, sg) -> results.(i) <- verify ~pk ~digest sg)
+      items;
+    results
+  in
+  if n <= 1 then fallback ()
+  else begin
+    let sound =
+      Array.for_all
+        (fun (pk, _, sg) ->
+          Point.is_on_curve pk
+          && (not (Point.is_infinity pk))
+          && Point.is_on_curve sg.r_point)
+        items
+    in
+    if not sound then fallback ()
+    else begin
+      let transcript = Buffer.create (n * 128) in
+      Buffer.add_string transcript "schnorr-batch-v1";
+      Array.iter
+        (fun (pk, digest, sg) ->
+          Buffer.add_string transcript (Point.encode pk);
+          Buffer.add_string transcript digest;
+          Buffer.add_string transcript (Point.encode sg.r_point);
+          Buffer.add_string transcript (Scalar.to_bytes_be sg.s))
+        items;
+      let drbg =
+        Larch_hash.Drbg.create
+          ~entropy:(Larch_hash.Sha256.digest (Buffer.contents transcript))
+      in
+      let weight () =
+        let rec draw () =
+          let w = Scalar.of_nat (Nat.of_bytes_be (Larch_hash.Drbg.generate drbg 16)) in
+          if Nat.is_zero w then draw () else w
+        in
+        draw ()
+      in
+      let g_coeff = ref Scalar.zero in
+      let terms = ref [] in
+      Array.iter
+        (fun (pk, digest, sg) ->
+          let c = challenge ~r_point:sg.r_point ~digest in
+          let a = weight () in
+          let neg_a = Scalar.sub Scalar.zero a in
+          g_coeff := Scalar.add !g_coeff (Scalar.mul a sg.s);
+          terms := (neg_a, sg.r_point) :: (Scalar.mul neg_a c, pk) :: !terms)
+        items;
+      let combined =
+        Point.multi_mul (Array.of_list ((!g_coeff, Point.g) :: !terms))
+      in
+      if Point.is_infinity combined then begin
+        Array.fill results 0 n true;
+        results
+      end
+      else fallback ()
+    end
+  end
+
 (* --- the two-party protocol --- *)
 
 type log_round1 = { commitment : string } (* H(R0 ‖ nonce) *)

@@ -13,6 +13,13 @@ type signature = { r_point : Point.t; s : Scalar.t }
 val challenge : r_point:Point.t -> digest:string -> Scalar.t
 val verify : pk:Point.t -> digest:string -> signature -> bool
 
+val verify_batch : (Point.t * string * signature) list -> bool array
+(** Verify many [(pk, digest, signature)] triples with one random-weight
+    Pippenger multi-exponentiation (weights from a DRBG keyed on the
+    batch contents); falls back to per-item {!verify} when the combined
+    equation fails, so the accept set is unchanged.  Returns per-item
+    validity. *)
+
 type log_round1 = { commitment : string }
 type log_state = { r0 : Scalar.t; r0_pub : Point.t; nonce : string }
 

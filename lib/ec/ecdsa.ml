@@ -28,7 +28,7 @@ let deterministic_nonce ~(sk : Scalar.t) ~(digest : string) : Scalar.t =
 let keygen ~(rand_bytes : int -> string) : Scalar.t * Point.t =
   Point.random ~rand_bytes
 
-let sign_digest ?nonce ~(sk : Scalar.t) (digest : string) : signature =
+let sign_digest ?nonce ?(even_r = false) ~(sk : Scalar.t) (digest : string) : signature =
   let e = Scalar.of_nat (Nat.of_bytes_be digest) in
   let rec go nonce =
     let k = match nonce with Some k -> k | None -> deterministic_nonce ~sk ~digest in
@@ -37,14 +37,25 @@ let sign_digest ?nonce ~(sk : Scalar.t) (digest : string) : signature =
     if Nat.is_zero r then go None
     else begin
       let s = Scalar.mul (Scalar.inv k) (Scalar.add e (Scalar.mul r sk)) in
-      if Nat.is_zero s then go None else { r; s }
+      if Nat.is_zero s then go None
+      else if even_r then begin
+        (* Pick the malleability twin whose nonce point has even y:
+           (r, -s) verifies against -R, so flipping s when y(R) is odd
+           pins the verifier-recoverable R to the even-y candidate.
+           Batch verification relies on this normalization to undo
+           ECDSA's x-only compression without a parity search. *)
+        match Point.to_affine r_point with
+        | Some (_, y) when Nat.test_bit y 0 -> { r; s = Scalar.sub Scalar.zero s }
+        | _ -> { r; s }
+      end
+      else { r; s }
     end
   in
   go nonce
 
 (* Sign a raw message (it is hashed with SHA-256 internally). *)
-let sign ?nonce ~(sk : Scalar.t) (msg : string) : signature =
-  sign_digest ?nonce ~sk (Larch_hash.Sha256.digest msg)
+let sign ?nonce ?even_r ~(sk : Scalar.t) (msg : string) : signature =
+  sign_digest ?nonce ?even_r ~sk (Larch_hash.Sha256.digest msg)
 
 let verify_digest ~(pk : Point.t) (digest : string) (sg : signature) : bool =
   (not (Nat.is_zero sg.r))
@@ -63,6 +74,98 @@ let verify_digest ~(pk : Point.t) (digest : string) (sg : signature) : bool =
 
 let verify ~(pk : Point.t) (msg : string) (sg : signature) : bool =
   verify_digest ~pk (Larch_hash.Sha256.digest msg) sg
+
+(* --- batch verification ------------------------------------------------ *)
+
+(* Only r = x(R) mod n crosses the wire, so the nonce point must be
+   recovered before signatures can share one multi-exponentiation.  We
+   take the even-y candidate (signers opt into [~even_r] normalization);
+   x = r + n is possible in principle but only for x(R) < p - n
+   (≈ 2⁻¹²⁸ of points), and such signatures just take the fallback. *)
+let recover_even_r (sg : signature) : Point.t option =
+  if Nat.is_zero sg.r then None
+  else Point.decode_compressed ("\x02" ^ Scalar.to_bytes_be sg.r)
+
+let structurally_sound ~pk (sg : signature) =
+  (not (Nat.is_zero sg.r))
+  && (not (Nat.is_zero sg.s))
+  && Nat.compare sg.r P256.n < 0
+  && Nat.compare sg.s P256.n < 0
+  && Point.is_on_curve pk
+  && not (Point.is_infinity pk)
+
+(* One random-weight combination over the whole batch:
+     Σᵢ aᵢ·u1ᵢ · G  +  Σᵢ (aᵢ·u2ᵢ) · pkᵢ  −  Σᵢ aᵢ · Rᵢ  =  O.
+   Weights come from a DRBG keyed on the batch contents (Fiat–Shamir
+   style), so a signer cannot craft cancelling invalid signatures.  On
+   any failure — or any structurally odd item — we re-check signatures
+   individually: batching never changes the accept set. *)
+let verify_digest_batch (items : (Point.t * string * signature) list) : bool array =
+  let items = Array.of_list items in
+  let n = Array.length items in
+  let results = Array.make n false in
+  let fallback () =
+    Array.iteri
+      (fun i (pk, digest, sg) -> results.(i) <- verify_digest ~pk digest sg)
+      items;
+    results
+  in
+  if n <= 1 then fallback ()
+  else begin
+    let recovered =
+      Array.map
+        (fun (pk, _, sg) ->
+          if structurally_sound ~pk sg then recover_even_r sg else None)
+        items
+    in
+    if Array.exists (fun r -> r = None) recovered then fallback ()
+    else begin
+      let transcript = Buffer.create (n * 128) in
+      Buffer.add_string transcript "ecdsa-batch-v1";
+      Array.iter
+        (fun (pk, digest, sg) ->
+          Buffer.add_string transcript (Point.encode pk);
+          Buffer.add_string transcript digest;
+          Buffer.add_string transcript (Scalar.to_bytes_be sg.r);
+          Buffer.add_string transcript (Scalar.to_bytes_be sg.s))
+        items;
+      let drbg =
+        Larch_hash.Drbg.create
+          ~entropy:(Larch_hash.Sha256.digest (Buffer.contents transcript))
+      in
+      let weight () =
+        let rec draw () =
+          let w = Scalar.of_nat (Nat.of_bytes_be (Larch_hash.Drbg.generate drbg 16)) in
+          if Nat.is_zero w then draw () else w
+        in
+        draw ()
+      in
+      let g_coeff = ref Scalar.zero in
+      let terms = ref [] in
+      Array.iteri
+        (fun i (pk, digest, sg) ->
+          let r_pt = match recovered.(i) with Some p -> p | None -> assert false in
+          let e = Scalar.of_nat (Nat.of_bytes_be digest) in
+          let sinv = Scalar.inv sg.s in
+          let u1 = Scalar.mul e sinv and u2 = Scalar.mul sg.r sinv in
+          let a = weight () in
+          g_coeff := Scalar.add !g_coeff (Scalar.mul a u1);
+          terms := (Scalar.mul a u2, pk) :: (Scalar.sub Scalar.zero a, r_pt) :: !terms)
+        items;
+      let combined =
+        Point.multi_mul (Array.of_list ((!g_coeff, Point.g) :: !terms))
+      in
+      if Point.is_infinity combined then begin
+        Array.fill results 0 n true;
+        results
+      end
+      else fallback ()
+    end
+  end
+
+let verify_batch items =
+  verify_digest_batch
+    (List.map (fun (pk, msg, sg) -> (pk, Larch_hash.Sha256.digest msg, sg)) items)
 
 let encode (sg : signature) : string = Scalar.to_bytes_be sg.r ^ Scalar.to_bytes_be sg.s
 

@@ -10,15 +10,32 @@ type signature = { r : Scalar.t; s : Scalar.t }
 
 val keygen : rand_bytes:(int -> string) -> Scalar.t * Point.t
 
-val sign : ?nonce:Scalar.t -> sk:Scalar.t -> string -> signature
+val sign : ?nonce:Scalar.t -> ?even_r:bool -> sk:Scalar.t -> string -> signature
 (** Sign a message (SHA-256 hashed internally); the nonce defaults to the
-    RFC 6979 derivation, making signing deterministic. *)
+    RFC 6979 derivation, making signing deterministic.  [even_r] (default
+    [false]) emits the malleability twin whose nonce point has an even
+    y-coordinate — verifier-identical, but lets {!verify_batch} recover
+    [R] from [r] without a parity search.  (Off by default so the
+    published RFC 6979 vectors keep matching.) *)
 
-val sign_digest : ?nonce:Scalar.t -> sk:Scalar.t -> string -> signature
+val sign_digest : ?nonce:Scalar.t -> ?even_r:bool -> sk:Scalar.t -> string -> signature
 (** Sign a precomputed 32-byte digest. *)
 
 val verify : pk:Point.t -> string -> signature -> bool
 val verify_digest : pk:Point.t -> string -> signature -> bool
+
+val verify_batch : (Point.t * string * signature) list -> bool array
+(** Verify many [(pk, msg, signature)] triples at once: recover each
+    signature's even-y nonce point and check one random-weight Pippenger
+    multi-exponentiation covering the whole batch (weights drawn from a
+    DRBG keyed on the batch contents).  If the combined equation fails —
+    a bad signature, or a signer that did not normalize with [even_r] —
+    every signature is re-checked individually, so the accept set is
+    always exactly {!verify}'s; batching only changes the cost.  Returns
+    per-item validity. *)
+
+val verify_digest_batch : (Point.t * string * signature) list -> bool array
+(** {!verify_batch} over precomputed digests. *)
 
 val encode : signature -> string
 (** Fixed 64-byte r ‖ s. *)

@@ -35,6 +35,7 @@
 
 module Obs = Larch_obs
 module Clock = Larch_util.Clock
+module Runtime = Larch_runtime.Runtime
 
 type policy = {
   max_attempts : int;
@@ -116,6 +117,7 @@ type t = {
   cache_cap : int;
   mutable cache_seq : int;
   mutable restart_hooks : (unit -> unit) list;
+  mutable executor : (op:string -> req:string option -> (unit -> unit) -> unit) option;
   st : mstats;
   mutable last_req : (string * string) option;  (* (op, bytes) last delivered request *)
   mutable last_resp : string option;  (* last delivered response *)
@@ -140,6 +142,7 @@ let create ?(label = "log") ?(policy = default_policy) ?(net = Netsim.zero)
     cache_cap;
     cache_seq = 0;
     restart_hooks = [];
+    executor = None;
     st =
       {
         s_attempts = 0;
@@ -162,6 +165,25 @@ let faulty t = t.injector <> None
 let set_admin_down t b = t.admin <- b
 let admin_down t = t.admin
 let on_restart t f = t.restart_hooks <- t.restart_hooks @ [ f ]
+let set_executor t ex = t.executor <- ex
+
+(* Route log-side execution through the installed admission executor when
+   the caller is a fiber: the closure travels to the log's admission loop
+   (which may batch it with other clients' requests landing in the same
+   simulated instant) and the calling fiber suspends until its slot is
+   filled.  Without an executor — or outside a runtime — this is a direct
+   call, byte-for-byte the historical behavior. *)
+let via_exec t ~op ?req (f : unit -> 'a) : 'a =
+  match t.executor with
+  | Some ex when Runtime.in_fiber () ->
+      let slot = ref None in
+      ex ~op ~req (fun () ->
+          slot := Some (match f () with v -> Ok v | exception e -> Error e));
+      (match !slot with
+      | Some (Ok v) -> v
+      | Some (Error e) -> raise e
+      | None -> failwith "Transport: executor dropped a request")
+  | _ -> f ()
 let stats t =
   {
     attempts = t.st.s_attempts;
@@ -285,7 +307,7 @@ let exec t ~op bytes handler : string =
       cache_touch t key e;
       e.resp
   | None ->
-      let resp = handler bytes in
+      let resp = via_exec t ~op ~req:bytes (fun () -> handler bytes) in
       cache_insert t key resp;
       resp
 
@@ -444,13 +466,20 @@ let call t ~op ~req ~decode ?(meter_resp = true) handler =
   if t.admin then raise (Error { op; attempts = 1; elapsed = 0.; last = Unavailable });
   match t.injector with
   | None -> (
-      (* passthrough: byte-for-byte the drivers' historical metering *)
+      (* passthrough: byte-for-byte the drivers' historical metering.
+         Under a fiber runtime each leg also charges its wire time, so
+         clean concurrent sessions genuinely interleave over the link
+         (outside a runtime, or with Netsim.zero, nothing changes). *)
       ignore (Channel.send t.chan Channel.Client_to_log req);
+      if Runtime.in_fiber () then wire_time t (String.length req);
       let resp =
-        try handler req
+        try via_exec t ~op ~req (fun () -> handler req)
         with Reject m -> raise (Error { op; attempts = 1; elapsed = 0.; last = Garbled m })
       in
-      if meter_resp then ignore (Channel.send t.chan Channel.Log_to_client resp);
+      if meter_resp then begin
+        ignore (Channel.send t.chan Channel.Log_to_client resp);
+        if Runtime.in_fiber () then wire_time t (String.length resp)
+      end;
       match decode resp with
       | Some v -> v
       | None -> raise (Error { op; attempts = 1; elapsed = 0.; last = Garbled "undecodable response" }))
@@ -467,8 +496,10 @@ let post t ~op ~req handler =
   match t.injector with
   | None ->
       ignore (Channel.send t.chan Channel.Client_to_log req);
-      (try handler req
-       with Reject m -> raise (Error { op; attempts = 1; elapsed = 0.; last = Garbled m }))
+      if Runtime.in_fiber () then wire_time t (String.length req);
+      (try via_exec t ~op ~req (fun () -> handler req)
+       with Reject m -> raise (Error { op; attempts = 1; elapsed = 0.; last = Garbled m }));
+      if Runtime.in_fiber () then wire_time t 0 (* unserialized ack leg *)
   | Some inj ->
       run_op t ~op (fun () ->
           let handler' bytes =
@@ -500,7 +531,14 @@ let post t ~op ~req handler =
 let invoke t ~op (thunk : unit -> 'a) : 'a =
   if t.admin then raise (Error { op; attempts = 1; elapsed = 0.; last = Unavailable });
   match t.injector with
-  | None -> thunk ()
+  | None ->
+      if Runtime.in_fiber () then begin
+        wire_time t 0;
+        let v = via_exec t ~op thunk in
+        wire_time t 0;
+        v
+      end
+      else thunk ()
   | Some inj ->
       run_op t ~op (fun () ->
           let pol = t.policy in
@@ -511,7 +549,10 @@ let invoke t ~op (thunk : unit -> 'a) : 'a =
           (* no serialized payload on this path, but the exchange still
              crosses the link: charge propagation delay per leg *)
           wire_time t 0;
-          let run () = try thunk () with Reject m -> fail (Garbled m) in
+          let run () =
+            via_exec t ~op (fun () ->
+                try thunk () with Reject m -> fail (Garbled m))
+          in
           let v =
             match o.Fault.action with
             | Fault.Drop ->

@@ -116,6 +116,17 @@ val restart : t -> unit
     {!on_restart} hooks.  (Injector-driven restarts do this
     automatically.) *)
 
+val set_executor :
+  t -> (op:string -> req:string option -> (unit -> unit) -> unit) option -> unit
+(** Install a log-side admission executor.  When the caller runs inside
+    a {!Larch_runtime.Runtime} fiber, every log-side handler/thunk
+    execution is wrapped in a closure and handed to the executor instead
+    of being called directly; the executor must run the closure (e.g.
+    from the log's admission-loop fiber, batched with other clients'
+    same-instant arrivals) before returning.  Outside a runtime, or with
+    no executor installed, execution is a direct call — byte-for-byte
+    the historical behavior. *)
+
 val stats : t -> stats
 val reset_stats : t -> unit
 

@@ -1,0 +1,399 @@
+(* Deterministic cooperative fibers on OCaml 5 effects.
+
+   One domain, one effect.  A fiber that needs to wait performs
+   [Suspend park]; the handler hands [park] a resume token wrapping the
+   one-shot continuation and returns to the scheduler loop (a flat
+   trampoline — the handler never re-enters the loop, so arbitrarily
+   many context switches run in constant stack).  Whoever holds the
+   token later (the run queue, a timer, a mailbox, a promise) wakes the
+   fiber by pushing the token back on the ready set.
+
+   Determinism: the next ready token is picked by a seeded HMAC-DRBG
+   index, and timers that fire at the same instant are DRBG-shuffled
+   before entering the ready set, so the full interleaving — and
+   therefore every trace, transcript and digest produced under the
+   scheduler — is a pure function of the seed. *)
+
+module Clock = Larch_util.Clock
+module Drbg = Larch_hash.Drbg
+
+exception Cancelled
+exception Deadlock of string list
+
+type fiber = {
+  id : int;
+  name : string;
+  mutable cancelled : bool;
+  mutable finished : bool;
+  mutable blocked_on : string; (* diagnostic, for Deadlock reports *)
+  mutable parked : token option; (* the token waiting somewhere, if any *)
+}
+
+and token = {
+  tok_fiber : fiber;
+  tok_kind : kind;
+  mutable consumed : bool; (* one-shot guard *)
+}
+
+and kind =
+  | Start of (unit -> unit) * (exn -> unit)
+      (* body, aborter (resolves the promise without running the body) *)
+  | Resume of (unit, unit) Effect.Deep.continuation
+
+type _ Effect.t += Suspend : (token -> unit) -> unit Effect.t
+
+type sched = {
+  drbg : Drbg.t;
+  mutable ready : token list; (* unordered bag; picks are seeded *)
+  mutable timers : (float * int * token) list; (* deadline, seq, sorted *)
+  mutable timer_seq : int;
+  mutable live : int;
+  mutable fibers : fiber list; (* live fibers, for deadlock reports *)
+  mutable next_id : int;
+  mutable current : fiber option;
+}
+
+let state : sched option ref = ref None
+
+let sched () =
+  match !state with
+  | Some s -> s
+  | None -> invalid_arg "Runtime: not inside Runtime.run"
+
+let in_fiber () = match !state with Some s -> s.current <> None | None -> false
+let self_name () =
+  match !state with
+  | Some { current = Some f; _ } -> Some f.name
+  | _ -> None
+let live_fibers () = match !state with Some s -> s.live | None -> 0
+
+(* -- seeded choices ------------------------------------------------------ *)
+
+let drbg_int s n =
+  if n <= 1 then 0
+  else
+    let b = Drbg.generate s.drbg 4 in
+    let x =
+      (Char.code b.[0] lsl 24)
+      lor (Char.code b.[1] lsl 16)
+      lor (Char.code b.[2] lsl 8)
+      lor Char.code b.[3]
+    in
+    x land 0x3FFFFFFF mod n
+
+let drbg_shuffle s arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = drbg_int s (i + 1) in
+    let t = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- t
+  done
+
+(* -- ready set / timers -------------------------------------------------- *)
+
+let push_ready s tok = s.ready <- tok :: s.ready
+
+let pick_ready s =
+  let n = List.length s.ready in
+  let i = drbg_int s n in
+  let rec take k acc = function
+    | [] -> assert false
+    | t :: rest ->
+        if k = i then (t, List.rev_append acc rest)
+        else take (k + 1) (t :: acc) rest
+  in
+  let tok, rest = take 0 [] s.ready in
+  s.ready <- rest;
+  tok
+
+let add_timer s deadline tok =
+  let seq = s.timer_seq in
+  s.timer_seq <- seq + 1;
+  let entry = (deadline, seq, tok) in
+  let rec ins = function
+    | [] -> [ entry ]
+    | ((d, q, _) as e) :: rest ->
+        if deadline < d || (deadline = d && seq < q) then entry :: e :: rest
+        else e :: ins rest
+  in
+  s.timers <- ins s.timers
+
+(* Jump the clock to the earliest deadline and wake everything due at
+   that instant.  Ties wake in seeded order (ISSUE 9 satellite: several
+   fibers sleeping to the same tick must resolve deterministically). *)
+let fire_timers s =
+  match s.timers with
+  | [] -> ()
+  | (d0, _, _) :: _ ->
+      if Clock.now () < d0 then Clock.set d0;
+      let now = Clock.now () in
+      let due, later =
+        List.partition (fun (d, _, _) -> d <= now) s.timers
+      in
+      s.timers <- later;
+      let due = Array.of_list (List.map (fun (_, _, t) -> t) due) in
+      drbg_shuffle s due;
+      Array.iter (fun t -> push_ready s t) due
+
+(* -- suspension ---------------------------------------------------------- *)
+
+let suspend ~why park =
+  let s = sched () in
+  (match s.current with
+  | Some f ->
+      f.blocked_on <- why;
+      if f.cancelled then raise Cancelled
+  | None -> invalid_arg "Runtime.suspend: not inside a fiber");
+  Effect.perform (Suspend park)
+
+let yield () =
+  suspend ~why:"yield" (fun tok -> push_ready (sched ()) tok)
+
+let sleep_until t =
+  if t <= Clock.now () then yield ()
+  else suspend ~why:"sleep" (fun tok -> add_timer (sched ()) t tok)
+
+let sleep dt = if dt <= 0. then yield () else sleep_until (Clock.now () +. dt)
+
+(* -- fiber execution ----------------------------------------------------- *)
+
+let metrics_switches =
+  lazy (Larch_obs.Metrics.(counter default) "runtime.switches")
+
+let run_body (f : fiber) (body : unit -> unit) =
+  Effect.Deep.match_with body ()
+    {
+      retc = (fun () -> ());
+      exnc = (fun e -> raise e) (* bodies catch; a leak here is a bug *);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Suspend park ->
+              Some
+                (fun (k : (a, _) Effect.Deep.continuation) ->
+                  let tok =
+                    { tok_fiber = f; tok_kind = Resume k; consumed = false }
+                  in
+                  f.parked <- Some tok;
+                  park tok)
+          | _ -> None);
+    }
+
+let run_token s tok =
+  if not tok.consumed then begin
+    tok.consumed <- true;
+    let f = tok.tok_fiber in
+    f.parked <- None;
+    f.blocked_on <- "running";
+    s.current <- Some f;
+    Larch_obs.Metrics.inc (Lazy.force metrics_switches);
+    let go () =
+      match tok.tok_kind with
+      | Start (body, abort) ->
+          if f.cancelled then abort Cancelled else run_body f body
+      | Resume k ->
+          if f.cancelled then Effect.Deep.discontinue k Cancelled
+          else Effect.Deep.continue k ()
+    in
+    Fun.protect
+      ~finally:(fun () -> s.current <- None)
+      (fun () ->
+        if Larch_obs.Runtime.tracing_enabled () then
+          Larch_obs.Trace.with_tid (2000 + f.id) go
+        else go ())
+  end
+
+(* -- promises ------------------------------------------------------------ *)
+
+type 'a promise = {
+  p_fiber : fiber;
+  mutable result : ('a, exn) result option;
+  mutable waiters : token list;
+}
+
+let poll p = p.result
+
+let resolve s p r =
+  match p.result with
+  | Some _ -> () (* already settled (e.g. cancel raced completion) *)
+  | None ->
+      p.result <- Some r;
+      p.p_fiber.finished <- true;
+      s.live <- s.live - 1;
+      s.fibers <- List.filter (fun f -> f != p.p_fiber) s.fibers;
+      let ws = p.waiters in
+      p.waiters <- [];
+      List.iter (fun tok -> push_ready s tok) ws
+
+let spawn ?name f =
+  let s = sched () in
+  let id = s.next_id in
+  s.next_id <- id + 1;
+  let name =
+    match name with Some n -> n | None -> "fiber-" ^ string_of_int id
+  in
+  let fib =
+    {
+      id;
+      name;
+      cancelled = false;
+      finished = false;
+      blocked_on = "spawned";
+      parked = None;
+    }
+  in
+  let p = { p_fiber = fib; result = None; waiters = [] } in
+  let body () =
+    match f () with
+    | v -> resolve s p (Ok v)
+    | exception e -> resolve s p (Error e)
+  in
+  let abort e = resolve s p (Error e) in
+  s.live <- s.live + 1;
+  s.fibers <- fib :: s.fibers;
+  push_ready s { tok_fiber = fib; tok_kind = Start (body, abort); consumed = false };
+  p
+
+let rec await p =
+  match p.result with
+  | Some (Ok v) -> v
+  | Some (Error e) -> raise e
+  | None ->
+      suspend ~why:("await " ^ p.p_fiber.name) (fun tok ->
+          p.waiters <- tok :: p.waiters);
+      await p
+
+let cancel p =
+  let fib = p.p_fiber in
+  if not fib.finished && not fib.cancelled then begin
+    fib.cancelled <- true;
+    match (!state, fib.parked) with
+    | Some s, Some tok when not tok.consumed ->
+        (* Wake it now so the park spot (mailbox, promise, timer) cannot
+           strand it; the resume will discontinue with Cancelled.  The
+           stale reference left behind is ignored via [consumed]. *)
+        fib.parked <- None;
+        push_ready s tok
+    | _ -> ()
+  end
+
+(* -- mailboxes ----------------------------------------------------------- *)
+
+module Mailbox = struct
+  type 'a t = { mb_name : string; q : 'a Queue.t; mutable mb_waiters : token list }
+
+  let create ?(name = "mailbox") () =
+    { mb_name = name; q = Queue.create (); mb_waiters = [] }
+
+  let length t = Queue.length t.q
+
+  let wake_all t =
+    match !state with
+    | None -> t.mb_waiters <- []
+    | Some s ->
+        let ws = t.mb_waiters in
+        t.mb_waiters <- [];
+        List.iter (fun tok -> push_ready s tok) ws
+
+  let send t v =
+    Queue.push v t.q;
+    wake_all t
+
+  let try_recv t = Queue.take_opt t.q
+
+  (* Wake-all + re-check: every blocked consumer races for the queue in
+     seeded ready order, so consumer choice is replayable. *)
+  let rec recv t =
+    match Queue.take_opt t.q with
+    | Some v -> v
+    | None ->
+        suspend ~why:("recv " ^ t.mb_name) (fun tok ->
+            t.mb_waiters <- tok :: t.mb_waiters);
+        recv t
+
+  let rec recv_batch t =
+    if Queue.is_empty t.q then begin
+      suspend ~why:("recv_batch " ^ t.mb_name) (fun tok ->
+          t.mb_waiters <- tok :: t.mb_waiters);
+      recv_batch t
+    end
+    else begin
+      let acc = ref [] in
+      Queue.iter (fun v -> acc := v :: !acc) t.q;
+      Queue.clear t.q;
+      List.rev !acc
+    end
+end
+
+(* -- the scheduler loop -------------------------------------------------- *)
+
+let rec loop s =
+  if s.ready <> [] then begin
+    run_token s (pick_ready s);
+    loop s
+  end
+  else if s.timers <> [] then begin
+    fire_timers s;
+    loop s
+  end
+  else if s.live > 0 then begin
+    (* Nothing ready, nothing sleeping, fibers still blocked: deadlock.
+       Unwind every parked fiber (running its cleanup via Cancelled) so
+       continuations are not dropped unfinalized, then report. *)
+    let stuck =
+      List.filter_map
+        (fun f ->
+          if f.finished then None
+          else Some (f.name ^ " (" ^ f.blocked_on ^ ")"))
+        s.fibers
+    in
+    List.iter
+      (fun f ->
+        f.cancelled <- true;
+        match f.parked with
+        | Some tok when not tok.consumed -> push_ready s tok
+        | _ -> ())
+      s.fibers;
+    while s.ready <> [] do
+      (try run_token s (pick_ready s) with _ -> ())
+    done;
+    raise (Deadlock (List.rev stuck))
+  end
+
+let run ?(seed = "larch.runtime") main =
+  if !state <> None then invalid_arg "Runtime.run: nested run";
+  let s =
+    {
+      drbg = Drbg.create ~entropy:("larch.runtime/" ^ seed);
+      ready = [];
+      timers = [];
+      timer_seq = 0;
+      live = 0;
+      fibers = [];
+      next_id = 0;
+      current = None;
+    }
+  in
+  state := Some s;
+  (* In-fiber Clock.advance becomes a virtual-time sleep: concurrent
+     fibers charging wire/compute time no longer shove the shared clock
+     under each other — they wait their turn on the timer wheel. *)
+  Clock.set_advance_hook
+    (Some
+       (fun dt ->
+         if s.current = None then false
+         else begin
+           sleep dt;
+           true
+         end));
+  Fun.protect
+    ~finally:(fun () ->
+      Clock.set_advance_hook None;
+      state := None)
+    (fun () ->
+      let p = spawn ~name:"main" main in
+      loop s;
+      match p.result with
+      | Some (Ok v) -> v
+      | Some (Error e) -> raise e
+      | None -> assert false)

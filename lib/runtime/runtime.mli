@@ -1,0 +1,95 @@
+(** Deterministic cooperative fibers on OCaml 5 effects.
+
+    A single-domain scheduler: fibers are one-shot delimited
+    continuations multiplexed over the simulated {!Larch_util.Clock}.
+    Every scheduling decision — which ready fiber runs next, the wake
+    order of timers whose deadlines tie — is drawn from a seeded
+    HMAC-DRBG, so the complete interleaving is a pure function of the
+    seed and two runs with the same seed are byte-for-byte identical,
+    while different seeds explore genuinely different schedules
+    (simulation testing for concurrency bugs).
+
+    Time is virtual.  [sleep dt] parks the fiber on a timer; when no
+    fiber is ready the scheduler jumps the shared clock to the earliest
+    deadline.  While {!run} is active, {!Larch_util.Clock.advance}
+    performed {e inside} a fiber is intercepted and becomes a sleep, so
+    existing code that charges simulated wire or compute time suspends
+    cooperatively without being rewritten.
+
+    Fibers never run in parallel (one domain, no preemption): a critical
+    section is atomic until the next suspension point ([yield], [sleep],
+    [await], mailbox [recv], or a transport leg that advances the
+    clock). *)
+
+exception Cancelled
+(** Raised inside a fiber killed by {!cancel} (and delivered to its
+    awaiters). *)
+
+exception Deadlock of string list
+(** No fiber is ready, no timer is pending, yet the named fibers are
+    still blocked — every parked fiber is discontinued with
+    {!Cancelled} before this is raised. *)
+
+type 'a promise
+(** The eventual result of a spawned fiber. *)
+
+val run : ?seed:string -> (unit -> 'a) -> 'a
+(** [run ?seed main] runs [main] as the root fiber until it {e and}
+    every fiber it spawned have finished; returns [main]'s value or
+    re-raises its exception.  Must not be nested. *)
+
+val spawn : ?name:string -> (unit -> 'a) -> 'a promise
+(** Start a new fiber (runnable at the scheduler's next seeded pick).
+    Only valid under {!run}. *)
+
+val await : 'a promise -> 'a
+(** Suspend until the fiber finishes; returns its value or re-raises
+    its exception ({!Cancelled} if it was cancelled). *)
+
+val poll : 'a promise -> ('a, exn) result option
+(** Non-blocking: [Some] once the fiber finished. *)
+
+val cancel : 'a promise -> unit
+(** Kill the fiber: if unstarted it never runs; if parked it is woken
+    to receive {!Cancelled} at its suspension point; if finished this
+    is a no-op.  Idempotent. *)
+
+val yield : unit -> unit
+(** Offer the scheduler a suspension point (reschedules this fiber
+    among the ready set). *)
+
+val sleep : float -> unit
+(** Park for [dt] seconds of simulated time ([dt <= 0] is a yield). *)
+
+val sleep_until : float -> unit
+(** Park until the simulated clock reaches the given absolute time. *)
+
+val in_fiber : unit -> bool
+(** True when called from inside a fiber under {!run}. *)
+
+val self_name : unit -> string option
+(** Name of the running fiber, if any. *)
+
+val live_fibers : unit -> int
+(** Fibers spawned but not yet finished (0 outside {!run}). *)
+
+module Mailbox : sig
+  (** Unbounded deterministic channels.  [send] never blocks; [recv]
+      parks until a value arrives.  When several fibers block on the
+      same mailbox the scheduler wakes them in seeded order and they
+      re-race for the queue, so consumer choice is replayable. *)
+
+  type 'a t
+
+  val create : ?name:string -> unit -> 'a t
+  val send : 'a t -> 'a -> unit
+  val recv : 'a t -> 'a
+  val try_recv : 'a t -> 'a option
+
+  val recv_batch : 'a t -> 'a list
+  (** Park until the mailbox is non-empty, then drain it: everything
+      queued in the same simulated instant comes back as one batch (the
+      log's admission loop uses this to batch-verify). *)
+
+  val length : 'a t -> int
+end

@@ -13,9 +13,19 @@ let now () : float =
   match !state with Real -> Unix.gettimeofday () | Fixed t -> t
 
 let set (t : float) = state := Fixed t
+
+(* A cooperative runtime (Larch_runtime) installs a hook so that code
+   advancing the clock from inside a fiber suspends for the interval
+   instead of bumping the global time under every other fiber's feet.
+   The hook returns [true] when it handled the advance. *)
+let advance_hook : (float -> bool) option ref = ref None
+let set_advance_hook h = advance_hook := h
+
 let advance (dt : float) =
-  match !state with
-  | Fixed t -> state := Fixed (t +. dt)
-  | Real -> state := Fixed (Unix.gettimeofday () +. dt)
+  let handled = match !advance_hook with Some h -> h dt | None -> false in
+  if not handled then
+    match !state with
+    | Fixed t -> state := Fixed (t +. dt)
+    | Real -> state := Fixed (Unix.gettimeofday () +. dt)
 
 let use_real_time () = state := Real

@@ -8,3 +8,9 @@ val now : unit -> float
 val set : float -> unit
 val advance : float -> unit
 val use_real_time : unit -> unit
+
+val set_advance_hook : (float -> bool) option -> unit
+(** Intercept {!advance}.  A cooperative runtime installs a hook that
+    turns in-fiber clock advances into virtual-time sleeps; the hook
+    returns [true] when it consumed the advance (the clock is then left
+    for the scheduler to move).  [None] restores direct advancing. *)

@@ -1,0 +1,320 @@
+(* Scheduler tests: seeded determinism (same seed ⇒ identical completion
+   order and digest), schedule diversity (different seeds explore many
+   distinct interleavings), no starvation (every spawned fiber completes
+   or is cancelled), cancellation/mailbox semantics, the virtual clock,
+   and the Clock-tie regression — fibers sleeping to the same simulated
+   tick wake in deterministic seeded order. *)
+
+module Runtime = Larch_runtime.Runtime
+module Mailbox = Larch_runtime.Runtime.Mailbox
+module Clock = Larch_util.Clock
+module Sha256 = Larch_hash.Sha256
+
+let with_clock f =
+  Clock.set 1_700_000_000.;
+  Fun.protect ~finally:Clock.use_real_time f
+
+(* -- basic semantics ----------------------------------------------------- *)
+
+let spawn_await_value () =
+  with_clock @@ fun () ->
+  let v =
+    Runtime.run (fun () ->
+        let a = Runtime.spawn (fun () -> 19) in
+        let b = Runtime.spawn (fun () -> Runtime.yield (); 23) in
+        Runtime.await a + Runtime.await b)
+  in
+  Alcotest.(check int) "sum of awaited fibers" 42 v
+
+let exception_propagates () =
+  with_clock @@ fun () ->
+  let r =
+    Runtime.run (fun () ->
+        let p = Runtime.spawn (fun () -> failwith "boom") in
+        match Runtime.await p with
+        | _ -> "no-raise"
+        | exception Failure m -> "caught:" ^ m)
+  in
+  Alcotest.(check string) "awaiter sees the exception" "caught:boom" r
+
+let sleep_advances_virtual_time () =
+  with_clock @@ fun () ->
+  let t0 = Clock.now () in
+  let dt =
+    Runtime.run (fun () ->
+        Runtime.sleep 0.25;
+        Clock.now () -. t0)
+  in
+  Alcotest.(check (float 1e-9)) "clock jumped by the sleep" 0.25 dt
+
+let advance_hook_suspends () =
+  (* Clock.advance inside a fiber must behave like sleep: other fibers
+     run during the interval instead of seeing time shoved forward. *)
+  with_clock @@ fun () ->
+  let order = ref [] in
+  Runtime.run (fun () ->
+      let slow =
+        Runtime.spawn ~name:"slow" (fun () ->
+            Clock.advance 0.2;
+            order := "slow" :: !order)
+      in
+      let quick =
+        Runtime.spawn ~name:"quick" (fun () ->
+            Runtime.sleep 0.05;
+            order := "quick" :: !order)
+      in
+      Runtime.await slow;
+      Runtime.await quick);
+  Alcotest.(check (list string))
+    "short sleeper finished during the long advance" [ "slow"; "quick" ]
+    !order
+
+let cancel_parked_fiber () =
+  with_clock @@ fun () ->
+  let cancelled = ref false in
+  Runtime.run (fun () ->
+      let mb = Mailbox.create () in
+      let p =
+        Runtime.spawn (fun () ->
+            match Mailbox.recv mb with
+            | _ -> ()
+            | exception Runtime.Cancelled ->
+                cancelled := true;
+                raise Runtime.Cancelled)
+      in
+      Runtime.yield ();
+      (* p is now parked on the mailbox *)
+      Runtime.cancel p;
+      (match Runtime.await p with
+      | () -> Alcotest.fail "cancelled fiber returned normally"
+      | exception Runtime.Cancelled -> ()));
+  Alcotest.(check bool) "fiber observed Cancelled at its park" true !cancelled
+
+let cancel_unstarted_fiber () =
+  with_clock @@ fun () ->
+  let ran = ref false in
+  Runtime.run (fun () ->
+      let p = Runtime.spawn (fun () -> ran := true) in
+      Runtime.cancel p;
+      match Runtime.await p with
+      | () -> Alcotest.fail "expected Cancelled"
+      | exception Runtime.Cancelled -> ());
+  Alcotest.(check bool) "body never ran" false !ran
+
+let deadlock_detected () =
+  with_clock @@ fun () ->
+  match
+    Runtime.run (fun () ->
+        let mb : int Mailbox.t = Mailbox.create ~name:"never" () in
+        ignore (Mailbox.recv mb))
+  with
+  | () -> Alcotest.fail "expected Deadlock"
+  | exception Runtime.Deadlock names ->
+      Alcotest.(check bool)
+        "main listed among stuck fibers" true
+        (List.exists
+           (fun n ->
+             String.length n >= 4 && String.sub n 0 4 = "main")
+           names)
+
+let mailbox_batch () =
+  with_clock @@ fun () ->
+  let batches =
+    Runtime.run (fun () ->
+        let mb = Mailbox.create () in
+        let consumer =
+          Runtime.spawn (fun () ->
+              let b1 = Mailbox.recv_batch mb in
+              let b2 = Mailbox.recv_batch mb in
+              [ b1; b2 ])
+        in
+        Mailbox.send mb 1;
+        Mailbox.send mb 2;
+        Mailbox.send mb 3;
+        Runtime.yield ();
+        (* consumer drained 1,2,3 as one batch; queue a second wave *)
+        Mailbox.send mb 4;
+        Runtime.await consumer)
+  in
+  Alcotest.(check (list (list int)))
+    "same-instant sends drain as one batch"
+    [ [ 1; 2; 3 ]; [ 4 ] ]
+    batches
+
+(* -- determinism properties ---------------------------------------------- *)
+
+(* A contended workload: [n] fibers each loop a few times over yield /
+   jittered sleeps / a shared mailbox, recording their completion.  The
+   trace is (completion order, event log digest) — any scheduling drift
+   changes it. *)
+let chaotic_world ~seed ~n () =
+  let events = Buffer.create 256 in
+  let order = ref [] in
+  Runtime.run ~seed (fun () ->
+      let mb = Mailbox.create () in
+      let ps =
+        List.init n (fun i ->
+            Runtime.spawn ~name:("w" ^ string_of_int i) (fun () ->
+                for k = 0 to 2 do
+                  Buffer.add_string events (Printf.sprintf "%d:%d;" i k);
+                  if (i + k) mod 2 = 0 then Runtime.yield ()
+                  else Runtime.sleep (0.001 *. float_of_int ((i mod 3) + 1));
+                  Mailbox.send mb i;
+                  if k = 1 then ignore (Mailbox.recv mb)
+                done;
+                order := i :: !order))
+      in
+      List.iter Runtime.await ps);
+  (List.rev !order, Larch_util.Hex.encode (Sha256.digest (Buffer.contents events)))
+
+let run_world ~seed ~n =
+  with_clock @@ fun () -> chaotic_world ~seed ~n ()
+
+let same_seed_same_schedule =
+  QCheck.Test.make ~name:"same seed => identical completion order and digest"
+    ~count:30
+    QCheck.(small_nat)
+    (fun s ->
+      let seed = "prop-" ^ string_of_int s in
+      let o1, d1 = run_world ~seed ~n:8 in
+      let o2, d2 = run_world ~seed ~n:8 in
+      if (o1, d1) <> (o2, d2) then
+        QCheck.Test.fail_reportf "seed %s: schedules diverged across runs" seed;
+      true)
+
+let distinct_interleavings () =
+  (* 10 fibers, 32 seeds: expect many distinct completion orders.  K=8 is
+     a loose floor — in practice nearly every seed gives a fresh order. *)
+  let module S = Set.Make (struct
+    type t = int list
+
+    let compare = compare
+  end) in
+  let seen = ref S.empty in
+  for s = 0 to 31 do
+    let o, _ = run_world ~seed:("explore-" ^ string_of_int s) ~n:10 in
+    seen := S.add o !seen
+  done;
+  let k = S.cardinal !seen in
+  if k < 8 then
+    Alcotest.failf "only %d distinct interleavings across 32 seeds" k
+
+let no_starvation =
+  QCheck.Test.make
+    ~name:"no starvation: every spawned fiber completes or is cancelled"
+    ~count:30
+    QCheck.(pair small_nat (int_bound 20))
+    (fun (s, extra) ->
+      let n = 3 + extra in
+      let completed = Array.make n false in
+      (with_clock @@ fun () ->
+       Runtime.run ~seed:("starve-" ^ string_of_int s) (fun () ->
+           let ps =
+             List.init n (fun i ->
+                 Runtime.spawn (fun () ->
+                     Runtime.sleep (0.01 *. float_of_int (i mod 4));
+                     Runtime.yield ();
+                     completed.(i) <- true))
+           in
+           (* cancel a deterministic subset mid-flight *)
+           List.iteri (fun i p -> if i mod 5 = 4 then Runtime.cancel p) ps;
+           List.iter
+             (fun p -> match Runtime.await p with
+               | () -> ()
+               | exception Runtime.Cancelled -> ())
+             ps));
+      Array.iteri
+        (fun i done_ ->
+          if (not done_) && i mod 5 <> 4 then
+            QCheck.Test.fail_reportf "fiber %d starved (n=%d seed=%d)" i n s)
+        completed;
+      Alcotest.(check int) "no fibers leak" 0 (Runtime.live_fibers ());
+      true)
+
+(* -- the Clock-tie regression (ISSUE 9 satellite 3) ----------------------- *)
+
+let clock_tie_deterministic () =
+  (* Two fibers sleep to the same simulated tick; their wake order must
+     be a function of the seed alone: stable per seed, and both orders
+     reachable across seeds. *)
+  let wake_order ~seed =
+    with_clock @@ fun () ->
+    let order = ref [] in
+    Runtime.run ~seed (fun () ->
+        let tick = Clock.now () +. 0.5 in
+        let mk name =
+          Runtime.spawn ~name (fun () ->
+              Runtime.sleep_until tick;
+              order := name :: !order)
+        in
+        let a = mk "a" and b = mk "b" in
+        Runtime.await a;
+        Runtime.await b);
+    List.rev !order
+  in
+  let seen = Hashtbl.create 4 in
+  for s = 0 to 19 do
+    let seed = "tie-" ^ string_of_int s in
+    let o1 = wake_order ~seed and o2 = wake_order ~seed in
+    Alcotest.(check (list string))
+      (Printf.sprintf "tie order replayable (%s)" seed)
+      o1 o2;
+    Hashtbl.replace seen o1 ()
+  done;
+  Alcotest.(check int)
+    "both tie orders explored across seeds" 2 (Hashtbl.length seen)
+
+let tie_with_distinct_deadlines () =
+  (* Sanity: non-tied deadlines always wake in deadline order regardless
+     of seed. *)
+  with_clock @@ fun () ->
+  let order = ref [] in
+  Runtime.run ~seed:"ordered" (fun () ->
+      let mk name dt =
+        Runtime.spawn ~name (fun () ->
+            Runtime.sleep dt;
+            order := name :: !order)
+      in
+      let a = mk "late" 0.3 and b = mk "early" 0.1 and c = mk "mid" 0.2 in
+      Runtime.await a; Runtime.await b; Runtime.await c);
+  Alcotest.(check (list string))
+    "deadline order wins" [ "early"; "mid"; "late" ]
+    (List.rev !order)
+
+let () =
+  Alcotest.run "larch-runtime"
+    [
+      ( "semantics",
+        [
+          Alcotest.test_case "spawn/await returns values" `Quick
+            spawn_await_value;
+          Alcotest.test_case "exceptions propagate through await" `Quick
+            exception_propagates;
+          Alcotest.test_case "sleep advances the virtual clock" `Quick
+            sleep_advances_virtual_time;
+          Alcotest.test_case "Clock.advance suspends cooperatively" `Quick
+            advance_hook_suspends;
+          Alcotest.test_case "cancel wakes a parked fiber" `Quick
+            cancel_parked_fiber;
+          Alcotest.test_case "cancel before start" `Quick
+            cancel_unstarted_fiber;
+          Alcotest.test_case "deadlock detected and reported" `Quick
+            deadlock_detected;
+          Alcotest.test_case "mailbox batches same-instant sends" `Quick
+            mailbox_batch;
+        ] );
+      ( "determinism",
+        [
+          QCheck_alcotest.to_alcotest same_seed_same_schedule;
+          Alcotest.test_case "32 seeds explore >=8 interleavings of 10 fibers"
+            `Quick distinct_interleavings;
+          QCheck_alcotest.to_alcotest no_starvation;
+        ] );
+      ( "clock-ties",
+        [
+          Alcotest.test_case "tied deadlines wake in seeded order" `Quick
+            clock_tie_deterministic;
+          Alcotest.test_case "distinct deadlines wake in time order" `Quick
+            tie_with_distinct_deadlines;
+        ] );
+    ]
