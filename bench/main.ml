@@ -7,13 +7,13 @@
 
    Experiments: fig3-left fig3-center fig3-right fig4-left fig4-right fig5
    table6 enroll ecdsa-compare ablate-schnorr ablate-pack groth16 recovery
-   micro zkboo swarm *)
+   micro zkboo swarm overload *)
 
 let all_ids =
   [
     "fig3-left"; "fig3-center"; "fig3-right"; "fig4-left"; "fig4-right"; "fig5"; "table6";
     "enroll"; "ecdsa-compare"; "ablate-schnorr"; "ablate-pack"; "groth16"; "recovery"; "micro";
-    "zkboo"; "swarm";
+    "zkboo"; "swarm"; "overload";
   ]
 
 let run_experiments ~fast ~micro_json ~micro_quota ~selected =
@@ -56,7 +56,8 @@ let run_experiments ~fast ~micro_json ~micro_quota ~selected =
      a default run *)
   if selected <> [] && want "zkboo" then
     Micro.run_zkboo ?quota:micro_quota ?json:micro_json ();
-  if selected <> [] && want "swarm" then Experiments.swarm_bench ~fast ?json:micro_json ()
+  if selected <> [] && want "swarm" then Experiments.swarm_bench ~fast ?json:micro_json ();
+  if selected <> [] && want "overload" then Experiments.overload_bench ~fast ?json:micro_json ()
 
 open Cmdliner
 

@@ -443,16 +443,23 @@ let swarm_run ~(seed : string) ~(sessions : int) ~(faulty : bool) : string * str
   Larch_util.Clock.use_real_time ();
   (hex (Larch_hash.Sha256.digest (Buffer.contents transcript)), summary)
 
+(* Fiber-runtime scenarios surface a wedged schedule as a typed
+   [Runtime.Deadlock] carrying every live fiber's name and block reason;
+   any CLI command driving the runtime reports that list and exits 2
+   instead of dying on an unhandled exception. *)
+let with_deadlock_report ~(cmd : string) (f : unit -> 'a) : 'a =
+  try f ()
+  with Runtime.Deadlock stuck ->
+    Printf.eprintf "%s: deadlock; stuck fibers:\n" cmd;
+    List.iter (fun s -> Printf.eprintf "  %s\n" s) stuck;
+    exit 2
+
 let swarm seed sessions clean =
   let faulty = not clean in
   Printf.printf "swarm: %d concurrent sessions (seed=%s, %s link, 20ms RTT)\n" sessions seed
     (if faulty then "faulty" else "clean");
   let swarm_run ~seed ~sessions ~faulty =
-    try swarm_run ~seed ~sessions ~faulty
-    with Runtime.Deadlock stuck ->
-      Printf.eprintf "swarm: deadlock; stuck fibers:\n";
-      List.iter (fun s -> Printf.eprintf "  %s\n" s) stuck;
-      exit 2
+    with_deadlock_report ~cmd:"swarm" (fun () -> swarm_run ~seed ~sessions ~faulty)
   in
   let d1, s1 = swarm_run ~seed ~sessions ~faulty in
   Printf.printf "  run 1: %s\n         transcript digest %s\n" s1 (String.sub d1 0 16);
@@ -467,6 +474,71 @@ let swarm seed sessions clean =
     print_endline "  NOT deterministic: transcripts differ";
     1
   end
+
+(* --- overload: bounded admission, shedding, brownout ------------------- *)
+
+(* Each offered-load multiple runs twice from the same seed and must
+   digest identically; the storm numbers then feed the acceptance
+   checks: typed sheds appear under overload, goodput at 4x holds >= 70%
+   of 1x, the brownout recovers, every audit verifies, fsck is clean. *)
+let overload_run seed fast =
+  let mults = if fast then [ 1; 4 ] else [ 1; 2; 4 ] in
+  Printf.printf "overload: seeded storms at %s offered load (seed=%s)\n"
+    (String.concat "/" (List.map (fun m -> Printf.sprintf "%dx" m) mults))
+    seed;
+  let results =
+    List.map
+      (fun mult ->
+        let w1 = with_deadlock_report ~cmd:"overload" (fun () -> Overload.run ~seed ~mult) in
+        let w2 = with_deadlock_report ~cmd:"overload" (fun () -> Overload.run ~seed ~mult) in
+        let same = w1.Overload.digest = w2.Overload.digest in
+        Printf.printf "  %dx: %s\n" mult w1.Overload.summary;
+        Printf.printf "      digest %s (run 2 %s)\n"
+          (String.sub w1.Overload.digest 0 16)
+          (if same then "identical" else "DIFFERS");
+        (w1, same))
+      mults
+  in
+  print_endline "  goodput vs offered load:";
+  List.iter
+    (fun (w, _) ->
+      Printf.printf "    %dx  offered %4d  completed %4d  shed %4d  goodput %6.1f/s\n"
+        w.Overload.mult w.Overload.offered w.Overload.completed
+        w.Overload.admission.Log_async.shed_total w.Overload.goodput)
+    results;
+  let base = fst (List.hd results) in
+  let storm = fst (List.nth results (List.length results - 1)) in
+  let deterministic = List.for_all snd results in
+  let invariants_ok =
+    List.for_all
+      (fun (w, _) ->
+        w.Overload.fsck_clean && w.Overload.audits_failed = 0 && w.Overload.brownout_recovered)
+      results
+  in
+  (* typed sheds = admission decisions observed by client transports as
+     Overloaded attempts; whether a given client also exhausts all its
+     retries (overloaded > 0) is a seed-dependent detail. *)
+  let shed_ok =
+    storm.Overload.admission.Log_async.shed_total > 0 && storm.Overload.shed_attempts > 0
+  in
+  let goodput_ok = storm.Overload.goodput >= 0.7 *. base.Overload.goodput in
+  let check name ok = Printf.printf "  %s %s\n" (if ok then "ok  " else "FAIL") name in
+  check "deterministic: same seed, same transcript" deterministic;
+  check
+    (Printf.sprintf "typed sheds under %dx overload (%d shed, %d typed attempts, %d gave up)"
+       storm.Overload.mult storm.Overload.admission.Log_async.shed_total
+       storm.Overload.shed_attempts storm.Overload.overloaded)
+    shed_ok;
+  check
+    (Printf.sprintf "goodput holds: %.1f/s at %dx >= 70%% of %.1f/s at 1x"
+       storm.Overload.goodput storm.Overload.mult base.Overload.goodput)
+    goodput_ok;
+  check "post-storm: brownout recovered, audits verified, fsck clean" invariants_ok;
+  if deterministic && invariants_ok && shed_ok && goodput_ok then begin
+    Printf.printf "  reproduce with: larch overload --seed %s\n" seed;
+    0
+  end
+  else 1
 
 (* --- storage: fsck and the crash-point recovery sweep ------------------ *)
 
@@ -946,6 +1018,24 @@ let swarm_cmd =
              against one admission-loop log — twice, digest-compared")
     Term.(const swarm $ seed $ sessions $ clean)
 
+let overload_cmd =
+  let seed =
+    Arg.(value & opt string "42" & info [ "seed" ] ~docv:"SEED"
+      ~doc:"Scenario seed; the same seed replays every shed, retry, and brownout \
+            transition byte for byte.")
+  in
+  let fast =
+    Arg.(value & flag & info [ "fast" ]
+      ~doc:"Run only the 1x and 4x worlds (the smoke-test configuration).")
+  in
+  Cmd.v
+    (Cmd.info "overload"
+       ~doc:"Drive the admission-controlled log at 1x/2x/4x its capacity: bounded \
+             admission, deadline shedding, per-client rate limits, retry budgets, and \
+             brownout degradation — each world run twice, digest-compared, with goodput \
+             and invariant checks")
+    Term.(const overload_run $ seed $ fast)
+
 let store_seed_arg =
   Arg.(value & opt string "42" & info [ "seed" ] ~docv:"SEED"
     ~doc:"Workload seed; the same seed replays the same WAL and the same sweep.")
@@ -1024,5 +1114,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "larch" ~doc)
-          [ demo_cmd; trace_cmd; faults_cmd; swarm_cmd; fsck_cmd; recover_cmd; audit_cmd;
-            report_cmd; metrics_cmd; sizes_cmd; circuits_cmd ]))
+          [ demo_cmd; trace_cmd; faults_cmd; swarm_cmd; overload_cmd; fsck_cmd; recover_cmd;
+            audit_cmd; report_cmd; metrics_cmd; sizes_cmd; circuits_cmd ]))

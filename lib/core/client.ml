@@ -71,6 +71,9 @@ type t = {
   mutable last_sth : Merkle.Sth.t option; (* last tree head verified by an audit *)
   mutable audited : Record.t list; (* records covered by [last_sth], oldest first *)
   mutable dirty : bool; (* a transport failure may have left the log mid-session *)
+  mutable att_deferred : bool;
+      (* a brownout ack carried no inclusion proof; cleared by the next
+         verified audit, which covers the deferred record *)
 }
 
 let create ?policy ?net ~(client_id : string) ~(account_password : string)
@@ -98,6 +101,7 @@ let create ?policy ?net ~(client_id : string) ~(account_password : string)
     last_sth = None;
     audited = [];
     dirty = false;
+    att_deferred = false;
   }
 
 let set_domains (t : t) (n : int) = t.domains <- max 1 n
@@ -109,14 +113,22 @@ let send_l2c (t : t) (payload : string) = ignore (Channel.send t.chan Channel.Lo
 
 (* --- transport failure discipline --- *)
 
-(* [dirty] is set only when a typed error escapes an operation while a
-   fault injector is installed (the flag can never be set on the clean
-   path, so checking it unconditionally is a zero-behavior change).  The
+(* [dirty] is set when a typed error escapes an operation while a fault
+   injector is installed, or — on any path — when that error is an
+   admission-control shed ([Overloaded]): either way the log may have been
+   left mid-session.  The flag can never be set on a clean successful
+   path, so checking it unconditionally is a zero-behavior change.  The
    next session start then resynchronizes with the log: the in-flight
    FIDO2 signing session is aborted with the presignature cursors aligned
    to the client's own count, and the password identifier list is adopted
    from the log (a registration whose ack was lost may live only there). *)
-let mark_dirty (t : t) = if Transport.faulty t.transport then t.dirty <- true
+let overloaded_error = function
+  | Transport.Error { Transport.last = Transport.Overloaded _; _ } -> true
+  | _ -> false
+
+let mark_dirty ?exn (t : t) =
+  if Transport.faulty t.transport then t.dirty <- true
+  else match exn with Some e when overloaded_error e -> t.dirty <- true | _ -> ()
 
 let resync (t : t) : unit =
   if t.dirty then begin
@@ -274,7 +286,7 @@ let register_password ?legacy (t : t) ~(rp_name : string) : string =
     with Transport.Error _ as e ->
       (* the log may have stored the id even though the ack never arrived;
          the next session adopts the log's list *)
-      mark_dirty t;
+      mark_dirty ~exn:e t;
       raise e
   in
   let k_id, pw_point =
@@ -300,7 +312,13 @@ exception Log_misbehaved of string
    client just sent), the inclusion proof places it under the head, and
    the head never shrinks below the last audited view.  A log that logs
    something other than what it acks — or acks without logging — fails
-   here, at authentication time, not at the next audit. *)
+   here, at authentication time, not at the next audit.
+
+   A brownout ack ([degraded]) carries no inclusion proof: the signed
+   head and the record binding are still checked, inclusion verification
+   is deferred, and [att_deferred] stays set until the next verified
+   audit covers the record (a log that acked without logging is still
+   caught — one audit later instead of instantly). *)
 let check_attestation (t : t) ~(payload_check : Record.t -> bool)
     (att : Log_service.attestation) : unit =
   let fail msg = raise (Log_misbehaved ("auth attestation rejected: " ^ msg)) in
@@ -310,7 +328,11 @@ let check_attestation (t : t) ~(payload_check : Record.t -> bool)
   (match Record.decode_opt att.Log_service.record with
   | None -> fail "attested record undecodable"
   | Some r -> if not (payload_check r) then fail "attested record is not this authentication");
-  if
+  if att.Log_service.degraded then begin
+    t.att_deferred <- true;
+    if obs_on () then m_inc "client.attestations.deferred"
+  end
+  else if
     not
       (Merkle.verify_inclusion ~root:sth.Merkle.Sth.root ~size:sth.Merkle.Sth.size
          ~index:att.Log_service.index ~leaf:att.Log_service.record ~proof:att.Log_service.proof)
@@ -319,7 +341,7 @@ let check_attestation (t : t) ~(payload_check : Record.t -> bool)
   | Some old when sth.Merkle.Sth.size < old.Merkle.Sth.size ->
       fail "tree head regressed below the last audited size"
   | _ -> ());
-  if obs_on () then m_inc "client.attestations.verified"
+  if obs_on () && not att.Log_service.degraded then m_inc "client.attestations.verified"
 
 (* FIDO2: build the statement, prove it, and run Π_Sign with the log.
 
@@ -458,14 +480,17 @@ let authenticate_fido2 (t : t) ~(rp_name : string) ~(challenge : string) :
   Trace.with_span "client.fido2.auth" @@ fun () ->
   resync t;
   try fido2_session t ~rp_name ~challenge with
-  | Transport.Error _ when Transport.faulty t.transport -> (
+  | Transport.Error _ as e when Transport.faulty t.transport || overloaded_error e -> (
       (* abandon the wedged session (abort + cursor realignment), then
-         drive one fresh session; a second failure surfaces typed *)
+         drive one fresh session; a second failure surfaces typed.  An
+         admission shed gets the same treatment even with no injector
+         installed: round 1 may have consumed a presignature before a
+         later round was shed *)
       t.dirty <- true;
       resync t;
       try fido2_session t ~rp_name ~challenge
       with e ->
-        mark_dirty t;
+        mark_dirty ~exn:e t;
         raise e)
   | (Log_misbehaved _ | Types.Protocol_error _) as e ->
       mark_dirty t;
@@ -549,7 +574,7 @@ let authenticate_password (t : t) ~(rp_name : string) : string =
               Point.encode y ^ Larch_sigma.Dleq.encode dleq ^ Log_service.encode_attestation att
           | None -> raise (Transport.Reject "undecodable auth request"))
     with Transport.Error _ as e ->
-      mark_dirty t;
+      mark_dirty ~exn:e t;
       raise e
   in
   check_attestation t att ~payload_check:(fun rec_ ->
@@ -694,6 +719,9 @@ let audit_verified (t : t) : (audit_entry list, string) result =
     t.audited <- t.audited @ delta;
     t.last_sth <- Some sth;
     t.last_chain <- Some (resp.Log_service.chain_head, resp.Log_service.chain_len);
+    (* any brownout-deferred inclusion checks are now covered: every
+       record up to [sth] was inclusion-verified by this audit *)
+    t.att_deferred <- false;
     Ok (audit_of_records t t.audited)
   end
   else begin

@@ -92,6 +92,10 @@ type t = {
   mutable dirty : bool;
       (** a faulty exchange may have left the log's volatile session state
           out of step; the next operation resynchronizes first *)
+  mutable att_deferred : bool;
+      (** a brownout-degraded attestation was accepted without its
+          inclusion proof; cleared by the next {!audit_verified} fast
+          path, which inclusion-verifies everything up to its head *)
 }
 
 val create :

@@ -1,46 +1,106 @@
-(** Fiber-based admission loop for the log service.
+(** Fiber-based admission loop for the log service, with overload
+    control.
 
     Under {!Larch_runtime.Runtime}, each client session is a fiber and
     its transport hands log-side execution to an installed executor
     ({!Larch_net.Transport.set_executor}).  This module is that
     executor: requests from any number of concurrent sessions land in
-    one mailbox, and a dedicated admission fiber drains {e everything
-    that arrived in the same simulated instant} as one batch per tick.
+    one mailbox, and a dedicated admission fiber serves them — batching
+    same-instant arrivals for signature pre-verification, draining
+    per-client FIFOs round-robin, and shedding what it cannot serve.
 
-    Batching is what makes the concurrency pay:
-    - all [fido2.auth_begin] record signatures in a batch are verified
-      together by one random-weight Pippenger multi-exponentiation
-      ({!Larch_ec.Ecdsa.verify_batch}); winners deposit one-shot skip
-      tokens ({!Log_service.preverify_record_sig}) so the per-request
-      handler does not repeat the check — failures simply fall back to
-      the individual path, the accept set never changes;
-    - when the inbox goes idle, the loop activates matured staged
-      presignature batches ({!Log_service.activate_pending}) — the
-      paper's "refill during idle time" amortization.
+    Admission control (all off by default — see {!off}):
+    - {b bounded inbox}: beyond [capacity] queued requests, a submitting
+      fiber is rejected at the door with
+      {!Larch_net.Transport.Overload} carrying a retry_after hint
+      derived from the backlog and the service-time estimate;
+    - {b deadline-aware shedding}: every enqueued request carries the
+      simulated time by which its caller gives up ([now +
+      attempt_timeout], piped through the executor); a request that
+      cannot finish before its deadline is shed {e early} instead of
+      burning service time on a caller that already left;
+    - {b per-client fair queueing}: one item per client per round-robin
+      turn, so one hot client's backlog cannot starve the rest;
+    - {b token-bucket rate limiting}: [client_rate]/[client_burst]
+      tokens per client on the simulated clock; a dry bucket sheds with
+      the exact time until the next token;
+    - {b brownout}: when the queue sits at or above [brownout_hi] for
+      [brownout_enter_ticks] consecutive serve cycles, the log enters a
+      degraded mode — presignature refills are deferred and
+      authentication acks carry explicitly-flagged degraded
+      attestations ({!Log_service.set_degraded}) — and exits
+      hysteretically after [brownout_exit_ticks] cycles at or below
+      [brownout_lo].
 
-    Requests within a batch execute sequentially (the log is one
-    service); their order is the seeded mailbox-drain order, so the
-    whole construction stays byte-for-byte replayable. *)
+    Everything is driven by the virtual clock and the seeded runtime, so
+    shed decisions replay byte-for-byte.  Metrics (when tracing is on):
+    [log.admission.shed], [log.admission.queue_delay],
+    [log.brownout.active], plus the PR 9 batch metrics; the flight
+    recorder dumps once at the first shed (overload is a crash-adjacent
+    event).  The {!stats} counters work with tracing off, for
+    deterministic scenario digests. *)
 
 type t
 
-val create : Log_service.t -> t
+(** What the admission fiber tells a submitting fiber. *)
+type verdict = Served | Shed of float  (** retry_after hint, seconds *)
+
+type config = {
+  capacity : int;  (** max queued requests; 0 = unbounded *)
+  service_time : float;
+      (** simulated seconds of log work charged per served request
+          (capacity = 1/service_time req/s); 0 = free *)
+  client_rate : float;  (** per-client token refill per second; 0 = unlimited *)
+  client_burst : float;  (** per-client bucket depth (floored at 1) *)
+  brownout_hi : int;  (** queue length at/above which pressure accumulates; 0 = off *)
+  brownout_lo : int;  (** queue length at/below which recovery accumulates *)
+  brownout_enter_ticks : int;  (** consecutive high cycles before entering *)
+  brownout_exit_ticks : int;  (** consecutive low cycles before exiting *)
+}
+
+val off : config
+(** Everything disabled: the PR 9 behavior (unbounded FIFO admission). *)
+
+val create : ?config:config -> Log_service.t -> t
+(** [config] defaults to {!off}. *)
+
+val set_config : t -> config -> unit
+(** Swap the admission policy live (e.g. relax it for a post-storm
+    verification phase). *)
+
+val config : t -> config
 
 val attach : t -> client_id:string -> Larch_net.Transport.t -> unit
 (** Install this admission loop as the transport's executor and bind
-    the transport's requests to [client_id] (the loop needs the id to
-    look up the record-verification key for batch checking). *)
+    the transport's requests to [client_id] (the loop needs the id for
+    batch checking, fair queueing, and rate limiting). *)
 
 val start : t -> unit
 (** Spawn the admission fiber (idempotent).  Must run under
     {!Larch_runtime.Runtime.run}. *)
 
 val stop : t -> unit
-(** Cancel the admission fiber.  Any still-queued requests complete
-    first (they are drained before cancellation is honored). *)
+(** Cancel the admission fiber.  Any still-queued requests complete (or
+    shed) first; an active brownout is force-exited. *)
 
 val batches : t -> int
 (** Batches drained so far. *)
 
 val batched_requests : t -> int
 (** Requests that arrived batched with at least one companion. *)
+
+val brownout_active : t -> bool
+
+type stats = {
+  served : int;
+  shed_capacity : int;  (** rejected at the door: inbox at capacity *)
+  shed_deadline : int;  (** shed at dequeue: could not meet the caller's deadline *)
+  shed_rate : int;  (** shed at dequeue: client token bucket dry *)
+  shed_total : int;
+  max_queue : int;  (** high-water mark of the admission queue *)
+  brownout_entries : int;
+  brownout_ticks : int;  (** serve cycles spent browned out *)
+  queue_delay_max : float;  (** worst simulated queueing delay of a served request *)
+}
+
+val stats : t -> stats

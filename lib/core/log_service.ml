@@ -108,6 +108,11 @@ type t = {
          verification: volatile (like a session cache), keyed by a hash
          of (client, ciphertext, signature) so a token can only skip the
          exact individual check that the batch already performed *)
+  mutable degraded : bool;
+      (* brownout: while set, authentication acks carry degraded
+         attestations (no inclusion proof, no padding — explicitly
+         flagged) and clients re-verify on the next audit.  Volatile and
+         operational — never persisted, never changes accept/reject *)
 }
 
 let create ?(objection_window = 0.) ?checkpoint_every ?store ~(rand_bytes : int -> string) () : t
@@ -125,9 +130,13 @@ let create ?(objection_window = 0.) ?checkpoint_every ?store ~(rand_bytes : int 
     sth_sk;
     sth_pk;
     preverified = Hashtbl.create 16;
+    degraded = false;
   }
 
 let sth_pub (t : t) : Point.t = t.sth_pk
+
+let set_degraded (t : t) (b : bool) = t.degraded <- b
+let degraded (t : t) : bool = t.degraded
 
 let persist (t : t) : Log_persist.t option = t.persist
 
@@ -191,44 +200,72 @@ type attestation = {
   record : string; (* canonical record encoding = the tree leaf *)
   proof : string list;
   sth : Merkle.Sth.t;
+  degraded : bool;
+      (* brownout ack: no inclusion proof was computed; the client defers
+         inclusion verification to its next verified audit *)
 }
 
 let attest (t : t) ~(client_id : string) (c : client_state) ~(index : int) : attestation =
   let sth = latest_sth t ~client_id c in
-  let proof = Merkle.Tree.inclusion_at c.tree ~index ~size:sth.Merkle.Sth.size in
   let total = List.length c.records in
   (* records is newest-first; leaf [index] is the (total-1-index)th element *)
   let record = Record.encode (List.nth c.records (total - 1 - index)) in
-  if obs_on () then begin
-    m_inc "log.merkle.sths_signed";
-    Metrics.observe
-      (Metrics.histogram Metrics.default "log.merkle.proof.bytes")
-      (float_of_int (Merkle.hash_len * List.length proof))
-  end;
-  { index; record; proof; sth }
+  if t.degraded then begin
+    (* brownout: skip the O(n) proof walk and the padding bytes — the ack
+       is explicitly flagged so the client knows to re-verify at audit
+       time.  The record and signed head still bind the authentication *)
+    if obs_on () then begin
+      m_inc "log.merkle.sths_signed";
+      m_inc "log.attest.degraded"
+    end;
+    { index; record; proof = []; sth; degraded = true }
+  end
+  else begin
+    let proof = Merkle.Tree.inclusion_at c.tree ~index ~size:sth.Merkle.Sth.size in
+    if obs_on () then begin
+      m_inc "log.merkle.sths_signed";
+      Metrics.observe
+        (Metrics.histogram Metrics.default "log.merkle.proof.bytes")
+        (float_of_int (Merkle.hash_len * List.length proof))
+    end;
+    { index; record; proof; sth; degraded = false }
+  end
 
 (* The inclusion path is padded to a fixed depth on the wire: a proof's
    length is ⌈log₂ size⌉, so an unpadded ack would leak nothing new to
    the log (it knows the record count) but would vary auth-to-auth and
-   break the uniform traffic profile the password protocol promises. *)
+   break the uniform traffic profile the password protocol promises.
+   Degraded (brownout) acks skip both proof and padding — that is the
+   deferred work — and say so in their flag byte. *)
 let attestation_pad_depth = 32
 
 let put_attestation (w : Wire.writer) (a : attestation) : unit =
+  Wire.u8 w (if a.degraded then 1 else 0);
   Wire.u32 w a.index;
   Wire.bytes w a.record;
-  Merkle.put_proof w a.proof;
-  let pad = max 0 (attestation_pad_depth - List.length a.proof) in
-  Wire.bytes w (String.make (Merkle.hash_len * pad) '\000');
-  Merkle.Sth.put w a.sth
+  if a.degraded then Merkle.Sth.put w a.sth
+  else begin
+    Merkle.put_proof w a.proof;
+    let pad = max 0 (attestation_pad_depth - List.length a.proof) in
+    Wire.bytes w (String.make (Merkle.hash_len * pad) '\000');
+    Merkle.Sth.put w a.sth
+  end
 
 let read_attestation (r : Wire.reader) : attestation =
+  let flag = Wire.read_u8 r in
+  if flag <> 0 && flag <> 1 then raise (Wire.Malformed "bad attestation flag");
+  let degraded = flag = 1 in
   let index = Wire.read_u32 r in
   if index < 0 then raise (Wire.Malformed "bad attestation index");
   let record = Wire.read_bytes r in
-  let proof = Merkle.read_proof r in
-  let (_padding : string) = Wire.read_bytes r in
-  let sth = Merkle.Sth.read r in
-  { index; record; proof; sth }
+  if degraded then
+    let sth = Merkle.Sth.read r in
+    { index; record; proof = []; sth; degraded }
+  else
+    let proof = Merkle.read_proof r in
+    let (_padding : string) = Wire.read_bytes r in
+    let sth = Merkle.Sth.read r in
+    { index; record; proof; sth; degraded }
 
 let encode_attestation (a : attestation) : string = Wire.encode (fun w -> put_attestation w a)
 let decode_attestation (s : string) : (attestation, string) result = Wire.decode s read_attestation

@@ -88,6 +88,10 @@ type t = {
   preverified : (string, unit) Hashtbl.t;
       (** one-shot skip tokens from the admission loop's batched signature
           verification (see {!preverify_record_sig}); volatile *)
+  mutable degraded : bool;
+      (** brownout mode (set by the admission loop): attestations skip
+          their inclusion proof and say so.  Volatile, never persisted,
+          and never changes what the log accepts or rejects. *)
 }
 
 val create :
@@ -108,17 +112,28 @@ val persist : t -> Log_persist.t option
 val sth_pub : t -> Point.t
 (** The tree-head verification key clients pin at enrollment. *)
 
+val set_degraded : t -> bool -> unit
+(** Enter/leave brownout mode (the admission loop's knob, see
+    {!Log_async}).  While set, {!attestation}s are issued without an
+    inclusion proof and flagged [degraded]; the accept/reject behavior of
+    every operation is unchanged. *)
+
+val degraded : t -> bool
+
 (** {1 The transparency layer (§9 fork consistency)} *)
 
 (** Proof that an authentication's record landed in the client's record
     tree: the leaf index, the record exactly as stored, the inclusion
     path, and the signed tree head it verifies against.  Every auth ack
-    carries one. *)
+    carries one.  Under brownout ([degraded = true]) the proof is empty:
+    the signed head and record still bind the authentication, and the
+    client defers inclusion verification to its next verified audit. *)
 type attestation = {
   index : int;
   record : string; (** canonical record encoding = the tree leaf *)
   proof : string list;
   sth : Merkle.Sth.t;
+  degraded : bool;
 }
 
 val put_attestation : Larch_net.Wire.writer -> attestation -> unit

@@ -1,0 +1,66 @@
+(** Deterministic overload scenario (the [larch overload] driver and the
+    [-e overload] bench share it).
+
+    One seeded world per (seed, load multiple): [20·mult] password
+    clients plus two FIDO2 probes run concurrent authentication sessions
+    against a single store-backed log whose {!Log_async} admission loop
+    services 100 requests per simulated second.  Every 16th password
+    client is a Zipf-style hot head firing more authentications than the
+    rest — the per-client fair queue and token buckets keep it from
+    starving everyone else.  Client transports carry a short per-attempt
+    timeout (so deadline shedding has teeth), a leaky-bucket retry
+    budget, and retry_after-honoring jittered backoff.
+
+    At 1× the offered load roughly matches capacity and (almost)
+    everything completes; beyond it the log sheds typed
+    {!Larch_net.Transport.Overloaded} replies at the door, by deadline,
+    and by rate, enters brownout (degraded attestations, deferred
+    presignature refills), and keeps serving near capacity.  After the
+    storm the admission policy is relaxed, the brownout exits
+    hysteretically on calm traffic, every client runs a verified audit
+    (clearing any deferred inclusion checks), and the store is fscked.
+
+    Everything runs on the virtual clock under the seeded runtime, so
+    two runs from the same seed produce byte-identical transcripts
+    ([digest]). *)
+
+type world = {
+  mult : int;  (** offered-load multiple of the log's service capacity *)
+  clients : int;
+  offered : int;  (** authentication attempts fired during the storm *)
+  completed : int;
+  overloaded : int;
+      (** attempts that surfaced a typed [Overloaded] error after retries *)
+  failed : int;  (** any other failure *)
+  storm_elapsed : float;  (** simulated seconds of storm *)
+  goodput : float;  (** completed / storm_elapsed, per simulated second *)
+  admission : Log_async.stats;
+  attempts : int;  (** transport attempts, summed over clients *)
+  retries : int;
+  shed_attempts : int;  (** transport attempts answered with a shed *)
+  budget_denied : int;  (** retries refused by the client retry budgets *)
+  brownout_recovered : bool;
+      (** the brownout exited on calm traffic and every client's deferred
+          attestation flag was cleared by its verified audit *)
+  deferred_clients : int;
+      (** clients that accepted at least one degraded (proof-less)
+          attestation during the storm *)
+  audits_ok : int;
+  audits_failed : int;
+  fsck_clean : bool;
+  digest : string;  (** SHA-256 of the run transcript, hex *)
+  summary : string;  (** one human-readable line *)
+}
+
+val storm_config : Log_async.config
+(** The admission policy the storm runs under (capacity 64, 10 ms
+    service time, 4 tokens/s per client). *)
+
+val storm_policy : Larch_net.Transport.policy
+(** The client transport policy (3 attempts, 0.3 s attempt timeout). *)
+
+val run : seed:string -> mult:int -> world
+(** Run one world.  Sets and restores the process clock; must not be
+    called from inside a runtime.
+    @raise Larch_runtime.Runtime.Deadlock if the schedule wedges (the
+    CLI surfaces the stuck-fiber report) *)

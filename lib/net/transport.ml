@@ -56,17 +56,19 @@ let default_policy =
     jitter = 0.2;
   }
 
-type failure = Timeout | Unavailable | Garbled of string
+type failure = Timeout | Unavailable | Garbled of string | Overloaded of float
 
 type error = { op : string; attempts : int; elapsed : float; last : failure }
 
 exception Error of error
 exception Reject of string
+exception Overload of float
 
 let failure_to_string = function
   | Timeout -> "timeout"
   | Unavailable -> "unavailable"
   | Garbled m -> Printf.sprintf "garbled (%s)" m
+  | Overloaded ra -> Printf.sprintf "overloaded (retry after %.3fs)" ra
 
 let error_to_string (e : error) =
   Printf.sprintf "%s failed after %d attempt%s (%.3fs simulated): %s" e.op e.attempts
@@ -80,6 +82,8 @@ type stats = {
   faults : int;
   replays : int;
   evictions : int;
+  overloads : int;
+  budget_denied : int;
 }
 
 type mstats = {
@@ -89,6 +93,8 @@ type mstats = {
   mutable s_faults : int;
   mutable s_replays : int;
   mutable s_evictions : int;
+  mutable s_overloads : int;
+  mutable s_budget_denied : int;
 }
 
 type counters = {
@@ -97,6 +103,18 @@ type counters = {
   c_faults : Obs.Metrics.counter;
   c_replays : Obs.Metrics.counter;
   c_evictions : Obs.Metrics.counter;
+}
+
+(* Client-wide retry budget: a leaky bucket refilled on the simulated
+   clock.  Every retry — overload-driven or fault-driven — spends one
+   token; an empty bucket fails the operation immediately instead of
+   adding another attempt to a storm.  [None] (the default) is an
+   unlimited budget: the historical behavior, byte-for-byte. *)
+type budget = {
+  b_capacity : float;
+  b_refill_per_s : float;
+  mutable b_tokens : float;
+  mutable b_stamp : float; (* simulated time of the last refill *)
 }
 
 (* Replay-cache entry: [seq] is the entry's position in the recency order.
@@ -117,7 +135,14 @@ type t = {
   cache_cap : int;
   mutable cache_seq : int;
   mutable restart_hooks : (unit -> unit) list;
-  mutable executor : (op:string -> req:string option -> (unit -> unit) -> unit) option;
+  mutable executor :
+    (op:string -> req:string option -> deadline:float -> (unit -> unit) -> unit) option;
+  mutable budget : budget option;
+  jitter_drbg : Larch_hash.Drbg.t Lazy.t;
+      (* per-transport DRBG for overload-retry jitter on the clean path
+         (the faulty path draws from its injector): seeded from the label
+         and a deterministic creation counter, so concurrent clients
+         desynchronize their retry storms reproducibly *)
   st : mstats;
   mutable last_req : (string * string) option;  (* (op, bytes) last delivered request *)
   mutable last_resp : string option;  (* last delivered response *)
@@ -127,9 +152,19 @@ type t = {
 
 let default_cache_cap = 256
 
+(* Deterministic per-process creation counter: transports are created in
+   a deterministic order under seeded runs, so the jitter DRBG sequence
+   is a pure function of the run.  Scenario runners reset it so a re-run
+   from the same seed replays the same jitter byte for byte. *)
+let creation_counter = ref 0
+
+let reset_ordinals () = creation_counter := 0
+
 let create ?(label = "log") ?(policy = default_policy) ?(net = Netsim.zero)
     ?(cache_cap = default_cache_cap) chan =
   if cache_cap < 1 then invalid_arg "Transport.create: cache_cap must be positive";
+  incr creation_counter;
+  let ordinal = !creation_counter in
   {
     chan;
     label;
@@ -143,6 +178,11 @@ let create ?(label = "log") ?(policy = default_policy) ?(net = Netsim.zero)
     cache_seq = 0;
     restart_hooks = [];
     executor = None;
+    budget = None;
+    jitter_drbg =
+      lazy
+        (Larch_hash.Drbg.create
+           ~entropy:(Printf.sprintf "transport-jitter/%s/%d" label ordinal));
     st =
       {
         s_attempts = 0;
@@ -151,6 +191,8 @@ let create ?(label = "log") ?(policy = default_policy) ?(net = Netsim.zero)
         s_faults = 0;
         s_replays = 0;
         s_evictions = 0;
+        s_overloads = 0;
+        s_budget_denied = 0;
       };
     last_req = None;
     last_resp = None;
@@ -167,6 +209,42 @@ let admin_down t = t.admin
 let on_restart t f = t.restart_hooks <- t.restart_hooks @ [ f ]
 let set_executor t ex = t.executor <- ex
 
+let set_retry_budget t ~capacity ~refill_per_s =
+  if capacity <= 0. || refill_per_s < 0. then
+    invalid_arg "Transport.set_retry_budget: capacity must be positive, refill non-negative";
+  t.budget <-
+    Some
+      {
+        b_capacity = capacity;
+        b_refill_per_s = refill_per_s;
+        b_tokens = capacity;
+        b_stamp = Clock.now ();
+      }
+
+let clear_retry_budget t = t.budget <- None
+
+let retry_budget_remaining t =
+  match t.budget with
+  | None -> infinity
+  | Some b ->
+      let now = Clock.now () in
+      min b.b_capacity (b.b_tokens +. ((now -. b.b_stamp) *. b.b_refill_per_s))
+
+(* Spend one retry token; [false] means the bucket is dry and the caller
+   must fail the operation instead of retrying. *)
+let take_retry_token t =
+  match t.budget with
+  | None -> true
+  | Some b ->
+      let now = Clock.now () in
+      b.b_tokens <- min b.b_capacity (b.b_tokens +. ((now -. b.b_stamp) *. b.b_refill_per_s));
+      b.b_stamp <- now;
+      if b.b_tokens >= 1. then begin
+        b.b_tokens <- b.b_tokens -. 1.;
+        true
+      end
+      else false
+
 (* Route log-side execution through the installed admission executor when
    the caller is a fiber: the closure travels to the log's admission loop
    (which may batch it with other clients' requests landing in the same
@@ -177,7 +255,12 @@ let via_exec t ~op ?req (f : unit -> 'a) : 'a =
   match t.executor with
   | Some ex when Runtime.in_fiber () ->
       let slot = ref None in
-      ex ~op ~req (fun () ->
+      (* the admission deadline rides along: if the loop cannot serve the
+         request before the caller's own attempt timeout would expire, it
+         sheds early by raising [Overload] instead of letting the caller
+         burn the timeout *)
+      let deadline = Clock.now () +. t.policy.attempt_timeout in
+      ex ~op ~req ~deadline (fun () ->
           slot := Some (match f () with v -> Ok v | exception e -> Error e));
       (match !slot with
       | Some (Ok v) -> v
@@ -192,6 +275,8 @@ let stats t =
     faults = t.st.s_faults;
     replays = t.st.s_replays;
     evictions = t.st.s_evictions;
+    overloads = t.st.s_overloads;
+    budget_denied = t.st.s_budget_denied;
   }
 
 let reset_stats t =
@@ -200,7 +285,9 @@ let reset_stats t =
   t.st.s_timeouts <- 0;
   t.st.s_faults <- 0;
   t.st.s_replays <- 0;
-  t.st.s_evictions <- 0
+  t.st.s_evictions <- 0;
+  t.st.s_overloads <- 0;
+  t.st.s_budget_denied <- 0
 
 let live_counters (t : t) : counters =
   match t.live with
@@ -253,6 +340,32 @@ let bump_fault t ~op reason =
   if Obs.Runtime.tracing_enabled () then Obs.Metrics.inc (live_counters t).c_faults;
   Obs.Events.emit ~severity:Warn Obs.Events.Transport_fault
     (Printf.sprintf "%s op=%s %s" t.label op reason)
+
+(* Uniform [0,1) draw for overload-retry jitter: the injector's DRBG when
+   one is installed, the transport's own otherwise. *)
+let overload_jitter t =
+  match t.injector with
+  | Some i -> Fault.jitter i
+  | None ->
+      let b = Larch_hash.Drbg.generate (Lazy.force t.jitter_drbg) 6 in
+      let v = ref 0 in
+      String.iter (fun c -> v := (!v lsl 8) lor Char.code c) b;
+      float_of_int !v /. 281474976710656. (* 2^48 *)
+
+let bump_overload t ~op =
+  t.st.s_overloads <- t.st.s_overloads + 1;
+  if Obs.Runtime.tracing_enabled () then
+    Obs.Metrics.inc
+      (Obs.Metrics.counter Obs.Metrics.default ("transport." ^ t.label ^ ".overloads"));
+  Obs.Events.emit ~severity:Warn Obs.Events.Transport_fault
+    (Printf.sprintf "%s op=%s shed by admission control" t.label op)
+
+let bump_budget_denied t ~op =
+  t.st.s_budget_denied <- t.st.s_budget_denied + 1;
+  if Obs.Runtime.tracing_enabled () then
+    Obs.Metrics.inc (Obs.Metrics.counter Obs.Metrics.default "transport.retry_budget_exhausted");
+  Obs.Events.emit ~severity:Error Obs.Events.Transport_fault
+    (Printf.sprintf "%s op=%s retry budget exhausted" t.label op)
 
 let do_restart t =
   Hashtbl.reset t.cache;
@@ -423,7 +536,10 @@ let fail_now t ~op ~attempts (last : failure) =
   raise (Error { op; attempts; elapsed = t.op_elapsed; last })
 
 (* Retry loop for the faulty path: typed failures, exponential backoff +
-   DRBG jitter on the simulated clock, obs events per retry/timeout. *)
+   DRBG jitter on the simulated clock, obs events per retry/timeout.
+   Admission sheds ([Overloaded]) honor the log's retry_after hint
+   instead of the exponential schedule, and every retry — whatever the
+   failure — spends one token of the retry budget when one is set. *)
 let run_op t ~op (attempt : unit -> 'a) : 'a =
   let pol = t.policy in
   t.op_elapsed <- 0.;
@@ -433,6 +549,7 @@ let run_op t ~op (attempt : unit -> 'a) : 'a =
     | v -> v
     | exception Fail_attempt f -> handle f k
     | exception Reject m -> handle (Garbled m) k
+    | exception Overload ra -> handle (Overloaded ra) k
   and handle f k =
     (match f with
     | Timeout | Unavailable ->
@@ -440,20 +557,35 @@ let run_op t ~op (attempt : unit -> 'a) : 'a =
         if Obs.Runtime.tracing_enabled () then Obs.Metrics.inc (live_counters t).c_timeouts;
         Obs.Events.emit ~severity:Warn Obs.Events.Transport_timeout
           (Printf.sprintf "%s op=%s attempt=%d %s" t.label op k (failure_to_string f))
+    | Overloaded _ -> bump_overload t ~op
     | Garbled _ -> ());
     if k >= pol.max_attempts then begin
       Obs.Events.emit ~severity:Error Obs.Events.Transport_fault
         (Printf.sprintf "%s op=%s giving up after %d attempts: %s" t.label op k (failure_to_string f));
       fail_now t ~op ~attempts:k f
     end
+    else if not (take_retry_token t) then begin
+      bump_budget_denied t ~op;
+      fail_now t ~op ~attempts:k f
+    end
     else begin
       t.st.s_retries <- t.st.s_retries + 1;
       if Obs.Runtime.tracing_enabled () then Obs.Metrics.inc (live_counters t).c_retries;
       let backoff =
-        min pol.max_backoff (pol.base_backoff *. (pol.backoff_factor ** float_of_int (k - 1)))
+        match f with
+        | Overloaded ra ->
+            (* honor the server's hint, jittered over its full magnitude
+               so synchronized shed victims spread back out *)
+            ra *. (1. +. overload_jitter t)
+        | _ ->
+            let base =
+              min pol.max_backoff
+                (pol.base_backoff *. (pol.backoff_factor ** float_of_int (k - 1)))
+            in
+            let j = match t.injector with Some i -> Fault.jitter i | None -> 0. in
+            base *. (1. +. (pol.jitter *. j))
       in
-      let j = match t.injector with Some i -> Fault.jitter i | None -> 0. in
-      advance t (backoff *. (1. +. (pol.jitter *. j)));
+      advance t backoff;
       Obs.Events.emit ~severity:Warn Obs.Events.Transport_retry
         (Printf.sprintf "%s op=%s attempt=%d/%d after %s" t.label op (k + 1) pol.max_attempts
            (failure_to_string f));
@@ -462,27 +594,66 @@ let run_op t ~op (attempt : unit -> 'a) : 'a =
   in
   go 1
 
+(* Overload-aware wrapper for the clean (injector-free) path.  The only
+   retryable failure without an injector is an admission shed: honor its
+   retry_after hint (jittered over its full magnitude), spend the retry
+   budget, and surface a typed [Overloaded] error once attempts or budget
+   run out.  An attempt that never touches an admission queue takes the
+   historical zero-overhead path through [attempt] unchanged. *)
+let run_clean t ~op (attempt : unit -> 'a) : 'a =
+  let pol = t.policy in
+  t.op_elapsed <- 0.;
+  let rec go k =
+    match attempt () with
+    | v -> v
+    | exception Overload ra ->
+        bump_overload t ~op;
+        if k >= pol.max_attempts then begin
+          Obs.Events.emit ~severity:Error Obs.Events.Transport_fault
+            (Printf.sprintf "%s op=%s giving up after %d attempts: %s" t.label op k
+               (failure_to_string (Overloaded ra)));
+          fail_now t ~op ~attempts:k (Overloaded ra)
+        end
+        else if not (take_retry_token t) then begin
+          bump_budget_denied t ~op;
+          fail_now t ~op ~attempts:k (Overloaded ra)
+        end
+        else begin
+          t.st.s_retries <- t.st.s_retries + 1;
+          if Obs.Runtime.tracing_enabled () then Obs.Metrics.inc (live_counters t).c_retries;
+          advance t (ra *. (1. +. overload_jitter t));
+          Obs.Events.emit ~severity:Warn Obs.Events.Transport_retry
+            (Printf.sprintf "%s op=%s attempt=%d/%d after %s" t.label op (k + 1)
+               pol.max_attempts
+               (failure_to_string (Overloaded ra)));
+          go (k + 1)
+        end
+  in
+  go 1
+
 let call t ~op ~req ~decode ?(meter_resp = true) handler =
   if t.admin then raise (Error { op; attempts = 1; elapsed = 0.; last = Unavailable });
   match t.injector with
-  | None -> (
+  | None ->
       (* passthrough: byte-for-byte the drivers' historical metering.
          Under a fiber runtime each leg also charges its wire time, so
          clean concurrent sessions genuinely interleave over the link
          (outside a runtime, or with Netsim.zero, nothing changes). *)
-      ignore (Channel.send t.chan Channel.Client_to_log req);
-      if Runtime.in_fiber () then wire_time t (String.length req);
-      let resp =
-        try via_exec t ~op ~req (fun () -> handler req)
-        with Reject m -> raise (Error { op; attempts = 1; elapsed = 0.; last = Garbled m })
-      in
-      if meter_resp then begin
-        ignore (Channel.send t.chan Channel.Log_to_client resp);
-        if Runtime.in_fiber () then wire_time t (String.length resp)
-      end;
-      match decode resp with
-      | Some v -> v
-      | None -> raise (Error { op; attempts = 1; elapsed = 0.; last = Garbled "undecodable response" }))
+      run_clean t ~op (fun () ->
+          ignore (Channel.send t.chan Channel.Client_to_log req);
+          if Runtime.in_fiber () then wire_time t (String.length req);
+          let resp =
+            try via_exec t ~op ~req (fun () -> handler req)
+            with Reject m -> raise (Error { op; attempts = 1; elapsed = 0.; last = Garbled m })
+          in
+          if meter_resp then begin
+            ignore (Channel.send t.chan Channel.Log_to_client resp);
+            if Runtime.in_fiber () then wire_time t (String.length resp)
+          end;
+          match decode resp with
+          | Some v -> v
+          | None ->
+              raise (Error { op; attempts = 1; elapsed = 0.; last = Garbled "undecodable response" }))
   | Some inj ->
       run_op t ~op (fun () ->
           let resp = request_leg t inj ~op ~req handler in
@@ -495,11 +666,12 @@ let post t ~op ~req handler =
   if t.admin then raise (Error { op; attempts = 1; elapsed = 0.; last = Unavailable });
   match t.injector with
   | None ->
-      ignore (Channel.send t.chan Channel.Client_to_log req);
-      if Runtime.in_fiber () then wire_time t (String.length req);
-      (try via_exec t ~op ~req (fun () -> handler req)
-       with Reject m -> raise (Error { op; attempts = 1; elapsed = 0.; last = Garbled m }));
-      if Runtime.in_fiber () then wire_time t 0 (* unserialized ack leg *)
+      run_clean t ~op (fun () ->
+          ignore (Channel.send t.chan Channel.Client_to_log req);
+          if Runtime.in_fiber () then wire_time t (String.length req);
+          (try via_exec t ~op ~req (fun () -> handler req)
+           with Reject m -> raise (Error { op; attempts = 1; elapsed = 0.; last = Garbled m }));
+          if Runtime.in_fiber () then wire_time t 0 (* unserialized ack leg *))
   | Some inj ->
       run_op t ~op (fun () ->
           let handler' bytes =
@@ -532,12 +704,12 @@ let invoke t ~op (thunk : unit -> 'a) : 'a =
   if t.admin then raise (Error { op; attempts = 1; elapsed = 0.; last = Unavailable });
   match t.injector with
   | None ->
-      if Runtime.in_fiber () then begin
-        wire_time t 0;
-        let v = via_exec t ~op thunk in
-        wire_time t 0;
-        v
-      end
+      if Runtime.in_fiber () then
+        run_clean t ~op (fun () ->
+            wire_time t 0;
+            let v = via_exec t ~op thunk in
+            wire_time t 0;
+            v)
       else thunk ()
   | Some inj ->
       run_op t ~op (fun () ->

@@ -51,6 +51,9 @@ type failure =
   | Timeout  (** a leg was dropped or arrived after [attempt_timeout] *)
   | Unavailable  (** the peer is crashed or administratively offline *)
   | Garbled of string  (** the payload was corrupted in flight (either direction) *)
+  | Overloaded of float
+      (** the log's admission control shed the request before serving it;
+          the payload is the server's retry_after hint in seconds *)
 
 type error = {
   op : string;  (** operation label, e.g. ["fido2.auth_begin"] *)
@@ -66,6 +69,13 @@ exception Reject of string
 (** Raised by handlers that cannot decode their request bytes; the
     transport treats it as in-flight damage ({!Garbled}) and retries. *)
 
+exception Overload of float
+(** Raised by an admission executor ({!set_executor}) that sheds a request
+    instead of running it; the payload is the retry_after hint.  The
+    transport maps it to an {!Overloaded} failure: it retries after the
+    hinted (jittered) delay while attempts and the retry budget last, then
+    surfaces [Error { last = Overloaded _; _ }]. *)
+
 val failure_to_string : failure -> string
 val error_to_string : error -> string
 
@@ -76,12 +86,20 @@ type stats = {
   faults : int;
   replays : int;
   evictions : int;  (** replay-cache entries dropped by the LRU size cap *)
+  overloads : int;  (** attempts shed by the log's admission control *)
+  budget_denied : int;  (** retries refused because the retry budget ran dry *)
 }
 
 type t
 
 val default_cache_cap : int
 (** Default replay-cache capacity (256 entries). *)
+
+val reset_ordinals : unit -> unit
+(** Reset the process-wide transport creation counter that seeds each
+    transport's overload-jitter DRBG.  Deterministic scenario runners
+    call this at world start (next to [Clock.set]) so a re-run from the
+    same seed creates transports with the same DRBG streams. *)
 
 val create :
   ?label:string -> ?policy:policy -> ?net:Netsim.t -> ?cache_cap:int -> Channel.t -> t
@@ -117,15 +135,35 @@ val restart : t -> unit
     automatically.) *)
 
 val set_executor :
-  t -> (op:string -> req:string option -> (unit -> unit) -> unit) option -> unit
+  t ->
+  (op:string -> req:string option -> deadline:float -> (unit -> unit) -> unit) option ->
+  unit
 (** Install a log-side admission executor.  When the caller runs inside
     a {!Larch_runtime.Runtime} fiber, every log-side handler/thunk
     execution is wrapped in a closure and handed to the executor instead
     of being called directly; the executor must run the closure (e.g.
     from the log's admission-loop fiber, batched with other clients'
-    same-instant arrivals) before returning.  Outside a runtime, or with
-    no executor installed, execution is a direct call — byte-for-byte
-    the historical behavior. *)
+    same-instant arrivals) before returning — or shed the request by
+    raising {!Overload}.  [deadline] is the simulated time by which the
+    caller gives up ([now + attempt_timeout]); an executor that cannot
+    serve the request before its deadline should shed it early rather
+    than burn the caller's timeout.  Outside a runtime, or with no
+    executor installed, execution is a direct call — byte-for-byte the
+    historical behavior. *)
+
+val set_retry_budget : t -> capacity:float -> refill_per_s:float -> unit
+(** Arm the client-wide retry budget: a leaky bucket of [capacity] tokens
+    refilled at [refill_per_s] on the simulated clock.  Every retry (any
+    failure kind, clean or faulty path) spends one token; when the bucket
+    is dry the operation fails immediately with its last failure instead
+    of retrying — so a fleet of retrying clients sheds its own
+    amplification.  No budget is set by default (unlimited retries, the
+    historical behavior). *)
+
+val clear_retry_budget : t -> unit
+
+val retry_budget_remaining : t -> float
+(** Tokens currently available ([infinity] when no budget is set). *)
 
 val stats : t -> stats
 val reset_stats : t -> unit

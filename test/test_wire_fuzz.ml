@@ -250,14 +250,15 @@ let merkle_proof_roundtrip =
 
 let attestation_roundtrip =
   QCheck.Test.make ~name:"attestation roundtrip" ~count:50
-    QCheck.(pair (int_bound 1000) (int_bound 20))
-    (fun (index, depth) ->
+    QCheck.(triple (int_bound 1000) (int_bound 20) bool)
+    (fun (index, depth, degraded) ->
       let a =
         {
           Log_service.index;
           record = Record.encode (mk_record ());
-          proof = List.init depth (fun _ -> rand 32);
+          proof = (if degraded then [] else List.init depth (fun _ -> rand 32));
           sth = mk_sth ~size:(index + 1);
+          degraded;
         }
       in
       match Log_service.decode_attestation (Log_service.encode_attestation a) with
@@ -338,6 +339,7 @@ let attestation_mutation () =
       record = Record.encode (mk_record ());
       proof = List.init 6 (fun _ -> rand 32);
       sth = mk_sth ~size:8;
+      degraded = false;
     }
   in
   let bytes = Log_service.encode_attestation a in
