@@ -74,6 +74,11 @@ type t = {
   mutable att_deferred : bool;
       (* a brownout ack carried no inclusion proof; cleared by the next
          verified audit, which covers the deferred record *)
+  mutable att_pending : (int * string) list;
+      (* (leaf index, record bytes) of every degraded ack still awaiting
+         inclusion verification: the next verified audit must show
+         exactly these bytes at these leaves before the deferral clears,
+         so a log that acked without appending fails that audit *)
 }
 
 let create ?policy ?net ~(client_id : string) ~(account_password : string)
@@ -102,6 +107,7 @@ let create ?policy ?net ~(client_id : string) ~(account_password : string)
     audited = [];
     dirty = false;
     att_deferred = false;
+    att_pending = [];
   }
 
 let set_domains (t : t) (n : int) = t.domains <- max 1 n
@@ -315,10 +321,11 @@ exception Log_misbehaved of string
    here, at authentication time, not at the next audit.
 
    A brownout ack ([degraded]) carries no inclusion proof: the signed
-   head and the record binding are still checked, inclusion verification
-   is deferred, and [att_deferred] stays set until the next verified
-   audit covers the record (a log that acked without logging is still
-   caught — one audit later instead of instantly). *)
+   head and the record binding are still checked, and the acked (index,
+   record) pair is stashed in [att_pending].  The next verified audit
+   must find exactly those bytes at those leaves before the deferral
+   clears (a log that acked without logging is still caught — one audit
+   later instead of instantly). *)
 let check_attestation (t : t) ~(payload_check : Record.t -> bool)
     (att : Log_service.attestation) : unit =
   let fail msg = raise (Log_misbehaved ("auth attestation rejected: " ^ msg)) in
@@ -329,6 +336,7 @@ let check_attestation (t : t) ~(payload_check : Record.t -> bool)
   | None -> fail "attested record undecodable"
   | Some r -> if not (payload_check r) then fail "attested record is not this authentication");
   if att.Log_service.degraded then begin
+    t.att_pending <- (att.Log_service.index, att.Log_service.record) :: t.att_pending;
     t.att_deferred <- true;
     if obs_on () then m_inc "client.attestations.deferred"
   end
@@ -719,10 +727,31 @@ let audit_verified (t : t) : (audit_entry list, string) result =
     t.audited <- t.audited @ delta;
     t.last_sth <- Some sth;
     t.last_chain <- Some (resp.Log_service.chain_head, resp.Log_service.chain_len);
-    (* any brownout-deferred inclusion checks are now covered: every
-       record up to [sth] was inclusion-verified by this audit *)
-    t.att_deferred <- false;
-    Ok (audit_of_records t t.audited)
+    (* discharge brownout-deferred inclusion checks: every audited record
+       was inclusion-verified against the live root, so a degraded ack is
+       covered iff its exact record bytes sit at its acked leaf.  A log
+       that acked without appending has a consistent tree that simply
+       lacks the record — it fails here, one audit later. *)
+    let missing =
+      match t.att_pending with
+      | [] -> []
+      | pending ->
+          let leaves = Array.of_list (List.map Record.encode t.audited) in
+          List.filter
+            (fun (i, enc) ->
+              i < 0 || i >= Array.length leaves || not (Bytesx.ct_equal leaves.(i) enc))
+            pending
+    in
+    t.att_pending <- missing;
+    if missing = [] then begin
+      t.att_deferred <- false;
+      Ok (audit_of_records t t.audited)
+    end
+    else begin
+      if obs_on () then m_inc "client.audit.deferred_missing";
+      Error
+        "brownout-deferred record missing from the audited log (log acked without appending)"
+    end
   end
   else begin
     (* the log could not extend our verified view: refetch everything and

@@ -94,8 +94,15 @@ type t = {
           out of step; the next operation resynchronizes first *)
   mutable att_deferred : bool;
       (** a brownout-degraded attestation was accepted without its
-          inclusion proof; cleared by the next {!audit_verified} fast
-          path, which inclusion-verifies everything up to its head *)
+          inclusion proof; cleared only once {!audit_verified} has
+          discharged every entry of [att_pending] *)
+  mutable att_pending : (int * string) list;
+      (** (leaf index, record bytes) of each accepted degraded
+          attestation: the next {!audit_verified} fast path must find
+          exactly these bytes at these leaves — and errors otherwise —
+          before [att_deferred] clears, so a log that acked under
+          brownout without appending the record is caught one audit
+          later *)
 }
 
 val create :

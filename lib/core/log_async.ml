@@ -215,7 +215,11 @@ let rate_check t (cid : string) : float option =
       b.tokens <- b.tokens -. 1.;
       None
     end
-    else Some (Float.max 0.01 ((1. -. b.tokens) /. cfg.client_rate))
+    else
+      (* clamped like [retry_hint]: the transport honors the hint
+         verbatim (bypassing policy.max_backoff), so an unclamped value
+         under a tiny [client_rate] would stall a caller arbitrarily *)
+      Some (Float.min 1.0 (Float.max 0.01 ((1. -. b.tokens) /. cfg.client_rate)))
   end
 
 (* --- brownout state machine ------------------------------------------ *)

@@ -56,7 +56,7 @@ type t = {
 (* With [disk] given, each of the n logs owns an independent store on the
    shared disk (directories log0/, log1/, …): a restart of log i recovers
    its own snapshot + WAL without touching its peers. *)
-let create ?policy ?net ?disk ?checkpoint_every ?(breaker_threshold = 3)
+let create ?policy ?net ?disk ?checkpoint_every ?(breaker_threshold = 0)
     ?(breaker_cooldown = 5.) ~(n : int) ~(threshold : int) ~(rand_bytes : int -> string) () : t =
   if threshold < 1 || threshold > n then invalid_arg "Multilog.create: bad threshold";
   let logs =

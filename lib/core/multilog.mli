@@ -51,11 +51,13 @@ val create :
     shared disk, so a transport-injected restart of one log is a genuine
     kill-and-recover that leaves its peers untouched.
 
-    [breaker_threshold] (default 3) consecutive overload/timeout failures
-    of one log trip its circuit breaker: {!authenticate} routes around it
-    for [breaker_cooldown] (default 5) simulated seconds, then lets one
+    [breaker_threshold] consecutive overload/timeout failures of one log
+    trip its circuit breaker: {!authenticate} routes around it for
+    [breaker_cooldown] (default 5) simulated seconds, then lets one
     probe through — success closes the breaker, failure re-trips it.
-    [breaker_threshold = 0] disables the breakers. *)
+    The default [breaker_threshold = 0] disables the breakers — like
+    every other overload control, they are opt-in, so fault-injection
+    setups that rely on per-attempt retries keep their behavior. *)
 
 val n_logs : t -> int
 

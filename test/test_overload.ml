@@ -312,6 +312,34 @@ let degraded_attestation () =
     < String.length (Log_service.encode_attestation full));
   Clock.use_real_time ()
 
+(* A misbehaving log acks under brownout without ever appending the
+   record: its tree stays self-consistent, but the stashed (index,
+   record) pair has no matching leaf, so the next verified audit must
+   error instead of silently clearing the deferral. *)
+let degraded_ack_not_logged () =
+  Clock.set base_time;
+  let log = Log_service.create ~rand_bytes:rand () in
+  let client =
+    Client.create ~client_id:"phantom-user" ~account_password:"pw" ~log ~rand_bytes:rand ()
+  in
+  Client.enroll ~presignature_count:1 client;
+  let rp = Relying_party.create ~name:"rp.example" ~rand_bytes:rand () in
+  let site_pw = Client.register_password client ~rp_name:"rp.example" in
+  Relying_party.password_set rp ~username:"phantom-user" ~password:site_pw;
+  Log_service.set_degraded log true;
+  ignore (Client.authenticate_password client ~rp_name:"rp.example");
+  Log_service.set_degraded log false;
+  (* the honest ack above was appended; forge one the log never logged *)
+  client.Client.att_pending <-
+    (5, "record the log never appended") :: client.Client.att_pending;
+  (match Client.audit_verified client with
+  | Ok _ -> Alcotest.fail "audit cleared a deferral the log never logged"
+  | Error _ -> ());
+  Alcotest.(check bool) "deferral not cleared" true client.Client.att_deferred;
+  Alcotest.(check int) "the honest ack is discharged, the phantom one kept" 1
+    (List.length client.Client.att_pending);
+  Clock.use_real_time ()
+
 (* --- multilog circuit breaker ------------------------------------------ *)
 
 let circuit_breaker () =
@@ -430,6 +458,8 @@ let () =
         [
           Alcotest.test_case "hysteretic state machine" `Quick brownout_hysteresis;
           Alcotest.test_case "degraded attestations defer inclusion" `Quick degraded_attestation;
+          Alcotest.test_case "degraded ack without append is caught" `Quick
+            degraded_ack_not_logged;
         ] );
       ("multilog", [ Alcotest.test_case "circuit breaker" `Quick circuit_breaker ]);
       ("ecdsa", [ Alcotest.test_case "verify_batch edges" `Quick verify_batch_edges ]);
